@@ -1,0 +1,65 @@
+"""Ablation: allocator-side quarantine depth vs delayed-UAF detection.
+
+EMBSAN-D observes an unmodified allocator, so once a freed slot is
+recycled, a late use-after-free lands in a live object and goes unseen.
+Instrumented builds (EMBSAN-C / native KASAN) enable the slab quarantine
+that defers reuse.  This ablation frees an object, churns K fresh
+allocations of the same class, then touches the stale pointer — sweeping
+quarantine depth shows detection surviving exactly while the object
+remains quarantined.
+"""
+
+from repro.firmware.builder import build_with_embsan
+from repro.firmware.instrument import InstrumentationMode
+from repro.sanitizers.runtime.reports import BugType
+from tests.conftest import small_linux_factory
+
+DEPTHS = (0, 2, 4, 8, 16)
+CHURNS = (1, 3, 6, 12)
+
+
+def delayed_uaf_detected(depth: int, churn: int) -> bool:
+    image, runtime = build_with_embsan(
+        f"quarantine-{depth}-{churn}", "x86", small_linux_factory,
+        InstrumentationMode.EMBSAN_C,
+    )
+    ctx, kernel = image.ctx, image.kernel
+    kernel.mm.quarantine_depth = depth
+    decoys = [kernel.mm.kmalloc(ctx, 96) for _ in range(16)]
+    stale = kernel.mm.kmalloc(ctx, 96)
+    kernel.mm.kfree(ctx, stale)
+    # churn: further frees push the stale object through the quarantine,
+    # and fresh allocations then recycle whatever it evicted
+    for idx in range(churn):
+        kernel.mm.kfree(ctx, decoys[idx])
+    for _ in range(churn + 2):
+        kernel.mm.kmalloc(ctx, 96)
+    # the delayed use of the stale pointer
+    ctx.ld32(stale + 8)
+    return runtime.sink.has(BugType.UAF)
+
+
+def sweep():
+    return {
+        depth: [delayed_uaf_detected(depth, churn) for churn in CHURNS]
+        for depth in DEPTHS
+    }
+
+
+def test_ablation_quarantine_depth(once):
+    results = once(sweep)
+
+    print("\nAblation: quarantine depth vs delayed-UAF detection")
+    print(f"{'depth':>6s}  " + "  ".join(f"churn={c:<3d}" for c in CHURNS))
+    for depth, detected in sorted(results.items()):
+        cells = "  ".join(f"{'Yes' if d else 'no ':<9s}" for d in detected)
+        print(f"{depth:6d}  {cells}")
+
+    # without quarantine, immediate reuse hides the delayed UAF
+    assert not any(results[0])
+    # deep quarantine catches every delayed use in the sweep
+    assert all(results[16])
+    # monotone: deeper quarantine never detects less
+    for churn_idx in range(len(CHURNS)):
+        flags = [results[d][churn_idx] for d in DEPTHS]
+        assert flags == sorted(flags), (CHURNS[churn_idx], flags)

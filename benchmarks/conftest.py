@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables or figures, asserts
+its *shape* against the published result, and prints the reproduced
+rows so ``pytest benchmarks/ --benchmark-only`` doubles as the
+experiment log.  Experiments are deterministic, so each is measured as
+a single pedantic round.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Measure ``func`` exactly once (experiments are deterministic)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

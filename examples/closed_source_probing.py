@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Category-3 probing: a closed-source VxWorks router, binary-only.
+
+The TP-Link WDR-7660 firmware ships no source and no symbols: its
+``pppoed``/``dhcpsd`` daemons are opaque EVM32 binaries executing on the
+TCG engine.  The Prober reconstructs everything EMBSAN needs from the
+emulator alone — allocator entry points from call/return behaviour, the
+ready signal from UART probes, service spans from a static sweep of the
+executable regions — and the Common Sanitizer Runtime then catches a
+missing bounds check *inside the binary*.
+
+Run:  python examples/closed_source_probing.py
+"""
+
+from repro import prepare
+from repro.isa.disasm import disassemble_block
+from repro.os.vxworks.kernel import VxWorksOp
+
+FIRMWARE = "TP-Link WDR-7660"
+
+
+def main() -> None:
+    print(f"== probing the closed-source {FIRMWARE} ==")
+    deployment = prepare(FIRMWARE, sanitizers=("kasan",))
+    platform = deployment.platform
+    print(f"firmware category: {platform.category} (closed binary)")
+    print("behaviourally identified allocators (no symbols available):")
+    for fn in platform.alloc_fns:
+        print(f"  {fn.kind:5s} {fn.name:14s} @ {fn.addr:#010x}")
+    print("service binaries found by the static sweep:")
+    for name, base, size in platform.blobs:
+        print(f"  {name:8s} @ {base:#010x} ({size} bytes)")
+
+    print("\n== the platform specification, as SanSpec DSL ==")
+    print(platform.to_text()[:400] + " ...")
+
+    print("\n== launching and attacking the pppoed daemon ==")
+    image, runtime = deployment.launch()
+    kernel, ctx = image.kernel, image.ctx
+
+    print("disassembly of the vulnerable copy loop:")
+    blob, base, entry = kernel.blobs["pppoed"]
+    for line in disassemble_block(blob, base)[:12]:
+        print("   ", line)
+
+    # benign discovery packet: fits the response buffer
+    rc = kernel.invoke(ctx, VxWorksOp.PPPOE_PACKET, 0x09, 8, 1)
+    print(f"\nbenign PADI (tag_len=8):   rc={rc}, "
+          f"reports={runtime.sink.unique_count()}")
+
+    # malicious packet: the binary's copy loop trusts tag_length
+    rc = kernel.invoke(ctx, VxWorksOp.PPPOE_PACKET, 0x09, 200, 1)
+    print(f"evil PADI   (tag_len=200): rc={rc}, "
+          f"reports={runtime.sink.unique_count()}")
+
+    for report in runtime.sink.unique.values():
+        print(f"\n{report}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""A fuzzing campaign: Tardis + EMBSAN-D on the InfiniTime smartwatch.
+
+Reproduces the paper's §4.2 workflow on one firmware: run the
+OS-agnostic Tardis-style fuzzer with EMBSAN attached, deduplicate the
+findings, extract minimized reproducers, and map each finding back to
+the Table-4 bug catalog.
+
+Run:  python examples/fuzz_campaign.py
+"""
+
+from repro.bugs.catalog import table4_bugs_for
+from repro.fuzz.campaign import run_campaign
+
+FIRMWARE = "InfiniTime"
+BUDGET = 2500
+
+
+def main() -> None:
+    print(f"== fuzzing {FIRMWARE} for {BUDGET} executions ==")
+    result = run_campaign(FIRMWARE, budget=BUDGET, seed=1)
+    print(f"fuzzer: {result.fuzzer}")
+    print(f"executions: {result.execs}, coverage points: {result.coverage}, "
+          f"guest crashes: {result.crashes}")
+
+    reproducible = [f for f in result.findings if f.reproducible]
+    print(f"\n== {len(reproducible)} reproducible unique finding(s) ==")
+    from repro.fuzz.program import Program
+
+    for finding in reproducible:
+        print(f"\n{finding.report}")
+        print("minimized reproducer:")
+        print(Program(list(finding.reproducer_calls())).serialize())
+
+    print("\n== catalog match ==")
+    expected = table4_bugs_for(FIRMWARE)
+    for record in expected:
+        hit = record.bug_id in result.matched
+        print(f"  {record.location:24s} {record.bug_class:12s} "
+              f"{'FOUND' if hit else 'missed'}")
+    print(f"\n{result.found_count()}/{len(expected)} Table-4 bugs found")
+
+
+if __name__ == "__main__":
+    main()

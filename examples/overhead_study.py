@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Overhead study: what does sanitation cost at the emulator boundary?
+
+Replays the deterministic merged corpus on a few firmware and compares
+EMBSAN against the native in-guest sanitizers (Figure 2 of the paper,
+reduced to three targets).  Also demonstrates the §3.3 claim that the
+hypercall fast path beats dynamic probe interception on the same
+firmware.
+
+Run:  python examples/overhead_study.py
+"""
+
+from repro.bench.overhead import measure_firmware
+from repro.bench.workload import merged_corpus, replay
+from repro.firmware.builder import attach_runtime
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware
+
+TARGETS = ("OpenWRT-x86_64", "OpenWRT-bcm63xx", "InfiniTime")
+
+
+def main() -> None:
+    print("== Figure-2 slice: slowdown on the merged corpus ==")
+    print(f"{'firmware':20s} {'sanitizer':10s} {'deployment':10s} slowdown")
+    for firmware in TARGETS:
+        sans = ("kasan", "kcsan") if "OpenWRT" in firmware else ("kasan",)
+        for row in measure_firmware(firmware, sanitizers=sans):
+            print(f"{row.firmware:20s} {row.sanitizer:10s} "
+                  f"{row.deployment:10s} {row.slowdown:5.2f}x")
+
+    print("\n== §3.3 ablation: hypercall fast path vs dynamic probes ==")
+    firmware = "OpenWRT-x86_64"
+    corpus = merged_corpus(firmware)
+    bare = build_firmware(firmware, mode=InstrumentationMode.NONE,
+                          with_bugs=False, boot=False)
+    bare.boot()
+    denominator = replay(bare, corpus)["total_cycles"]
+    for mode in (InstrumentationMode.EMBSAN_C, InstrumentationMode.EMBSAN_D):
+        image = build_firmware(firmware, mode=mode, with_bugs=False,
+                               boot=False)
+        attach_runtime(image, sanitizers=("kasan",))
+        image.boot()
+        slowdown = replay(image, corpus)["total_cycles"] / denominator
+        print(f"  {mode.value:10s} {slowdown:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

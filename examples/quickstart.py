@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: sanitize a firmware in three steps.
+
+1. ``prepare()`` runs the pre-testing probing phase: it distills the
+   reference KASAN implementation into the SanSpec DSL, classifies the
+   firmware, dry-runs it to probe the platform (memory map, allocator
+   entry points, ready signal), and compiles the runtime configuration.
+2. ``launch()`` builds a fresh instance, attaches the Common Sanitizer
+   Runtime at the emulator boundary and boots.
+3. Drive the firmware; read reports from ``runtime.sink``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import prepare
+from repro.os.embedded_linux.syscalls import Syscall
+
+FIRMWARE = "OpenWRT-bcm63xx"  # open source, no sanitizer support: EMBSAN-D
+
+
+def main() -> None:
+    print(f"== probing {FIRMWARE} ==")
+    deployment = prepare(FIRMWARE, sanitizers=("kasan",))
+    platform = deployment.platform
+    print(f"category {platform.category} firmware, "
+          f"mode {deployment.mode.value}")
+    print(f"ready detection: {platform.ready.kind} "
+          f"({platform.ready.banner!r})")
+    print("probed allocator entry points:")
+    for fn in platform.alloc_fns:
+        print(f"  {fn.kind:5s} {fn.name:14s} @ {fn.addr:#010x}")
+
+    print("\n== launching the testing phase ==")
+    image, runtime = deployment.launch()
+    print(f"console: {image.console().strip()}")
+
+    print("\n== driving the firmware ==")
+    kernel, ctx = image.kernel, image.ctx
+    # benign traffic first: open the Bluetooth HCI device, push events
+    fd = kernel.do_syscall(ctx, Syscall.OPEN, 0x40, 0, 0, 0)
+    kernel.do_syscall(ctx, Syscall.WRITE, fd, 16, 3, 0)
+    print(f"benign I/O done, reports so far: {runtime.sink.unique_count()}")
+
+    # now the firmware's seeded defect: an HCI event code the demuxer
+    # uses to index past its handler table (a Table-4 bug)
+    kernel.do_syscall(ctx, Syscall.IOCTL, fd, 1, 0x10, 0)
+
+    print(f"\n== {runtime.sink.unique_count()} unique report(s) ==")
+    for report in runtime.sink.unique.values():
+        print(report)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Replay known syzbot bugs under three sanitizer deployments.
+
+Picks a few Table-2 rows — including one of the global out-of-bounds
+bugs that separates the compile-time and dynamic instrumentation modes —
+builds the pinned kernel version with the defect armed, and replays the
+reproducer under EMBSAN-C, EMBSAN-D and native KASAN.
+
+Run:  python examples/table2_replay.py
+"""
+
+from repro.bugs.catalog import TABLE2_BUGS
+from repro.bugs.replay import replay_on_embsan, replay_on_native
+from repro.firmware.instrument import InstrumentationMode
+
+PICKS = ("t2_01", "t2_16", "t2_22", "t2_24")  # OOB, UAF, UAF, global OOB
+
+
+def main() -> None:
+    records = [r for r in TABLE2_BUGS if r.bug_id in PICKS]
+    print(f"{'bug':28s} {'kernel':10s} {'EmbSan-C':9s} {'EmbSan-D':9s} KASAN")
+    print("-" * 70)
+    for record in records:
+        c = replay_on_embsan(record, InstrumentationMode.EMBSAN_C)
+        d = replay_on_embsan(record, InstrumentationMode.EMBSAN_D)
+        k = replay_on_native(record)
+        print(f"{record.location:28s} {record.kernel_version:10s} "
+              f"{_yn(c.detected):9s} {_yn(d.detected):9s} {_yn(k.detected)}")
+        if record.bug_id == "t2_24" and not d.detected:
+            print("  ^ EMBSAN-D misses this one: the global redzone only "
+                  "exists in compile-time instrumented builds (§4.1)")
+    print("\nsample report (EMBSAN-C):")
+    sample = replay_on_embsan(records[0], InstrumentationMode.EMBSAN_C)
+    print(sample.reports[0])
+
+
+def _yn(flag: bool) -> str:
+    return "Yes" if flag else "No"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""EMBSAN reproduction: sanitizing embedded operating systems at the
+emulator boundary.
+
+Reproduces Liu et al., *"Effectively Sanitizing Embedded Operating
+Systems"* (DAC 2024): dynamic instrumentation of sanitizer facilities
+plus decoupled on-host runtime libraries, evaluated across Embedded
+Linux, FreeRTOS, LiteOS and VxWorks firmware on ARM/MIPS/x86 machine
+models.
+
+Quick start::
+
+    from repro import prepare
+
+    deployment = prepare("OpenWRT-bcm63xx", sanitizers=("kasan",))
+    image, runtime = deployment.launch()
+    ...drive the firmware...
+    for report in runtime.sink.unique.values():
+        print(report)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.embsan import Deployment, prepare
+from repro.firmware.registry import all_firmware, build_firmware, firmware_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "all_firmware",
+    "build_firmware",
+    "firmware_spec",
+    "prepare",
+    "__version__",
+]

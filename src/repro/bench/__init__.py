@@ -1,0 +1,6 @@
+"""Benchmark support: the calibrated cost model, workload replay and the
+overhead harness behind Figure 2."""
+
+from repro.bench.costmodel import CostModel, DEFAULT_COSTS
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]

@@ -1,0 +1,132 @@
+"""The Figure-2 overhead experiment.
+
+For each firmware and sanitizer functionality, replay the merged corpus
+under: a bare build (denominator), EMBSAN in the firmware's paper mode,
+and — on Embedded Linux — the native in-guest sanitizer.  Slowdown is
+``total_cycles(deployment) / total_cycles(bare)`` on identical guest
+work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware, firmware_spec
+from repro.bench.workload import merged_corpus, replay
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One bar of Figure 2."""
+
+    firmware: str
+    base_os: str
+    arch: str
+    sanitizer: str  #: "kasan" or "kcsan"
+    deployment: str  #: "embsan-c" | "embsan-d" | "native"
+    slowdown: float
+    guest_cycles: int
+    overhead_cycles: float
+
+
+def _bare_cycles(firmware: str, seed: int) -> Tuple[int, list]:
+    image = build_firmware(firmware, mode=InstrumentationMode.NONE,
+                           with_bugs=False, boot=False)
+    image.boot()
+    corpus = merged_corpus(firmware, seed=seed)
+    counters = replay(image, corpus)
+    return counters["total_cycles"], corpus
+
+
+def _embsan_cycles(firmware: str, sanitizer: str, seed: int) -> Tuple[float, int, float, str]:
+    spec = firmware_spec(firmware)
+    image = build_firmware(firmware, mode=spec.inst_mode,
+                           with_bugs=False, boot=False)
+    attach_runtime(image, sanitizers=(sanitizer,))
+    image.boot()
+    corpus = merged_corpus(firmware, seed=seed)
+    counters = replay(image, corpus)
+    mode = "embsan-c" if spec.inst_mode is InstrumentationMode.EMBSAN_C else "embsan-d"
+    return (counters["total_cycles"], counters["guest_cycles"],
+            counters["overhead_cycles"], mode)
+
+
+def _native_cycles(firmware: str, sanitizer: str, seed: int):
+    image = build_firmware(firmware, mode=InstrumentationMode.NATIVE,
+                           native_sanitizers=(sanitizer,),
+                           with_bugs=False, boot=False)
+    image.boot()
+    corpus = merged_corpus(firmware, seed=seed)
+    counters = replay(image, corpus)
+    return (counters["total_cycles"], counters["guest_cycles"],
+            counters["overhead_cycles"])
+
+
+def measure_firmware(
+    firmware: str,
+    sanitizers: Sequence[str] = ("kasan",),
+    include_native: Optional[bool] = None,
+    seed: int = 7,
+) -> List[OverheadRow]:
+    """Measure every Figure-2 bar for one firmware."""
+    spec = firmware_spec(firmware)
+    if include_native is None:
+        # only Embedded Linux ships native KASAN/KCSAN implementations
+        include_native = spec.base_os == "Embedded Linux"
+    bare_total, _corpus = _bare_cycles(firmware, seed)
+    rows: List[OverheadRow] = []
+    for sanitizer in sanitizers:
+        total, guest, overhead, mode = _embsan_cycles(firmware, sanitizer, seed)
+        rows.append(OverheadRow(
+            firmware, spec.base_os, spec.arch, sanitizer, mode,
+            slowdown=total / bare_total, guest_cycles=guest,
+            overhead_cycles=overhead,
+        ))
+        if include_native:
+            total, guest, overhead = _native_cycles(firmware, sanitizer, seed)
+            rows.append(OverheadRow(
+                firmware, spec.base_os, spec.arch, sanitizer, "native",
+                slowdown=total / bare_total, guest_cycles=guest,
+                overhead_cycles=overhead,
+            ))
+    return rows
+
+
+def figure2(sanitizers: Sequence[str] = ("kasan", "kcsan"),
+            seed: int = 7) -> List[OverheadRow]:
+    """The full Figure-2 sweep across every Table-1 firmware."""
+    from repro.firmware.registry import all_firmware
+
+    rows: List[OverheadRow] = []
+    for spec in all_firmware():
+        # the paper evaluates KCSAN functionality on the Linux targets
+        wanted = tuple(
+            s for s in sanitizers
+            if s == "kasan" or spec.base_os == "Embedded Linux"
+        )
+        rows.extend(measure_firmware(spec.name, sanitizers=wanted, seed=seed))
+    return rows
+
+
+def summarize(rows: Sequence[OverheadRow]) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """(sanitizer, deployment) -> (min, max) slowdown across firmware."""
+    spans: Dict[Tuple[str, str], List[float]] = {}
+    for row in rows:
+        spans.setdefault((row.sanitizer, row.deployment), []).append(row.slowdown)
+    return {key: (min(vals), max(vals)) for key, vals in spans.items()}
+
+
+def format_rows(rows: Sequence[OverheadRow]) -> str:
+    """Render the Figure-2 series as an aligned text table."""
+    lines = [
+        f"{'firmware':24s} {'os':15s} {'san':6s} {'deployment':9s} slowdown",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.firmware:24s} {row.base_os:15s} {row.sanitizer:6s} "
+            f"{row.deployment:9s} {row.slowdown:5.2f}x"
+        )
+    return "\n".join(lines)

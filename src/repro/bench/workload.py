@@ -1,0 +1,132 @@
+"""Deterministic benchmark workloads (the "merged corpus" of §4.3).
+
+The paper measures overhead by replaying the corpus merged from the
+fuzzing campaigns.  We regenerate that corpus the same way: a short,
+deterministic, coverage-guided fuzzing session against a *bug-free,
+uninstrumented* build collects the coverage-increasing programs; every
+deployment mode then replays exactly those programs, so the slowdown
+ratio isolates the sanitizer cost on identical guest work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import GuestFault
+from repro.firmware.image import FirmwareImage
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware
+from repro.fuzz.coverage import EmulatorCoverage
+from repro.fuzz.engine import FuzzerEngine, FuzzTarget
+from repro.fuzz.ifspec import interface_for
+from repro.fuzz.program import Program, ResourcePool, resolve_args
+
+#: fuzzing budget used to merge the corpus
+CORPUS_BUDGET = 600
+#: replay at most this many corpus programs
+MAX_PROGRAMS = 80
+
+_corpus_cache: Dict[Tuple[str, int], List[Program]] = {}
+
+
+def merged_corpus(firmware: str, seed: int = 7,
+                  budget: int = CORPUS_BUDGET) -> List[Program]:
+    """The deterministic merged corpus for one firmware (cached)."""
+    key = (firmware, seed)
+    cached = _corpus_cache.get(key)
+    if cached is not None:
+        return cached
+
+    def make():
+        image = build_firmware(firmware, mode=InstrumentationMode.NONE,
+                               with_bugs=False, boot=False)
+        coverage = EmulatorCoverage(image.machine)
+        image.boot()
+        return image, None, coverage
+
+    target = FuzzTarget(make)
+    spec = interface_for(target.image.kernel)
+    engine = FuzzerEngine(target, spec, seed=seed)
+    engine.run(budget)
+    corpus = _core_load(target.image) + \
+        [p.clone() for p in engine.corpus[:MAX_PROGRAMS // 4]]
+    _corpus_cache[key] = corpus
+    return corpus
+
+
+def _core_load(image: FirmwareImage) -> List[Program]:
+    """The steady-state I/O core every merged corpus contains.
+
+    Fuzzing corpora are dominated by plain open/read/write/close and
+    allocation traffic; regenerating that core deterministically keeps
+    the replay representative even when the fuzzed tail is exotic.
+    """
+    from repro.fuzz.program import Call
+    from repro.os.embedded_linux.kernel import EmbeddedLinuxKernel, SOCK_DEV_BASE
+    from repro.os.embedded_linux.syscalls import Syscall as S
+
+    kernel = image.kernel
+    programs: List[Program] = []
+    if isinstance(kernel, EmbeddedLinuxKernel):
+        devices = sorted(d for d in kernel.vfs.devices if d < SOCK_DEV_BASE)[:2]
+        for _ in range(6):
+            for dev in devices:
+                programs.append(Program([
+                    Call(S.OPEN, [dev], produces="fd"),
+                    Call(S.WRITE, [("res", "fd", 0), 64, 5]),
+                    Call(S.READ, [("res", "fd", 0), 64, 0]),
+                    Call(S.WRITE, [("res", "fd", 0), 32, 9]),
+                    Call(S.CLOSE, [("res", "fd", 0)]),
+                ]))
+            programs.append(Program([
+                Call(S.MMAP, [0x2000], produces="map"),
+                Call(S.MMAP, [0x1000], produces="map"),
+                Call(S.MUNMAP, [("res", "map", 0)]),
+                Call(S.MUNMAP, [("res", "map", 1)]),
+            ]))
+        return programs
+    # RTOS targets: allocation ladders through the task API
+    os_name = getattr(kernel, "os_name", "")
+    alloc_op, free_op = {
+        "freertos": (7, 8), "liteos": (1, 2), "vxworks": (3, 4),
+    }.get(os_name, (None, None))
+    if alloc_op is None:
+        return programs
+    for round_idx in range(8):
+        calls = []
+        for size in (24, 64, 120, 48):
+            calls.append(Call(alloc_op, [size + round_idx], produces="mem"))
+        for idx in range(4):
+            calls.append(Call(free_op, [("res", "mem", idx)]))
+        programs.append(Program(calls))
+    return programs
+
+
+def replay(image: FirmwareImage, corpus: List[Program]) -> dict:
+    """Replay the corpus; returns the machine's cycle accounting.
+
+    Counters reset after boot so the measurement covers steady-state
+    execution only, like the paper's post-boot corpus replay.
+    """
+    spec = interface_for(image.kernel)
+    machine = image.machine
+    machine.reset_counters()
+    kernel, ctx = image.kernel, image.ctx
+    for program in corpus:
+        pool = ResourcePool()
+        try:
+            for nr, args, produces in program.resolve():
+                concrete = resolve_args(args, pool)
+                if spec.style == "syscall":
+                    result = kernel.do_syscall(ctx, nr, *concrete)
+                else:
+                    result = kernel.invoke(ctx, nr, *concrete[:3])
+                if produces and isinstance(result, int):
+                    pool.put(produces, result)
+        except GuestFault:  # pragma: no cover - benign builds don't fault
+            continue
+    return {
+        "guest_cycles": machine.guest_cycles,
+        "overhead_cycles": machine.overhead_cycles,
+        "total_cycles": machine.total_cycles,
+    }

@@ -1,0 +1,26 @@
+"""The evaluation bug corpora.
+
+* :mod:`repro.bugs.catalog` — every Table-2 row (25 known syzbot bugs)
+  and Table-4 row (41 new bugs) with its deterministic reproducer.
+* :mod:`repro.bugs.table2` — the syzbot-replay kernel factory and the
+  per-sanitizer detection experiment behind Table 2.
+* :mod:`repro.bugs.replay` — reproducer execution and crash oracles.
+"""
+
+from repro.bugs.catalog import (
+    BugRecord,
+    TABLE2_BUGS,
+    TABLE4_BUGS,
+    table4_bugs_for,
+)
+from repro.bugs.replay import ReplayResult, replay_on_embsan, replay_on_native
+
+__all__ = [
+    "BugRecord",
+    "ReplayResult",
+    "TABLE2_BUGS",
+    "TABLE4_BUGS",
+    "replay_on_embsan",
+    "replay_on_native",
+    "table4_bugs_for",
+]

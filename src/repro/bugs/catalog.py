@@ -1,0 +1,416 @@
+"""The bug catalog: every Table-2 and Table-4 row of the paper.
+
+Each record carries the paper's metadata (location, type, kernel
+version or firmware) plus what the reproduction needs: the switchboard
+id that arms the defect, a deterministic reproducer program, the
+sanitizer expected to flag it, and location substrings that match the
+sanitizer report back to the row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.os.embedded_linux.syscalls import Syscall
+from repro.sanitizers.runtime.reports import BugType
+
+S = Syscall  # local alias to keep reproducer tables readable
+
+
+@dataclass(frozen=True)
+class BugRecord:
+    """One evaluation bug (a row of Table 2 or Table 4)."""
+
+    bug_id: str
+    table: int  #: 2 or 4
+    arm_id: str  #: BugSwitchboard id that makes the defect live
+    location: str  #: the paper's location string
+    bug_class: str  #: Table-3 census class
+    expect_type: BugType  #: report type the sanitizer should emit
+    reproducer: Tuple[Tuple[int, ...], ...]  #: program to trigger it
+    report_match: Tuple[str, ...]  #: substrings locating the report
+    tool: str = "kasan"  #: sanitizer expected to flag it
+    kernel_version: Optional[str] = None  #: Table 2 only
+    firmware: Optional[str] = None  #: Table 4 only
+    #: Table 2: expected detection per (EMBSAN-C, EMBSAN-D, native KASAN)
+    detected_by: Tuple[bool, bool, bool] = (True, True, True)
+    #: "syscall" programs go to do_syscall, "rtos" to kernel.invoke
+    interface: str = "syscall"
+
+
+# ----------------------------------------------------------------------
+# Table 2 — 25 known syzbot bugs (reproducible, version-pinned)
+# ----------------------------------------------------------------------
+TABLE2_BUGS: Tuple[BugRecord, ...] = (
+    BugRecord(
+        "t2_01", 2, "t2_01_ringbuf_map_alloc", "ringbuf_map_alloc",
+        "OOB Access", BugType.SLAB_OOB,
+        ((S.BPF, 1, 0x1040, 0, 0),), ("ringbuf_map_alloc",),
+        kernel_version="5.17-rc2",
+    ),
+    BugRecord(
+        "t2_02", 2, "t2_02_ieee80211_scan_rx", "ieee80211_scan_rx",
+        "UAF", BugType.UAF,
+        ((S.SCAN, 1, 1, 0, 0), (S.SCAN, 3, 1, 0, 0), (S.SCAN, 2, 1, 8, 0)),
+        ("ieee80211_scan_rx",), kernel_version="5.19",
+    ),
+    BugRecord(
+        "t2_03", 2, "t2_03_bpf_prog_test_run_xdp", "bpf_prog_test_run_xdp",
+        "OOB Access", BugType.SLAB_OOB,
+        ((S.BPF, 2, 64, 5, 0),), ("bpf_prog_test_run_xdp",),
+        kernel_version="5.17-rc1",
+    ),
+    BugRecord(
+        "t2_04", 2, "t2_04_btrfs_scan_one_device", "btrfs_scan_one_device",
+        "UAF", BugType.UAF,
+        ((S.FSOP, 1, 1, 4, 0),), ("btrfs_scan_one_device",),
+        kernel_version="5.17",
+    ),
+    BugRecord(
+        "t2_05", 2, "t2_05_post_one_notification", "post_one_notification",
+        "UAF", BugType.UAF,
+        ((S.WATCHQ, 1, 0, 0, 0), (S.WATCHQ, 5, 1, 0, 0),
+         (S.WATCHQ, 2, 1, 3, 0)),
+        ("post_one_notification",), kernel_version="5.19-rc1",
+    ),
+    BugRecord(
+        "t2_06", 2, "t2_06_post_watch_notification", "post_watch_notification",
+        "UAF", BugType.UAF,
+        ((S.WATCHQ, 1, 0, 0, 0), (S.WATCHQ, 5, 1, 0, 0),
+         (S.WATCHQ, 3, 2, 0, 0)),
+        ("post_watch_notification",), kernel_version="5.19-rc1",
+    ),
+    BugRecord(
+        "t2_07", 2, "t2_07_watch_queue_set_filter", "watch_queue_set_filter",
+        "OOB Access", BugType.SLAB_OOB,
+        ((S.WATCHQ, 1, 0, 0, 0), (S.WATCHQ, 4, 1, 4, 0)),
+        ("watch_queue_set_filter",), kernel_version="5.17-rc6",
+    ),
+    BugRecord(
+        "t2_08", 2, "t2_08_free_pages", "free_pages",
+        "Null-pointer-deref", BugType.NULL_DEREF,
+        ((S.MUNMAP, 0x00DEA000, 0, 0, 0),), ("free_pages", "do_syscall"),
+        kernel_version="5.17-rc8",
+    ),
+    BugRecord(
+        "t2_09", 2, "t2_09_vxlan_vnifilter_dump_dev", "vxlan_vnifilter_dump_dev",
+        "OOB Access", BugType.SLAB_OOB,
+        ((S.NETLINK, 1, 1, 5, 0), (S.NETLINK, 1, 2, 3, 0)),
+        ("vxlan_vnifilter_dump_dev",), kernel_version="5.17",
+    ),
+    BugRecord(
+        "t2_10", 2, "t2_10_imageblit", "imageblit",
+        "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x10, 0, 0, 0), (S.IOCTL, 3, 1, 5, 0xFF)),
+        ("imageblit",), kernel_version="5.19",
+    ),
+    BugRecord(
+        "t2_11", 2, "t2_11_bpf_jit_free", "bpf_jit_free",
+        "OOB Access", BugType.SLAB_OOB,
+        ((S.BPF, 3, 4, 0, 0), (S.BPF, 4, 1, 0, 0)),
+        ("bpf_jit_free",), kernel_version="5.19-rc4",
+    ),
+    BugRecord(
+        "t2_12", 2, "t2_12_null_skcipher_crypt", "null_skcipher_crypt",
+        "UAF", BugType.UAF,
+        ((S.OPEN, 0x11, 0, 0, 0), (S.IOCTL, 3, 1, 0, 0),
+         (S.IOCTL, 3, 2, 1, 0), (S.IOCTL, 3, 3, 1, 16)),
+        ("null_skcipher_crypt",), kernel_version="5.17-rc6",
+    ),
+    BugRecord(
+        "t2_13", 2, "t2_13_bio_poll", "bio_poll",
+        "UAF", BugType.UAF,
+        ((S.OPEN, 0x12, 0, 0, 0), (S.IOCTL, 3, 1, 5, 0),
+         (S.IOCTL, 3, 3, 1, 0), (S.IOCTL, 3, 2, 1, 0)),
+        ("bio_poll",), kernel_version="5.18-rc6",
+    ),
+    BugRecord(
+        "t2_14", 2, "t2_14_blk_mq_sched_free_rqs", "blk_mq_sched_free_rqs",
+        "UAF", BugType.UAF,
+        ((S.OPEN, 0x12, 0, 0, 0), (S.IOCTL, 3, 4, 0, 0)),
+        ("blk_mq_sched_free_rqs",), kernel_version="5.18",
+    ),
+    BugRecord(
+        "t2_15", 2, "t2_15_do_sync_mmap_readahead", "do_sync_mmap_readahead",
+        "UAF", BugType.UAF,
+        ((S.PRCTL, 4, 1, 0, 0), (S.PRCTL, 5, 0, 0, 0),
+         (S.PRCTL, 4, 2, 0, 0)),
+        ("do_sync_mmap_readahead",), kernel_version="5.18-rc7",
+    ),
+    BugRecord(
+        "t2_16", 2, "t2_16_filp_close", "filp_close",
+        "UAF", BugType.UAF,
+        ((S.OPEN, 0x10, 0, 0, 0), (S.CLOSE, 3, 0, 0, 0)),
+        ("filp_close",), kernel_version="5.18",
+    ),
+    BugRecord(
+        "t2_17", 2, "t2_17_setup_rw_floppy", "setup_rw_floppy",
+        "UAF", BugType.UAF,
+        ((S.FLOPPY, 1, 0x8, 0, 0), (S.FLOPPY, 2, 0x55, 0, 0)),
+        ("floppy_interrupt", "setup_rw_floppy"), kernel_version="5.17-rc4",
+    ),
+    BugRecord(
+        "t2_18", 2, "t2_18_driver_register", "driver_register",
+        "UAF", BugType.UAF,
+        ((S.SYSFS, 1, 1, 1, 0), (S.SYSFS, 1, 1, 0, 0)),
+        ("driver_register",), kernel_version="5.18-next",
+    ),
+    BugRecord(
+        "t2_19", 2, "t2_19_dev_uevent", "dev_uevent",
+        "UAF", BugType.UAF,
+        ((S.SYSFS, 1, 2, 0, 0), (S.SYSFS, 2, 2, 0, 0),
+         (S.SYSFS, 3, 2, 0, 0)),
+        ("dev_uevent",), kernel_version="5.17-rc4",
+    ),
+    BugRecord(
+        "t2_20", 2, "t2_20_run_unpack", "run_unpack",
+        "OOB Access", BugType.SLAB_OOB,
+        ((S.MOUNT, 2, 0, 0, 0), (S.FSOP, 2, 1, 12, 3)),
+        ("run_unpack",), kernel_version="6.0",
+    ),
+    BugRecord(
+        "t2_21", 2, "t2_21_ath9k_hif_usb_rx_cb", "ath9k_hif_usb_rx_cb",
+        "UAF", BugType.UAF,
+        ((S.OPEN, 0x13, 0, 0, 0), (S.IOCTL, 3, 1, 0, 0),
+         (S.IOCTL, 3, 2, 0, 0), (S.IOCTL, 3, 3, 64, 0)),
+        ("ath9k_hif_usb_rx_cb",), kernel_version="5.19",
+    ),
+    BugRecord(
+        "t2_22", 2, "t2_22_vma_adjust", "vma_adjust",
+        "UAF", BugType.UAF,
+        ((S.PRCTL, 1, 0x100, 0, 0), (S.PRCTL, 1, 0x100, 0, 0),
+         (S.PRCTL, 2, 1, 0, 0), (S.PRCTL, 3, 0, 0x20, 0)),
+        ("vma_adjust",), kernel_version="5.19-rc1",
+    ),
+    BugRecord(
+        "t2_23", 2, "t2_23_nilfs_mdt_destroy", "nilfs_mdt_destroy",
+        "UAF", BugType.UAF,
+        ((S.MOUNT, 3, 0, 0, 0), (S.FSOP, 3, 1, 0, 0),
+         (S.FSOP, 3, 2, 0, 0)),
+        ("nilfs_mdt_destroy",), kernel_version="6.0-rc7",
+    ),
+    BugRecord(
+        "t2_24", 2, "t2_24_fbcon_get_font", "fbcon_get_font",
+        "OOB Access", BugType.GLOBAL_OOB,
+        ((S.FONT, 1, 32, 0, 0),), ("fbcon_get_font",),
+        kernel_version="5.7-rc5",
+        detected_by=(True, False, True),  # EMBSAN-D lacks global redzones
+    ),
+    BugRecord(
+        "t2_25", 2, "t2_25_string", "string",
+        "OOB Access", BugType.GLOBAL_OOB,
+        ((S.OPEN, 0x14, 0, 0, 0), (S.READ, 3, 64, 0, 0)),
+        ("vsprintf.string",), kernel_version="4.17-rc1",
+        detected_by=(True, False, True),  # EMBSAN-D lacks global redzones
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Table 4 — 41 previously unknown bugs, per firmware
+# ----------------------------------------------------------------------
+def _t4(bug_id, arm_id, firmware, location, bug_class, expect_type,
+        reproducer, report_match, tool="kasan", interface="syscall"):
+    return BugRecord(
+        bug_id, 4, arm_id, location, bug_class, expect_type,
+        tuple(tuple(step) for step in reproducer), tuple(report_match),
+        tool=tool, firmware=firmware, interface=interface,
+    )
+
+
+TABLE4_BUGS: Tuple[BugRecord, ...] = (
+    # --- OpenWRT-armvirt (5 OOB, 1 Double Free) ------------------------
+    _t4("t4_av_01", "t4_nfs_common_oob", "OpenWRT-armvirt",
+        "fs/nfs_common", "OOB Access", BugType.SLAB_OOB,
+        ((S.MOUNT, 4, 0, 0, 0), (S.FSOP, 4, 2, 3, 0)), ("nfsacl_encode",)),
+    _t4("t4_av_02", "t4_armvirt_netfilter_oob", "OpenWRT-armvirt",
+        "net/netfilter", "OOB Access", BugType.SLAB_OOB,
+        ((S.NETLINK, 2, 1, 4, 0), (S.NETLINK, 2, 2, 3, 0)),
+        ("nft_do_chain",)),
+    _t4("t4_av_03", "t4_armvirt_net_wireless_oob", "OpenWRT-armvirt",
+        "net/wireless", "OOB Access", BugType.SLAB_OOB,
+        ((S.SCAN, 1, 1, 0, 0), (S.SCAN, 2, 1, 100, 0)),
+        ("ieee80211_scan_rx",)),
+    _t4("t4_av_04", "t4_marvell_eth_oob", "OpenWRT-armvirt",
+        "drivers/net/ethernet/marvell", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x20, 0, 0, 0), (S.IOCTL, 3, 1, 10, 1)),
+        ("eth_marvell",)),
+    _t4("t4_av_05", "t4_realtek_eth_oob", "OpenWRT-armvirt",
+        "drivers/net/ethernet/realtek", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x21, 0, 0, 0), (S.IOCTL, 3, 1, 10, 1)),
+        ("eth_realtek",)),
+    _t4("t4_av_06", "t4_atheros_eth_double_free", "OpenWRT-armvirt",
+        "drivers/net/ethernet/atheros", "Double Free", BugType.DOUBLE_FREE,
+        ((S.OPEN, 0x22, 0, 0, 0), (S.IOCTL, 3, 3, 8, 0),
+         (S.IOCTL, 3, 4, 0, 0)),
+        ("eth_atheros",)),
+    # --- OpenWRT-bcm63xx (3 OOB, 2 UAF) ---------------------------------
+    _t4("t4_bc_01", "t4_bcm63xx_bluetooth_oob", "OpenWRT-bcm63xx",
+        "drivers/bluetooth", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x40, 0, 0, 0), (S.IOCTL, 3, 1, 0x10, 0)),
+        ("hci_event",)),
+    _t4("t4_bc_02", "t4_bcm2835_dma_oob", "OpenWRT-bcm63xx",
+        "drivers/dma/bcm2835-dma", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x51, 0, 0, 0), (S.IOCTL, 3, 1, 64, 0)),
+        ("dma_issue",)),
+    _t4("t4_bc_03", "t4_aic7xxx_scsi_oob", "OpenWRT-bcm63xx",
+        "drivers/scsi/aic7xxx", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x53, 0, 0, 0), (S.IOCTL, 3, 1, 0x50, 0)),
+        ("ahc_loadseq",)),
+    _t4("t4_bc_04", "t4_bcm63xx_btrfs_uaf", "OpenWRT-bcm63xx",
+        "fs/btrfs", "UAF", BugType.UAF,
+        ((S.MOUNT, 1, 0, 0, 0), (S.FSOP, 1, 2, 0xF800, 0),
+         (S.FSOP, 1, 3, 0, 0)),
+        ("btrfs_commit",)),
+    _t4("t4_bc_05", "t4_broadcom_wifi_uaf", "OpenWRT-bcm63xx",
+        "drivers/net/wireless/broadcom", "UAF", BugType.UAF,
+        ((S.OPEN, 0x30, 0, 0, 0), (S.IOCTL, 3, 1, 0, 0),
+         (S.IOCTL, 3, 2, 0, 0), (S.IOCTL, 3, 3, 5, 0)),
+        ("wifi_fw_event",)),
+    # --- OpenWRT-ipq807x (3 OOB, 1 UAF, 1 Double Free) ------------------
+    _t4("t4_ip_01", "t4_broadcom_eth_oob", "OpenWRT-ipq807x",
+        "drivers/net/ethernet/broadcom", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x23, 0, 0, 0), (S.IOCTL, 3, 1, 10, 1)),
+        ("eth_broadcom.eth_xmit", "eth_xmit")),
+    _t4("t4_ip_02", "t4_broadcom_eth_oob2", "OpenWRT-ipq807x",
+        "drivers/net/ethernet/broadcom", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x23, 0, 0, 0), (S.IOCTL, 3, 2, 0x40, 0)),
+        ("eth_rx_poll",)),
+    _t4("t4_ip_03", "t4_ipq807x_net_sched_oob", "OpenWRT-ipq807x",
+        "net/sched", "OOB Access", BugType.SLAB_OOB,
+        ((S.NETLINK, 3, 1, 6, 0), (S.NETLINK, 3, 3, 0, 0)),
+        ("prio_dump_stats",)),
+    _t4("t4_ip_04", "t4_ath_wifi_uaf", "OpenWRT-ipq807x",
+        "drivers/net/wireless/ath", "UAF", BugType.UAF,
+        ((S.OPEN, 0x31, 0, 0, 0), (S.IOCTL, 3, 1, 0, 0),
+         (S.IOCTL, 3, 2, 0, 0), (S.IOCTL, 3, 3, 5, 0)),
+        ("wifi_fw_event",)),
+    _t4("t4_ip_05", "t4_ipq807x_fuse_double_free", "OpenWRT-ipq807x",
+        "fs/fuse", "Double Free", BugType.DOUBLE_FREE,
+        ((S.MOUNT, 5, 0, 0, 0), (S.FSOP, 5, 1, 3, 0),
+         (S.FSOP, 5, 2, 1, 0), (S.FSOP, 5, 3, 1, 0)),
+        ("fuse_request_end", "fuse")),
+    # --- OpenWRT-mt7629 (2 OOB, 2 Double Free) --------------------------
+    _t4("t4_mt_01", "t4_mediatek_eth_oob", "OpenWRT-mt7629",
+        "drivers/net/ethernet/mediatek", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x24, 0, 0, 0), (S.IOCTL, 3, 1, 10, 1)),
+        ("eth_mediatek",)),
+    _t4("t4_mt_02", "t4_nfs_oob", "OpenWRT-mt7629",
+        "fs/nfs", "OOB Access", BugType.SLAB_OOB,
+        ((S.MOUNT, 4, 0, 0, 0), (S.FSOP, 4, 1, 200, 0)),
+        ("nfs_readdir",)),
+    _t4("t4_mt_03", "t4_mt7629_net_core_double_free", "OpenWRT-mt7629",
+        "net/core", "Double Free", BugType.DOUBLE_FREE,
+        ((S.SOCKET, 1, 0, 0, 0), (S.SENDMSG, 3, 20, 0x10, 0)),
+        ("sock_sendmsg", "net_core")),
+    _t4("t4_mt_04", "t4_mediatek_dma_double_free", "OpenWRT-mt7629",
+        "drivers/dma/mediatek", "Double Free", BugType.DOUBLE_FREE,
+        ((S.OPEN, 0x52, 0, 0, 0), (S.IOCTL, 3, 1, 30, 0),
+         (S.IOCTL, 3, 2, 0, 0), (S.IOCTL, 3, 3, 0, 0)),
+        ("dma_complete", "dma_mediatek")),
+    # --- OpenWRT-rtl839x (1 OOB, 1 UAF, 1 Double Free) -------------------
+    _t4("t4_rt_01", "t4_realtek_eth_oob", "OpenWRT-rtl839x",
+        "drivers/net/ethernet/realtek", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x21, 0, 0, 0), (S.IOCTL, 3, 1, 10, 1)),
+        ("eth_realtek",)),
+    _t4("t4_rt_02", "t4_realtek_bt_uaf", "OpenWRT-rtl839x",
+        "drivers/net/bluetooth/realtek", "UAF", BugType.UAF,
+        ((S.OPEN, 0x41, 0, 0, 0), (S.IOCTL, 3, 2, 0, 0),
+         (S.IOCTL, 3, 3, 0, 0), (S.IOCTL, 3, 4, 0, 0)),
+        ("rtk_coredump",)),
+    _t4("t4_rt_03", "t4_rtl839x_netrom_double_free", "OpenWRT-rtl839x",
+        "fs/netrom", "Double Free", BugType.DOUBLE_FREE,
+        ((S.MOUNT, 6, 0, 0, 0), (S.FSOP, 6, 1, 10, 0),
+         (S.FSOP, 6, 2, 10, 0), (S.FSOP, 6, 3, 0, 0)),
+        ("nr_route_flush", "netrom")),
+    # --- OpenWRT-x86_64 (5 OOB, 2 Race) ----------------------------------
+    _t4("t4_x8_01", "t4_x86_64_iommu_oob", "OpenWRT-x86_64",
+        "drivers/iommu", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x54, 0, 0, 0), (S.IOCTL, 3, 1, 0, 0),
+         (S.IOCTL, 3, 3, 0xF000, 4)),
+        ("iommu_unmap",)),
+    _t4("t4_x8_02", "t4_realtek_eth_oob", "OpenWRT-x86_64",
+        "drivers/net/ethernet/realtek", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x21, 0, 0, 0), (S.IOCTL, 3, 1, 10, 1)),
+        ("eth_realtek",)),
+    _t4("t4_x8_03", "t4_stmicro_eth_oob", "OpenWRT-x86_64",
+        "drivers/net/ethernet/stmicro", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x25, 0, 0, 0), (S.IOCTL, 3, 1, 10, 1)),
+        ("eth_stmicro",)),
+    _t4("t4_x8_04", "t4_iwlwifi_wifi_oob", "OpenWRT-x86_64",
+        "drivers/net/wireless/intel/iwlwifi", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x32, 0, 0, 0), (S.IOCTL, 3, 4, 200, 0)),
+        ("wifi_parse_beacon", "wifi_iwlwifi")),
+    _t4("t4_x8_05", "t4_b43_wifi_oob", "OpenWRT-x86_64",
+        "drivers/net/wireless/broadcom/b43", "OOB Access", BugType.SLAB_OOB,
+        ((S.OPEN, 0x33, 0, 0, 0), (S.IOCTL, 3, 4, 200, 0)),
+        ("wifi_parse_beacon", "wifi_b43")),
+    _t4("t4_x8_06", "t4_x86_64_btrfs_race1", "OpenWRT-x86_64",
+        "fs/btrfs", "Race", BugType.DATA_RACE,
+        ((S.MOUNT, 1, 0, 0, 0), (S.FSOP, 1, 4, 0, 0),
+         (S.FSOP, 1, 4, 0, 0)),
+        ("btrfs",), tool="kcsan"),
+    _t4("t4_x8_07", "t4_x86_64_btrfs_race2", "OpenWRT-x86_64",
+        "fs/btrfs", "Race", BugType.DATA_RACE,
+        ((S.MOUNT, 1, 0, 0, 0), (S.FSOP, 1, 2, 100, 0),
+         (S.FSOP, 1, 2, 100, 0)),
+        ("btrfs",), tool="kcsan"),
+    # --- OpenHarmony-rk3566 (2 OOB, 1 UAF) -------------------------------
+    _t4("t4_rk_01", "t4_nfs_oob", "OpenHarmony-rk3566",
+        "fs/nfs", "OOB Access", BugType.SLAB_OOB,
+        ((S.MOUNT, 4, 0, 0, 0), (S.FSOP, 4, 1, 200, 0)),
+        ("nfs_readdir",)),
+    _t4("t4_rk_02", "t4_nfs_common_oob", "OpenHarmony-rk3566",
+        "fs/nfs_common", "OOB Access", BugType.SLAB_OOB,
+        ((S.MOUNT, 4, 0, 0, 0), (S.FSOP, 4, 2, 3, 0)),
+        ("nfsacl_encode",)),
+    _t4("t4_rk_03", "t4_rk3566_net_sched_uaf", "OpenHarmony-rk3566",
+        "net/sched", "UAF", BugType.UAF,
+        ((S.NETLINK, 3, 1, 3, 0), (S.NETLINK, 3, 2, 0, 0),
+         (S.NETLINK, 3, 4, 7, 0)),
+        ("tcf_filter_change",)),
+    # --- OpenHarmony LiteOS (3 OOB) ---------------------------------------
+    _t4("t4_mp_01", "t4_stm32mp1_vfs_oob", "OpenHarmony-stm32mp1",
+        "fs/vfs", "OOB Access", BugType.SLAB_OOB,
+        ((4, 1, 1, 60),), ("vfs_normalize_path",), interface="rtos"),
+    _t4("t4_f4_01", "t4_stm32f407_vfs_oob", "OpenHarmony-stm32f407",
+        "fs/vfs", "OOB Access", BugType.SLAB_OOB,
+        ((4, 1, 1, 60),), ("vfs_normalize_path",), interface="rtos"),
+    _t4("t4_f4_02", "t4_stm32f407_fat_oob", "OpenHarmony-stm32f407",
+        "fs/fat", "OOB Access", BugType.SLAB_OOB,
+        ((4, 2, 1, 0), (4, 2, 2, 7)), ("fat_read_lfn",), interface="rtos"),
+    # --- InfiniTime / FreeRTOS (2 OOB, 1 UAF) ------------------------------
+    _t4("t4_it_01", "t4_infinitime_littlefs_oob", "InfiniTime",
+        "src/libs/littlefs/", "OOB Access", BugType.SLAB_OOB,
+        ((9, 1, 1, 0), (9, 1, 2, 200)), ("lfs_dir_scan",),
+        interface="rtos"),
+    _t4("t4_it_02", "t4_infinitime_spi_oob", "InfiniTime",
+        "src/drivers/Spi", "OOB Access", BugType.SLAB_OOB,
+        ((9, 2, 1, 3),), ("spi_transfer",), interface="rtos"),
+    _t4("t4_it_03", "t4_infinitime_st7789_uaf", "InfiniTime",
+        "src/drivers/St7789", "UAF", BugType.UAF,
+        ((9, 3, 1, 0), (9, 3, 2, 0), (9, 3, 3, 4)), ("st7789_vsync",),
+        interface="rtos"),
+    # --- TP-Link WDR-7660 / VxWorks (2 OOB) ---------------------------------
+    _t4("t4_tp_01", "t4_wdr7660_pppoed_oob", "TP-Link WDR-7660",
+        "pppoed", "OOB Access", BugType.SLAB_OOB,
+        ((1, 0x09, 200, 42),), ("pppoed",), interface="rtos"),
+    _t4("t4_tp_02", "t4_wdr7660_dhcpsd_oob", "TP-Link WDR-7660",
+        "dhcpsd", "OOB Access", BugType.SLAB_OOB,
+        ((2, 1, 100, 7),), ("dhcpsd",), interface="rtos"),
+)
+
+
+def table4_bugs_for(firmware: str) -> Tuple[BugRecord, ...]:
+    """The Table-4 rows seeded in one firmware."""
+    return tuple(bug for bug in TABLE4_BUGS if bug.firmware == firmware)
+
+
+def census_by_firmware() -> dict:
+    """firmware -> {census class -> count}: the paper's Table 3."""
+    out: dict = {}
+    for bug in TABLE4_BUGS:
+        row = out.setdefault(bug.firmware, {})
+        row[bug.bug_class] = row.get(bug.bug_class, 0) + 1
+    return out

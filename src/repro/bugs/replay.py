@@ -1,0 +1,118 @@
+"""Reproducer replay with crash oracles.
+
+Runs a :class:`~repro.bugs.catalog.BugRecord`'s reproducer on a fresh
+firmware build under a chosen sanitizer deployment and decides whether
+the defect was *detected*: either the expected sanitizer report fired at
+the expected location, or — for fault-class bugs — the guest crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bugs.catalog import BugRecord
+from repro.bugs.table2 import table2_kernel_factory
+from repro.errors import GuestFault
+from repro.firmware.builder import attach_runtime, build_image
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware, firmware_spec
+from repro.sanitizers.runtime.reports import BugType, SanitizerReport
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one reproducer replay."""
+
+    record: BugRecord
+    detected: bool
+    crashed: bool = False
+    reports: List[SanitizerReport] = field(default_factory=list)
+    mode: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.detected
+
+
+def run_program(image, program: Sequence[Tuple[int, ...]],
+                interface: str = "syscall") -> Optional[GuestFault]:
+    """Execute a reproducer program; returns the fault if the guest died."""
+    ctx, kernel = image.ctx, image.kernel
+    try:
+        for step in program:
+            padded = tuple(step) + (0,) * (5 - len(step))
+            if interface == "syscall":
+                kernel.do_syscall(ctx, *padded[:5])
+            else:
+                kernel.invoke(ctx, *padded[:4])
+    except GuestFault as fault:
+        return fault
+    return None
+
+
+def _match(record: BugRecord, reports) -> List[SanitizerReport]:
+    hits = []
+    for report in reports:
+        if report.bug_type is not record.expect_type:
+            continue
+        if any(sub in report.location for sub in record.report_match):
+            hits.append(report)
+    return hits
+
+
+def _crash_detects(record: BugRecord, fault: Optional[GuestFault]) -> bool:
+    if fault is None:
+        return False
+    return record.expect_type in (BugType.NULL_DEREF, BugType.WILD_ACCESS)
+
+
+def _build_for_record(record: BugRecord, mode: InstrumentationMode,
+                      native_sanitizers=()):
+    if record.table == 2:
+        return build_image(
+            f"syzbot-replay-{record.bug_id}", "x86",
+            table2_kernel_factory(record.kernel_version or "6.1"),
+            mode=mode, bug_ids=(record.arm_id,),
+            native_sanitizers=native_sanitizers, boot=False,
+        )
+    spec = firmware_spec(record.firmware)
+    return build_firmware(
+        record.firmware, mode=mode, native_sanitizers=native_sanitizers,
+        boot=False,
+    )
+
+
+def replay_on_embsan(
+    record: BugRecord,
+    mode: InstrumentationMode,
+    sanitizers: Optional[Sequence[str]] = None,
+) -> ReplayResult:
+    """Replay a reproducer under EMBSAN-C or EMBSAN-D."""
+    if sanitizers is None:
+        sanitizers = ("kasan", "kcsan") if record.tool == "kcsan" else ("kasan",)
+    image = _build_for_record(record, mode)
+    runtime = attach_runtime(image, sanitizers=sanitizers)
+    image.boot()
+    fault = run_program(image, record.reproducer, record.interface)
+    hits = _match(record, runtime.sink.unique.values())
+    detected = bool(hits) or _crash_detects(record, fault)
+    return ReplayResult(record, detected, crashed=fault is not None,
+                        reports=hits, mode=f"embsan-{mode.value[-1]}")
+
+
+def replay_on_native(
+    record: BugRecord,
+    sanitizers: Optional[Sequence[str]] = None,
+) -> ReplayResult:
+    """Replay a reproducer under the native in-guest sanitizer build."""
+    if sanitizers is None:
+        sanitizers = ("kcsan",) if record.tool == "kcsan" else ("kasan",)
+    image = _build_for_record(
+        record, InstrumentationMode.NATIVE, native_sanitizers=sanitizers
+    )
+    image.boot()
+    fault = run_program(image, record.reproducer, record.interface)
+    hits = _match(record, image.native_reports())
+    detected = bool(hits) or _crash_detects(record, fault)
+    return ReplayResult(record, detected, crashed=fault is not None,
+                        reports=hits, mode="native")

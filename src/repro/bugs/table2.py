@@ -1,0 +1,48 @@
+"""The Table-2 replay kernel: every syzbot-bug module in one build.
+
+Table 2 replays 25 known KASAN bugs on their pinned kernel versions.
+The replay kernel is an Embedded Linux build carrying all the subsystem
+modules those bugs live in; :func:`table2_kernel_factory` arms exactly
+one defect per build, like compiling the vulnerable kernel version.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.machine import Machine
+from repro.os.common import BugSwitchboard
+from repro.os.embedded_linux.kernel import EmbeddedLinuxKernel
+from repro.os.embedded_linux.modules.block import BlockModule
+from repro.os.embedded_linux.modules.bpf import BpfModule
+from repro.os.embedded_linux.modules.btrfs import BtrfsModule
+from repro.os.embedded_linux.modules.crypto import CryptoModule
+from repro.os.embedded_linux.modules.driver_base import DriverBaseModule
+from repro.os.embedded_linux.modules.fbdev import FbdevModule
+from repro.os.embedded_linux.modules.floppy import FloppyModule
+from repro.os.embedded_linux.modules.mac80211 import Mac80211Module
+from repro.os.embedded_linux.modules.mm_extra import MmExtraModule
+from repro.os.embedded_linux.modules.nilfs import NilfsModule
+from repro.os.embedded_linux.modules.ntfs import NtfsModule
+from repro.os.embedded_linux.modules.usb_wifi import Ath9kUsbModule
+from repro.os.embedded_linux.modules.vsprintf import VsprintfModule
+from repro.os.embedded_linux.modules.vxlan import VxlanModule
+from repro.os.embedded_linux.modules.watch_queue import WatchQueueModule
+
+#: module set covering every Table-2 bug location
+TABLE2_MODULES = (
+    BpfModule, WatchQueueModule, Mac80211Module, BtrfsModule, VxlanModule,
+    FbdevModule, CryptoModule, BlockModule, MmExtraModule, FloppyModule,
+    DriverBaseModule, NtfsModule, Ath9kUsbModule, NilfsModule,
+    VsprintfModule,
+)
+
+
+def table2_kernel_factory(version: str):
+    """A kernel factory for the given syzbot kernel version."""
+
+    def factory(machine: Machine, bugs: BugSwitchboard) -> EmbeddedLinuxKernel:
+        kernel = EmbeddedLinuxKernel(machine, version=version, bugs=bugs)
+        for make in TABLE2_MODULES:
+            kernel.add_module(make(kernel))
+        return kernel
+
+    return factory

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the paper's workflow:
+
+* ``list``     — the Table-1 firmware registry
+* ``probe``    — run the Prober on one firmware and print the DSL specs
+* ``replay``   — replay a catalog bug's reproducer under a deployment
+* ``fuzz``     — run a fuzzing campaign with EMBSAN attached
+* ``overhead`` — measure Figure-2 slowdowns for one or all firmware
+* ``table2``   — the known-bug detection matrix
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_list(_args) -> int:
+    from repro.firmware.registry import all_firmware
+
+    print(f"{'Firmware':24s} {'Base OS':15s} {'Arch':5s} {'Mode':9s} "
+          f"{'Source':7s} Fuzzer")
+    for spec in all_firmware():
+        print(f"{spec.name:24s} {spec.base_os:15s} {spec.arch:5s} "
+              f"{spec.inst_mode.value:9s} {spec.source:7s} {spec.fuzzer}")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from repro import prepare
+
+    deployment = prepare(args.firmware, sanitizers=tuple(args.sanitizers))
+    print(deployment.dsl_text())
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.bugs.catalog import TABLE2_BUGS, TABLE4_BUGS
+    from repro.bugs.replay import replay_on_embsan, replay_on_native
+    from repro.firmware.instrument import InstrumentationMode
+    from repro.firmware.registry import firmware_spec
+
+    catalog = {record.bug_id: record for record in TABLE2_BUGS + TABLE4_BUGS}
+    record = catalog.get(args.bug)
+    if record is None:
+        print(f"unknown bug id {args.bug!r}; known ids: "
+              f"{', '.join(sorted(catalog))}", file=sys.stderr)
+        return 2
+    if args.deployment == "native":
+        result = replay_on_native(record)
+    else:
+        mode = (InstrumentationMode.EMBSAN_C if args.deployment == "embsan-c"
+                else InstrumentationMode.EMBSAN_D if args.deployment == "embsan-d"
+                else firmware_spec(record.firmware).inst_mode
+                if record.firmware else InstrumentationMode.EMBSAN_C)
+        result = replay_on_embsan(record, mode)
+    print(f"bug {record.bug_id} ({record.location}) under {result.mode}: "
+          f"{'DETECTED' if result.detected else 'not detected'}")
+    for report in result.reports:
+        print()
+        print(report)
+    return 0 if result.detected else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.campaign import run_campaign
+
+    result = run_campaign(args.firmware, budget=args.budget, seed=args.seed)
+    print(f"fuzzer: {result.fuzzer}, execs: {result.execs}, "
+          f"coverage: {result.coverage}, crashes: {result.crashes}")
+    reproducible = [f for f in result.findings if f.reproducible]
+    print(f"{len(reproducible)} reproducible unique finding(s):")
+    for finding in reproducible:
+        print(f"  {finding.report.dedup_key()}")
+    if result.matched:
+        print(f"catalog rows matched: {sorted(result.matched)}")
+    if result.missed:
+        print(f"catalog rows missed: {[r.bug_id for r in result.missed]}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.bench.overhead import figure2, format_rows, measure_firmware
+
+    if args.firmware:
+        rows = measure_firmware(args.firmware,
+                                sanitizers=tuple(args.sanitizers))
+    else:
+        rows = figure2(sanitizers=tuple(args.sanitizers))
+    print(format_rows(rows))
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    from repro.bugs.catalog import TABLE2_BUGS
+    from repro.bugs.replay import replay_on_embsan, replay_on_native
+    from repro.firmware.instrument import InstrumentationMode
+
+    print(f"{'bug':26s} {'kernel':10s} {'C':4s} {'D':4s} KASAN")
+    for record in TABLE2_BUGS:
+        c = replay_on_embsan(record, InstrumentationMode.EMBSAN_C).detected
+        d = replay_on_embsan(record, InstrumentationMode.EMBSAN_D).detected
+        k = replay_on_native(record).detected
+        print(f"{record.location:26s} {record.kernel_version:10s} "
+              f"{'Yes' if c else 'No':4s} {'Yes' if d else 'No':4s} "
+              f"{'Yes' if k else 'No'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EMBSAN reproduction: sanitize embedded OS firmware "
+                    "at the emulator boundary",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the Table-1 firmware registry")
+
+    probe = sub.add_parser("probe", help="probe a firmware, print DSL specs")
+    probe.add_argument("firmware")
+    probe.add_argument("--sanitizers", nargs="+", default=["kasan"])
+
+    replay = sub.add_parser("replay", help="replay a catalog bug")
+    replay.add_argument("bug", help="bug id, e.g. t2_01 or t4_tp_01")
+    replay.add_argument("--deployment", default="paper",
+                        choices=["paper", "embsan-c", "embsan-d", "native"])
+
+    fuzz = sub.add_parser("fuzz", help="run a fuzzing campaign")
+    fuzz.add_argument("firmware")
+    fuzz.add_argument("--budget", type=int, default=2000)
+    fuzz.add_argument("--seed", type=int, default=1)
+
+    overhead = sub.add_parser("overhead", help="measure Figure-2 slowdowns")
+    overhead.add_argument("firmware", nargs="?", default=None)
+    overhead.add_argument("--sanitizers", nargs="+", default=["kasan"])
+
+    sub.add_parser("table2", help="the known-bug detection matrix")
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "probe": _cmd_probe,
+    "replay": _cmd_replay,
+    "fuzz": _cmd_fuzz,
+    "overhead": _cmd_overhead,
+    "table2": _cmd_table2,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

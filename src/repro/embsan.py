@@ -1,0 +1,91 @@
+"""EMBSAN's top-level API: the paper's full workflow in two calls.
+
+The *Pre-Testing Probing Phase* (§3.4)::
+
+    deployment = prepare(firmware="OpenWRT-bcm63xx",
+                         sanitizers=("kasan", "kcsan"))
+
+distills the requested reference sanitizers, dry-runs the firmware with
+the category-appropriate Prober strategy, and compiles both DSL
+documents into a runtime configuration.  The *Testing Phase* (§3.5)::
+
+    image, runtime = deployment.launch()
+
+builds a fresh instance of the firmware, attaches the Common Sanitizer
+Runtime, boots, and returns both — ready for fuzzing or reproducer
+replay.  ``runtime.sink`` collects the sanitizer reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.image import FirmwareImage
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware, firmware_spec
+from repro.sanitizers.distiller import distill_reference
+from repro.sanitizers.dsl.ast import MergedSpec, PlatformSpec
+from repro.sanitizers.dsl.compiler import (
+    compile_runtime_config,
+    merge_sanitizers,
+)
+from repro.sanitizers.prober import probe_firmware
+from repro.sanitizers.runtime.runtime import CommonSanitizerRuntime
+
+
+@dataclass
+class Deployment:
+    """Everything the probing phase produced for one firmware."""
+
+    firmware: str
+    merged: MergedSpec  #: the Distiller's merged sanitizer spec
+    platform: PlatformSpec  #: the Prober's platform spec
+    panic_on_report: bool = False
+
+    @property
+    def mode(self) -> InstrumentationMode:
+        """The instrumentation mode implied by the firmware category."""
+        return (InstrumentationMode.EMBSAN_C if self.platform.category == 1
+                else InstrumentationMode.EMBSAN_D)
+
+    def launch(self, with_bugs: bool = True
+               ) -> Tuple[FirmwareImage, CommonSanitizerRuntime]:
+        """Build + attach + boot: the testing phase's target."""
+        config = compile_runtime_config(
+            self.merged, self.platform, panic_on_report=self.panic_on_report
+        )
+        image = build_firmware(self.firmware, mode=self.mode,
+                               with_bugs=with_bugs, boot=False)
+        runtime = CommonSanitizerRuntime(
+            image.machine, config, symbolizer=image.symbolizer()
+        ).attach()
+        image.boot()
+        return image, runtime
+
+    def dsl_text(self) -> str:
+        """Both DSL documents, as the tester would archive them."""
+        return self.merged.to_text() + "\n\n" + self.platform.to_text()
+
+
+def prepare(
+    firmware: str,
+    sanitizers: Sequence[str] = ("kasan",),
+    category: Optional[int] = None,
+    hints: Optional[dict] = None,
+    panic_on_report: bool = False,
+) -> Deployment:
+    """Run the pre-testing probing phase for one Table-1 firmware.
+
+    ``sanitizers`` names reference implementations to distill ("kasan",
+    "kcsan").  ``category`` and ``hints`` override/assist firmware
+    classification exactly where §3.2 permits tester intervention.
+    """
+    specs = [distill_reference(name) for name in sanitizers]
+    merged = merge_sanitizers(specs)
+    if hints is None and firmware_spec(firmware).source == "closed":
+        hints = {"blob_names": ("pppoed", "dhcpsd")}
+    platform = probe_firmware(firmware, category=category, hints=hints)
+    return Deployment(firmware, merged, platform,
+                      panic_on_report=panic_on_report)

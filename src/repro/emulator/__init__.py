@@ -1,0 +1,24 @@
+"""The emulation layer: machines, hooks, hypercalls and device models.
+
+A :class:`~repro.emulator.machine.Machine` bundles a guest memory bus,
+one or more execution engines, device models and a hook registry.  The
+hook registry is the integration surface for the Common Sanitizer
+Runtime: every sanitizer-sensitive event (memory access, function call
+and return, hypercall, task switch, boot-ready) is dispatched through it.
+"""
+
+from repro.emulator.arch import Arch, ARCHS, arch_by_name
+from repro.emulator.events import EventKind
+from repro.emulator.hooks import HookRegistry
+from repro.emulator.hypercalls import Hypercall
+from repro.emulator.machine import Machine
+
+__all__ = [
+    "ARCHS",
+    "Arch",
+    "EventKind",
+    "HookRegistry",
+    "Hypercall",
+    "Machine",
+    "arch_by_name",
+]

@@ -1,0 +1,97 @@
+"""Platform architecture descriptors.
+
+The paper evaluates firmware on x86, ARM and MIPS.  All our guests share
+the EVM32 instruction encoding, but each architecture keeps its own
+memory map, trap idiom name and platform quirks.  The Prober does **not**
+get these maps for free: it reconstructs them from dry-run observations,
+and its output is validated against the descriptors in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Tuple
+
+
+class RegionSpec(NamedTuple):
+    """A named address range in an architecture's physical memory map."""
+
+    name: str
+    base: int
+    size: int
+    kind: str  # "flash" | "sram" | "dram" | "device"
+
+
+class Arch(NamedTuple):
+    """Static facts about one platform architecture."""
+
+    name: str
+    word_size: int
+    #: the trapping instruction used by the dummy sanitizer library (§3.2):
+    #: ``vmcall`` on x86, ``hvc`` on ARM, a reserved ``syscall`` on MIPS.
+    trap_insn: str
+    memory_map: Tuple[RegionSpec, ...]
+
+    def region(self, name: str) -> RegionSpec:
+        """Look up one memory-map entry by name."""
+        for spec in self.memory_map:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"arch {self.name!r} has no region {name!r}")
+
+
+_MiB = 1024 * 1024
+
+ARM = Arch(
+    name="arm",
+    word_size=4,
+    trap_insn="hvc",
+    memory_map=(
+        RegionSpec("flash", 0x0800_0000, 4 * _MiB, "flash"),
+        RegionSpec("sram", 0x2000_0000, 16 * _MiB, "sram"),
+        RegionSpec("dram", 0x4000_0000, 64 * _MiB, "dram"),
+        RegionSpec("uart", 0x4800_0000, 0x1000, "device"),
+        RegionSpec("timer", 0x4800_1000, 0x1000, "device"),
+        RegionSpec("dma", 0x4800_2000, 0x1000, "device"),
+    ),
+)
+
+MIPS = Arch(
+    name="mips",
+    word_size=4,
+    trap_insn="syscall",
+    memory_map=(
+        RegionSpec("flash", 0x1FC0_0000, 4 * _MiB, "flash"),
+        RegionSpec("dram", 0x8000_0000, 64 * _MiB, "dram"),
+        RegionSpec("sram", 0xA000_0000, 8 * _MiB, "sram"),
+        RegionSpec("uart", 0xB800_0000, 0x1000, "device"),
+        RegionSpec("timer", 0xB800_1000, 0x1000, "device"),
+        RegionSpec("dma", 0xB800_2000, 0x1000, "device"),
+    ),
+)
+
+X86 = Arch(
+    name="x86",
+    word_size=4,
+    trap_insn="vmcall",
+    memory_map=(
+        RegionSpec("flash", 0x000F_0000, 1 * _MiB, "flash"),
+        RegionSpec("dram", 0x0100_0000, 128 * _MiB, "dram"),
+        RegionSpec("sram", 0x0900_0000, 8 * _MiB, "sram"),
+        RegionSpec("uart", 0x0A00_0000, 0x1000, "device"),
+        RegionSpec("timer", 0x0A00_1000, 0x1000, "device"),
+        RegionSpec("dma", 0x0A00_2000, 0x1000, "device"),
+    ),
+)
+
+#: All supported architectures, keyed by name.
+ARCHS: Dict[str, Arch] = {arch.name: arch for arch in (ARM, MIPS, X86)}
+
+
+def arch_by_name(name: str) -> Arch:
+    """Return the architecture descriptor for ``name`` (arm/mips/x86)."""
+    try:
+        return ARCHS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; supported: {sorted(ARCHS)}"
+        ) from None

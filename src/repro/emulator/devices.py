@@ -1,0 +1,131 @@
+"""Platform device models: UART console, timer, and a DMA engine.
+
+The devices matter for two reasons.  First, the Prober's category-3 mode
+plants probes "within the emulator's devices" (§3.2) — the UART boot
+banner is the behavioural signal it uses to find the ready-to-run point
+of firmware it cannot instrument.  Second, the DMA engine produces
+memory traffic that does not originate from any CPU instruction, which
+sanitizers must still validate (KASAN checks DMA'd buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.mem.access import AccessKind
+from repro.mem.bus import MemoryBus
+from repro.mem.regions import MmioRegion
+
+# UART register offsets
+UART_DATA = 0x00
+UART_STATUS = 0x04
+# Timer register offsets
+TIMER_COUNT = 0x00
+TIMER_CTRL = 0x04
+# DMA register offsets
+DMA_SRC = 0x00
+DMA_DST = 0x04
+DMA_LEN = 0x08
+DMA_CTRL = 0x0C
+
+
+class Uart:
+    """A write-only console UART capturing guest output on the host."""
+
+    def __init__(self, base: int, on_byte: Optional[Callable[[int], None]] = None):
+        self.base = base
+        self.output = bytearray()
+        self.on_byte = on_byte
+        self.region = MmioRegion(
+            "uart", base, 0x1000, on_read=self._read, on_write=self._write
+        )
+
+    def _read(self, offset: int, size: int) -> int:
+        if offset == UART_STATUS:
+            return 0x1  # always ready to transmit
+        return 0
+
+    def _write(self, offset: int, size: int, value: int) -> None:
+        if offset == UART_DATA:
+            byte = value & 0xFF
+            self.output.append(byte)
+            if self.on_byte is not None:
+                self.on_byte(byte)
+
+    def text(self) -> str:
+        """Console output decoded as best-effort UTF-8."""
+        return self.output.decode("utf-8", errors="replace")
+
+    def lines(self) -> List[str]:
+        """Console output split into lines."""
+        return self.text().splitlines()
+
+
+class Timer:
+    """A free-running timer the guest can read for timestamps."""
+
+    def __init__(self, base: int):
+        self.base = base
+        self.ticks = 0
+        self.enabled = True
+        self.region = MmioRegion(
+            "timer", base, 0x1000, on_read=self._read, on_write=self._write
+        )
+
+    def _read(self, offset: int, size: int) -> int:
+        if offset == TIMER_COUNT:
+            if self.enabled:
+                self.ticks += 1
+            return self.ticks & 0xFFFFFFFF
+        if offset == TIMER_CTRL:
+            return 1 if self.enabled else 0
+        return 0
+
+    def _write(self, offset: int, size: int, value: int) -> None:
+        if offset == TIMER_CTRL:
+            self.enabled = bool(value & 1)
+        elif offset == TIMER_COUNT:
+            self.ticks = value
+
+
+class DmaEngine:
+    """A one-channel DMA engine.
+
+    Writing a nonzero value to ``DMA_CTRL`` copies ``DMA_LEN`` bytes from
+    ``DMA_SRC`` to ``DMA_DST``.  The copy is issued on the system bus with
+    :class:`~repro.mem.access.AccessKind.DMA`, so sanitizers observe it
+    even though no CPU instruction performed it.
+    """
+
+    def __init__(self, base: int, bus: MemoryBus):
+        self.base = base
+        self.bus = bus
+        self.src = 0
+        self.dst = 0
+        self.length = 0
+        self.transfers = 0
+        self.region = MmioRegion(
+            "dma", base, 0x1000, on_read=self._read, on_write=self._write
+        )
+
+    def _read(self, offset: int, size: int) -> int:
+        return {DMA_SRC: self.src, DMA_DST: self.dst, DMA_LEN: self.length}.get(
+            offset, 0
+        )
+
+    def _write(self, offset: int, size: int, value: int) -> None:
+        if offset == DMA_SRC:
+            self.src = value
+        elif offset == DMA_DST:
+            self.dst = value
+        elif offset == DMA_LEN:
+            self.length = value
+        elif offset == DMA_CTRL and value:
+            self._kick()
+
+    def _kick(self) -> None:
+        if self.length == 0:
+            return
+        payload = self.bus.read_bytes(self.src, self.length, kind=AccessKind.DMA)
+        self.bus.write_bytes(self.dst, payload, kind=AccessKind.DMA)
+        self.transfers += 1

@@ -1,0 +1,61 @@
+"""Hypercall numbering shared between guest firmware and the host.
+
+EMBSAN-C firmware is linked against a *dummy sanitizer library* whose
+every API is a single platform trap instruction (§3.2).  On EVM32 the
+trap is ``VMCALL n`` with arguments in ``r1``–``r4``; these are the ``n``
+values.  The Common Sanitizer Runtime's hypercall fast path (§3.3)
+dispatches them straight to the sanitizer interfaces.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Hypercall(enum.IntEnum):
+    """Well-known hypercall numbers."""
+
+    # -- firmware lifecycle -------------------------------------------
+    READY = 0x01  #: firmware reached its ready-to-run state
+    PANIC = 0x02  #: guest panic; args: code
+
+    # -- dummy sanitizer library (compile-time instrumentation) -------
+    SAN_LOAD = 0x10  #: args: addr, size
+    SAN_STORE = 0x11  #: args: addr, size
+    SAN_ALLOC = 0x12  #: args: addr, size, cache_id
+    SAN_FREE = 0x13  #: args: addr
+    SAN_GLOBAL_REG = 0x14  #: args: addr, size, redzone — register a global
+    SAN_STACK_ENTER = 0x15  #: args: frame_base, frame_size
+    SAN_STACK_LEAVE = 0x16  #: args: frame_base, frame_size
+    SAN_RANGE_READ = 0x17  #: args: addr, size (memcpy-family interceptor)
+    SAN_RANGE_WRITE = 0x18  #: args: addr, size
+    SAN_STACK_VAR = 0x19  #: args: addr, size — unpoisoned slot in a frame
+    SAN_SLAB_PAGE = 0x1A  #: args: addr, size — fresh page handed to a slab
+    SAN_MARK_INIT = 0x1B  #: args: addr, size — span initialized (__GFP_ZERO,
+    #: copy_from_user); consumed by uninit-tracking functionality
+
+    # -- coverage (kcov-like) ------------------------------------------
+    COV_TRACE_PC = 0x20  #: args: pc
+
+    # -- console fallback for ISA guests without a UART mapping --------
+    PUTC = 0x30  #: args: byte
+
+
+#: Hypercalls belonging to the dummy sanitizer library; the Prober's
+#: category-1 dry run records exactly these before READY fires.
+DUMMY_SANITIZER_CALLS = frozenset(
+    {
+        Hypercall.SAN_LOAD,
+        Hypercall.SAN_STORE,
+        Hypercall.SAN_ALLOC,
+        Hypercall.SAN_FREE,
+        Hypercall.SAN_GLOBAL_REG,
+        Hypercall.SAN_STACK_ENTER,
+        Hypercall.SAN_STACK_LEAVE,
+        Hypercall.SAN_STACK_VAR,
+        Hypercall.SAN_SLAB_PAGE,
+        Hypercall.SAN_MARK_INIT,
+        Hypercall.SAN_RANGE_READ,
+        Hypercall.SAN_RANGE_WRITE,
+    }
+)

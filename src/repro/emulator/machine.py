@@ -1,0 +1,235 @@
+"""The Machine: bus + engines + devices + hook dispatch + cycle accounting.
+
+One :class:`Machine` hosts one firmware instance.  It is deliberately
+similar in role to a QEMU board model: the firmware (rehosted Python
+kernel and/or EVM32 binaries) runs *inside* it, while sanitizers,
+fuzzers and the Prober observe it from *outside* through the hook
+registry — never by patching the guest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.emulator.arch import Arch
+from repro.emulator.devices import DmaEngine, Timer, Uart
+from repro.emulator.events import (
+    CallEvent,
+    ConsoleEvent,
+    EventKind,
+    RetEvent,
+    TaskSwitchEvent,
+    VmcallEvent,
+)
+from repro.emulator.hooks import HookRegistry
+from repro.emulator.hypercalls import Hypercall
+from repro.errors import GuestFault
+from repro.isa.cpu import Cpu
+from repro.isa.tcg import TcgEngine
+from repro.mem.bus import MemoryBus
+from repro.mem.regions import MemoryRegion, Perm
+
+
+class GuestPanic(GuestFault):
+    """The guest invoked its panic path (``Hypercall.PANIC``)."""
+
+
+class Machine:
+    """An emulated embedded platform instance."""
+
+    def __init__(self, arch: Arch, name: str = "machine"):
+        self.arch = arch
+        self.name = name
+        self.bus = MemoryBus()
+        self.hooks = HookRegistry()
+        self.engines: List[object] = []
+        #: callbacks fired when an execution engine is attached; the
+        #: Common Sanitizer Runtime uses this to inject TCG probes into
+        #: engines created after it attached (e.g. at guest boot)
+        self.engine_listeners: List[object] = []
+        self.symbols: Dict[str, int] = {}
+
+        self.ready = False
+        self.panicked: Optional[int] = None
+        self.current_task = 0
+
+        # cycle accounting: guest work vs sanitizer-added overhead
+        self._charged_guest_cycles = 0
+        self.overhead_cycles = 0
+
+        self._build_board()
+
+    # ------------------------------------------------------------------
+    # board construction
+    # ------------------------------------------------------------------
+    def _build_board(self) -> None:
+        self.uart: Optional[Uart] = None
+        self.timer: Optional[Timer] = None
+        self.dma: Optional[DmaEngine] = None
+        for spec in self.arch.memory_map:
+            if spec.kind == "device":
+                if spec.name == "uart":
+                    self.uart = Uart(spec.base, on_byte=self._on_console_byte)
+                    self.bus.map(self.uart.region)
+                elif spec.name == "timer":
+                    self.timer = Timer(spec.base)
+                    self.bus.map(self.timer.region)
+                elif spec.name == "dma":
+                    self.dma = DmaEngine(spec.base, self.bus)
+                    self.bus.map(self.dma.region)
+            else:
+                perm = Perm.RWX if spec.kind == "flash" else Perm.RW
+                self.bus.map(
+                    MemoryRegion(spec.name, spec.base, spec.size, perm, spec.kind)
+                )
+        # route every bus access into the hook registry
+        self.bus.add_observer(self._on_bus_access)
+
+    def _on_bus_access(self, access) -> None:
+        self.hooks.emit(EventKind.MEM_ACCESS, access)
+
+    def _on_console_byte(self, byte: int) -> None:
+        self.hooks.emit(EventKind.CONSOLE, ConsoleEvent(byte))
+
+    # ------------------------------------------------------------------
+    # execution engines
+    # ------------------------------------------------------------------
+    def add_cpu(self, pc: int = 0, sp: int = 0, engine: str = "tcg"):
+        """Attach an execution engine ("tcg" or "interp") for EVM32 code."""
+        if engine == "tcg":
+            core = TcgEngine(self.bus, pc=pc, sp=sp, hypercall=self._hypercall)
+        elif engine == "interp":
+            core = Cpu(self.bus, pc=pc, sp=sp, hypercall=self._hypercall)
+        else:
+            raise ValueError(f"unknown engine kind {engine!r}")
+        core.call_probes.append(self._on_isa_call)
+        core.ret_probes.append(self._on_isa_ret)
+        self.engines.append(core)
+        for listener in self.engine_listeners:
+            listener(core)
+        return core
+
+    def _on_isa_call(self, pc: int, target: int, args: List[int], lr: int) -> None:
+        name = self.symbol_at(target)
+        self.hooks.emit(
+            EventKind.CALL, CallEvent(pc, target, args, self.current_task, name)
+        )
+
+    def _on_isa_ret(self, pc: int, retval: int) -> None:
+        self.hooks.emit(EventKind.RET, RetEvent(pc, retval, self.current_task))
+
+    # ------------------------------------------------------------------
+    # hypercalls
+    # ------------------------------------------------------------------
+    def _hypercall(self, engine, number: int) -> Optional[int]:
+        args = [engine.state.read(i) for i in range(1, 5)]
+        return self.vmcall(number, args, pc=engine.state.pc)
+
+    def vmcall(
+        self, number: int, args: List[int], pc: int = 0, task: Optional[int] = None
+    ) -> Optional[int]:
+        """Dispatch a hypercall (from ISA trap or rehosted guest code)."""
+        if task is None:
+            task = self.current_task
+        self.hooks.emit(EventKind.VMCALL, VmcallEvent(number, list(args), pc, task))
+        if number == Hypercall.READY:
+            self.mark_ready()
+        elif number == Hypercall.PANIC:
+            self.panicked = args[0] if args else 0
+            raise GuestPanic(f"guest panic code {self.panicked:#x} at pc {pc:#x}")
+        elif number == Hypercall.PUTC and self.uart is not None:
+            with self.bus.untraced():
+                self.uart.region.write(self.uart.base, bytes([args[0] & 0xFF]))
+                self.uart.output.append(args[0] & 0xFF)
+        return None
+
+    def mark_ready(self) -> None:
+        """Record the ready-to-run state and notify observers once."""
+        if not self.ready:
+            self.ready = True
+            self.hooks.emit(EventKind.READY, None)
+
+    # ------------------------------------------------------------------
+    # rehosted-guest integration
+    # ------------------------------------------------------------------
+    def emit_call(
+        self, pc: int, target: int, args: List[int], name: Optional[str]
+    ) -> None:
+        """Report a rehosted guest function call to observers."""
+        self.hooks.emit(
+            EventKind.CALL, CallEvent(pc, target, args, self.current_task, name)
+        )
+
+    def emit_ret(self, target: int, retval: int, name: Optional[str]) -> None:
+        """Report a rehosted guest function return to observers."""
+        self.hooks.emit(
+            EventKind.RET, RetEvent(target, retval, self.current_task, name)
+        )
+
+    def switch_task(self, task: int) -> None:
+        """Record a guest scheduler context switch."""
+        prev = self.current_task
+        if prev == task:
+            return
+        self.current_task = task
+        for engine in self.engines:
+            engine.state.task = task
+        self.hooks.emit(EventKind.TASK_SWITCH, TaskSwitchEvent(prev, task))
+
+    # ------------------------------------------------------------------
+    # symbols
+    # ------------------------------------------------------------------
+    def add_symbols(self, symbols: Dict[str, int]) -> None:
+        """Register symbol-name -> address mappings (empty when stripped)."""
+        self.symbols.update(symbols)
+        self._addr_to_name = {addr: name for name, addr in self.symbols.items()}
+
+    def symbol_at(self, addr: int) -> Optional[str]:
+        """Reverse-resolve an address to a symbol name, if known."""
+        table = getattr(self, "_addr_to_name", None)
+        if table is None:
+            return None
+        return table.get(addr)
+
+    def resolve(self, name: str) -> int:
+        """Resolve a symbol name to its address."""
+        return self.symbols[name]
+
+    # ------------------------------------------------------------------
+    # cycle accounting
+    # ------------------------------------------------------------------
+    def charge_guest(self, cycles: int) -> None:
+        """Account guest work not tied to an ISA engine (rehosted code)."""
+        self._charged_guest_cycles += cycles
+
+    def charge_overhead(self, cycles: int) -> None:
+        """Account sanitizer-added work (host checks or translated routines)."""
+        self.overhead_cycles += cycles
+
+    @property
+    def guest_cycles(self) -> int:
+        """Guest work: ISA engine cycles plus charged rehosted cycles."""
+        return self._charged_guest_cycles + sum(
+            engine.cycles for engine in self.engines
+        )
+
+    @property
+    def total_cycles(self) -> int:
+        """Guest work plus sanitizer overhead; Figure 2 divides these."""
+        return self.guest_cycles + self.overhead_cycles
+
+    def reset_counters(self) -> None:
+        """Zero all cycle counters (start of a measured workload)."""
+        self._charged_guest_cycles = 0
+        self.overhead_cycles = 0
+        for engine in self.engines:
+            engine.cycles = 0
+            engine.insn_count = 0
+
+    # ------------------------------------------------------------------
+    def console_text(self) -> str:
+        """Everything the guest printed so far."""
+        return self.uart.text() if self.uart is not None else ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine({self.name!r}, arch={self.arch.name!r}, ready={self.ready})"

@@ -1,0 +1,70 @@
+"""Machine snapshots: save and restore full guest state.
+
+Fuzzers reset the target to a clean post-boot state between inputs;
+the Prober's multi-pass dry runs rewind the firmware between passes.
+A snapshot captures every RAM region and each engine's architectural
+state.  Device and host-side state (UART capture, hooks, counters) is
+deliberately *not* captured: observers persist across restores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.emulator.machine import Machine
+from repro.mem.regions import MmioRegion
+
+
+class _EngineState(NamedTuple):
+    regs: Tuple[int, ...]
+    pc: int
+    halted: bool
+    task: int
+
+
+class Snapshot:
+    """An immutable capture of one machine's guest-visible state."""
+
+    def __init__(self, machine: Machine):
+        self._regions: Dict[str, bytes] = {}
+        for region in machine.bus.regions:
+            if isinstance(region, MmioRegion):
+                continue
+            self._regions[region.name] = bytes(region.data)
+        self._engines: List[_EngineState] = [
+            _EngineState(
+                tuple(engine.state.regs),
+                engine.state.pc,
+                engine.state.halted,
+                engine.state.task,
+            )
+            for engine in machine.engines
+        ]
+        self._ready = machine.ready
+        self._task = machine.current_task
+
+    def restore(self, machine: Machine) -> None:
+        """Write the captured state back into ``machine``."""
+        for region in machine.bus.regions:
+            if isinstance(region, MmioRegion):
+                continue
+            saved = self._regions.get(region.name)
+            if saved is not None and len(saved) == region.size:
+                region.data[:] = saved
+        for engine, saved in zip(machine.engines, self._engines):
+            engine.state.regs = list(saved.regs)
+            engine.state.pc = saved.pc
+            engine.state.halted = saved.halted
+            engine.state.task = saved.task
+        machine.ready = self._ready
+        machine.panicked = None
+        machine.current_task = self._task
+
+    def ram_bytes(self) -> int:
+        """Total bytes captured (diagnostic)."""
+        return sum(len(data) for data in self._regions.values())
+
+
+def take(machine: Machine) -> Snapshot:
+    """Capture a snapshot of ``machine``."""
+    return Snapshot(machine)

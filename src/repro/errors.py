@@ -1,0 +1,79 @@
+"""Shared exception hierarchy for the EMBSAN reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch a single base type at API boundaries.  Sanitizer *findings* are not
+exceptions: a sanitizer reports violations through
+:class:`repro.sanitizers.runtime.reports.SanitizerReport` objects and only
+optionally escalates to :class:`SanitizerViolation` when configured to panic.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GuestFault(ReproError):
+    """The guest performed an architecturally invalid operation.
+
+    This models a hardware fault (bus error, invalid opcode, ...) rather
+    than a sanitizer finding.  ``addr`` is the faulting guest address when
+    one is known.
+    """
+
+    def __init__(self, message: str, addr: int | None = None):
+        super().__init__(message)
+        self.addr = addr
+
+
+class BusError(GuestFault):
+    """Access to an unmapped or permission-violating guest address."""
+
+
+class InvalidOpcode(GuestFault):
+    """The CPU fetched an instruction it cannot decode."""
+
+
+class AssemblerError(ReproError):
+    """The EVM32 assembler rejected a source file."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class FirmwareBuildError(ReproError):
+    """The firmware builder could not produce an image."""
+
+
+class DslError(ReproError):
+    """A SanSpec DSL document failed to lex, parse or compile."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class DistillerError(ReproError):
+    """The Distiller could not parse the reference sanitizer sources."""
+
+
+class ProbeError(ReproError):
+    """The Prober could not determine a required platform fact."""
+
+
+class SanitizerViolation(ReproError):
+    """Raised when a sanitizer is configured to panic on its first report."""
+
+    def __init__(self, report):
+        super().__init__(str(report))
+        self.report = report
+
+
+class FuzzerError(ReproError):
+    """A fuzzing campaign was misconfigured or its target misbehaved."""

@@ -1,0 +1,17 @@
+"""Firmware images, build pipeline and the Table-1 registry."""
+
+from repro.firmware.instrument import (
+    CompileTimeInstrumentation,
+    InstrumentationMode,
+)
+from repro.firmware.image import FirmwareImage
+from repro.firmware.registry import FIRMWARE, FirmwareSpec, build_firmware
+
+__all__ = [
+    "CompileTimeInstrumentation",
+    "FIRMWARE",
+    "FirmwareImage",
+    "FirmwareSpec",
+    "InstrumentationMode",
+    "build_firmware",
+]

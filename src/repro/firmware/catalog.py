@@ -1,0 +1,5 @@
+"""Table-1 firmware catalog (populated as substrates land)."""
+
+# Entries are registered by repro.firmware.catalog_entries once all OS
+# module sets exist; importing it here keeps registry lookups working.
+from repro.firmware import catalog_entries  # noqa: F401

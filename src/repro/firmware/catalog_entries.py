@@ -1,0 +1,225 @@
+"""The eleven Table-1 firmware, wired to their module sets and defects.
+
+Factory functions build each firmware's kernel with exactly the driver
+and filesystem modules the paper's Table 4 attributes bugs to (plus the
+allocator/VFS core every build carries).  ``bug_ids`` arm that
+firmware's seeded defects; a ``with_bugs=False`` build is the patched
+baseline used for overhead runs.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.machine import Machine
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import FirmwareSpec, register
+from repro.os.common import BugSwitchboard
+from repro.os.embedded_linux.kernel import EmbeddedLinuxKernel
+from repro.os.embedded_linux.modules.bluetooth import BluetoothModule
+from repro.os.embedded_linux.modules.btrfs import BtrfsModule
+from repro.os.embedded_linux.modules.dma_driver import DmaDriver
+from repro.os.embedded_linux.modules.ethernet import EthernetDriver
+from repro.os.embedded_linux.modules.fuse import FuseModule
+from repro.os.embedded_linux.modules.iommu import IommuModule
+from repro.os.embedded_linux.modules.mac80211 import Mac80211Module
+from repro.os.embedded_linux.modules.net_core import NetCoreModule
+from repro.os.embedded_linux.modules.net_sched import NetSchedModule
+from repro.os.embedded_linux.modules.netfilter import NetfilterModule
+from repro.os.embedded_linux.modules.netrom import NetromModule
+from repro.os.embedded_linux.modules.nfs import NfsModule
+from repro.os.embedded_linux.modules.scsi import ScsiAic7xxxModule
+from repro.os.embedded_linux.modules.wifi_vendor import WifiDriver
+from repro.os.freertos.infinitime import (
+    LittleFsModule,
+    SpiDriverModule,
+    St7789Module,
+)
+from repro.os.freertos.kernel import FreeRtosKernel
+from repro.os.liteos.fat import LiteOsFat
+from repro.os.liteos.kernel import LiteOsKernel
+from repro.os.liteos.vfs import LiteOsVfs
+from repro.os.vxworks.kernel import VxWorksKernel
+
+
+def _linux(version: str, module_makers):
+    def factory(machine: Machine, bugs: BugSwitchboard) -> EmbeddedLinuxKernel:
+        kernel = EmbeddedLinuxKernel(machine, version=version, bugs=bugs)
+        for make in module_makers:
+            kernel.add_module(make(kernel))
+        return kernel
+
+    return factory
+
+
+def _freertos(module_makers):
+    def factory(machine: Machine, bugs: BugSwitchboard) -> FreeRtosKernel:
+        kernel = FreeRtosKernel(machine, bugs=bugs)
+        for make in module_makers:
+            kernel.add_module(make(kernel))
+        return kernel
+
+    return factory
+
+
+def _liteos(module_makers):
+    def factory(machine: Machine, bugs: BugSwitchboard) -> LiteOsKernel:
+        kernel = LiteOsKernel(machine, bugs=bugs)
+        for make in module_makers:
+            kernel.add_module(make(kernel))
+        return kernel
+
+    return factory
+
+
+def _vxworks(machine: Machine, bugs: BugSwitchboard) -> VxWorksKernel:
+    return VxWorksKernel(machine, bugs=bugs)
+
+
+register(FirmwareSpec(
+    name="OpenWRT-armvirt",
+    base_os="Embedded Linux", arch="arm",
+    inst_mode=InstrumentationMode.EMBSAN_C, source="open", fuzzer="syzkaller",
+    kernel_factory=_linux("5.15", (
+        NfsModule, NetfilterModule, Mac80211Module,
+        lambda k: EthernetDriver(k, "marvell"),
+        lambda k: EthernetDriver(k, "realtek"),
+        lambda k: EthernetDriver(k, "atheros"),
+    )),
+    bug_ids=(
+        "t4_nfs_common_oob", "t4_armvirt_netfilter_oob",
+        "t4_armvirt_net_wireless_oob", "t4_marvell_eth_oob",
+        "t4_realtek_eth_oob", "t4_atheros_eth_double_free",
+    ),
+))
+
+register(FirmwareSpec(
+    name="OpenWRT-bcm63xx",
+    base_os="Embedded Linux", arch="mips",
+    inst_mode=InstrumentationMode.EMBSAN_D, source="open", fuzzer="syzkaller",
+    kernel_factory=_linux("5.15", (
+        BluetoothModule,
+        lambda k: DmaDriver(k, "bcm2835"),
+        ScsiAic7xxxModule, BtrfsModule,
+        lambda k: WifiDriver(k, "broadcom"),
+    )),
+    bug_ids=(
+        "t4_bcm63xx_bluetooth_oob", "t4_bcm2835_dma_oob",
+        "t4_aic7xxx_scsi_oob", "t4_bcm63xx_btrfs_uaf",
+        "t4_broadcom_wifi_uaf",
+    ),
+))
+
+register(FirmwareSpec(
+    name="OpenWRT-ipq807x",
+    base_os="Embedded Linux", arch="arm",
+    inst_mode=InstrumentationMode.EMBSAN_C, source="open", fuzzer="syzkaller",
+    kernel_factory=_linux("5.15", (
+        lambda k: EthernetDriver(k, "broadcom"),
+        NetSchedModule,
+        lambda k: WifiDriver(k, "ath"),
+        FuseModule,
+    )),
+    bug_ids=(
+        "t4_broadcom_eth_oob", "t4_broadcom_eth_oob2",
+        "t4_ipq807x_net_sched_oob", "t4_ath_wifi_uaf",
+        "t4_ipq807x_fuse_double_free",
+    ),
+))
+
+register(FirmwareSpec(
+    name="OpenWRT-mt7629",
+    base_os="Embedded Linux", arch="arm",
+    inst_mode=InstrumentationMode.EMBSAN_C, source="open", fuzzer="syzkaller",
+    kernel_factory=_linux("5.15", (
+        lambda k: EthernetDriver(k, "mediatek"),
+        NfsModule, NetCoreModule,
+        lambda k: DmaDriver(k, "mediatek"),
+    )),
+    bug_ids=(
+        "t4_mediatek_eth_oob", "t4_nfs_oob",
+        "t4_mt7629_net_core_double_free", "t4_mediatek_dma_double_free",
+    ),
+))
+
+register(FirmwareSpec(
+    name="OpenWRT-rtl839x",
+    base_os="Embedded Linux", arch="mips",
+    inst_mode=InstrumentationMode.EMBSAN_D, source="open", fuzzer="syzkaller",
+    kernel_factory=_linux("5.15", (
+        lambda k: EthernetDriver(k, "realtek"),
+        lambda k: BluetoothModule(k, realtek=True),
+        NetromModule,
+    )),
+    bug_ids=(
+        "t4_realtek_eth_oob", "t4_realtek_bt_uaf",
+        "t4_rtl839x_netrom_double_free",
+    ),
+))
+
+register(FirmwareSpec(
+    name="OpenWRT-x86_64",
+    base_os="Embedded Linux", arch="x86",
+    inst_mode=InstrumentationMode.EMBSAN_C, source="open", fuzzer="syzkaller",
+    kernel_factory=_linux("5.15", (
+        IommuModule,
+        lambda k: EthernetDriver(k, "realtek"),
+        lambda k: EthernetDriver(k, "stmicro"),
+        lambda k: WifiDriver(k, "iwlwifi"),
+        lambda k: WifiDriver(k, "b43"),
+        BtrfsModule,
+    )),
+    bug_ids=(
+        "t4_x86_64_iommu_oob", "t4_realtek_eth_oob", "t4_stmicro_eth_oob",
+        "t4_iwlwifi_wifi_oob", "t4_b43_wifi_oob",
+        "t4_x86_64_btrfs_race1", "t4_x86_64_btrfs_race2",
+    ),
+))
+
+register(FirmwareSpec(
+    name="OpenHarmony-rk3566",
+    base_os="Embedded Linux", arch="arm",
+    inst_mode=InstrumentationMode.EMBSAN_C, source="open", fuzzer="tardis",
+    kernel_factory=_linux("5.10", (NfsModule, NetSchedModule)),
+    bug_ids=("t4_nfs_oob", "t4_nfs_common_oob", "t4_rk3566_net_sched_uaf"),
+))
+
+register(FirmwareSpec(
+    name="OpenHarmony-stm32mp1",
+    base_os="LiteOS", arch="arm",
+    inst_mode=InstrumentationMode.EMBSAN_D, source="open", fuzzer="tardis",
+    kernel_factory=_liteos((lambda k: LiteOsVfs(k, "t4_stm32mp1_vfs_oob"),)),
+    bug_ids=("t4_stm32mp1_vfs_oob",),
+    kcov=False,
+))
+
+register(FirmwareSpec(
+    name="OpenHarmony-stm32f407",
+    base_os="LiteOS", arch="mips",
+    inst_mode=InstrumentationMode.EMBSAN_D, source="open", fuzzer="tardis",
+    kernel_factory=_liteos((
+        lambda k: LiteOsVfs(k, "t4_stm32f407_vfs_oob"),
+        LiteOsFat,
+    )),
+    bug_ids=("t4_stm32f407_vfs_oob", "t4_stm32f407_fat_oob"),
+    kcov=False,
+))
+
+register(FirmwareSpec(
+    name="InfiniTime",
+    base_os="FreeRTOS", arch="arm",
+    inst_mode=InstrumentationMode.EMBSAN_D, source="open", fuzzer="tardis",
+    kernel_factory=_freertos((LittleFsModule, SpiDriverModule, St7789Module)),
+    bug_ids=(
+        "t4_infinitime_littlefs_oob", "t4_infinitime_spi_oob",
+        "t4_infinitime_st7789_uaf",
+    ),
+    kcov=False,
+))
+
+register(FirmwareSpec(
+    name="TP-Link WDR-7660",
+    base_os="VxWorks", arch="arm",
+    inst_mode=InstrumentationMode.EMBSAN_D, source="closed", fuzzer="tardis",
+    kernel_factory=_vxworks,
+    bug_ids=("t4_wdr7660_pppoed_oob", "t4_wdr7660_dhcpsd_oob"),
+    kcov=False,
+))

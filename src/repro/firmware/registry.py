@@ -1,0 +1,96 @@
+"""The Table-1 firmware registry.
+
+Eleven firmware, four base OSs, three architectures, two instrumentation
+modes, two fuzzers — exactly the evaluation matrix of the paper's
+Table 1.  Entries are populated as the OS substrates provide their
+module sets; :func:`build_firmware` is the single entry point the
+benches and examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.errors import FirmwareBuildError
+from repro.firmware.builder import KernelFactory, build_image
+from repro.firmware.image import FirmwareImage
+from repro.firmware.instrument import InstrumentationMode
+
+
+@dataclass(frozen=True)
+class FirmwareSpec:
+    """One Table-1 row."""
+
+    name: str
+    base_os: str  #: "Embedded Linux" | "LiteOS" | "FreeRTOS" | "VxWorks"
+    arch: str  #: "arm" | "mips" | "x86"
+    inst_mode: InstrumentationMode  #: the mode the paper evaluated it in
+    source: str  #: "open" | "closed"
+    fuzzer: str  #: "syzkaller" | "tardis"
+    kernel_factory: KernelFactory = None
+    #: Table-4 defects seeded in this firmware
+    bug_ids: Tuple[str, ...] = ()
+    kcov: bool = True
+
+
+#: populated by repro.firmware.catalog at import time
+FIRMWARE: Dict[str, FirmwareSpec] = {}
+
+
+def register(spec: FirmwareSpec) -> FirmwareSpec:
+    """Add a firmware to the registry (one entry per Table-1 row)."""
+    if spec.name in FIRMWARE:
+        raise FirmwareBuildError(f"firmware {spec.name!r} registered twice")
+    FIRMWARE[spec.name] = spec
+    return spec
+
+
+def firmware_spec(name: str) -> FirmwareSpec:
+    """Look up a Table-1 firmware by name."""
+    _ensure_catalog()
+    try:
+        return FIRMWARE[name]
+    except KeyError:
+        raise FirmwareBuildError(
+            f"unknown firmware {name!r}; known: {sorted(FIRMWARE)}"
+        ) from None
+
+
+def all_firmware() -> Sequence[FirmwareSpec]:
+    """Every registered firmware, in Table-1 order."""
+    _ensure_catalog()
+    return tuple(FIRMWARE.values())
+
+
+def build_firmware(
+    name: str,
+    mode: InstrumentationMode = None,
+    native_sanitizers: Sequence[str] = (),
+    with_bugs: bool = True,
+    boot: bool = True,
+) -> FirmwareImage:
+    """Build one registered firmware.
+
+    ``mode`` defaults to the instrumentation mode the paper used for
+    that firmware; pass :attr:`InstrumentationMode.NONE` for an overhead
+    baseline or :attr:`InstrumentationMode.NATIVE` for the native
+    sanitizer comparison build.
+    """
+    spec = firmware_spec(name)
+    return build_image(
+        spec.name,
+        spec.arch,
+        spec.kernel_factory,
+        mode=mode if mode is not None else spec.inst_mode,
+        bug_ids=spec.bug_ids if with_bugs else (),
+        native_sanitizers=native_sanitizers,
+        kcov=spec.kcov,
+        boot=boot,
+    )
+
+
+def _ensure_catalog() -> None:
+    if not FIRMWARE:
+        # populate the registry on first use
+        import repro.firmware.catalog  # noqa: F401

@@ -1,0 +1,69 @@
+"""Coverage collection.
+
+Two collectors mirror the two fuzzers' mechanisms:
+
+* :class:`KcovCoverage` — consumes the ``COV_TRACE_PC`` hypercalls a
+  kcov-enabled kernel build emits (Syzkaller's mechanism).
+* :class:`EmulatorCoverage` — consumes CALL events at the emulator
+  level; works on any OS, instrumented or not (Tardis's OS-agnostic
+  mechanism, usable even on the closed-source VxWorks target).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.emulator.events import CallEvent, EventKind, VmcallEvent
+from repro.emulator.hypercalls import Hypercall
+from repro.emulator.machine import Machine
+
+
+class CoverageMap:
+    """A cumulative set of coverage points with new-coverage tracking."""
+
+    def __init__(self):
+        self.points: Set[int] = set()
+        self._epoch_new = 0
+
+    def hit(self, point: int) -> None:
+        """Record one coverage point."""
+        if point not in self.points:
+            self.points.add(point)
+            self._epoch_new += 1
+
+    def begin_input(self) -> None:
+        """Start tracking novelty for one fuzz input."""
+        self._epoch_new = 0
+
+    def new_coverage(self) -> int:
+        """Points first seen during the current input."""
+        return self._epoch_new
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class KcovCoverage(CoverageMap):
+    """kcov-style coverage from COV_TRACE_PC hypercalls."""
+
+    def __init__(self, machine: Machine):
+        super().__init__()
+        machine.hooks.add(EventKind.VMCALL, self._on_vmcall)
+
+    def _on_vmcall(self, event: VmcallEvent) -> None:
+        if event.number == Hypercall.COV_TRACE_PC and event.args:
+            self.hit(event.args[0])
+
+
+class EmulatorCoverage(CoverageMap):
+    """OS-agnostic coverage from emulator-level CALL events."""
+
+    def __init__(self, machine: Machine):
+        super().__init__()
+        machine.hooks.add(EventKind.CALL, self._on_call)
+
+    def _on_call(self, event: CallEvent) -> None:
+        # function entry is the basic-block proxy; fold in one argument
+        # nibble so distinct operation shapes count as distinct coverage
+        arg = event.args[0] & 0xF if event.args else 0
+        self.hit((event.target << 4) | arg)

@@ -1,0 +1,278 @@
+"""The coverage-guided fuzzing engine shared by both fuzzers.
+
+Syzkaller and Tardis differ in interface style (syscall table vs task
+API), coverage source (kcov vs emulator events) and target OS — the
+mutation/corpus/crash-triage loop is the same, so it lives here once.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import GuestFault
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.ifspec import INTERESTING, InterfaceSpec
+from repro.fuzz.program import (
+    Call,
+    Mutator,
+    Program,
+    ResourcePool,
+    resolve_args,
+)
+from repro.sanitizers.runtime.reports import BugType, SanitizerReport
+
+
+class Finding:
+    """One deduplicated bug found during a campaign.
+
+    ``context`` holds the programs executed earlier in the same target
+    session — multi-input state bugs (mount in one input, trigger in a
+    later one) need them, exactly like syzkaller extracts reproducers
+    from its execution log rather than the last program alone.
+    """
+
+    def __init__(self, key: tuple, report: SanitizerReport,
+                 program: Program, context: Optional[List[Program]] = None):
+        self.key = key
+        self.report = report
+        self.program = program
+        self.context: List[Program] = context or []
+        self.reproducible = False
+        self.reproducer: Optional[List[Program]] = None
+
+    def reproducer_calls(self) -> List:
+        """Flattened call list of the minimized reproducer."""
+        programs = self.reproducer if self.reproducer is not None else (
+            self.context + [self.program]
+        )
+        return [call for program in programs for call in program.calls]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Finding {self.key} repro={self.reproducible}>"
+
+
+class FuzzTarget:
+    """One live firmware instance under test.
+
+    ``make`` builds a fresh (image, runtime, coverage) triple; the
+    engine rebuilds through it after crashes and on state-refresh
+    intervals.
+    """
+
+    def __init__(self, make: Callable[[], tuple]):
+        self.make = make
+        self.image = None
+        self.runtime = None
+        self.coverage: Optional[CoverageMap] = None
+        self.rebuilds = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Build a pristine target instance."""
+        self.image, self.runtime, self.coverage = self.make()
+        self.rebuilds += 1
+
+    def execute(self, program: Program, style: str) -> Optional[GuestFault]:
+        """Run one program; returns the fault when the guest dies."""
+        ctx = self.image.ctx
+        kernel = self.image.kernel
+        pool = ResourcePool()
+        try:
+            for nr, args, produces in program.resolve():
+                concrete = resolve_args(args, pool)
+                if style == "syscall":
+                    result = kernel.do_syscall(ctx, nr, *concrete)
+                else:
+                    result = kernel.invoke(ctx, nr, *concrete[:3])
+                if produces and isinstance(result, int):
+                    pool.put(produces, result)
+        except GuestFault as fault:
+            return fault
+        return None
+
+
+class FuzzerEngine:
+    """Corpus management + mutation + triage."""
+
+    def __init__(
+        self,
+        target: FuzzTarget,
+        spec: InterfaceSpec,
+        seed: int = 0,
+        refresh_interval: int = 500,
+    ):
+        self.target = target
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self.mutator = Mutator(self.rng, INTERESTING)
+        self.corpus: List[Program] = spec.seed_programs(self.rng)
+        self.findings: Dict[tuple, Finding] = {}
+        self.execs = 0
+        self.crashes = 0
+        self.refresh_interval = refresh_interval
+        self._current_reports: List[SanitizerReport] = []
+        #: programs executed on the current target session (for
+        #: multi-input reproducer extraction), most recent last
+        self._session: List[Program] = []
+        self._listen()
+
+    def _listen(self) -> None:
+        sink = getattr(self.target.runtime, "sink", None)
+        if sink is not None:
+            sink.listeners.append(self._current_reports.append)
+
+    # ------------------------------------------------------------------
+    def _generate_program(self) -> Program:
+        length = self.rng.randint(1, 6)
+        return Program([self.spec.generate_call(self.rng)
+                        for _ in range(length)])
+
+    def _pick_input(self) -> Program:
+        if self.corpus and self.rng.random() < 0.75:
+            seed = self.rng.choice(self.corpus)
+            return self.mutator.mutate(
+                seed, lambda: self.spec.generate_call(self.rng)
+            )
+        return self._generate_program()
+
+    # ------------------------------------------------------------------
+    def run(self, budget: int) -> "FuzzerEngine":
+        """Execute ``budget`` fuzz inputs.
+
+        The first pass triages the seed corpus as-is (each description-
+        derived chain runs once, unmutated) before mutation takes over.
+        """
+        triage = list(self.corpus)
+        for program in triage:
+            if self.execs >= budget:
+                break
+            self.step(program.clone())
+        while self.execs < budget:
+            self.step()
+        return self
+
+    def step(self, program: Optional[Program] = None) -> None:
+        """One fuzz iteration: pick (or take), execute, triage."""
+        if program is None:
+            program = self._pick_input()
+        self.execs += 1
+        coverage = self.target.coverage
+        coverage.begin_input()
+        self._current_reports.clear()
+        before_keys = set(self.findings)
+        fault = self.target.execute(program, self.spec.style)
+
+        context = list(self._session[-30:])
+        for report in self._current_reports:
+            key = report.dedup_key()
+            if key not in self.findings:
+                self.findings[key] = Finding(key, report, program.clone(),
+                                             context=context)
+        if fault is not None:
+            self.crashes += 1
+            report = _fault_report(fault)
+            key = report.dedup_key()
+            if key not in self.findings:
+                self.findings[key] = Finding(key, report, program.clone(),
+                                             context=context)
+        elif coverage.new_coverage() > 0:
+            self.corpus.append(program)
+        self._session.append(program.clone())
+
+        new_findings = set(self.findings) - before_keys
+        if fault is not None or new_findings or (
+            self.execs % self.refresh_interval == 0
+        ):
+            # refresh after crashes and findings (contain state
+            # pollution) and periodically, like snapshot-restoring
+            # fuzzers do
+            self._fresh_target()
+
+    def _fresh_target(self) -> None:
+        self.target.reset()
+        self._session.clear()
+        self._listen()
+
+    # ------------------------------------------------------------------
+    def reproduce_findings(self, minimize_budget: int = 150) -> List[Finding]:
+        """Extract a minimized reproducer for every finding.
+
+        Tries the triggering program alone, then progressively longer
+        session suffixes (state-dependent bugs), then drop-one
+        minimizes the reproducing sequence under an execution budget.
+        """
+        for finding in self.findings.values():
+            base = self._find_reproducing_base(finding)
+            if base is None:
+                finding.reproducible = False
+                continue
+            finding.reproducible = True
+            finding.reproducer = self._minimize(base, finding.key,
+                                                minimize_budget)
+        return list(self.findings.values())
+
+    def _find_reproducing_base(self, finding: Finding):
+        candidates = [[finding.program]]
+        for depth in (5, 15, len(finding.context)):
+            if depth:
+                candidates.append(finding.context[-depth:] + [finding.program])
+        for candidate in candidates:
+            if self._replays(candidate, finding.key):
+                return candidate
+        return None
+
+    def _minimize(self, programs: List[Program], key: tuple,
+                  budget: int) -> List[Program]:
+        spent = 0
+        # pass 1: drop whole context programs
+        current = [p.clone() for p in programs]
+        idx = 0
+        while idx < len(current) - 1 and spent < budget:
+            candidate = current[:idx] + current[idx + 1:]
+            spent += 1
+            if self._replays(candidate, key):
+                current = candidate
+            else:
+                idx += 1
+        # pass 2: drop individual calls
+        prog_idx = 0
+        while prog_idx < len(current) and spent < budget:
+            program = current[prog_idx]
+            call_idx = 0
+            while call_idx < len(program.calls) and spent < budget:
+                candidate = [p.clone() for p in current]
+                del candidate[prog_idx].calls[call_idx]
+                if not candidate[prog_idx].calls:
+                    del candidate[prog_idx]
+                spent += 1
+                if self._replays(candidate, key):
+                    current = candidate
+                    if prog_idx >= len(current):
+                        break
+                    program = current[prog_idx]
+                else:
+                    call_idx += 1
+            prog_idx += 1
+        return current
+
+    def _replays(self, programs: List[Program], key: tuple) -> bool:
+        self._fresh_target()
+        self._current_reports.clear()
+        for program in programs:
+            fault = self.target.execute(program, self.spec.style)
+            if any(r.dedup_key() == key for r in self._current_reports):
+                return True
+            if fault is not None:
+                return _fault_report(fault).dedup_key() == key
+        return False
+
+
+def _fault_report(fault: GuestFault) -> SanitizerReport:
+    """Synthesize the crash-oracle report for a guest fault."""
+    addr = fault.addr or 0
+    bug = BugType.NULL_DEREF if addr < 0x1000 else BugType.WILD_ACCESS
+    return SanitizerReport(
+        "oracle", bug, addr, 0, False, 0, 0, location="guest-fault",
+        detail=str(fault),
+    )

@@ -1,0 +1,338 @@
+"""Interface specifications: what a fuzzer knows how to call.
+
+The paper's discussion section notes that fuzzer effectiveness is
+bounded by the available syscall descriptions — these templates are
+that knowledge.  A template describes one callable operation: its
+number, argument generators, and the resource kind its result yields.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.fuzz.program import Arg, Call, Program
+from repro.os.embedded_linux.kernel import SOCK_DEV_BASE, EmbeddedLinuxKernel
+from repro.os.embedded_linux.syscalls import Syscall as S
+from repro.os.freertos.kernel import FreeRtosOp
+from repro.os.liteos.kernel import LiteOsOp
+from repro.os.vxworks.kernel import VxWorksOp
+
+#: magic values that exercise boundary conditions across the module set
+INTERESTING = (
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 30, 31, 32, 48, 60,
+    64, 80, 96, 100, 128, 200, 255, 0x10, 0x1F, 0x40, 0x50, 0x3F,
+    0x1040, 0xF000, 0xF800, 0x00DEA000,
+)
+
+ArgGen = Callable[[random.Random], Arg]
+
+
+def lit(*choices: int) -> ArgGen:
+    """Generator: one of the given literals.
+
+    The choice list stays inspectable (``gen.choices``) so seed-corpus
+    construction can enumerate command spaces systematically.
+    """
+    pool = list(choices)
+
+    def gen(rng: random.Random) -> Arg:
+        return rng.choice(pool)
+
+    gen.choices = pool
+    return gen
+
+
+def interesting() -> ArgGen:
+    """Generator: a magic value or a small random integer."""
+
+    def gen(rng: random.Random) -> Arg:
+        if rng.random() < 0.7:
+            return rng.choice(INTERESTING)
+        return rng.randrange(0, 256)
+
+    return gen
+
+
+def res(kind: str) -> ArgGen:
+    """Generator: a reference to a previously produced resource."""
+
+    def gen(rng: random.Random) -> Arg:
+        return ("res", kind, rng.randrange(4))
+
+    return gen
+
+
+class CallTemplate:
+    """One operation the fuzzer can emit."""
+
+    __slots__ = ("nr", "name", "arggens", "produces", "weight")
+
+    def __init__(self, nr: int, name: str, arggens: Sequence[ArgGen],
+                 produces: Optional[str] = None, weight: float = 1.0):
+        self.nr = int(nr)
+        self.name = name
+        self.arggens = list(arggens)
+        self.produces = produces
+        self.weight = weight
+
+    def instantiate(self, rng: random.Random) -> Call:
+        """Generate one concrete call from this template."""
+        return Call(self.nr, [gen(rng) for gen in self.arggens], self.produces)
+
+
+class InterfaceSpec:
+    """A weighted set of call templates plus naming for reproducers."""
+
+    def __init__(self, templates: Sequence[CallTemplate], style: str,
+                 extra_seeds: Sequence["Program"] = ()):
+        self.templates = list(templates)
+        self.style = style  #: "syscall" or "rtos"
+        self.extra_seeds = list(extra_seeds)
+        self._weights = [t.weight for t in self.templates]
+
+    def generate_call(self, rng: random.Random) -> Call:
+        """Sample one call according to template weights."""
+        template = rng.choices(self.templates, weights=self._weights)[0]
+        return template.instantiate(rng)
+
+    def seed_programs(self, rng: random.Random) -> List["Program"]:
+        """Build the initial corpus straight from the descriptions.
+
+        One singleton program per template, plus producer→consumer
+        pairs so resource-dependent operations are reachable from the
+        first mutation on (syzkaller seeds its corpus the same way).
+        """
+        from repro.fuzz.program import Program
+
+        seeds = [Program([t.instantiate(rng)]) for t in self.templates]
+        producers = [t for t in self.templates if t.produces]
+        for producer in producers:
+            for consumer in self.templates:
+                if consumer is producer:
+                    continue
+                uses = any(
+                    isinstance(arg, tuple) and arg[1] == producer.produces
+                    for arg in consumer.instantiate(rng).args
+                )
+                if not uses:
+                    continue
+                seeds.append(Program([
+                    producer.instantiate(rng),
+                    consumer.instantiate(rng),
+                    consumer.instantiate(rng),
+                ]))
+                seeds.extend(
+                    self._enumerated_chains(rng, producer, consumer)
+                )
+        seeds.extend(program.clone() for program in self.extra_seeds)
+        return seeds
+
+    def _producer_variants(self, rng, producer) -> list:
+        """One producer instance per literal choice of its first lit arg
+        (each device node / socket family gets its own chain)."""
+        for slot, gen in enumerate(producer.arggens):
+            choices = getattr(gen, "choices", None)
+            if choices and len(choices) <= 12:
+                variants = []
+                for value in choices:
+                    call = producer.instantiate(rng)
+                    call.args[slot] = value
+                    variants.append(call)
+                return variants
+        return [producer.instantiate(rng)]
+
+    def _enumerated_chains(self, rng, producer, consumer) -> list:
+        """Chains sweeping a small literal argument (command numbers).
+
+        For each producer variant (each device) and each ``lit``
+        argument of the consumer with few choices, build one program
+        running the whole sweep in sequence — reaching stateful
+        multi-command bugs (setup cmd then trigger cmd on the same
+        resource).
+        """
+        from repro.fuzz.program import Program
+
+        out = []
+        for opener in self._producer_variants(rng, producer):
+            for slot, gen in enumerate(consumer.arggens):
+                choices = getattr(gen, "choices", None)
+                if not choices or len(choices) > 8:
+                    continue
+                sweep = []
+                for value in choices:
+                    call = consumer.instantiate(rng)
+                    call.args[slot] = value
+                    sweep.append(call)
+                out.append(Program([opener.clone()] + sweep))
+        return out
+
+    def names(self) -> dict:
+        """nr -> template name (serialization aid; collisions keep first)."""
+        out = {}
+        for template in self.templates:
+            out.setdefault(template.nr, template.name)
+        return out
+
+
+# ----------------------------------------------------------------------
+# per-OS interface construction
+# ----------------------------------------------------------------------
+def linux_interface(kernel: EmbeddedLinuxKernel) -> InterfaceSpec:
+    """Syscall templates reflecting the modules this build ships."""
+    device_ids = sorted(d for d in kernel.vfs.devices if d < SOCK_DEV_BASE)
+    families = sorted(d - SOCK_DEV_BASE for d in kernel.vfs.devices
+                      if d >= SOCK_DEV_BASE)
+    fs_ids = sorted(kernel.filesystems)
+    protos = sorted(kernel.netlink_protos)
+
+    templates: List[CallTemplate] = []
+    if device_ids:
+        templates += [
+            CallTemplate(S.OPEN, "open", [lit(*device_ids)], produces="fd",
+                         weight=2.0),
+            CallTemplate(S.CLOSE, "close", [res("fd")]),
+            CallTemplate(S.READ, "read", [res("fd"), interesting(), lit(0, 4)]),
+            CallTemplate(S.WRITE, "write", [res("fd"), interesting(),
+                                            interesting()]),
+            CallTemplate(S.IOCTL, "ioctl",
+                         [res("fd"), lit(1, 2, 3, 4, 5), interesting(),
+                          interesting()], weight=3.0),
+        ]
+    if families:
+        templates += [
+            CallTemplate(S.SOCKET, "socket", [lit(*families)], produces="fd"),
+            CallTemplate(S.SENDMSG, "sendmsg",
+                         [res("fd"), interesting(), interesting()]),
+            CallTemplate(S.RECVMSG, "recvmsg", [res("fd"), interesting()]),
+        ]
+    if fs_ids:
+        templates += [
+            CallTemplate(S.MOUNT, "mount", [lit(*fs_ids), lit(0, 1)],
+                         weight=1.5),
+            CallTemplate(S.UMOUNT, "umount", [lit(*fs_ids)], weight=0.3),
+            CallTemplate(S.FSOP, "fsop",
+                         [lit(*fs_ids), lit(1, 2, 3, 4), interesting(),
+                          interesting()], weight=3.0),
+        ]
+    if protos:
+        templates.append(
+            CallTemplate(S.NETLINK, "netlink",
+                         [lit(*protos), lit(1, 2, 3, 4), interesting()],
+                         weight=2.0)
+        )
+    # handlers registered by optional modules
+    handler_templates = {
+        "scan": CallTemplate(S.SCAN, "scan",
+                             [lit(1, 2, 3), lit(0, 1, 2), interesting()],
+                             weight=1.5),
+        "font": CallTemplate(S.FONT, "font", [lit(1, 2), interesting()]),
+        "floppy": CallTemplate(S.FLOPPY, "floppy",
+                               [lit(1, 2), interesting()]),
+        "sysfs": CallTemplate(S.SYSFS, "sysfs",
+                              [lit(1, 2, 3), lit(0, 1, 2, 3), lit(0, 1)]),
+        "prctl": CallTemplate(S.PRCTL, "prctl",
+                              [lit(1, 2, 3, 4, 5), interesting(),
+                               interesting()]),
+        "bpf": CallTemplate(S.BPF, "bpf",
+                            [lit(1, 2, 3, 4, 5), interesting(),
+                             interesting()]),
+        "watchq": CallTemplate(S.WATCHQ, "watchq",
+                               [lit(1, 2, 3, 4, 5), lit(1, 2, 3),
+                                interesting()]),
+    }
+    for name, template in handler_templates.items():
+        if name in kernel.handlers:
+            templates.append(template)
+    templates += [
+        CallTemplate(S.MMAP, "mmap", [interesting()], produces="map"),
+        CallTemplate(S.MUNMAP, "munmap", [res("map")], weight=0.5),
+    ]
+    # filesystem op sweeps: mount then every fs op in sequence (the fs
+    # id is a literal, not a produced resource, so pairs alone miss it)
+    extra = [
+        Program([Call(S.MOUNT, [fs_id, 0])] +
+                [Call(S.FSOP, [fs_id, op, 3, 0]) for op in (1, 2, 3, 4)])
+        for fs_id in fs_ids
+    ]
+    extra += [
+        Program([Call(S.NETLINK, [proto, cmd, 4]) for cmd in (1, 1, 2, 3, 4)])
+        for proto in protos
+    ]
+    return InterfaceSpec(templates, style="syscall", extra_seeds=extra)
+
+
+def freertos_interface(kernel) -> InterfaceSpec:
+    """Tardis executor templates for FreeRTOS targets."""
+    apps = sorted(kernel.apps)
+    templates = [
+        CallTemplate(FreeRtosOp.TASK_CREATE, "xTaskCreate",
+                     [lit(1, 2, 3), interesting()], produces="task"),
+        CallTemplate(FreeRtosOp.TASK_DELETE, "vTaskDelete", [res("task")],
+                     weight=0.5),
+        CallTemplate(FreeRtosOp.QUEUE_CREATE, "xQueueCreate",
+                     [lit(1, 4, 8, 16), lit(0)], produces="queue"),
+        CallTemplate(FreeRtosOp.QUEUE_SEND, "xQueueSend",
+                     [res("queue"), interesting()]),
+        CallTemplate(FreeRtosOp.QUEUE_RECV, "xQueueReceive", [res("queue")]),
+        CallTemplate(FreeRtosOp.QUEUE_DELETE, "vQueueDelete", [res("queue")],
+                     weight=0.4),
+        CallTemplate(FreeRtosOp.MALLOC, "pvPortMalloc", [interesting()],
+                     produces="mem"),
+        CallTemplate(FreeRtosOp.FREE, "vPortFree", [res("mem")], weight=0.6),
+    ]
+    if apps:
+        templates.append(
+            CallTemplate(FreeRtosOp.APP_OP, "app_op",
+                         [lit(*apps), lit(1, 2, 3), interesting()],
+                         weight=4.0)
+        )
+    return InterfaceSpec(templates, style="rtos")
+
+
+def liteos_interface(kernel) -> InterfaceSpec:
+    """Tardis executor templates for LiteOS targets."""
+    apps = sorted(kernel.apps)
+    templates = [
+        CallTemplate(LiteOsOp.MEM_ALLOC, "LOS_MemAlloc", [interesting()],
+                     produces="mem"),
+        CallTemplate(LiteOsOp.MEM_FREE, "LOS_MemFree", [res("mem")],
+                     weight=0.6),
+        CallTemplate(LiteOsOp.TASK_CREATE, "LOS_TaskCreate", [lit(1, 2, 3)],
+                     produces="mem"),
+    ]
+    if apps:
+        templates.append(
+            CallTemplate(LiteOsOp.APP_OP, "app_op",
+                         [lit(*apps), lit(1, 2), interesting()], weight=4.0)
+        )
+    return InterfaceSpec(templates, style="rtos")
+
+
+def vxworks_interface(kernel) -> InterfaceSpec:
+    """Tardis executor templates for the closed-source VxWorks target."""
+    templates = [
+        CallTemplate(VxWorksOp.PPPOE_PACKET, "pppoe_rx",
+                     [lit(0x09, 0x07, 0x19, 0x65), interesting(),
+                      interesting()], weight=3.0),
+        CallTemplate(VxWorksOp.DHCP_PACKET, "dhcp_rx",
+                     [lit(1, 2), interesting(), interesting()], weight=3.0),
+        CallTemplate(VxWorksOp.MALLOC, "memPartAlloc", [interesting()],
+                     produces="mem"),
+        CallTemplate(VxWorksOp.FREE, "memPartFree", [res("mem")], weight=0.6),
+    ]
+    return InterfaceSpec(templates, style="rtos")
+
+
+def interface_for(kernel) -> InterfaceSpec:
+    """Pick the interface spec matching a kernel's OS family."""
+    os_name = getattr(kernel, "os_name", "")
+    if os_name == "embedded-linux":
+        return linux_interface(kernel)
+    if os_name == "freertos":
+        return freertos_interface(kernel)
+    if os_name == "liteos":
+        return liteos_interface(kernel)
+    if os_name == "vxworks":
+        return vxworks_interface(kernel)
+    raise ValueError(f"no interface spec for OS {os_name!r}")

@@ -1,0 +1,40 @@
+"""The Syzkaller-shaped fuzzer: syscall programs + kcov coverage."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.registry import build_firmware
+from repro.fuzz.coverage import EmulatorCoverage, KcovCoverage
+from repro.fuzz.engine import FuzzerEngine, FuzzTarget
+from repro.fuzz.ifspec import linux_interface
+
+
+class SyzkallerFuzzer(FuzzerEngine):
+    """Coverage-guided syscall fuzzing of Embedded Linux firmware."""
+
+    name = "syzkaller"
+
+    def __init__(
+        self,
+        firmware: str,
+        sanitizers: Sequence[str] = ("kasan",),
+        seed: int = 0,
+    ):
+        self.firmware = firmware
+        self.sanitizers = tuple(sanitizers)
+
+        def make():
+            image = build_firmware(firmware, boot=False)
+            runtime = attach_runtime(image, sanitizers=self.sanitizers)
+            if image.ctx.kcov_enabled:
+                coverage = KcovCoverage(image.machine)
+            else:
+                coverage = EmulatorCoverage(image.machine)
+            image.boot()
+            return image, runtime, coverage
+
+        target = FuzzTarget(make)
+        spec = linux_interface(target.image.kernel)
+        super().__init__(target, spec, seed=seed)

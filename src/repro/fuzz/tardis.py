@@ -1,0 +1,45 @@
+"""The Tardis-shaped fuzzer: executor programs + OS-agnostic coverage.
+
+Tardis collects coverage from the emulator itself (function-entry
+events), which is what lets it drive LiteOS, FreeRTOS and even the
+closed-source VxWorks firmware without any in-guest instrumentation.
+The paper extended it with per-OS executor programs and interface
+specifications — here those are the :mod:`repro.fuzz.ifspec` RTOS
+templates (and the Linux one for OpenHarmony-rk3566).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.registry import build_firmware
+from repro.fuzz.coverage import EmulatorCoverage
+from repro.fuzz.engine import FuzzerEngine, FuzzTarget
+from repro.fuzz.ifspec import interface_for
+
+
+class TardisFuzzer(FuzzerEngine):
+    """Coverage-guided RTOS fuzzing with emulator-level coverage."""
+
+    name = "tardis"
+
+    def __init__(
+        self,
+        firmware: str,
+        sanitizers: Sequence[str] = ("kasan",),
+        seed: int = 0,
+    ):
+        self.firmware = firmware
+        self.sanitizers = tuple(sanitizers)
+
+        def make():
+            image = build_firmware(firmware, boot=False)
+            runtime = attach_runtime(image, sanitizers=self.sanitizers)
+            coverage = EmulatorCoverage(image.machine)
+            image.boot()
+            return image, runtime, coverage
+
+        target = FuzzTarget(make)
+        spec = interface_for(target.image.kernel)
+        super().__init__(target, spec, seed=seed)

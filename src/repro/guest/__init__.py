@@ -1,0 +1,25 @@
+"""Rehosted-guest framework.
+
+The four embedded OS models in :mod:`repro.os` are written in Python but
+execute *as guests*: every byte they touch lives in guest memory behind
+the system bus, every kernel function has a text address and produces
+CALL/RET events, every task has a guest stack.  That preserves the only
+property EMBSAN relies on — sanitizer-sensitive operations are observable
+at the emulator boundary — while keeping kernels tractable to write.
+
+Closed-source firmware does not use this framework; it ships as EVM32
+binaries (see :mod:`repro.os.vxworks`).
+"""
+
+from repro.guest.layout import GuestLayout, FUNC_SLOT_SIZE
+from repro.guest.module import GuestModule, guestfn
+from repro.guest.context import GuestContext, GuestFrame
+
+__all__ = [
+    "FUNC_SLOT_SIZE",
+    "GuestContext",
+    "GuestFrame",
+    "GuestLayout",
+    "GuestModule",
+    "guestfn",
+]

@@ -1,0 +1,30 @@
+"""EVM32: a small 32-bit RISC ISA used by binary-only guest code.
+
+The EMBSAN paper sanitizes firmware under QEMU/TCG.  Rehosted kernels in
+this reproduction run as bus-level guest routines (see :mod:`repro.guest`),
+but closed-source firmware — the category-3 targets of the Prober, such as
+the TP-Link VxWorks services — ship as opaque EVM32 binaries and execute on
+this ISA, either on the plain interpreter (:mod:`repro.isa.cpu`) or the
+translation-block engine with probe injection (:mod:`repro.isa.tcg`).
+"""
+
+from repro.isa.insn import Op, Instruction, Reg, INSN_SIZE, encode, decode
+from repro.isa.assembler import Assembler, AssemblyResult, assemble
+from repro.isa.disasm import disassemble, disassemble_block
+from repro.isa.cpu import Cpu, CpuState
+
+__all__ = [
+    "Assembler",
+    "AssemblyResult",
+    "Cpu",
+    "CpuState",
+    "INSN_SIZE",
+    "Instruction",
+    "Op",
+    "Reg",
+    "assemble",
+    "decode",
+    "disassemble",
+    "disassemble_block",
+    "encode",
+]

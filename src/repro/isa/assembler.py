@@ -1,0 +1,361 @@
+"""A two-pass assembler for EVM32.
+
+Grammar (one statement per line, ``;`` or ``#`` starts a comment)::
+
+    label:                     ; define a label at the current address
+    .org  0x8000               ; set the location counter
+    .word 1, 2, label          ; emit 32-bit little-endian words
+    .byte 1, 2, 3              ; emit raw bytes
+    .ascii "text"              ; emit string bytes (no terminator)
+    .asciz "text"              ; emit string bytes + NUL
+    .space 64 [, fill]         ; reserve bytes
+    .global name               ; export a symbol (kept in the symbol table
+                               ;  even for stripped builds' internal maps)
+    add   rd, rs1, rs2         ; register ALU ops
+    addi  rd, rs1, imm         ; immediate ALU ops
+    movi  rd, imm              ; imm may be a label or 'label+4'
+    ld32  rd, [rs1 + imm]      ; loads
+    st32  rs2, [rs1 + imm]     ; stores (value register first)
+    beq   rs1, rs2, target     ; branches (absolute target label/imm)
+    call  target               ; vmcall n
+
+Register names accept ``r0``–``r15`` and the ABI aliases from
+:class:`repro.isa.insn.Reg` (``a0``, ``sp``, ``lr``, ...).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa.insn import INSN_SIZE, Instruction, Op, Reg, encode
+
+_REG_ALIASES = {name.lower(): reg.value for name, reg in Reg.__members__.items()}
+_REG_ALIASES.update({f"r{i}": i for i in range(16)})
+
+# operand layout per mnemonic: which fields the operands map to
+_RRR = ("rd", "rs1", "rs2")
+_RRI = ("rd", "rs1", "imm")
+_RI = ("rd", "imm")
+_RR = ("rd", "rs1")
+_BRANCH = ("rs1", "rs2", "imm")
+
+_FORMATS: Dict[str, Tuple[Op, Tuple[str, ...]]] = {
+    "nop": (Op.NOP, ()),
+    "hlt": (Op.HLT, ()),
+    "brk": (Op.BRK, ()),
+    "vmcall": (Op.VMCALL, ("imm",)),
+    "add": (Op.ADD, _RRR),
+    "sub": (Op.SUB, _RRR),
+    "mul": (Op.MUL, _RRR),
+    "divu": (Op.DIVU, _RRR),
+    "remu": (Op.REMU, _RRR),
+    "and": (Op.AND, _RRR),
+    "or": (Op.OR, _RRR),
+    "xor": (Op.XOR, _RRR),
+    "shl": (Op.SHL, _RRR),
+    "shr": (Op.SHR, _RRR),
+    "sra": (Op.SRA, _RRR),
+    "slt": (Op.SLT, _RRR),
+    "sltu": (Op.SLTU, _RRR),
+    "addi": (Op.ADDI, _RRI),
+    "andi": (Op.ANDI, _RRI),
+    "ori": (Op.ORI, _RRI),
+    "xori": (Op.XORI, _RRI),
+    "shli": (Op.SHLI, _RRI),
+    "shri": (Op.SHRI, _RRI),
+    "movi": (Op.MOVI, _RI),
+    "lui": (Op.LUI, _RI),
+    "mov": (Op.MOV, _RR),
+    "jmp": (Op.JMP, ("imm",)),
+    "jr": (Op.JR, ("rs1",)),
+    "beq": (Op.BEQ, _BRANCH),
+    "bne": (Op.BNE, _BRANCH),
+    "blt": (Op.BLT, _BRANCH),
+    "bltu": (Op.BLTU, _BRANCH),
+    "bge": (Op.BGE, _BRANCH),
+    "bgeu": (Op.BGEU, _BRANCH),
+    "call": (Op.CALL, ("imm",)),
+    "callr": (Op.CALLR, ("rs1",)),
+    "ret": (Op.RET, ()),
+}
+
+_LOADS = {"ld8": Op.LD8, "ld16": Op.LD16, "ld32": Op.LD32,
+          "ld8s": Op.LD8S, "ld16s": Op.LD16S, "lda32": Op.LDA32}
+_STORES = {"st8": Op.ST8, "st16": Op.ST16, "st32": Op.ST32, "sta32": Op.STA32}
+
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(\w+))?\s*\]$")
+_LABEL_EXPR_RE = re.compile(r"^([A-Za-z_.][\w.]*)\s*([+-])\s*(\w+)$")
+
+
+class AssemblyResult(NamedTuple):
+    """Output of one assembly run."""
+
+    #: Raw image bytes, starting at :attr:`base`.
+    image: bytes
+    #: Load address of the first image byte.
+    base: int
+    #: Exported label -> absolute address.
+    symbols: Dict[str, int]
+    #: All labels (including non-global), for debug/disassembly use.
+    all_labels: Dict[str, int]
+
+
+class _Fixup(NamedTuple):
+    offset: int  # byte offset of the instruction in the image
+    line: int
+    expr: str
+
+
+class Assembler:
+    """Two-pass EVM32 assembler; see the module docstring for the grammar."""
+
+    def __init__(self, base: int = 0):
+        self.base = base
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> AssemblyResult:
+        """Assemble ``source`` and return the image + symbol tables."""
+        lines = source.splitlines()
+        labels, globals_ = self._pass_one(lines)
+        image, word_fixups = self._pass_two(lines, labels)
+        symbols = {name: labels[name] for name in globals_ if name in labels}
+        missing = [name for name in globals_ if name not in labels]
+        if missing:
+            raise AssemblerError(f".global names never defined: {missing}")
+        return AssemblyResult(bytes(image), self.base, symbols, dict(labels))
+
+    # ------------------------------------------------------------------
+    def _pass_one(self, lines: List[str]) -> Tuple[Dict[str, int], List[str]]:
+        labels: Dict[str, int] = {}
+        globals_: List[str] = []
+        pc = self.base
+        for lineno, raw in enumerate(lines, start=1):
+            stmt = _strip(raw)
+            if not stmt:
+                continue
+            stmt, label = _take_label(stmt)
+            if label is not None:
+                if label in labels:
+                    raise AssemblerError(f"duplicate label {label!r}", lineno)
+                labels[label] = pc
+            if not stmt:
+                continue
+            mnemonic, rest = _split_mnemonic(stmt)
+            if mnemonic == ".org":
+                pc = _parse_int(rest, lineno)
+            elif mnemonic == ".global":
+                globals_.append(rest.strip())
+            elif mnemonic == ".word":
+                pc += 4 * len(_split_operands(rest))
+            elif mnemonic == ".byte":
+                pc += len(_split_operands(rest))
+            elif mnemonic in (".ascii", ".asciz"):
+                text = _parse_string(rest, lineno)
+                pc += len(text) + (1 if mnemonic == ".asciz" else 0)
+            elif mnemonic == ".space":
+                ops = _split_operands(rest)
+                pc += _parse_int(ops[0], lineno)
+            elif mnemonic.startswith("."):
+                raise AssemblerError(f"unknown directive {mnemonic!r}", lineno)
+            else:
+                pc += INSN_SIZE
+        return labels, globals_
+
+    # ------------------------------------------------------------------
+    def _pass_two(
+        self, lines: List[str], labels: Dict[str, int]
+    ) -> Tuple[bytearray, List[_Fixup]]:
+        image = bytearray()
+        pc = self.base
+
+        def pad_to(target: int, lineno: int) -> None:
+            nonlocal pc
+            if target < pc:
+                raise AssemblerError(
+                    f".org {target:#x} moves backwards past {pc:#x}", lineno
+                )
+            image.extend(b"\x00" * (target - pc))
+            pc = target
+
+        for lineno, raw in enumerate(lines, start=1):
+            stmt = _strip(raw)
+            if not stmt:
+                continue
+            stmt, _label = _take_label(stmt)
+            if not stmt:
+                continue
+            mnemonic, rest = _split_mnemonic(stmt)
+            if mnemonic == ".org":
+                pad_to(_parse_int(rest, lineno), lineno)
+            elif mnemonic == ".global":
+                pass
+            elif mnemonic == ".word":
+                for op in _split_operands(rest):
+                    value = self._eval(op, labels, lineno)
+                    image.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+                    pc += 4
+            elif mnemonic == ".byte":
+                for op in _split_operands(rest):
+                    image.append(self._eval(op, labels, lineno) & 0xFF)
+                    pc += 1
+            elif mnemonic in (".ascii", ".asciz"):
+                text = _parse_string(rest, lineno)
+                image.extend(text)
+                pc += len(text)
+                if mnemonic == ".asciz":
+                    image.append(0)
+                    pc += 1
+            elif mnemonic == ".space":
+                ops = _split_operands(rest)
+                count = _parse_int(ops[0], lineno)
+                fill = self._eval(ops[1], labels, lineno) if len(ops) > 1 else 0
+                image.extend(bytes([fill & 0xFF]) * count)
+                pc += count
+            else:
+                insn = self._encode_insn(mnemonic, rest, labels, lineno)
+                image.extend(encode(insn))
+                pc += INSN_SIZE
+        return image, []
+
+    # ------------------------------------------------------------------
+    def _encode_insn(
+        self, mnemonic: str, rest: str, labels: Dict[str, int], lineno: int
+    ) -> Instruction:
+        operands = _split_operands(rest)
+        if mnemonic in _LOADS:
+            if len(operands) != 2:
+                raise AssemblerError(f"{mnemonic} needs rd, [rs1+imm]", lineno)
+            rd = _parse_reg(operands[0], lineno)
+            rs1, imm = self._parse_mem(operands[1], labels, lineno)
+            return Instruction(_LOADS[mnemonic], rd=rd, rs1=rs1, imm=imm)
+        if mnemonic in _STORES:
+            if len(operands) != 2:
+                raise AssemblerError(f"{mnemonic} needs rs2, [rs1+imm]", lineno)
+            rs2 = _parse_reg(operands[0], lineno)
+            rs1, imm = self._parse_mem(operands[1], labels, lineno)
+            return Instruction(_STORES[mnemonic], rs1=rs1, rs2=rs2, imm=imm)
+        if mnemonic not in _FORMATS:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno)
+        op, fields = _FORMATS[mnemonic]
+        if len(operands) != len(fields):
+            raise AssemblerError(
+                f"{mnemonic} expects {len(fields)} operands, got {len(operands)}",
+                lineno,
+            )
+        kwargs = {"rd": 0, "rs1": 0, "rs2": 0, "imm": 0}
+        for field, text in zip(fields, operands):
+            if field == "imm":
+                kwargs["imm"] = self._eval(text, labels, lineno)
+            else:
+                kwargs[field] = _parse_reg(text, lineno)
+        return Instruction(op, **kwargs)
+
+    def _parse_mem(
+        self, text: str, labels: Dict[str, int], lineno: int
+    ) -> Tuple[int, int]:
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            raise AssemblerError(f"bad memory operand {text!r}", lineno)
+        base, sign, disp = match.groups()
+        rs1 = _parse_reg(base, lineno)
+        imm = 0
+        if disp is not None:
+            imm = self._eval(disp, labels, lineno)
+            if sign == "-":
+                imm = -imm
+        return rs1, imm
+
+    def _eval(self, text: str, labels: Dict[str, int], lineno: int) -> int:
+        """Evaluate an immediate: integer literal, label, or label±literal."""
+        text = text.strip()
+        try:
+            return _parse_int(text, lineno)
+        except AssemblerError:
+            pass
+        match = _LABEL_EXPR_RE.match(text)
+        if match:
+            name, sign, lit = match.groups()
+            if name not in labels:
+                raise AssemblerError(f"undefined label {name!r}", lineno)
+            delta = _parse_int(lit, lineno)
+            return labels[name] + (delta if sign == "+" else -delta)
+        if text in labels:
+            return labels[text]
+        raise AssemblerError(f"cannot evaluate immediate {text!r}", lineno)
+
+
+def assemble(source: str, base: int = 0) -> AssemblyResult:
+    """Assemble EVM32 ``source`` loaded at ``base``."""
+    return Assembler(base=base).assemble(source)
+
+
+# ----------------------------------------------------------------------
+# lexical helpers
+# ----------------------------------------------------------------------
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        # don't cut inside string literals
+        in_str = False
+        for idx, char in enumerate(line):
+            if char == '"':
+                in_str = not in_str
+            elif char == marker and not in_str:
+                line = line[:idx]
+                break
+    return line.strip()
+
+
+def _take_label(stmt: str) -> Tuple[str, Optional[str]]:
+    match = re.match(r"^([A-Za-z_.][\w.]*)\s*:\s*(.*)$", stmt)
+    if match:
+        return match.group(2).strip(), match.group(1)
+    return stmt, None
+
+
+def _split_mnemonic(stmt: str) -> Tuple[str, str]:
+    parts = stmt.split(None, 1)
+    return parts[0].lower(), parts[1] if len(parts) > 1 else ""
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    out, depth, current = [], 0, []
+    for char in rest:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            out.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    out.append("".join(current).strip())
+    return [op for op in out if op]
+
+
+def _parse_reg(text: str, lineno: int) -> int:
+    key = text.strip().lower()
+    if key not in _REG_ALIASES:
+        raise AssemblerError(f"unknown register {text!r}", lineno)
+    return _REG_ALIASES[key]
+
+
+def _parse_int(text: str, lineno: int) -> int:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {text!r}", lineno) from None
+
+
+def _parse_string(rest: str, lineno: int) -> bytes:
+    rest = rest.strip()
+    if len(rest) < 2 or rest[0] != '"' or rest[-1] != '"':
+        raise AssemblerError(f"bad string literal {rest!r}", lineno)
+    body = rest[1:-1]
+    return body.encode("utf-8").decode("unicode_escape").encode("latin-1")

@@ -1,0 +1,120 @@
+"""EVM32 disassembler.
+
+Used by sanitizer reports (to show the faulting instruction), by the
+Prober's category-3 binary scans, and by debugging tools.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidOpcode
+from repro.isa.insn import INSN_SIZE, Instruction, MEM_OPS, Op, decode
+
+_REG_NAMES = [f"r{i}" for i in range(16)]
+_REG_NAMES[14] = "sp"
+_REG_NAMES[15] = "lr"
+
+_LOAD_NAMES = {Op.LD8: "ld8", Op.LD16: "ld16", Op.LD32: "ld32",
+               Op.LD8S: "ld8s", Op.LD16S: "ld16s", Op.LDA32: "lda32"}
+_STORE_NAMES = {Op.ST8: "st8", Op.ST16: "st16", Op.ST32: "st32",
+                Op.STA32: "sta32"}
+
+
+def _reg(idx: int) -> str:
+    return _REG_NAMES[idx & 0xF]
+
+
+def _mem_operand(insn: Instruction) -> str:
+    if insn.imm == 0:
+        return f"[{_reg(insn.rs1)}]"
+    sign = "+" if insn.imm >= 0 else "-"
+    return f"[{_reg(insn.rs1)} {sign} {abs(insn.imm)}]"
+
+
+def format_insn(insn: Instruction, symbols: Optional[Dict[int, str]] = None) -> str:
+    """Render one instruction as assembler-compatible text."""
+    symbols = symbols or {}
+
+    def target(imm: int) -> str:
+        return symbols.get(imm, f"{imm:#x}")
+
+    op = insn.op
+    if op in (Op.NOP, Op.HLT, Op.BRK, Op.RET):
+        return op.name.lower()
+    if op is Op.VMCALL:
+        return f"vmcall {insn.imm:#x}"
+    if op in _LOAD_NAMES:
+        return f"{_LOAD_NAMES[op]} {_reg(insn.rd)}, {_mem_operand(insn)}"
+    if op in _STORE_NAMES:
+        return f"{_STORE_NAMES[op]} {_reg(insn.rs2)}, {_mem_operand(insn)}"
+    if op is Op.JMP:
+        return f"jmp {target(insn.imm)}"
+    if op is Op.CALL:
+        return f"call {target(insn.imm)}"
+    if op is Op.JR:
+        return f"jr {_reg(insn.rs1)}"
+    if op is Op.CALLR:
+        return f"callr {_reg(insn.rs1)}"
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BLTU, Op.BGE, Op.BGEU):
+        return (
+            f"{op.name.lower()} {_reg(insn.rs1)}, {_reg(insn.rs2)}, "
+            f"{target(insn.imm)}"
+        )
+    if op in (Op.MOVI, Op.LUI):
+        return f"{op.name.lower()} {_reg(insn.rd)}, {insn.imm:#x}"
+    if op is Op.MOV:
+        return f"mov {_reg(insn.rd)}, {_reg(insn.rs1)}"
+    if op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SHLI, Op.SHRI):
+        return (
+            f"{op.name.lower()} {_reg(insn.rd)}, {_reg(insn.rs1)}, {insn.imm}"
+        )
+    # three-register ALU
+    return (
+        f"{op.name.lower()} {_reg(insn.rd)}, {_reg(insn.rs1)}, {_reg(insn.rs2)}"
+    )
+
+
+def disassemble(
+    blob: bytes, base: int = 0, symbols: Optional[Dict[int, str]] = None
+) -> Iterator[Tuple[int, Instruction, str]]:
+    """Yield ``(addr, insn, text)`` for each decodable instruction.
+
+    Undecodable slots are skipped one :data:`INSN_SIZE` stride at a time so
+    data pools embedded in text do not abort the scan (the Prober relies on
+    this when sweeping stripped binaries).
+    """
+    offset = 0
+    while offset + INSN_SIZE <= len(blob):
+        addr = base + offset
+        try:
+            insn = decode(blob, offset)
+        except InvalidOpcode:
+            offset += INSN_SIZE
+            continue
+        yield addr, insn, format_insn(insn, symbols)
+        offset += INSN_SIZE
+
+
+def disassemble_block(
+    blob: bytes, base: int = 0, symbols: Optional[Dict[int, str]] = None
+) -> List[str]:
+    """Render a listing with addresses, one line per instruction."""
+    return [
+        f"{addr:#010x}:  {text}"
+        for addr, _insn, text in disassemble(blob, base, symbols)
+    ]
+
+
+def memory_footprint(blob: bytes) -> Tuple[int, int]:
+    """Count (memory-access instructions, total instructions) in a blob.
+
+    The cost model uses this ratio when estimating translation expansion
+    for natively-instrumented guest code.
+    """
+    mem = total = 0
+    for _addr, insn, _text in disassemble(blob):
+        total += 1
+        if insn.op in MEM_OPS:
+            mem += 1
+    return mem, total

@@ -1,0 +1,331 @@
+"""Translation-block execution engine with sanitizer probe injection.
+
+This mirrors the mechanism EMBSAN uses on QEMU/TCG (§3.3): instead of
+introspecting the virtual machine from outside, the *Common Sanitizer
+Runtime* modifies the translation templates themselves.  When a sanitizer
+registers a load/store probe, every translated memory instruction gains an
+inline call to the probe delegate (``load_intercept``-style) with the
+required arguments reconstructed symbolically (address register + offset,
+access size, pc, task id).  Re-registering probes flushes the TB cache so
+new templates take effect — exactly like a QEMU ``tb_flush``.
+
+Guest code executed here performs its memory traffic *untraced* on the
+bus: the injected probes are the single notification channel, so an
+attached runtime never sees the same access twice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import GuestFault, InvalidOpcode
+from repro.isa.cpu import CpuState, HypercallHandler
+from repro.isa.insn import (
+    INSN_SIZE,
+    Instruction,
+    MEM_OPS,
+    Op,
+    decode,
+    sign32,
+    u32,
+)
+from repro.mem.access import Access
+from repro.mem.bus import MemoryBus
+
+#: Probe delegate signature: receives a fully reconstructed Access.
+MemProbe = Callable[[Access], None]
+#: (pc, target, args, lr) on CALL/CALLR.
+CallProbe = Callable[[int, int, List[int], int], None]
+#: (pc, return_value) on RET.
+RetProbe = Callable[[int, int], None]
+
+#: Maximum instructions per translation block.
+MAX_BLOCK_LEN = 64
+
+
+class TranslationBlock:
+    """One translated basic block: entry pc, length, and executable ops."""
+
+    __slots__ = ("pc", "insns", "ops", "host_ops")
+
+    def __init__(self, pc: int, insns: List[Instruction], ops: List, host_ops: int):
+        self.pc = pc
+        self.insns = insns
+        self.ops = ops
+        #: number of host-level operations the templates expand to; the
+        #: cost model uses this as the translation expansion measure.
+        self.host_ops = host_ops
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+
+class TcgEngine:
+    """Basic-block translating executor for EVM32 guest code."""
+
+    def __init__(
+        self,
+        bus: MemoryBus,
+        pc: int = 0,
+        sp: int = 0,
+        hypercall: Optional[HypercallHandler] = None,
+    ):
+        self.bus = bus
+        self.state = CpuState(pc=pc, sp=sp)
+        self.hypercall = hypercall
+        self.cycles = 0
+        self.insn_count = 0
+        self.host_ops = 0
+        self.tb_cache: Dict[int, TranslationBlock] = {}
+        self.tb_flush_count = 0
+        self._mem_probes: tuple = ()
+        self.call_probes: List[CallProbe] = []
+        self.ret_probes: List[RetProbe] = []
+
+    # ------------------------------------------------------------------
+    # probe management (the Runtime's template-modification entry point)
+    # ------------------------------------------------------------------
+    def add_mem_probe(self, probe: MemProbe) -> None:
+        """Inject a memory probe into all future translation templates."""
+        self._mem_probes = self._mem_probes + (probe,)
+        self.flush_tbs()
+
+    def remove_mem_probe(self, probe: MemProbe) -> None:
+        """Remove a probe and regenerate templates without it."""
+        self._mem_probes = tuple(p for p in self._mem_probes if p is not probe)
+        self.flush_tbs()
+
+    def flush_tbs(self) -> None:
+        """Discard every cached translation block."""
+        self.tb_cache.clear()
+        self.tb_flush_count += 1
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+    def translate(self, pc: int) -> TranslationBlock:
+        """Translate (or fetch from cache) the block starting at ``pc``."""
+        cached = self.tb_cache.get(pc)
+        if cached is not None:
+            return cached
+        insns: List[Instruction] = []
+        addr = pc
+        while len(insns) < MAX_BLOCK_LEN:
+            blob = self.bus.fetch(addr, INSN_SIZE)
+            insn = decode(blob)
+            insns.append(insn)
+            if insn.is_terminator():
+                break
+            addr += INSN_SIZE
+        ops, host_ops = self._build_ops(pc, insns)
+        block = TranslationBlock(pc, insns, ops, host_ops)
+        self.tb_cache[pc] = block
+        return block
+
+    def _build_ops(self, pc: int, insns: List[Instruction]):
+        """Specialize templates for the current probe set."""
+        ops = []
+        host_ops = 0
+        probes = self._mem_probes
+        for idx, insn in enumerate(insns):
+            insn_pc = pc + idx * INSN_SIZE
+            if insn.op in MEM_OPS and probes:
+                size, is_write, atomic = MEM_OPS[insn.op]
+                ops.append(
+                    self._probed_mem_op(insn, insn_pc, size, is_write, atomic, probes)
+                )
+                # base op + address calc + one host call per probe
+                host_ops += 2 + len(probes)
+            else:
+                ops.append((insn_pc, insn))
+                host_ops += 2 if insn.op in MEM_OPS else 1
+        return ops, host_ops
+
+    def _probed_mem_op(self, insn, insn_pc, size, is_write, atomic, probes):
+        """Build a closure performing probe-notify then the raw access."""
+        bus = self.bus
+        state = self.state
+        rs1, rs2, rd, imm, op = insn.rs1, insn.rs2, insn.rd, insn.imm, insn.op
+
+        def run() -> None:
+            addr = u32(state.read(rs1) + imm)
+            access = Access(
+                addr, size, is_write, pc=insn_pc, task=state.task, atomic=atomic
+            )
+            for probe in probes:
+                probe(access)
+            with bus.untraced():
+                if is_write:
+                    bus.store(addr, size, state.read(rs2))
+                else:
+                    value = bus.load(addr, size)
+                    if op is Op.LD8S and value >= 0x80:
+                        value -= 0x100
+                    elif op is Op.LD16S and value >= 0x8000:
+                        value -= 0x10000
+                    state.write(rd, value)
+
+        return run
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run translated blocks until HLT or the step budget; returns steps."""
+        executed = 0
+        state = self.state
+        while not state.halted and executed < max_steps:
+            block = self.translate(state.pc)
+            executed += self._exec_block(block)
+        return executed
+
+    def step_block(self) -> int:
+        """Execute exactly one translation block; returns instructions run."""
+        if self.state.halted:
+            return 0
+        return self._exec_block(self.translate(self.state.pc))
+
+    def _exec_block(self, block: TranslationBlock) -> int:
+        state = self.state
+        executed = 0
+        self.host_ops += block.host_ops
+        for entry in block.ops:
+            if callable(entry):
+                entry()
+                self.cycles += 2
+                state.pc += INSN_SIZE  # probed mem ops never branch
+                executed += 1
+                self.insn_count += 1
+                continue
+            insn_pc, insn = entry
+            state.pc = insn_pc
+            next_pc = self._interp(insn_pc, insn)
+            executed += 1
+            self.insn_count += 1
+            state.pc = next_pc
+            if state.halted or next_pc != insn_pc + INSN_SIZE:
+                # a branch (or trap) redirected control flow; leave the block
+                return executed
+        return executed
+
+    # ------------------------------------------------------------------
+    def _interp(self, pc: int, insn: Instruction) -> int:
+        """Interpret a single (unprobed) instruction; returns the next pc."""
+        state = self.state
+        op = insn.op
+        rs1 = state.read(insn.rs1)
+        rs2 = state.read(insn.rs2)
+        self.cycles += 1
+
+        next_pc = pc + INSN_SIZE
+        if op is Op.NOP:
+            return next_pc
+        if op is Op.HLT:
+            state.halted = True
+            return next_pc
+        if op is Op.BRK:
+            state.halted = True
+            raise InvalidOpcode(f"BRK trap at {pc:#010x}", addr=pc)
+        if op is Op.VMCALL:
+            self.cycles += 1
+            if self.hypercall is None:
+                raise InvalidOpcode(f"VMCALL with no handler at {pc:#010x}", addr=pc)
+            result = self.hypercall(self, insn.imm)
+            if result is not None:
+                state.write(1, result)
+            return next_pc
+        if op in MEM_OPS:
+            size, is_write, atomic = MEM_OPS[op]
+            addr = u32(rs1 + insn.imm)
+            self.cycles += 1
+            if is_write:
+                self.bus.store(addr, size, rs2, pc=pc, task=state.task, atomic=atomic)
+            else:
+                value = self.bus.load(addr, size, pc=pc, task=state.task, atomic=atomic)
+                if op is Op.LD8S and value >= 0x80:
+                    value -= 0x100
+                elif op is Op.LD16S and value >= 0x8000:
+                    value -= 0x10000
+                state.write(insn.rd, value)
+            return next_pc
+
+        if op is Op.ADD:
+            state.write(insn.rd, rs1 + rs2)
+        elif op is Op.SUB:
+            state.write(insn.rd, rs1 - rs2)
+        elif op is Op.MUL:
+            state.write(insn.rd, rs1 * rs2)
+        elif op is Op.DIVU:
+            state.write(insn.rd, 0xFFFFFFFF if rs2 == 0 else rs1 // rs2)
+        elif op is Op.REMU:
+            state.write(insn.rd, rs1 if rs2 == 0 else rs1 % rs2)
+        elif op is Op.AND:
+            state.write(insn.rd, rs1 & rs2)
+        elif op is Op.OR:
+            state.write(insn.rd, rs1 | rs2)
+        elif op is Op.XOR:
+            state.write(insn.rd, rs1 ^ rs2)
+        elif op is Op.SHL:
+            state.write(insn.rd, rs1 << (rs2 & 31))
+        elif op is Op.SHR:
+            state.write(insn.rd, rs1 >> (rs2 & 31))
+        elif op is Op.SRA:
+            state.write(insn.rd, sign32(rs1) >> (rs2 & 31))
+        elif op is Op.SLT:
+            state.write(insn.rd, 1 if sign32(rs1) < sign32(rs2) else 0)
+        elif op is Op.SLTU:
+            state.write(insn.rd, 1 if rs1 < rs2 else 0)
+        elif op is Op.ADDI:
+            state.write(insn.rd, rs1 + insn.imm)
+        elif op is Op.ANDI:
+            state.write(insn.rd, rs1 & insn.imm)
+        elif op is Op.ORI:
+            state.write(insn.rd, rs1 | insn.imm)
+        elif op is Op.XORI:
+            state.write(insn.rd, rs1 ^ insn.imm)
+        elif op is Op.SHLI:
+            state.write(insn.rd, rs1 << (insn.imm & 31))
+        elif op is Op.SHRI:
+            state.write(insn.rd, rs1 >> (insn.imm & 31))
+        elif op is Op.MOVI:
+            state.write(insn.rd, insn.imm)
+        elif op is Op.LUI:
+            state.write(insn.rd, insn.imm << 16)
+        elif op is Op.MOV:
+            state.write(insn.rd, rs1)
+        elif op is Op.JMP:
+            return u32(insn.imm)
+        elif op is Op.JR:
+            return rs1
+        elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BLTU, Op.BGE, Op.BGEU):
+            taken = {
+                Op.BEQ: rs1 == rs2,
+                Op.BNE: rs1 != rs2,
+                Op.BLT: sign32(rs1) < sign32(rs2),
+                Op.BLTU: rs1 < rs2,
+                Op.BGE: sign32(rs1) >= sign32(rs2),
+                Op.BGEU: rs1 >= rs2,
+            }[op]
+            if taken:
+                return u32(insn.imm)
+        elif op is Op.CALL:
+            state.write(15, next_pc)
+            self._notify_call(pc, u32(insn.imm), next_pc)
+            return u32(insn.imm)
+        elif op is Op.CALLR:
+            state.write(15, next_pc)
+            self._notify_call(pc, rs1, next_pc)
+            return rs1
+        elif op is Op.RET:
+            for probe in self.ret_probes:
+                probe(pc, state.read(1))
+            return state.read(15)
+        else:  # pragma: no cover
+            raise InvalidOpcode(f"unhandled opcode {op!r}", addr=pc)
+        return next_pc
+
+    def _notify_call(self, pc: int, target: int, lr: int) -> None:
+        if self.call_probes:
+            args = [self.state.read(i) for i in range(1, 5)]
+            for probe in self.call_probes:
+                probe(pc, target, args, lr)

@@ -1,0 +1,20 @@
+"""Guest physical memory: regions, the system bus, and access records.
+
+The bus is the single chokepoint every guest memory operation flows
+through.  This is what makes emulator-level sanitation possible: the
+Common Sanitizer Runtime attaches observers here (and to the TCG engine's
+translated templates) without any cooperation from the guest.
+"""
+
+from repro.mem.access import Access, AccessKind
+from repro.mem.bus import MemoryBus
+from repro.mem.regions import Perm, MemoryRegion, MmioRegion
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "MemoryBus",
+    "MemoryRegion",
+    "MmioRegion",
+    "Perm",
+]

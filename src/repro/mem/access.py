@@ -1,0 +1,86 @@
+"""Access records emitted by the memory bus.
+
+An :class:`Access` is the unit of information a sanitizer sees for data
+memory traffic.  It deliberately mirrors what a QEMU/TCG load/store probe
+can reconstruct: guest address, size, direction, program counter, and the
+id of the task that was running (recovered from the emulated CPU state).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessKind(enum.Enum):
+    """How the access reached the bus."""
+
+    #: A scalar load/store issued by an executed instruction.
+    DATA = "data"
+    #: A bulk range operation (guest memcpy/memset family).
+    RANGE = "range"
+    #: An instruction fetch (never sanitized, but visible to coverage).
+    FETCH = "fetch"
+    #: Device DMA traffic (sanitized like data by KASAN semantics).
+    DMA = "dma"
+
+
+class Access:
+    """One guest memory access.
+
+    Attributes
+    ----------
+    addr:
+        Guest physical address of the first byte touched.
+    size:
+        Number of bytes touched (1, 2, 4 or 8 for DATA; arbitrary for RANGE).
+    is_write:
+        True for stores, False for loads.
+    pc:
+        Guest program counter of the instruction responsible, or 0 when the
+        access came from a context with no meaningful pc (e.g. DMA).
+    task:
+        Identifier of the running guest task, or 0 for pre-scheduler and
+        interrupt contexts.  KCSAN uses this to attribute racing accesses.
+    kind:
+        The :class:`AccessKind`.
+    atomic:
+        True when the guest marked the access as atomic (KCSAN ignores
+        races where both sides are atomic, mirroring the kernel's
+        ``KCSAN_ACCESS_ATOMIC``).
+    """
+
+    __slots__ = ("addr", "size", "is_write", "pc", "task", "kind", "atomic")
+
+    def __init__(
+        self,
+        addr: int,
+        size: int,
+        is_write: bool,
+        pc: int = 0,
+        task: int = 0,
+        kind: AccessKind = AccessKind.DATA,
+        atomic: bool = False,
+    ):
+        self.addr = addr
+        self.size = size
+        self.is_write = is_write
+        self.pc = pc
+        self.task = task
+        self.kind = kind
+        self.atomic = atomic
+
+    @property
+    def end(self) -> int:
+        """One past the last byte touched."""
+        return self.addr + self.size
+
+    def overlaps(self, other: "Access") -> bool:
+        """True when the two accesses touch at least one common byte."""
+        return self.addr < other.end and other.addr < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rw = "W" if self.is_write else "R"
+        return (
+            f"Access({rw} {self.kind.value} addr={self.addr:#010x} "
+            f"size={self.size} pc={self.pc:#x} task={self.task})"
+        )

@@ -1,0 +1,232 @@
+"""The guest system bus.
+
+Every guest memory operation — scalar loads/stores from the interpreter,
+bulk copies from rehosted kernel code, DMA from device models — goes
+through one :class:`MemoryBus`.  Observers registered on the bus see an
+:class:`~repro.mem.access.Access` per operation; this is the dynamic
+(EMBSAN-D) interception point.
+"""
+
+from __future__ import annotations
+
+import bisect
+from contextlib import contextmanager
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import BusError
+from repro.mem.access import Access, AccessKind
+from repro.mem.regions import MemoryRegion, Perm, check_no_overlap
+
+Observer = Callable[[Access], None]
+
+_SCALAR_SIZES = frozenset((1, 2, 4, 8))
+
+
+class MemoryBus:
+    """Maps :class:`MemoryRegion` objects and routes guest accesses.
+
+    Observers are invoked *before* the access is performed so a sanitizer
+    can flag a violation at the faulting operation, matching how KASAN
+    reports point at the offending instruction.
+    """
+
+    def __init__(self):
+        self._regions: List[MemoryRegion] = []
+        self._bases: List[int] = []
+        self._observers: tuple = ()
+        self._silent_depth = 0
+
+    # ------------------------------------------------------------------
+    # region management
+    # ------------------------------------------------------------------
+    def map(self, region: MemoryRegion) -> MemoryRegion:
+        """Map a region; raises :class:`BusError` on overlap."""
+        check_no_overlap(self._regions, region)
+        idx = bisect.bisect_left(self._bases, region.base)
+        self._regions.insert(idx, region)
+        self._bases.insert(idx, region.base)
+        return region
+
+    def unmap(self, name: str) -> None:
+        """Unmap the region with the given name."""
+        for idx, region in enumerate(self._regions):
+            if region.name == name:
+                del self._regions[idx]
+                del self._bases[idx]
+                return
+        raise BusError(f"no region named {name!r} to unmap")
+
+    @property
+    def regions(self) -> Iterable[MemoryRegion]:
+        """Mapped regions in ascending base order."""
+        return tuple(self._regions)
+
+    def region_named(self, name: str) -> MemoryRegion:
+        """Return the region with the given name."""
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise BusError(f"no region named {name!r}")
+
+    def region_at(self, addr: int) -> Optional[MemoryRegion]:
+        """Return the region containing ``addr``, or None."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx < 0:
+            return None
+        region = self._regions[idx]
+        return region if addr < region.end else None
+
+    def _resolve(self, addr: int, size: int, want: Perm) -> MemoryRegion:
+        region = self.region_at(addr)
+        if region is None or not region.contains(addr, size):
+            raise BusError(
+                f"unmapped guest access at {addr:#010x} size {size}", addr=addr
+            )
+        if not region.perm & want:
+            raise BusError(
+                f"permission violation at {addr:#010x}: need {want.name}, "
+                f"region {region.name!r} grants {region.perm!r}",
+                addr=addr,
+            )
+        return region
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Observer) -> None:
+        """Attach an access observer (sanitizer probe, tracer, ...)."""
+        self._observers = self._observers + (observer,)
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Detach a previously attached observer."""
+        self._observers = tuple(o for o in self._observers if o is not observer)
+
+    @contextmanager
+    def untraced(self):
+        """Suppress observer notification inside the ``with`` block.
+
+        Used for host-side manipulation that has no guest-visible
+        counterpart: the firmware loader populating ROM, the Prober taking
+        memory snapshots, report generators peeking at object contents.
+        """
+        self._silent_depth += 1
+        try:
+            yield self
+        finally:
+            self._silent_depth -= 1
+
+    def _notify(self, access: Access) -> None:
+        if self._silent_depth:
+            return
+        for observer in self._observers:
+            observer(access)
+
+    # ------------------------------------------------------------------
+    # scalar access
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        addr: int,
+        size: int,
+        pc: int = 0,
+        task: int = 0,
+        atomic: bool = False,
+    ) -> int:
+        """Perform a scalar little-endian load and return the value."""
+        if size not in _SCALAR_SIZES:
+            raise BusError(f"invalid scalar load size {size}", addr=addr)
+        region = self._resolve(addr, size, Perm.R)
+        if self._observers:
+            self._notify(Access(addr, size, False, pc, task, atomic=atomic))
+        return int.from_bytes(region.read(addr, size), "little")
+
+    def store(
+        self,
+        addr: int,
+        size: int,
+        value: int,
+        pc: int = 0,
+        task: int = 0,
+        atomic: bool = False,
+    ) -> None:
+        """Perform a scalar little-endian store."""
+        if size not in _SCALAR_SIZES:
+            raise BusError(f"invalid scalar store size {size}", addr=addr)
+        region = self._resolve(addr, size, Perm.W)
+        if self._observers:
+            self._notify(Access(addr, size, True, pc, task, atomic=atomic))
+        region.write(addr, int(value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
+    # ------------------------------------------------------------------
+    # bulk access (guest memcpy / memset family)
+    # ------------------------------------------------------------------
+    def read_bytes(
+        self,
+        addr: int,
+        size: int,
+        pc: int = 0,
+        task: int = 0,
+        kind: AccessKind = AccessKind.RANGE,
+    ) -> bytes:
+        """Read ``size`` raw bytes as one range access."""
+        if size == 0:
+            return b""
+        region = self._resolve(addr, size, Perm.R)
+        if self._observers:
+            self._notify(Access(addr, size, False, pc, task, kind=kind))
+        return region.read(addr, size)
+
+    def write_bytes(
+        self,
+        addr: int,
+        payload: bytes,
+        pc: int = 0,
+        task: int = 0,
+        kind: AccessKind = AccessKind.RANGE,
+    ) -> None:
+        """Write raw bytes as one range access."""
+        if not payload:
+            return
+        region = self._resolve(addr, len(payload), Perm.W)
+        if self._observers:
+            self._notify(Access(addr, len(payload), True, pc, task, kind=kind))
+        region.write(addr, bytes(payload))
+
+    def fill(
+        self, addr: int, size: int, value: int, pc: int = 0, task: int = 0
+    ) -> None:
+        """Guest memset: one range write of ``size`` copies of ``value``."""
+        self.write_bytes(addr, bytes([value & 0xFF]) * size, pc=pc, task=task)
+
+    def copy(
+        self, dst: int, src: int, size: int, pc: int = 0, task: int = 0
+    ) -> None:
+        """Guest memcpy: a range read of ``src`` then a range write of ``dst``."""
+        payload = self.read_bytes(src, size, pc=pc, task=task)
+        self.write_bytes(dst, payload, pc=pc, task=task)
+
+    # ------------------------------------------------------------------
+    # instruction fetch
+    # ------------------------------------------------------------------
+    def fetch(self, addr: int, size: int) -> bytes:
+        """Fetch instruction bytes; requires execute permission."""
+        region = self._resolve(addr, size, Perm.X)
+        return region.read(addr, size)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def load_cstring(self, addr: int, max_len: int = 4096) -> bytes:
+        """Read a NUL-terminated guest string (untraced; host helper)."""
+        out = bytearray()
+        with self.untraced():
+            for offset in range(max_len):
+                byte = self.read_bytes(addr + offset, 1)
+                if byte == b"\x00":
+                    break
+                out += byte
+        return bytes(out)
+
+    def total_mapped(self) -> int:
+        """Total number of mapped guest bytes."""
+        return sum(region.size for region in self._regions)

@@ -1,0 +1,13 @@
+"""Rehosted embedded operating system models.
+
+Four OS families, matching the paper's evaluation targets:
+
+* :mod:`repro.os.embedded_linux` — slab/buddy allocators, syscall table,
+  VFS, networking and driver modules (OpenWRT/OpenHarmony firmware).
+* :mod:`repro.os.freertos` — heap_4 allocator, tasks and queues
+  (InfiniTime firmware).
+* :mod:`repro.os.liteos` — LOS memory pools and a small VFS/FAT stack
+  (OpenHarmony STM32 firmware).
+* :mod:`repro.os.vxworks` — memPartLib plus closed-source network
+  service binaries executed on the EVM32 ISA (TP-Link WDR-7660).
+"""

@@ -1,0 +1,22 @@
+"""Rehosted Embedded Linux kernel.
+
+A deliberately Linux-shaped kernel: buddy page allocator, SLUB-style
+slab caches behind ``kmalloc``/``kfree``, a syscall table, cooperative
+kernel tasks, a VFS and a set of subsystem/driver modules.  The driver
+and filesystem modules carry the seeded defects of the paper's Table 2
+(known syzbot bugs) and Table 4 (new bugs found by EMBSAN).
+"""
+
+from repro.os.embedded_linux.buddy import PAGE_SIZE, BuddyAllocator
+from repro.os.embedded_linux.slab import SlabAllocator, KMALLOC_CLASSES
+from repro.os.embedded_linux.kernel import EmbeddedLinuxKernel
+from repro.os.embedded_linux.syscalls import Syscall
+
+__all__ = [
+    "BuddyAllocator",
+    "EmbeddedLinuxKernel",
+    "KMALLOC_CLASSES",
+    "PAGE_SIZE",
+    "SlabAllocator",
+    "Syscall",
+]

@@ -1,0 +1,143 @@
+"""Binary-buddy page allocator.
+
+Manages the firmware's DRAM span in power-of-two page blocks with
+split-on-alloc and coalesce-on-free, like Linux's zone allocator.
+Allocation bookkeeping (free lists, order map) is kernel-internal
+metadata kept host-side; the *objects* — the pages — are real guest
+memory, and every alloc/free is reported to the sanitizer hook chain
+exactly like Linux's ``kasan_alloc_pages``/``kasan_free_pages`` hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+#: Guest page size.
+PAGE_SIZE = 4096
+#: Largest block order (2**MAX_ORDER pages).
+MAX_ORDER = 10
+
+#: cache id reported for whole-page allocations
+PAGE_CACHE_ID = 0xFFFF
+
+
+class BuddyAllocator(GuestModule):
+    """The page-level allocator backing the slab and large allocations."""
+
+    location = "mm/page_alloc"
+
+    def __init__(self, base: int, size: int):
+        super().__init__(name="page_alloc")
+        if base % PAGE_SIZE:
+            raise ValueError("heap base must be page aligned")
+        self.base = base
+        self.num_pages = size // PAGE_SIZE
+        # free_lists[order] -> list of first-page indexes
+        self.free_lists: Dict[int, List[int]] = {o: [] for o in range(MAX_ORDER + 1)}
+        # page index -> order, for blocks currently allocated
+        self.allocated: Dict[int, int] = {}
+        # page index -> order, for blocks currently free (block heads only)
+        self._free_heads: Dict[int, int] = {}
+        self.alloc_count = 0
+        self.free_count = 0
+        self._seed_free_lists()
+
+    def _seed_free_lists(self) -> None:
+        index = 0
+        remaining = self.num_pages
+        while remaining > 0:
+            order = min(MAX_ORDER, remaining.bit_length() - 1)
+            while (1 << order) > remaining or index % (1 << order):
+                order -= 1
+            self.free_lists[order].append(index)
+            self._free_heads[index] = order
+            index += 1 << order
+            remaining -= 1 << order
+
+    # ------------------------------------------------------------------
+    def page_addr(self, index: int) -> int:
+        """Guest address of page ``index``."""
+        return self.base + index * PAGE_SIZE
+
+    def page_index(self, addr: int) -> int:
+        """Page index containing guest address ``addr``."""
+        return (addr - self.base) // PAGE_SIZE
+
+    def contains(self, addr: int) -> bool:
+        """True when ``addr`` lies in the managed span."""
+        return self.base <= addr < self.base + self.num_pages * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    @guestfn(name="alloc_pages", allocator="alloc", size_kind="page_order")
+    def alloc_pages(self, ctx: GuestContext, order: int) -> int:
+        """Allocate a 2**order-page block; returns its address or 0."""
+        if order > MAX_ORDER:
+            return 0
+        found = None
+        for search in range(order, MAX_ORDER + 1):
+            if self.free_lists[search]:
+                found = search
+                break
+        if found is None:
+            return 0
+        index = self.free_lists[found].pop()
+        del self._free_heads[index]
+        # split down to the requested order, buddy halves go back free
+        while found > order:
+            found -= 1
+            buddy = index + (1 << found)
+            self.free_lists[found].append(buddy)
+            self._free_heads[buddy] = found
+        self.allocated[index] = order
+        self.alloc_count += 1
+        addr = self.page_addr(index)
+        ctx.work(8)
+        ctx.notify_alloc(addr, PAGE_SIZE << order, PAGE_CACHE_ID)
+        return addr
+
+    @guestfn(name="free_pages", allocator="free")
+    def free_pages(self, ctx: GuestContext, addr: int) -> int:
+        """Release a block previously returned by ``alloc_pages``."""
+        index = self.page_index(addr)
+        order = self.allocated.pop(index, None)
+        if order is None:
+            # double free or bogus pointer: real kernels corrupt state;
+            # we report to hooks (sanitizers catch it) and bail out.
+            ctx.notify_free(addr)
+            return -1
+        ctx.notify_free(addr)
+        self.free_count += 1
+        ctx.work(8)
+        # coalesce with the buddy while possible
+        while order < MAX_ORDER:
+            buddy = index ^ (1 << order)
+            if self._free_heads.get(buddy) != order:
+                break
+            self.free_lists[order].remove(buddy)
+            del self._free_heads[buddy]
+            index = min(index, buddy)
+            order += 1
+        self.free_lists[order].append(index)
+        self._free_heads[index] = order
+        return 0
+
+    # ------------------------------------------------------------------
+    def free_page_count(self) -> int:
+        """Total pages currently free (diagnostic / test invariant)."""
+        return sum(
+            len(lst) << order for order, lst in self.free_lists.items()
+        )
+
+    def check_invariants(self) -> None:
+        """Assert allocator bookkeeping is self-consistent."""
+        free = self.free_page_count()
+        used = sum(1 << order for order in self.allocated.values())
+        assert free + used == self.num_pages, (
+            f"page leak: {free} free + {used} used != {self.num_pages}"
+        )
+        heads = set(self._free_heads)
+        listed = {i for lst in self.free_lists.values() for i in lst}
+        assert heads == listed, "free-list/head map mismatch"

@@ -1,0 +1,277 @@
+"""The rehosted Embedded Linux kernel.
+
+Wires the buddy/slab allocators, VFS, socket layer and subsystem hooks
+behind a Linux-shaped syscall interface.  Firmware images (see
+:mod:`repro.firmware`) decide which driver/filesystem modules are
+present and which seeded defects are armed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.emulator.machine import Machine
+from repro.errors import FirmwareBuildError
+from repro.guest.context import GuestContext
+from repro.guest.module import guestfn
+from repro.os.common import BugSwitchboard, KernelBase
+from repro.os.embedded_linux.buddy import BuddyAllocator, PAGE_SIZE
+from repro.os.embedded_linux.slab import SlabAllocator
+from repro.os.embedded_linux.syscalls import (
+    EBADF,
+    EINVAL,
+    ENOMEM,
+    ENOSYS,
+    Syscall,
+)
+from repro.os.embedded_linux.vfs import NullConsoleDevice, Vfs
+
+#: device id of the always-present console character device
+CONSOLE_DEV_ID = 1
+
+#: device-id base for socket "files"
+SOCK_DEV_BASE = 0x8000
+
+
+def parse_version(text: str) -> Tuple[int, int, int, int]:
+    """Parse "5.17-rc2" / "6.0" / "5.18-next" into a comparable tuple.
+
+    Release candidates order before the release; "-next" after it.
+    """
+    match = re.match(r"^(\d+)\.(\d+)(?:\.(\d+))?(?:-(rc(\d+)|next))?$", text.strip())
+    if not match:
+        raise ValueError(f"unparsable kernel version {text!r}")
+    major, minor = int(match.group(1)), int(match.group(2))
+    patch = int(match.group(3) or 0)
+    suffix = match.group(4)
+    if suffix is None:
+        rank = 0
+    elif suffix == "next":
+        rank = 100
+    else:
+        rank = int(match.group(5)) - 100  # rc1 .. rc9 sort before release
+    return (major, minor, patch, rank)
+
+
+class EmbeddedLinuxKernel(KernelBase):
+    """A Linux-shaped embedded kernel with a fuzzable syscall surface."""
+
+    os_name = "embedded-linux"
+
+    def __init__(
+        self,
+        machine: Machine,
+        version: str = "6.1",
+        bugs: Optional[BugSwitchboard] = None,
+    ):
+        super().__init__(machine, bugs=bugs)
+        self.version = version
+        self.version_key = parse_version(version)
+        self.banner = f"Embedded Linux {version} (repro) ready."
+        dram = machine.arch.region("dram")
+        self.buddy = BuddyAllocator(dram.base, dram.size)
+        self.mm = SlabAllocator(self.buddy)
+        self.vfs = Vfs(self)
+        self.console_dev = NullConsoleDevice(self)
+        self.add_module(self.buddy)
+        self.add_module(self.mm)
+        self.add_module(self.vfs)
+        self.add_module(self.console_dev)
+        #: subsystem hooks: "bpf", "watchq", "scan", ...
+        self.handlers: Dict[str, Callable] = {}
+        #: netlink protocol handlers: proto -> (ctx, cmd, arg) -> int
+        self.netlink_protos: Dict[int, Callable] = {}
+        #: mounted-filesystem registry: fs_id -> module
+        self.filesystems: Dict[int, object] = {}
+        self._mounted: Dict[int, bool] = {}
+        #: mmap bookkeeping: addr -> order
+        self._mmaps: Dict[int, int] = {}
+        self.user_buf = 0
+        self.syscall_count = 0
+
+    # ------------------------------------------------------------------
+    # registration API used by driver/fs modules
+    # ------------------------------------------------------------------
+    def register_handler(self, name: str, handler: Callable) -> None:
+        """Register a subsystem syscall handler ("bpf", "watchq", ...)."""
+        if name in self.handlers:
+            raise FirmwareBuildError(f"subsystem handler {name!r} already set")
+        self.handlers[name] = handler
+
+    def register_filesystem(self, fs_id: int, module) -> None:
+        """Register a mountable filesystem module."""
+        self.filesystems[fs_id] = module
+
+    def register_netlink(self, proto: int, handler: Callable) -> None:
+        """Register a netlink protocol handler."""
+        if proto in self.netlink_protos:
+            raise FirmwareBuildError(f"netlink proto {proto} already registered")
+        self.netlink_protos[proto] = handler
+
+    def register_socket_family(self, family: int, node) -> None:
+        """Register a socket family as a VFS device node."""
+        self.vfs.register_device(SOCK_DEV_BASE + family, node)
+
+    def spawn_kthread(self, name: str, body) -> None:
+        """Spawn a background kernel thread (generator body).
+
+        The thread gets its own text slot so its memory traffic
+        symbolizes to ``kthread.<name>`` in sanitizer reports.
+        """
+        fn_addr = self.ctx.layout.alloc_text(f"kthread.{name}") if self.ctx else 0
+        self.sched.spawn(name, body, fn_addr=fn_addr)
+
+    # ------------------------------------------------------------------
+    def do_boot(self, ctx: GuestContext) -> None:
+        self.user_buf = self.buddy.alloc_pages(ctx, 0)
+        if self.user_buf == 0:
+            raise FirmwareBuildError("could not allocate the user staging page")
+        self.vfs.register_device(CONSOLE_DEV_ID, self.console_dev)
+        for module in self.modules:
+            hook = getattr(module, "late_init", None)
+            if hook is not None:
+                hook(ctx)
+
+    def probe_workload(self, ctx: GuestContext) -> None:
+        """Boot-time self-test: exercise the slab and page allocators."""
+        objs = []
+        for size in (24, 100, 300, 1000):
+            addr = self.mm.kmalloc(ctx, size)
+            if addr:
+                ctx.st32(addr, size)
+                ctx.st32(addr + 8, 0)
+                objs.append(addr)
+        zeroed = self.mm.kzalloc(ctx, 128)
+        if zeroed:
+            ctx.ld32(zeroed + 16)
+            objs.append(zeroed)
+        for addr in objs:
+            self.mm.kfree(ctx, addr)
+        for order in (0, 1, 0):
+            page = self.buddy.alloc_pages(ctx, order)
+            if page:
+                ctx.st32(page, order)
+                self.buddy.free_pages(ctx, page)
+
+    def user_payload(self, ctx: GuestContext, seed: int, size: int) -> int:
+        """Synthesize a deterministic userspace buffer; returns its address."""
+        size = min(size, PAGE_SIZE)
+        state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+        out = bytearray()
+        while len(out) < size:
+            state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+            out.append((state >> 16) & 0xFF)
+        ctx.raw_write(self.user_buf, bytes(out[:size]))
+        return self.user_buf
+
+    # ------------------------------------------------------------------
+    @guestfn(name="do_syscall")
+    def do_syscall(
+        self, ctx: GuestContext, nr: int, a0: int = 0, a1: int = 0,
+        a2: int = 0, a3: int = 0,
+    ) -> int:
+        """The kernel syscall entry point; returns result or -errno."""
+        self.syscall_count += 1
+        # syscall entry/exit: mode switch, register save/restore, path
+        # lookup boilerplate — uninstrumented guest work
+        ctx.work(20)
+        try:
+            result = self._dispatch(ctx, nr, a0, a1, a2, a3)
+        finally:
+            # give background kthreads a slice after every syscall —
+            # this interleaving is what exposes the seeded data races
+            self.sched.tick(ctx)
+        return result
+
+    def _dispatch(
+        self, ctx: GuestContext, nr: int, a0: int, a1: int, a2: int, a3: int
+    ) -> int:
+        if nr == Syscall.OPEN:
+            return self.vfs.do_open(ctx, a0)
+        if nr == Syscall.CLOSE:
+            return self.vfs.filp_close(ctx, a0)
+        if nr == Syscall.READ:
+            return self.vfs.vfs_read(ctx, a0, a1, a2)
+        if nr == Syscall.WRITE:
+            return self.vfs.vfs_write(ctx, a0, a1, a2)
+        if nr == Syscall.IOCTL:
+            return self.vfs.do_ioctl(ctx, a0, a1, a2, a3)
+        if nr == Syscall.MMAP:
+            return self._sys_mmap(ctx, a0)
+        if nr == Syscall.MUNMAP:
+            return self._sys_munmap(ctx, a0)
+        if nr == Syscall.SOCKET:
+            return self.vfs.do_open(ctx, SOCK_DEV_BASE + a0)
+        if nr == Syscall.SENDMSG:
+            return self.vfs.vfs_write(ctx, a0, a1, a2)
+        if nr == Syscall.RECVMSG:
+            return self.vfs.vfs_read(ctx, a0, a1, 0)
+        if nr == Syscall.MOUNT:
+            return self._sys_mount(ctx, a0, a1)
+        if nr == Syscall.UMOUNT:
+            return self._sys_umount(ctx, a0)
+        if nr == Syscall.FSOP:
+            return self._sys_fsop(ctx, a0, a1, a2, a3)
+        if nr == Syscall.NETLINK:
+            nl_handler = self.netlink_protos.get(a0)
+            if nl_handler is None:
+                return EINVAL
+            return nl_handler(ctx, a1, a2)
+        handler = {
+            Syscall.BPF: "bpf",
+            Syscall.WATCHQ: "watchq",
+            Syscall.SCAN: "scan",
+            Syscall.FONT: "font",
+            Syscall.FLOPPY: "floppy",
+            Syscall.SYSFS: "sysfs",
+            Syscall.PRCTL: "prctl",
+        }.get(nr)
+        if handler is not None and handler in self.handlers:
+            return self.handlers[handler](ctx, a0, a1, a2)
+        return ENOSYS
+
+    # ------------------------------------------------------------------
+    def _sys_mmap(self, ctx: GuestContext, length: int) -> int:
+        order = 0
+        while (PAGE_SIZE << order) < min(length, 1 << 20):
+            order += 1
+        addr = self.buddy.alloc_pages(ctx, order)
+        if addr == 0:
+            return ENOMEM
+        self._mmaps[addr] = order
+        ctx.cov(10)
+        return addr
+
+    def _sys_munmap(self, ctx: GuestContext, addr: int) -> int:
+        if addr not in self._mmaps:
+            if self.bugs.enabled("t2_08_free_pages"):
+                # 5.17-rc8 free_pages null-deref shape: the kernel follows
+                # a null page pointer when freeing an unmapped address
+                ctx.ld32(0)
+            return EINVAL
+        del self._mmaps[addr]
+        return self.buddy.free_pages(ctx, addr)
+
+    def _sys_mount(self, ctx: GuestContext, fs_id: int, flags: int) -> int:
+        fs = self.filesystems.get(fs_id)
+        if fs is None:
+            return EINVAL
+        self._mounted[fs_id] = True
+        mount = getattr(fs, "fs_mount", None)
+        return mount(ctx, flags) if mount else 0
+
+    def _sys_umount(self, ctx: GuestContext, fs_id: int) -> int:
+        fs = self.filesystems.get(fs_id)
+        if fs is None or not self._mounted.get(fs_id):
+            return EINVAL
+        self._mounted[fs_id] = False
+        umount = getattr(fs, "fs_umount", None)
+        return umount(ctx) if umount else 0
+
+    def _sys_fsop(self, ctx: GuestContext, fs_id: int, op: int, a2: int, a3: int) -> int:
+        fs = self.filesystems.get(fs_id)
+        if fs is None:
+            return EINVAL
+        fsop = getattr(fs, "fs_op", None)
+        return fsop(ctx, op, a2, a3) if fsop else ENOSYS

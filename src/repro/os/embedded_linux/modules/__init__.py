@@ -1,0 +1,9 @@
+"""Embedded Linux subsystem and driver modules.
+
+Each module is a small, Linux-shaped slice of the subsystem it models —
+enough structure that its seeded defects (from the paper's Tables 2 and
+4) arise from genuine allocator misuse, not from synthetic "crash here"
+stubs.  Bug sites consult the kernel's
+:class:`~repro.os.common.BugSwitchboard`, so a given firmware build only
+contains the defects the paper attributes to it.
+"""

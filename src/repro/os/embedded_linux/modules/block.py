@@ -1,0 +1,120 @@
+"""block: bios, polling and the mq scheduler's request pools.
+
+Seeded defects:
+
+* ``t2_13_bio_poll`` — 5.18-rc6 UAF: polling touches a bio the
+  completion path already freed.
+* ``t2_14_blk_mq_sched_free_rqs`` — 5.18 UAF: the scheduler teardown
+  walks a request array after the pool was released.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+BLK_DEV_ID = 0x12
+IOC_SUBMIT = 1
+IOC_POLL = 2
+IOC_COMPLETE = 3
+IOC_SCHED_TEARDOWN = 4
+
+_BIO_BYTES = 48
+_RQ_POOL_ENTRIES = 8
+_RQ_BYTES = 32
+
+
+class BlockModule(GuestModule, DeviceNode):
+    """A miniature block layer with an mq scheduler pool."""
+
+    location = "block"
+
+    def __init__(self, kernel):
+        super().__init__(name="block")
+        self.kernel = kernel
+        #: bio cookie -> guest bio object
+        self.bios: Dict[int, int] = {}
+        self._next_cookie = 1
+        self.rq_pool = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(BLK_DEV_ID, self)
+
+    def late_init(self, ctx: GuestContext) -> None:
+        """Allocate the scheduler request pool at boot."""
+        self.rq_pool = self.kernel.mm.kzalloc(
+            ctx, _RQ_POOL_ENTRIES * _RQ_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_SUBMIT:
+            return self.submit_bio(ctx, a2)
+        if cmd == IOC_POLL:
+            return self.bio_poll(ctx, a2)
+        if cmd == IOC_COMPLETE:
+            return self.bio_complete(ctx, a2)
+        if cmd == IOC_SCHED_TEARDOWN:
+            return self.blk_mq_sched_free_rqs(ctx)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="submit_bio")
+    def submit_bio(self, ctx: GuestContext, sector: int) -> int:
+        """Queue a bio; returns its poll cookie."""
+        bio = self.kernel.mm.kzalloc(ctx, _BIO_BYTES)
+        if bio == 0:
+            return ENOMEM
+        ctx.st32(bio, sector)
+        ctx.st32(bio + 4, 0)  # not completed
+        cookie = self._next_cookie
+        self._next_cookie += 1
+        self.bios[cookie] = bio
+        ctx.cov(1)
+        return cookie
+
+    @guestfn(name="bio_complete")
+    def bio_complete(self, ctx: GuestContext, cookie: int) -> int:
+        """Complete a bio (frees it, like the irq completion path)."""
+        bio = self.bios.get(cookie)
+        if bio is None:
+            return EINVAL
+        ctx.st32(bio + 4, 1)
+        self.kernel.mm.kfree(ctx, bio)
+        if not self.kernel.bugs.enabled("t2_13_bio_poll"):
+            del self.bios[cookie]
+        # buggy kernels leave the cookie pointing at the dead bio
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="bio_poll")
+    def bio_poll(self, ctx: GuestContext, cookie: int) -> int:
+        """Poll a bio for completion."""
+        bio = self.bios.get(cookie)
+        if bio is None:
+            return EINVAL
+        ctx.cov(3)
+        return ctx.ld32(bio + 4)  # UAF read after completion (t2_13)
+
+    @guestfn(name="blk_mq_sched_free_rqs")
+    def blk_mq_sched_free_rqs(self, ctx: GuestContext) -> int:
+        """Tear the scheduler request pool down."""
+        if self.rq_pool == 0:
+            return EINVAL
+        pool = self.rq_pool
+        self.kernel.mm.kfree(ctx, pool)
+        self.rq_pool = 0
+        if self.kernel.bugs.enabled("t2_14_blk_mq_sched_free_rqs"):
+            # 5.18: the teardown walks the freed request array to drain
+            # per-request flags
+            ctx.cov(4)
+            drained = 0
+            for idx in range(_RQ_POOL_ENTRIES):
+                drained += 1 if ctx.ld32(pool + idx * _RQ_BYTES) == 0 else 0
+            return drained
+        return _RQ_POOL_ENTRIES

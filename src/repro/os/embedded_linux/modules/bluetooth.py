@@ -1,0 +1,121 @@
+"""drivers/bluetooth: HCI transport drivers.
+
+Table-4 defects:
+
+* ``t4_bcm63xx_bluetooth_oob`` — the HCI event demuxer indexes the
+  handler table with the raw event code.
+* ``t4_realtek_bt_uaf`` — the Realtek coredump worker touches the HCI
+  device data after the driver detached.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+BT_DEV_ID = 0x40
+BT_RTK_DEV_ID = 0x41
+
+IOC_EVENT = 1
+IOC_ATTACH = 2
+IOC_DETACH = 3
+IOC_COREDUMP = 4
+
+_HANDLER_TABLE_ENTRIES = 16
+_HCI_DATA_BYTES = 72
+
+
+class BluetoothModule(GuestModule, DeviceNode):
+    """A miniature HCI core plus the Realtek vendor hooks."""
+
+    location = "drivers/bluetooth"
+
+    def __init__(self, kernel, realtek: bool = False):
+        super().__init__(name="bluetooth_rtk" if realtek else "bluetooth")
+        self.kernel = kernel
+        self.realtek = realtek
+        self.handler_table = 0
+        self.hci_data = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        dev = BT_RTK_DEV_ID if self.realtek else BT_DEV_ID
+        self.kernel.vfs.register_device(dev, self)
+
+    def late_init(self, ctx: GuestContext) -> None:
+        """Allocate the event handler table at boot."""
+        self.handler_table = self.kernel.mm.kzalloc(
+            ctx, _HANDLER_TABLE_ENTRIES * 4
+        )
+
+    # ------------------------------------------------------------------
+    def dev_write(self, ctx: GuestContext, file: int, size: int, seed: int) -> int:
+        """HCI command stream: dispatch one event per 4 payload bytes."""
+        events = max(1, min(size, 32) // 4)
+        for idx in range(events):
+            self.hci_event(ctx, (seed + idx) % 8)
+        return size
+
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_EVENT:
+            return self.hci_event(ctx, a2)
+        if cmd == IOC_ATTACH:
+            return self.rtk_attach(ctx)
+        if cmd == IOC_DETACH:
+            return self.rtk_detach(ctx)
+        if cmd == IOC_COREDUMP:
+            return self.rtk_coredump(ctx)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="hci_event")
+    def hci_event(self, ctx: GuestContext, code: int) -> int:
+        """Dispatch an HCI event through the handler table."""
+        if self.handler_table == 0:
+            return EINVAL
+        ctx.cov(1)
+        if self.kernel.bugs.enabled("t4_bcm63xx_bluetooth_oob"):
+            index = code & 0x1F  # raw event code: up to 31
+        else:
+            index = code % _HANDLER_TABLE_ENTRIES
+        # OOB read of the handler slot when index >= table entries
+        handler = ctx.ld32(self.handler_table + index * 4)
+        ctx.st32(self.handler_table + (index % _HANDLER_TABLE_ENTRIES) * 4,
+                 handler + 1)
+        return handler & 0x7FFFFFFF
+
+    @guestfn(name="rtk_attach")
+    def rtk_attach(self, ctx: GuestContext) -> int:
+        """Attach the Realtek vendor driver."""
+        if not self.realtek or self.hci_data:
+            return EINVAL
+        data = self.kernel.mm.kzalloc(ctx, _HCI_DATA_BYTES)
+        if data == 0:
+            return ENOMEM
+        self.hci_data = data
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="rtk_detach")
+    def rtk_detach(self, ctx: GuestContext) -> int:
+        """Detach the vendor driver, freeing its device data."""
+        if self.hci_data == 0:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, self.hci_data)
+        if not self.kernel.bugs.enabled("t4_realtek_bt_uaf"):
+            self.hci_data = 0
+        # the buggy driver leaves the coredump worker armed
+        ctx.cov(3)
+        return 0
+
+    @guestfn(name="rtk_coredump")
+    def rtk_coredump(self, ctx: GuestContext) -> int:
+        """The deferred coredump worker runs."""
+        if self.hci_data == 0:
+            return EINVAL
+        ctx.cov(4)
+        state = ctx.ld32(self.hci_data)  # UAF after detach
+        ctx.st32(self.hci_data + 4, state + 1)
+        return state

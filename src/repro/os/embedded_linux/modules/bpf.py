@@ -1,0 +1,153 @@
+"""kernel/bpf: ringbuf maps, XDP test runs and the JIT.
+
+Carries three Table-2 defects:
+
+* ``t2_01_ringbuf_map_alloc`` — 5.17-rc2 slab OOB: the ringbuf header
+  write runs past the map allocation when the requested size has the
+  page-count field in the high bits.
+* ``t2_03_bpf_prog_test_run_xdp`` — 5.17-rc1 slab OOB: test-run copies
+  ``size + headroom`` bytes into a buffer sized without headroom.
+* ``t2_11_bpf_jit_free`` — 5.19-rc4 OOB: freeing a JIT image touches a
+  tail descriptor computed from the *rounded* image size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+#: bpf(2) command numbers used by this module
+BPF_RINGBUF_CREATE = 1
+BPF_PROG_TEST_RUN_XDP = 2
+BPF_PROG_LOAD = 3
+BPF_PROG_UNLOAD = 4
+BPF_MAP_LOOKUP = 5
+
+_RINGBUF_HDR = 16
+_XDP_HEADROOM = 32
+
+
+class BpfModule(GuestModule):
+    """A miniature BPF subsystem."""
+
+    location = "kernel/bpf"
+
+    def __init__(self, kernel):
+        super().__init__(name="bpf")
+        self.kernel = kernel
+        #: map id -> (addr, data_size)
+        self.maps: Dict[int, tuple] = {}
+        #: prog id -> jit image addr
+        self.progs: Dict[int, int] = {}
+        self._next_id = 1
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_handler("bpf", self.handle)
+
+    # ------------------------------------------------------------------
+    def handle(self, ctx: GuestContext, cmd: int, a1: int, a2: int) -> int:
+        if cmd == BPF_RINGBUF_CREATE:
+            return self.ringbuf_map_alloc(ctx, a1)
+        if cmd == BPF_PROG_TEST_RUN_XDP:
+            return self.bpf_prog_test_run_xdp(ctx, a1, a2)
+        if cmd == BPF_PROG_LOAD:
+            return self.bpf_prog_load(ctx, a1)
+        if cmd == BPF_PROG_UNLOAD:
+            return self.bpf_jit_free(ctx, a1)
+        if cmd == BPF_MAP_LOOKUP:
+            return self.map_lookup(ctx, a1, a2)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="ringbuf_map_alloc")
+    def ringbuf_map_alloc(self, ctx: GuestContext, size: int) -> int:
+        """Create a ringbuf map; returns map id or -errno."""
+        data_size = size & 0xFFF
+        if data_size < 8:
+            return EINVAL
+        ctx.cov(1)
+        total = _RINGBUF_HDR + data_size
+        addr = self.kernel.mm.kmalloc(ctx, total)
+        if addr == 0:
+            return ENOMEM
+        # header: producer/consumer positions + mask
+        ctx.st32(addr, 0)
+        ctx.st32(addr + 4, 0)
+        ctx.st32(addr + 8, data_size - 1)
+        if (size >> 12) and self.kernel.bugs.enabled("t2_01_ringbuf_map_alloc"):
+            # 5.17-rc2: the page-aligned header write lands past the
+            # allocation when the high size bits request extra pages
+            ctx.cov(2)
+            ctx.st32(addr + total, 0xDEAD)
+        map_id = self._next_id
+        self._next_id += 1
+        self.maps[map_id] = (addr, data_size)
+        return map_id
+
+    @guestfn(name="bpf_prog_test_run_xdp")
+    def bpf_prog_test_run_xdp(self, ctx: GuestContext, size: int, seed: int) -> int:
+        """Run an XDP test frame of ``size`` bytes through a scratch buffer."""
+        size &= 0x7FF
+        if size == 0:
+            return EINVAL
+        ctx.cov(3)
+        buf = self.kernel.mm.kmalloc(ctx, size)
+        if buf == 0:
+            return ENOMEM
+        user = self.kernel.user_payload(ctx, seed, size)
+        ctx.memcpy(buf, user, size)
+        if self.kernel.bugs.enabled("t2_03_bpf_prog_test_run_xdp"):
+            # 5.17-rc1: headroom added to the copy length but not to the
+            # allocation; the tail of the copy crosses the redzone
+            ctx.cov(4)
+            ctx.memcpy(buf, user, size + _XDP_HEADROOM)
+        checksum = 0
+        for offset in range(0, min(size - 3, 64), 4):
+            checksum ^= ctx.ld32(buf + offset)
+        self.kernel.mm.kfree(ctx, buf)
+        return checksum & 0x7FFFFFFF
+
+    @guestfn(name="bpf_prog_load")
+    def bpf_prog_load(self, ctx: GuestContext, insn_count: int) -> int:
+        """JIT a program of ``insn_count`` instructions; returns prog id."""
+        insn_count = max(1, insn_count & 0xFF)
+        ctx.cov(5)
+        image = self.kernel.mm.kmalloc(ctx, insn_count * 8)
+        if image == 0:
+            return ENOMEM
+        for idx in range(insn_count):
+            ctx.st32(image + idx * 8, 0x90 + idx)
+        prog_id = self._next_id
+        self._next_id += 1
+        self.progs[prog_id] = (image, insn_count)
+        return prog_id
+
+    @guestfn(name="bpf_jit_free")
+    def bpf_jit_free(self, ctx: GuestContext, prog_id: int) -> int:
+        """Unload a program, releasing its JIT image."""
+        entry = self.progs.pop(prog_id, None)
+        if entry is None:
+            return EINVAL
+        image, insn_count = entry
+        ctx.cov(6)
+        if self.kernel.bugs.enabled("t2_11_bpf_jit_free"):
+            # 5.19-rc4: the tail descriptor offset is computed from the
+            # size rounded up to the next 64-byte line
+            rounded = (insn_count * 8 + 63) & ~63
+            ctx.ld32(image + rounded)
+        self.kernel.mm.kfree(ctx, image)
+        return 0
+
+    @guestfn(name="bpf_map_lookup")
+    def map_lookup(self, ctx: GuestContext, map_id: int, index: int) -> int:
+        """Read one slot from a ringbuf map's data area."""
+        entry = self.maps.get(map_id)
+        if entry is None:
+            return EINVAL
+        addr, data_size = entry
+        slot = (index % max(1, data_size // 4)) * 4
+        ctx.cov(7)
+        return ctx.ld32(addr + _RINGBUF_HDR + slot)

@@ -1,0 +1,164 @@
+"""fs/btrfs: device scanning, extent records and the transaction kthread.
+
+Seeded defects:
+
+* ``t2_04_btrfs_scan_one_device`` — 5.17 UAF: device scan reads the
+  superblock buffer after an error path freed it.
+* ``t4_bcm63xx_btrfs_uaf`` — new bug: an extent record freed on error is
+  still linked on the dirty list and touched at commit.
+* ``t4_x86_64_btrfs_race1`` / ``t4_x86_64_btrfs_race2`` — new bugs: the
+  transaction kthread and the syscall path update ``fs_info`` counters
+  without marking, racing on the generation and dirty-bytes words.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+_SUPERBLOCK_BYTES = 256
+_EXTENT_BYTES = 48
+
+OP_SCAN = 1
+OP_ALLOC_EXTENT = 2
+OP_COMMIT = 3
+OP_SYNC = 4
+
+
+class BtrfsModule(GuestModule):
+    """A miniature btrfs with a background transaction kthread."""
+
+    location = "fs/btrfs"
+
+    def __init__(self, kernel):
+        super().__init__(name="btrfs")
+        self.kernel = kernel
+        self.fs_info = 0  #: guest address of the fs_info counters block
+        self.extents: List[int] = []
+        self.mounted = False
+        self._kthread_started = False
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_filesystem(1, self)
+        # fs_info: +0 generation, +4 dirty bytes, +8 commit count
+        self.fs_info = self.declare_global(ctx, "btrfs_fs_info", 32)
+
+    # ------------------------------------------------------------------
+    def fs_mount(self, ctx: GuestContext, flags: int) -> int:
+        self.mounted = True
+        if not self._kthread_started:
+            # exactly one transaction kthread, parked across umounts —
+            # respawning on remount would race a stale instance
+            self._kthread_started = True
+            self.kernel.spawn_kthread("btrfs-transaction", self._transaction_kthread)
+        ctx.cov(1)
+        return 0
+
+    def fs_umount(self, ctx: GuestContext) -> int:
+        self.mounted = False
+        return 0
+
+    def fs_op(self, ctx: GuestContext, op: int, a2: int, a3: int) -> int:
+        if op == OP_SCAN:
+            return self.btrfs_scan_one_device(ctx, a2)
+        if op == OP_ALLOC_EXTENT:
+            return self.btrfs_alloc_extent(ctx, a2)
+        if op == OP_COMMIT:
+            return self.btrfs_commit(ctx)
+        if op == OP_SYNC:
+            return self.btrfs_sync(ctx)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="btrfs_scan_one_device")
+    def btrfs_scan_one_device(self, ctx: GuestContext, flags: int) -> int:
+        """Probe a candidate device's superblock."""
+        sb = self.kernel.mm.kmalloc(ctx, _SUPERBLOCK_BYTES)
+        if sb == 0:
+            return ENOMEM
+        ctx.memset(sb, 0, 64)
+        ctx.st32(sb, 0x4D5F53FB)  # btrfs magic
+        bad_magic = bool(flags & 0x4)
+        if bad_magic:
+            self.kernel.mm.kfree(ctx, sb)
+            if self.kernel.bugs.enabled("t2_04_btrfs_scan_one_device"):
+                # 5.17: the error path re-reads the freed superblock to
+                # log the mismatched magic
+                ctx.cov(2)
+                return ctx.ld32(sb) & 0x7FFFFFFF
+            return EINVAL
+        magic = ctx.ld32(sb)
+        self.kernel.mm.kfree(ctx, sb)
+        ctx.cov(3)
+        return 0 if magic == 0x4D5F53FB else EINVAL
+
+    @guestfn(name="btrfs_alloc_extent")
+    def btrfs_alloc_extent(self, ctx: GuestContext, length: int) -> int:
+        """Record a new extent and account its dirty bytes."""
+        if not self.mounted:
+            return EINVAL
+        extent = self.kernel.mm.kzalloc(ctx, _EXTENT_BYTES)
+        if extent == 0:
+            return ENOMEM
+        length &= 0xFFFF
+        ctx.st32(extent, length)
+        over_quota = length > 0xF000
+        if over_quota:
+            self.kernel.mm.kfree(ctx, extent)
+            if not self.kernel.bugs.enabled("t4_bcm63xx_btrfs_uaf"):
+                return EINVAL
+            # new bug: the freed extent stays on the dirty list
+        self.extents.append(extent)
+        # dirty-bytes accounting: racy plain store in the buggy builds
+        if self.kernel.bugs.enabled("t4_x86_64_btrfs_race2"):
+            ctx.cov(4)
+            dirty = ctx.ld32(self.fs_info + 4)
+            ctx.st32(self.fs_info + 4, (dirty + length) & 0xFFFFFFFF)
+        else:
+            ctx.atomic_add32(self.fs_info + 4, length)
+        return len(self.extents)
+
+    @guestfn(name="btrfs_commit")
+    def btrfs_commit(self, ctx: GuestContext) -> int:
+        """Commit dirty extents (touches every record: UAF amplifier)."""
+        committed = 0
+        for extent in self.extents:
+            ctx.cov(5)
+            size = ctx.ld32(extent)  # UAF read when t4 bug armed
+            ctx.st32(extent + 4, 1)
+            committed += 1 if size else 0
+        self.extents.clear()
+        ctx.atomic_st32(self.fs_info + 4, 0)
+        return committed
+
+    @guestfn(name="btrfs_sync")
+    def btrfs_sync(self, ctx: GuestContext) -> int:
+        """Bump the generation from the syscall side."""
+        if self.kernel.bugs.enabled("t4_x86_64_btrfs_race1"):
+            ctx.cov(6)
+            gen = ctx.ld32(self.fs_info)  # plain access: races with kthread
+            ctx.st32(self.fs_info, (gen + 1) & 0xFFFFFFFF)
+            return gen
+        return ctx.atomic_add32(self.fs_info, 1)
+
+    # ------------------------------------------------------------------
+    def _transaction_kthread(self, ctx: GuestContext):
+        """Background commit loop (generator body for the scheduler)."""
+        while True:
+            if not self.mounted:
+                yield
+                continue
+            if self.kernel.bugs.enabled("t4_x86_64_btrfs_race1"):
+                gen = ctx.ld32(self.fs_info)
+                ctx.st32(self.fs_info, (gen + 1) & 0xFFFFFFFF)
+            else:
+                ctx.atomic_add32(self.fs_info, 1)
+            if self.kernel.bugs.enabled("t4_x86_64_btrfs_race2"):
+                ctx.st32(self.fs_info + 4, 0)
+            else:
+                ctx.atomic_st32(self.fs_info + 4, 0)
+            ctx.st32(self.fs_info + 8, ctx.ld32(self.fs_info + 8) + 1)
+            yield

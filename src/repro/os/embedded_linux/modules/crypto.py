@@ -1,0 +1,97 @@
+"""crypto: skcipher transforms over the null cipher.
+
+Seeded defect: ``t2_12_null_skcipher_crypt`` — 5.17-rc6 UAF: a crypt
+request keeps a borrowed reference to the transform after
+``crypto_free_skcipher`` released it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+CRYPTO_DEV_ID = 0x11
+IOC_ALLOC_TFM = 1
+IOC_FREE_TFM = 2
+IOC_CRYPT = 3
+
+_TFM_BYTES = 64
+
+
+class CryptoModule(GuestModule, DeviceNode):
+    """A miniature crypto user API over the null skcipher."""
+
+    location = "crypto"
+
+    def __init__(self, kernel):
+        super().__init__(name="crypto")
+        self.kernel = kernel
+        #: tfm handle -> guest transform object
+        self.tfms: Dict[int, int] = {}
+        self._next_handle = 1
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(CRYPTO_DEV_ID, self)
+
+    # ------------------------------------------------------------------
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_ALLOC_TFM:
+            return self.crypto_alloc_skcipher(ctx)
+        if cmd == IOC_FREE_TFM:
+            return self.crypto_free_skcipher(ctx, a2)
+        if cmd == IOC_CRYPT:
+            return self.null_skcipher_crypt(ctx, a2, a3)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="crypto_alloc_skcipher")
+    def crypto_alloc_skcipher(self, ctx: GuestContext) -> int:
+        """Allocate a null-skcipher transform; returns its handle."""
+        tfm = self.kernel.mm.kzalloc(ctx, _TFM_BYTES)
+        if tfm == 0:
+            return ENOMEM
+        ctx.st32(tfm, 0x6E756C6C)  # "null"
+        ctx.st32(tfm + 4, 16)  # block size
+        handle = self._next_handle
+        self._next_handle += 1
+        self.tfms[handle] = tfm
+        ctx.cov(1)
+        return handle
+
+    @guestfn(name="crypto_free_skcipher")
+    def crypto_free_skcipher(self, ctx: GuestContext, handle: int) -> int:
+        """Release a transform."""
+        tfm = self.tfms.get(handle)
+        if tfm is None:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, tfm)
+        if not self.kernel.bugs.enabled("t2_12_null_skcipher_crypt"):
+            del self.tfms[handle]
+        # buggy kernels keep the stale handle -> tfm mapping alive
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="null_skcipher_crypt")
+    def null_skcipher_crypt(self, ctx: GuestContext, handle: int, size: int) -> int:
+        """Run the null cipher: copy input to output via the transform."""
+        tfm = self.tfms.get(handle)
+        if tfm is None:
+            return EINVAL
+        ctx.cov(3)
+        block = ctx.ld32(tfm + 4)  # UAF read once the tfm died (t2_12)
+        if block == 0:
+            return EINVAL
+        size = min(size & 0xFF, 64) or block
+        buf = self.kernel.mm.kmalloc(ctx, size)
+        if buf == 0:
+            return ENOMEM
+        user = self.kernel.user_payload(ctx, handle, size)
+        ctx.memcpy(buf, user, size)
+        ctx.st32(tfm + 8, ctx.ld32(tfm + 8) + 1)  # request counter
+        self.kernel.mm.kfree(ctx, buf)
+        return size

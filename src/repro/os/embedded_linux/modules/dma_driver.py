@@ -1,0 +1,105 @@
+"""drivers/dma/<vendor>: DMA engine drivers.
+
+Table-4 defects:
+
+* ``t4_bcm2835_dma_oob`` — the control-block chain builder writes one
+  descriptor past the allocated chain for transfers that end exactly on
+  a burst boundary.
+* ``t4_mediatek_dma_double_free`` — terminating a channel frees the
+  in-flight descriptor that the completion path frees again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+DMA_DEV_IDS: Dict[str, int] = {"bcm2835": 0x51, "mediatek": 0x52}
+
+IOC_ISSUE = 1
+IOC_TERMINATE = 2
+IOC_COMPLETE = 3
+
+_CB_BYTES = 16
+_BURST = 64
+
+
+class DmaDriver(GuestModule, DeviceNode):
+    """A vendor DMA engine with descriptor chains."""
+
+    def __init__(self, kernel, vendor: str):
+        if vendor not in DMA_DEV_IDS:
+            raise ValueError(f"unknown dma vendor {vendor!r}")
+        super().__init__(name=f"dma_{vendor}")
+        self.location = f"drivers/dma/{vendor}"
+        self.kernel = kernel
+        self.vendor = vendor
+        self.dev_id = DMA_DEV_IDS[vendor]
+        self.inflight = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(self.dev_id, self)
+
+    # ------------------------------------------------------------------
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_ISSUE:
+            return self.issue(ctx, a2)
+        if cmd == IOC_TERMINATE:
+            return self.terminate(ctx)
+        if cmd == IOC_COMPLETE:
+            return self.complete(ctx)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="dma_issue")
+    def issue(self, ctx: GuestContext, length: int) -> int:
+        """Build and issue a control-block chain for ``length`` bytes."""
+        length = max(1, length & 0xFFF)
+        blocks = (length + _BURST - 1) // _BURST
+        ctx.cov(1)
+        chain = self.kernel.mm.kmalloc(ctx, blocks * _CB_BYTES)
+        if chain == 0:
+            return ENOMEM
+        writes = blocks
+        if length % _BURST == 0 and self.vendor == "bcm2835" and \
+                self.kernel.bugs.enabled("t4_bcm2835_dma_oob"):
+            # exact-burst transfers emit a spurious terminator block
+            ctx.cov(2)
+            writes = blocks + 1
+        for idx in range(writes):
+            ctx.st32(chain + idx * _CB_BYTES, min(length, _BURST))
+            ctx.st32(chain + idx * _CB_BYTES + 4, idx)
+            length = max(0, length - _BURST)
+        if self.inflight:
+            self.kernel.mm.kfree(ctx, self.inflight)
+        self.inflight = chain
+        return writes
+
+    @guestfn(name="dma_terminate")
+    def terminate(self, ctx: GuestContext) -> int:
+        """Terminate the channel, dropping the in-flight descriptor."""
+        if self.inflight == 0:
+            return EINVAL
+        ctx.cov(3)
+        self.kernel.mm.kfree(ctx, self.inflight)
+        if self.vendor == "mediatek" and \
+                self.kernel.bugs.enabled("t4_mediatek_dma_double_free"):
+            # the buggy terminate leaves the descriptor on the issued list
+            return 0
+        self.inflight = 0
+        return 0
+
+    @guestfn(name="dma_complete")
+    def complete(self, ctx: GuestContext) -> int:
+        """Completion interrupt: retire the in-flight descriptor."""
+        if self.inflight == 0:
+            return 0
+        ctx.cov(4)
+        chain, self.inflight = self.inflight, 0
+        self.kernel.mm.kfree(ctx, chain)  # double free after terminate
+        return 1

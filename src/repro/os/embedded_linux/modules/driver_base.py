@@ -1,0 +1,101 @@
+"""drivers/base: driver registration and uevent emission.
+
+Seeded defects:
+
+* ``t2_18_driver_register`` — 5.18-next UAF: re-registering a driver
+  whose earlier registration failed reuses the freed private node.
+* ``t2_19_dev_uevent`` — 5.17-rc4 UAF: a uevent walks the device's
+  driver structure while an unbind frees it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+SYSFS_REGISTER = 1
+SYSFS_UNREGISTER = 2
+SYSFS_UEVENT = 3
+SYSFS_REREGISTER = 4
+
+_DRIVER_PRIV_BYTES = 72
+
+
+class DriverBaseModule(GuestModule):
+    """A miniature driver core."""
+
+    location = "drivers/base"
+
+    def __init__(self, kernel):
+        super().__init__(name="driver_base")
+        self.kernel = kernel
+        #: driver id -> private node address
+        self.drivers: Dict[int, int] = {}
+        self.failed_priv = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_handler("sysfs", self.handle)
+
+    def handle(self, ctx: GuestContext, op: int, a1: int, a2: int) -> int:
+        if op == SYSFS_REGISTER:
+            return self.driver_register(ctx, a1, a2)
+        if op == SYSFS_UNREGISTER:
+            return self.driver_unregister(ctx, a1)
+        if op == SYSFS_UEVENT:
+            return self.dev_uevent(ctx, a1)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="driver_register")
+    def driver_register(self, ctx: GuestContext, drv_id: int, fail: int) -> int:
+        """Register a driver; ``fail`` nonzero simulates a probe failure."""
+        drv_id &= 0xF
+        ctx.cov(1)
+        if self.failed_priv and self.kernel.bugs.enabled("t2_18_driver_register"):
+            # 5.18-next: the retry path reuses the node freed by the
+            # earlier failed registration
+            ctx.cov(2)
+            ctx.st32(self.failed_priv, drv_id)
+            self.drivers[drv_id] = self.failed_priv
+            self.failed_priv = 0
+            return 0
+        priv = self.kernel.mm.kzalloc(ctx, _DRIVER_PRIV_BYTES)
+        if priv == 0:
+            return ENOMEM
+        ctx.st32(priv, drv_id)
+        ctx.st32(priv + 4, 1)  # bound
+        if fail:
+            self.kernel.mm.kfree(ctx, priv)
+            self.failed_priv = priv  # dangling retry pointer
+            return EINVAL
+        self.drivers[drv_id] = priv
+        return 0
+
+    @guestfn(name="driver_unregister")
+    def driver_unregister(self, ctx: GuestContext, drv_id: int) -> int:
+        """Unbind and release a driver."""
+        drv_id &= 0xF
+        priv = self.drivers.get(drv_id)
+        if priv is None:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, priv)
+        if not self.kernel.bugs.enabled("t2_19_dev_uevent"):
+            del self.drivers[drv_id]
+        # buggy kernels leave the kobject's driver pointer dangling
+        ctx.cov(3)
+        return 0
+
+    @guestfn(name="dev_uevent")
+    def dev_uevent(self, ctx: GuestContext, drv_id: int) -> int:
+        """Emit a uevent describing the device's driver."""
+        drv_id &= 0xF
+        priv = self.drivers.get(drv_id)
+        if priv is None:
+            return EINVAL
+        ctx.cov(4)
+        bound = ctx.ld32(priv + 4)  # UAF read after unbind (t2_19)
+        ctx.st32(priv + 8, ctx.ld32(priv + 8) + 1)
+        return bound

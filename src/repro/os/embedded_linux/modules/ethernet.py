@@ -1,0 +1,142 @@
+"""drivers/net/ethernet/<vendor>: ring-buffer NIC drivers.
+
+One parameterized driver class models the vendor NICs of Table 4; each
+firmware instantiates the vendors it ships, arming that firmware's
+seeded defects:
+
+* ``*_oob`` — transmit path writes a padded frame into a ring slot
+  sized for the unpadded length.
+* ``*_oob2`` — receive path copies ``len + FCS`` bytes out of the ring.
+* ``*_double_free`` — an error path frees the tx buffer that the
+  completion path frees again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+#: vendor -> device id the firmware exposes for it
+ETH_DEV_IDS: Dict[str, int] = {
+    "marvell": 0x20,
+    "realtek": 0x21,
+    "atheros": 0x22,
+    "broadcom": 0x23,
+    "mediatek": 0x24,
+    "stmicro": 0x25,
+}
+
+IOC_TX = 1
+IOC_RX = 2
+IOC_TX_ERR = 3
+IOC_COMPLETE = 4
+
+_PAD = 16  #: min-frame padding the buggy tx path forgets to allocate
+_FCS = 4
+
+
+class EthernetDriver(GuestModule, DeviceNode):
+    """A vendor NIC with tx/rx rings carved from the slab."""
+
+    def __init__(self, kernel, vendor: str):
+        if vendor not in ETH_DEV_IDS:
+            raise ValueError(f"unknown ethernet vendor {vendor!r}")
+        super().__init__(name=f"eth_{vendor}")
+        self.location = f"drivers/net/ethernet/{vendor}"
+        self.kernel = kernel
+        self.vendor = vendor
+        self.dev_id = ETH_DEV_IDS[vendor]
+        self.pending_tx = 0
+        self.tx_count = 0
+        self.rx_count = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(self.dev_id, self)
+
+    def _bug(self, suffix: str) -> bool:
+        return self.kernel.bugs.enabled(f"t4_{self.vendor}_eth_{suffix}")
+
+    # ------------------------------------------------------------------
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_TX:
+            return self.xmit(ctx, a2, a3)
+        if cmd == IOC_RX:
+            return self.rx_poll(ctx, a2)
+        if cmd == IOC_TX_ERR:
+            return self.xmit_error(ctx, a2)
+        if cmd == IOC_COMPLETE:
+            return self.tx_complete(ctx)
+        return EINVAL
+
+    def dev_write(self, ctx: GuestContext, file: int, size: int, seed: int) -> int:
+        return self.xmit(ctx, size, seed)
+
+    # ------------------------------------------------------------------
+    @guestfn(name="eth_xmit")
+    def xmit(self, ctx: GuestContext, length: int, seed: int) -> int:
+        """Transmit one frame through a ring slot."""
+        length = max(1, length & 0xFF)
+        ctx.cov(1)
+        slot = self.kernel.mm.kmalloc(ctx, length)
+        if slot == 0:
+            return ENOMEM
+        user = self.kernel.user_payload(ctx, seed, length)
+        ctx.memcpy(slot, user, length)
+        if length < 60 and self._bug("oob"):
+            # short frames are padded to the 60-byte minimum — but the
+            # slot was sized for the raw length
+            ctx.cov(2)
+            for offset in range(length, length + _PAD):
+                ctx.st8(slot + offset, 0)
+        self.kernel.mm.kfree(ctx, slot)
+        self.tx_count += 1
+        return length
+
+    @guestfn(name="eth_rx_poll")
+    def rx_poll(self, ctx: GuestContext, length: int) -> int:
+        """Receive one frame from the ring into a fresh skb."""
+        length = max(4, length & 0xFF)
+        ctx.cov(3)
+        ring = self.kernel.mm.kmalloc(ctx, length)
+        if ring == 0:
+            return ENOMEM
+        ctx.memset(ring, 0x5A, length)
+        span = length + (_FCS if self._bug("oob2") else 0)
+        checksum = 0
+        # word-wise walk stays inside the frame; only the armed FCS
+        # mistake reaches past the allocation
+        for offset in range(0, span - 3, 4):
+            checksum ^= ctx.ld32(ring + offset)
+        self.kernel.mm.kfree(ctx, ring)
+        self.rx_count += 1
+        return checksum & 0x7FFFFFFF
+
+    @guestfn(name="eth_xmit_error")
+    def xmit_error(self, ctx: GuestContext, length: int) -> int:
+        """A transmit that fails at the DMA-map stage."""
+        length = max(1, length & 0xFF)
+        ctx.cov(4)
+        slot = self.kernel.mm.kmalloc(ctx, length)
+        if slot == 0:
+            return ENOMEM
+        # DMA mapping "fails": the error path frees the buffer ...
+        self.kernel.mm.kfree(ctx, slot)
+        if self._bug("double_free"):
+            # ... but leaves it queued for the completion handler
+            self.pending_tx = slot
+        return EINVAL
+
+    @guestfn(name="eth_tx_complete")
+    def tx_complete(self, ctx: GuestContext) -> int:
+        """Completion interrupt: release the queued tx buffer."""
+        if self.pending_tx == 0:
+            return 0
+        ctx.cov(5)
+        slot, self.pending_tx = self.pending_tx, 0
+        self.kernel.mm.kfree(ctx, slot)  # second free of the same slot
+        return 1

@@ -1,0 +1,110 @@
+"""drivers/video/fbdev + fbcon: framebuffer blitting and console fonts.
+
+Seeded defects:
+
+* ``t2_10_imageblit`` — 5.19 slab OOB: the software blitter writes one
+  extra scanline when the image height is not a multiple of the pattern
+  height.
+* ``t2_24_fbcon_get_font`` — 5.7-rc5 **global** OOB: the font copy reads
+  past the built-in font table for oversized font heights.  Only
+  redzone-carrying builds (EMBSAN-C, native KASAN) can catch this; it is
+  one of the two Table-2 rows EMBSAN-D misses.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+FB_DEV_ID = 0x10
+FONT_GET = 1
+FONT_SET = 2
+
+_FB_WIDTH = 64
+_FB_STRIDE = _FB_WIDTH // 8  #: 1bpp scanline bytes
+_FONT_BYTES = 128  #: the built-in 8x16 font: 8 glyphs
+
+
+class FbdevModule(GuestModule, DeviceNode):
+    """A miniature framebuffer + console-font path."""
+
+    location = "drivers/video/fbdev"
+
+    def __init__(self, kernel):
+        super().__init__(name="fbdev")
+        self.kernel = kernel
+        self.font_addr = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(FB_DEV_ID, self)
+        self.kernel.register_handler("font", self.handle_font)
+        self.font_addr = self.declare_global(ctx, "fbcon_builtin_font", _FONT_BYTES)
+        ctx.raw_write(
+            self.font_addr, bytes((i * 37) & 0xFF for i in range(_FONT_BYTES))
+        )
+
+    # ------------------------------------------------------------------
+    # framebuffer device
+    # ------------------------------------------------------------------
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == 1:
+            return self.sys_imageblit(ctx, a2, a3)
+        return EINVAL
+
+    @guestfn(name="sys_imageblit")
+    def sys_imageblit(self, ctx: GuestContext, height: int, pattern: int) -> int:
+        """Blit a 1bpp image of ``height`` scanlines into a scratch fb."""
+        height &= 0x3F
+        if height == 0:
+            return EINVAL
+        ctx.cov(1)
+        fb = self.kernel.mm.kmalloc(ctx, height * _FB_STRIDE)
+        if fb == 0:
+            return ENOMEM
+        lines = height
+        if (height % 4) and self.kernel.bugs.enabled("t2_10_imageblit"):
+            # 5.19: pattern-height rounding writes one extra scanline
+            ctx.cov(2)
+            lines = height + 1
+        for line in range(lines):
+            for byte in range(0, _FB_STRIDE, 4):
+                ctx.st32(fb + line * _FB_STRIDE + byte, pattern)
+        self.kernel.mm.kfree(ctx, fb)
+        return lines
+
+    # ------------------------------------------------------------------
+    # console font path
+    # ------------------------------------------------------------------
+    def handle_font(self, ctx: GuestContext, op: int, a1: int, a2: int) -> int:
+        if op == FONT_GET:
+            return self.fbcon_get_font(ctx, a1)
+        if op == FONT_SET:
+            return EINVAL  # read-only built-in font
+        return EINVAL
+
+    @guestfn(name="fbcon_get_font")
+    def fbcon_get_font(self, ctx: GuestContext, height: int) -> int:
+        """Copy the built-in console font for a ``height``-pixel face."""
+        height &= 0x3F
+        if height == 0:
+            return EINVAL
+        ctx.cov(3)
+        glyphs = 8
+        span = glyphs * height  # bytes to copy from the font table
+        if not self.kernel.bugs.enabled("t2_24_fbcon_get_font"):
+            span = min(span, _FONT_BYTES)
+        out = self.kernel.mm.kmalloc(ctx, max(span, 1))
+        if out == 0:
+            return ENOMEM
+        checksum = 0
+        for offset in range(0, span, 4):
+            # 5.7-rc5: heights > 16 read past the global font table —
+            # only a global redzone makes this visible
+            word = ctx.ld32(self.font_addr + offset)
+            ctx.st32(out + offset, word)
+            checksum ^= word
+        self.kernel.mm.kfree(ctx, out)
+        return checksum & 0x7FFFFFFF

@@ -1,0 +1,75 @@
+"""drivers/block/floppy: raw command submission.
+
+Seeded defect: ``t2_17_setup_rw_floppy`` — 5.17-rc4 UAF: a raw command
+structure is freed on timeout while the interrupt handler still writes
+its reply bytes into it.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+FD_RAW_CMD = 1
+FD_RAW_REPLY = 2
+
+_RAW_CMD_BYTES = 56
+
+
+class FloppyModule(GuestModule):
+    """A miniature floppy raw-command path."""
+
+    location = "drivers/block/floppy"
+
+    def __init__(self, kernel):
+        super().__init__(name="floppy")
+        self.kernel = kernel
+        self.raw_cmd = 0
+        self.timed_out = False
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_handler("floppy", self.handle)
+
+    def handle(self, ctx: GuestContext, cmd: int, arg: int, _a2: int) -> int:
+        if cmd == FD_RAW_CMD:
+            return self.setup_rw_floppy(ctx, arg)
+        if cmd == FD_RAW_REPLY:
+            return self.floppy_interrupt(ctx, arg)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="setup_rw_floppy")
+    def setup_rw_floppy(self, ctx: GuestContext, flags: int) -> int:
+        """Submit a raw floppy command."""
+        if self.raw_cmd:
+            self.kernel.mm.kfree(ctx, self.raw_cmd)
+            self.raw_cmd = 0
+        cmd = self.kernel.mm.kzalloc(ctx, _RAW_CMD_BYTES)
+        if cmd == 0:
+            return ENOMEM
+        ctx.st32(cmd, flags)
+        self.raw_cmd = cmd
+        self.timed_out = False
+        ctx.cov(1)
+        if flags & 0x8:
+            # the drive "times out": 5.17-rc4 frees the command here but
+            # leaves the interrupt handler armed
+            self.timed_out = True
+            self.kernel.mm.kfree(ctx, cmd)
+            if not self.kernel.bugs.enabled("t2_17_setup_rw_floppy"):
+                self.raw_cmd = 0
+            ctx.cov(2)
+            return EINVAL
+        return 0
+
+    @guestfn(name="floppy_interrupt")
+    def floppy_interrupt(self, ctx: GuestContext, reply: int) -> int:
+        """The controller raised its interrupt: store the reply bytes."""
+        if self.raw_cmd == 0:
+            return EINVAL
+        ctx.cov(3)
+        # UAF write when the timeout path freed raw_cmd (t2_17)
+        ctx.st32(self.raw_cmd + 8, reply)
+        ctx.st32(self.raw_cmd + 12, 0x80)
+        return 0

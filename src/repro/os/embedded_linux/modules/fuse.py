@@ -1,0 +1,94 @@
+"""fs/fuse: request queue management.
+
+Table-4 defect: ``t4_ipq807x_fuse_double_free`` — an interrupted request
+is freed by both the abort path and the normal completion path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+OP_REQUEST = 1
+OP_ABORT = 2
+OP_COMPLETE = 3
+
+_REQ_BYTES = 56
+
+
+class FuseModule(GuestModule):
+    """A miniature FUSE connection."""
+
+    location = "fs/fuse"
+
+    def __init__(self, kernel):
+        super().__init__(name="fuse")
+        self.kernel = kernel
+        self.mounted = False
+        #: request id -> guest request object
+        self.requests: Dict[int, int] = {}
+        self._next_req = 1
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_filesystem(5, self)
+
+    def fs_mount(self, ctx: GuestContext, flags: int) -> int:
+        self.mounted = True
+        ctx.cov(1)
+        return 0
+
+    def fs_umount(self, ctx: GuestContext) -> int:
+        self.mounted = False
+        return 0
+
+    def fs_op(self, ctx: GuestContext, op: int, a2: int, a3: int) -> int:
+        if op == OP_REQUEST:
+            return self.fuse_request(ctx, a2)
+        if op == OP_ABORT:
+            return self.fuse_abort(ctx, a2)
+        if op == OP_COMPLETE:
+            return self.fuse_complete(ctx, a2)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="fuse_request_alloc")
+    def fuse_request(self, ctx: GuestContext, opcode: int) -> int:
+        """Queue a request to the (simulated) userspace daemon."""
+        if not self.mounted:
+            return EINVAL
+        req = self.kernel.mm.kzalloc(ctx, _REQ_BYTES)
+        if req == 0:
+            return ENOMEM
+        ctx.st32(req, opcode & 0xFF)
+        rid = self._next_req
+        self._next_req += 1
+        self.requests[rid] = req
+        ctx.cov(2)
+        return rid
+
+    @guestfn(name="fuse_abort_conn")
+    def fuse_abort(self, ctx: GuestContext, rid: int) -> int:
+        """Abort an in-flight request."""
+        req = self.requests.get(rid)
+        if req is None:
+            return EINVAL
+        ctx.cov(3)
+        ctx.st32(req + 4, 0xAB)  # aborted flag
+        self.kernel.mm.kfree(ctx, req)
+        if not self.kernel.bugs.enabled("t4_ipq807x_fuse_double_free"):
+            del self.requests[rid]
+        # buggy kernels leave the request on the processing list
+        return 0
+
+    @guestfn(name="fuse_request_end")
+    def fuse_complete(self, ctx: GuestContext, rid: int) -> int:
+        """Normal completion of a request."""
+        req = self.requests.pop(rid, None)
+        if req is None:
+            return EINVAL
+        ctx.cov(4)
+        self.kernel.mm.kfree(ctx, req)  # double free after abort
+        return 0

@@ -1,0 +1,86 @@
+"""drivers/iommu: domain mapping tables.
+
+Table-4 defect: ``t4_x86_64_iommu_oob`` — the unmap path clears page
+table entries past the domain's table for ranges ending at the table
+boundary.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+IOMMU_DEV_ID = 0x54
+IOC_DOMAIN_ALLOC = 1
+IOC_MAP = 2
+IOC_UNMAP = 3
+
+_PTE_COUNT = 16
+_PTE_BYTES = 4
+
+
+class IommuModule(GuestModule, DeviceNode):
+    """A miniature IOMMU domain."""
+
+    location = "drivers/iommu"
+
+    def __init__(self, kernel):
+        super().__init__(name="iommu")
+        self.kernel = kernel
+        self.domain = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(IOMMU_DEV_ID, self)
+
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_DOMAIN_ALLOC:
+            return self.domain_alloc(ctx)
+        if cmd == IOC_MAP:
+            return self.iommu_map(ctx, a2, a3)
+        if cmd == IOC_UNMAP:
+            return self.iommu_unmap(ctx, a2, a3)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="iommu_domain_alloc")
+    def domain_alloc(self, ctx: GuestContext) -> int:
+        """Allocate the domain's page table."""
+        if self.domain:
+            return EINVAL
+        table = self.kernel.mm.kzalloc(ctx, _PTE_COUNT * _PTE_BYTES)
+        if table == 0:
+            return ENOMEM
+        self.domain = table
+        ctx.cov(1)
+        return 0
+
+    @guestfn(name="iommu_map")
+    def iommu_map(self, ctx: GuestContext, iova: int, paddr: int) -> int:
+        """Install one PTE."""
+        if self.domain == 0:
+            return EINVAL
+        slot = (iova >> 12) % _PTE_COUNT
+        ctx.st32(self.domain + slot * _PTE_BYTES, paddr | 1)
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="iommu_unmap")
+    def iommu_unmap(self, ctx: GuestContext, iova: int, count: int) -> int:
+        """Clear ``count`` PTEs starting at ``iova``."""
+        if self.domain == 0:
+            return EINVAL
+        ctx.cov(3)
+        start = (iova >> 12) % _PTE_COUNT
+        count &= 0x1F
+        end = start + count
+        if not self.kernel.bugs.enabled("t4_x86_64_iommu_oob"):
+            end = min(end, _PTE_COUNT)
+        cleared = 0
+        for slot in range(start, end):
+            # the buggy range loop does not clamp at the table end
+            ctx.st32(self.domain + slot * _PTE_BYTES, 0)
+            cleared += 1
+        return cleared

@@ -1,0 +1,106 @@
+"""net/wireless + net/mac80211: wiphy registration and scanning.
+
+Seeded defects:
+
+* ``t2_02_ieee80211_scan_rx`` — 5.19 UAF: a scan result lands after the
+  scan request was aborted and freed.
+* ``t4_armvirt_net_wireless_oob`` — new bug (OpenWRT-armvirt): the BSS
+  information-element parser trusts the element length field and reads
+  past the received frame buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+_SCAN_REQ_BYTES = 96
+_FRAME_BYTES = 64
+
+
+class Mac80211Module(GuestModule):
+    """A miniature cfg80211/mac80211 scan path."""
+
+    location = "net/wireless"
+
+    def __init__(self, kernel):
+        super().__init__(name="mac80211")
+        self.kernel = kernel
+        #: wiphy id -> in-flight scan request buffer (0 = none)
+        self.scan_reqs: Dict[int, int] = {}
+        self.results = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_handler("scan", self.handle)
+
+    # ------------------------------------------------------------------
+    def handle(self, ctx: GuestContext, op: int, a1: int, a2: int) -> int:
+        if op == 1:
+            return self.ieee80211_request_scan(ctx, a1)
+        if op == 2:
+            return self.ieee80211_scan_rx(ctx, a1, a2)
+        if op == 3:
+            return self.ieee80211_scan_abort(ctx, a1)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="ieee80211_request_scan")
+    def ieee80211_request_scan(self, ctx: GuestContext, wiphy: int) -> int:
+        """Start a scan on a wiphy; allocates the request object."""
+        wiphy &= 0x7
+        if self.scan_reqs.get(wiphy):
+            return EINVAL
+        req = self.kernel.mm.kzalloc(ctx, _SCAN_REQ_BYTES)
+        if req == 0:
+            return ENOMEM
+        ctx.st32(req, wiphy)
+        ctx.st32(req + 4, 1)  # state = scanning
+        self.scan_reqs[wiphy] = req
+        ctx.cov(1)
+        return 0
+
+    @guestfn(name="ieee80211_scan_abort")
+    def ieee80211_scan_abort(self, ctx: GuestContext, wiphy: int) -> int:
+        """Abort an in-flight scan, freeing the request."""
+        wiphy &= 0x7
+        req = self.scan_reqs.get(wiphy)
+        if not req:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, req)
+        if self.kernel.bugs.enabled("t2_02_ieee80211_scan_rx"):
+            # 5.19: the abort path forgets to clear local->scan_req
+            pass
+        else:
+            self.scan_reqs[wiphy] = 0
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="ieee80211_scan_rx")
+    def ieee80211_scan_rx(self, ctx: GuestContext, wiphy: int, ie_len: int) -> int:
+        """Deliver a probe-response frame to the scan machinery."""
+        wiphy &= 0x7
+        req = self.scan_reqs.get(wiphy)
+        if not req:
+            return EINVAL
+        ctx.cov(3)
+        # UAF when the request was freed by a racing abort (t2_02)
+        state = ctx.ld32(req + 4)
+        ctx.st32(req + 8, ctx.ld32(req + 8) + 1)
+        frame = self.kernel.mm.kmalloc(ctx, _FRAME_BYTES)
+        if frame == 0:
+            return ENOMEM
+        ctx.memset(frame, 0xAA, _FRAME_BYTES)
+        declared = ie_len & 0x7F
+        limit = declared if self.kernel.bugs.enabled(
+            "t4_armvirt_net_wireless_oob"
+        ) else min(declared, _FRAME_BYTES)
+        checksum = 0
+        for offset in range(0, limit, 4):
+            # new-bug OOB read: the IE walk trusts the declared length
+            checksum ^= ctx.ld32(frame + offset)
+        self.kernel.mm.kfree(ctx, frame)
+        self.results += 1
+        return checksum & 0x7FFFFFFF if state else 0

@@ -1,0 +1,124 @@
+"""mm: VMAs, readahead and the fault path.
+
+Seeded defects:
+
+* ``t2_15_do_sync_mmap_readahead`` — 5.18-rc7 UAF: readahead touches a
+  file-backed page after the racing truncate freed it.
+* ``t2_22_vma_adjust`` — 5.19-rc1 UAF: adjusting a VMA merges with a
+  neighbour that was already freed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+PR_VMA_NEW = 1
+PR_VMA_UNMAP = 2
+PR_VMA_ADJUST = 3
+PR_FAULT = 4
+PR_TRUNCATE = 5
+
+_VMA_BYTES = 40
+
+
+class MmExtraModule(GuestModule):
+    """VMA management and the sync-readahead path."""
+
+    location = "mm"
+
+    def __init__(self, kernel):
+        super().__init__(name="mm_extra")
+        self.kernel = kernel
+        #: vma index -> guest vma object
+        self.vmas: List[int] = []
+        self.readahead_page = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_handler("prctl", self.handle)
+
+    # ------------------------------------------------------------------
+    def handle(self, ctx: GuestContext, op: int, a1: int, a2: int) -> int:
+        if op == PR_VMA_NEW:
+            return self.vma_new(ctx, a1)
+        if op == PR_VMA_UNMAP:
+            return self.vma_unmap(ctx, a1)
+        if op == PR_VMA_ADJUST:
+            return self.vma_adjust(ctx, a1, a2)
+        if op == PR_FAULT:
+            return self.do_sync_mmap_readahead(ctx, a1)
+        if op == PR_TRUNCATE:
+            return self.truncate(ctx)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="vma_new")
+    def vma_new(self, ctx: GuestContext, length: int) -> int:
+        """Create a VMA record; returns its index."""
+        vma = self.kernel.mm.kzalloc(ctx, _VMA_BYTES)
+        if vma == 0:
+            return ENOMEM
+        start = 0x1000_0000 + len(self.vmas) * 0x10000
+        ctx.st32(vma, start)
+        ctx.st32(vma + 4, start + (length & 0xFFFF or 0x1000))
+        self.vmas.append(vma)
+        ctx.cov(1)
+        return len(self.vmas) - 1
+
+    @guestfn(name="vma_unmap")
+    def vma_unmap(self, ctx: GuestContext, index: int) -> int:
+        """Unmap a VMA, freeing its record."""
+        if index >= len(self.vmas) or self.vmas[index] == 0:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, self.vmas[index])
+        if not self.kernel.bugs.enabled("t2_22_vma_adjust"):
+            self.vmas[index] = 0
+        # buggy kernels leave the dangling neighbour pointer in the tree
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="vma_adjust")
+    def vma_adjust(self, ctx: GuestContext, index: int, delta: int) -> int:
+        """Grow a VMA, merging with its successor when they now abut."""
+        if index >= len(self.vmas) or self.vmas[index] == 0:
+            return EINVAL
+        vma = self.vmas[index]
+        end = ctx.ld32(vma + 4) + (delta & 0xFFF)
+        ctx.st32(vma + 4, end)
+        if index + 1 < len(self.vmas):
+            ctx.cov(3)
+            nxt = self.vmas[index + 1]
+            if nxt:
+                # UAF read when the successor was freed under us (t2_22)
+                nxt_start = ctx.ld32(nxt)
+                if nxt_start <= end:
+                    ctx.st32(vma + 4, ctx.ld32(nxt + 4))
+        return end & 0x7FFFFFFF
+
+    # ------------------------------------------------------------------
+    @guestfn(name="do_sync_mmap_readahead")
+    def do_sync_mmap_readahead(self, ctx: GuestContext, offset: int) -> int:
+        """Fault path: read ahead into the cached file page."""
+        if self.readahead_page == 0:
+            self.readahead_page = self.kernel.buddy.alloc_pages(ctx, 0)
+            if self.readahead_page == 0:
+                return ENOMEM
+        ctx.cov(4)
+        slot = (offset & 0x3F) * 8
+        ctx.st32(self.readahead_page + slot, offset)  # UAF after truncate
+        return ctx.ld32(self.readahead_page + slot) & 0x7FFFFFFF
+
+    @guestfn(name="truncate_pagecache")
+    def truncate(self, ctx: GuestContext) -> int:
+        """Truncate: drops the cached page."""
+        if self.readahead_page == 0:
+            return EINVAL
+        self.kernel.buddy.free_pages(ctx, self.readahead_page)
+        if not self.kernel.bugs.enabled("t2_15_do_sync_mmap_readahead"):
+            self.readahead_page = 0
+        # buggy kernels keep the stale page pointer in the mapping
+        ctx.cov(5)
+        return 0

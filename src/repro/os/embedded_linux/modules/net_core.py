@@ -1,0 +1,85 @@
+"""net/core: generic sockets and skb lifetime.
+
+Table-4 defect: ``t4_mt7629_net_core_double_free`` — a send error path
+consumes the skb that the caller also releases.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode, F_PRIVATE
+
+_SKB_BYTES = 64
+_SOCK_BUF_BYTES = 128
+
+
+class NetCoreModule(GuestModule, DeviceNode):
+    """Generic socket family 1 (a loopback datagram socket)."""
+
+    location = "net/core"
+
+    def __init__(self, kernel):
+        super().__init__(name="net_core")
+        self.kernel = kernel
+        self.tx_bytes = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_socket_family(1, self)
+
+    # ------------------------------------------------------------------
+    def dev_open(self, ctx: GuestContext, file: int) -> int:
+        buf = self.kernel.mm.kzalloc(ctx, _SOCK_BUF_BYTES)
+        if buf == 0:
+            return ENOMEM
+        ctx.st32(file + F_PRIVATE, buf)
+        ctx.cov(1)
+        return 0
+
+    def dev_release(self, ctx: GuestContext, file: int) -> None:
+        buf = ctx.ld32(file + F_PRIVATE)
+        if buf:
+            self.kernel.mm.kfree(ctx, buf)
+
+    def dev_write(self, ctx: GuestContext, file: int, size: int, seed: int) -> int:
+        return self.sock_sendmsg(ctx, file, size, seed)
+
+    def dev_read(self, ctx: GuestContext, file: int, size: int, off: int) -> int:
+        buf = ctx.ld32(file + F_PRIVATE)
+        if buf == 0:
+            return EINVAL
+        size = min(size & 0x7F, _SOCK_BUF_BYTES)
+        total = 0
+        for offset in range(0, size, 4):
+            total = (total + ctx.ld32(buf + offset)) & 0xFFFFFFFF
+        ctx.cov(2)
+        return total & 0x7FFFFFFF
+
+    # ------------------------------------------------------------------
+    @guestfn(name="sock_sendmsg")
+    def sock_sendmsg(self, ctx: GuestContext, file: int, size: int,
+                     seed: int) -> int:
+        """Send a datagram: build an skb, loop it back, release it."""
+        size = max(1, size & 0x7F)
+        skb = self.kernel.mm.kmalloc(ctx, _SKB_BYTES)
+        if skb == 0:
+            return ENOMEM
+        user = self.kernel.user_payload(ctx, seed, min(size, _SKB_BYTES))
+        ctx.memcpy(skb, user, min(size, _SKB_BYTES))
+        ctx.cov(3)
+        undeliverable = bool(seed & 0x10)
+        if undeliverable:
+            # the device rejects the frame and consumes the skb ...
+            self.kernel.mm.kfree(ctx, skb)
+            if self.kernel.bugs.enabled("t4_mt7629_net_core_double_free"):
+                # ... and the buggy error path frees it again
+                ctx.cov(4)
+                self.kernel.mm.kfree(ctx, skb)
+            return EINVAL
+        buf = ctx.ld32(file + F_PRIVATE)
+        if buf:
+            ctx.memcpy(buf, skb, min(size, _SOCK_BUF_BYTES))
+        self.kernel.mm.kfree(ctx, skb)
+        self.tx_bytes += size
+        return size

@@ -1,0 +1,103 @@
+"""net/sched: qdisc configuration over netlink.
+
+Table-4 defects:
+
+* ``t4_ipq807x_net_sched_oob`` — the stats dump writes per-band counters
+  for the *configured* band count into an array sized for the default.
+* ``t4_rk3566_net_sched_uaf`` — a filter change touches the qdisc
+  private area freed by a concurrent qdisc replace.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+NL_QDISC_ADD = 1
+NL_QDISC_DEL = 2
+NL_QDISC_STATS = 3
+NL_FILTER_CHANGE = 4
+
+_DEFAULT_BANDS = 3
+_BAND_BYTES = 8
+
+
+class NetSchedModule(GuestModule):
+    """A miniature prio qdisc."""
+
+    location = "net/sched"
+
+    def __init__(self, kernel):
+        super().__init__(name="net_sched")
+        self.kernel = kernel
+        self.qdisc = 0
+        self.bands = _DEFAULT_BANDS
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_netlink(3, self.netlink)
+
+    # ------------------------------------------------------------------
+    def netlink(self, ctx: GuestContext, cmd: int, arg: int) -> int:
+        if cmd == NL_QDISC_ADD:
+            return self.qdisc_add(ctx, arg)
+        if cmd == NL_QDISC_DEL:
+            return self.qdisc_del(ctx)
+        if cmd == NL_QDISC_STATS:
+            return self.qdisc_stats(ctx)
+        if cmd == NL_FILTER_CHANGE:
+            return self.filter_change(ctx, arg)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="prio_init")
+    def qdisc_add(self, ctx: GuestContext, bands: int) -> int:
+        """Create the prio qdisc with ``bands`` bands."""
+        if self.qdisc:
+            return EINVAL
+        self.bands = max(_DEFAULT_BANDS, bands & 0xF)
+        # the private area is sized for the default band count
+        priv = self.kernel.mm.kzalloc(ctx, _DEFAULT_BANDS * _BAND_BYTES + 8)
+        if priv == 0:
+            return ENOMEM
+        self.qdisc = priv
+        ctx.cov(1)
+        return self.bands
+
+    @guestfn(name="prio_destroy")
+    def qdisc_del(self, ctx: GuestContext) -> int:
+        """Destroy the qdisc."""
+        if self.qdisc == 0:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, self.qdisc)
+        if not self.kernel.bugs.enabled("t4_rk3566_net_sched_uaf"):
+            self.qdisc = 0
+        # the buggy kernel leaves the filter chain's qdisc pointer live
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="prio_dump_stats")
+    def qdisc_stats(self, ctx: GuestContext) -> int:
+        """Dump per-band statistics into the private area."""
+        if self.qdisc == 0:
+            return EINVAL
+        ctx.cov(3)
+        bands = self.bands if self.kernel.bugs.enabled(
+            "t4_ipq807x_net_sched_oob"
+        ) else _DEFAULT_BANDS
+        for band in range(bands):
+            # bands beyond the default overrun the private area
+            ctx.st32(self.qdisc + 8 + band * _BAND_BYTES, band)
+            ctx.st32(self.qdisc + 12 + band * _BAND_BYTES, band * 2)
+        return bands
+
+    @guestfn(name="tcf_filter_change")
+    def filter_change(self, ctx: GuestContext, prio: int) -> int:
+        """Update the classifier bound to the qdisc."""
+        if self.qdisc == 0:
+            return EINVAL
+        ctx.cov(4)
+        refs = ctx.ld32(self.qdisc)  # UAF read after qdisc_del (rk3566)
+        ctx.st32(self.qdisc, refs + 1)
+        ctx.st32(self.qdisc + 4, prio & 0xFFFF)
+        return refs

@@ -1,0 +1,80 @@
+"""net/netfilter: rule table evaluation.
+
+Table-4 defect: ``t4_armvirt_netfilter_oob`` — the rule-blob validator
+accepts a jump target equal to the rule count, and evaluation then
+reads one rule past the table.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+NL_TABLE_LOAD = 1
+NL_EVALUATE = 2
+
+_RULE_BYTES = 16
+
+
+class NetfilterModule(GuestModule):
+    """A miniature nf_tables rule engine."""
+
+    location = "net/netfilter"
+
+    def __init__(self, kernel):
+        super().__init__(name="netfilter")
+        self.kernel = kernel
+        self.table = 0
+        self.rule_count = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_netlink(2, self.netlink)
+
+    def netlink(self, ctx: GuestContext, cmd: int, arg: int) -> int:
+        if cmd == NL_TABLE_LOAD:
+            return self.nft_table_load(ctx, arg)
+        if cmd == NL_EVALUATE:
+            return self.nft_do_chain(ctx, arg)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="nft_table_load")
+    def nft_table_load(self, ctx: GuestContext, rules: int) -> int:
+        """Load a rule table of ``rules`` entries."""
+        rules &= 0xF
+        if rules == 0:
+            return EINVAL
+        if self.table:
+            self.kernel.mm.kfree(ctx, self.table)
+        table = self.kernel.mm.kzalloc(ctx, rules * _RULE_BYTES)
+        if table == 0:
+            return ENOMEM
+        for idx in range(rules):
+            ctx.st32(table + idx * _RULE_BYTES, 0x10 + idx)  # verdict
+            # jump target: the last rule "jumps" to rule_count (one past)
+            ctx.st32(table + idx * _RULE_BYTES + 4, idx + 1)
+        self.table = table
+        self.rule_count = rules
+        ctx.cov(1)
+        return rules
+
+    @guestfn(name="nft_do_chain")
+    def nft_do_chain(self, ctx: GuestContext, start: int) -> int:
+        """Evaluate the chain starting at rule ``start``."""
+        if self.table == 0:
+            return EINVAL
+        ctx.cov(2)
+        index = start % max(1, self.rule_count)
+        verdict = 0
+        for _hop in range(self.rule_count + 1):
+            if index >= self.rule_count and not self.kernel.bugs.enabled(
+                "t4_armvirt_netfilter_oob"
+            ):
+                break
+            if index > self.rule_count:
+                break
+            # with the bug armed, index == rule_count reads one past
+            verdict = ctx.ld32(self.table + index * _RULE_BYTES)
+            index = ctx.ld32(self.table + index * _RULE_BYTES + 4)
+        return verdict & 0x7FFFFFFF

@@ -1,0 +1,102 @@
+"""fs/nfs and fs/nfs_common: RPC reply parsing and ACL translation.
+
+Table-4 defects, armed per firmware:
+
+* ``t4_nfs_common_oob`` — the ACL translator in nfs_common writes one
+  entry past the converted array for ACLs with a default-entry tail
+  (seen on OpenWRT-armvirt and OpenHarmony-rk3566).
+* ``t4_nfs_oob`` — the readdir reply parser trusts the server's entry
+  length and reads past the reply page (seen on OpenWRT-mt7629 and
+  OpenHarmony-rk3566).
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+OP_READDIR = 1
+OP_SETACL = 2
+
+_REPLY_BYTES = 128
+_ACL_ENTRY_BYTES = 12
+
+
+class NfsModule(GuestModule):
+    """A miniature NFS client (fs/nfs + fs/nfs_common)."""
+
+    location = "fs/nfs"
+
+    def __init__(self, kernel):
+        super().__init__(name="nfs")
+        self.kernel = kernel
+        self.mounted = False
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_filesystem(4, self)
+
+    def fs_mount(self, ctx: GuestContext, flags: int) -> int:
+        self.mounted = True
+        ctx.cov(1)
+        return 0
+
+    def fs_umount(self, ctx: GuestContext) -> int:
+        self.mounted = False
+        return 0
+
+    def fs_op(self, ctx: GuestContext, op: int, a2: int, a3: int) -> int:
+        if op == OP_READDIR:
+            return self.nfs_readdir(ctx, a2)
+        if op == OP_SETACL:
+            return self.nfsacl_encode(ctx, a2)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="nfs_readdir")
+    def nfs_readdir(self, ctx: GuestContext, entry_len: int) -> int:
+        """Parse a READDIR reply page."""
+        if not self.mounted:
+            return EINVAL
+        ctx.cov(2)
+        reply = self.kernel.mm.kmalloc(ctx, _REPLY_BYTES)
+        if reply == 0:
+            return ENOMEM
+        ctx.memset(reply, 0x2F, _REPLY_BYTES)
+        declared = entry_len & 0xFF
+        limit = declared if self.kernel.bugs.enabled(
+            "t4_nfs_oob"
+        ) else min(declared, _REPLY_BYTES)
+        names = 0
+        for offset in range(0, limit, 8):
+            # the buggy parser walks the server-declared entry length
+            if ctx.ld32(reply + offset) != 0:
+                names += 1
+        self.kernel.mm.kfree(ctx, reply)
+        return names
+
+    @guestfn(name="nfsacl_encode")
+    def nfsacl_encode(self, ctx: GuestContext, nr_entries: int) -> int:
+        """Translate a POSIX ACL into the NFS wire format."""
+        if not self.mounted:
+            return EINVAL
+        nr_entries &= 0xF
+        if nr_entries == 0:
+            return EINVAL
+        ctx.cov(3)
+        out = self.kernel.mm.kmalloc(ctx, nr_entries * _ACL_ENTRY_BYTES)
+        if out == 0:
+            return ENOMEM
+        entries = nr_entries
+        if self.kernel.bugs.enabled("t4_nfs_common_oob"):
+            # nfs_common appends the default-entry terminator without
+            # having counted it in the allocation
+            ctx.cov(4)
+            entries = nr_entries + 1
+        for idx in range(entries):
+            base = out + idx * _ACL_ENTRY_BYTES
+            ctx.st32(base, idx)
+            ctx.st32(base + 4, 0o644)
+            ctx.st32(base + 8, 1000 + idx)
+        self.kernel.mm.kfree(ctx, out)
+        return entries

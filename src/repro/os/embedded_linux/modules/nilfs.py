@@ -1,0 +1,90 @@
+"""fs/nilfs2: metadata files.
+
+Seeded defect: ``t2_23_nilfs_mdt_destroy`` — 6.0-rc7 UAF: destroying a
+metadata file races with a shadow-map that still points at the mdt info
+structure.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+OP_MDT_CREATE = 1
+OP_MDT_DESTROY = 2
+OP_MDT_WRITE = 3
+
+_MDT_BYTES = 64
+
+
+class NilfsModule(GuestModule):
+    """A miniature nilfs2 metadata-file layer."""
+
+    location = "fs/nilfs2"
+
+    def __init__(self, kernel):
+        super().__init__(name="nilfs2")
+        self.kernel = kernel
+        self.mdt = 0
+        self.mounted = False
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_filesystem(3, self)
+
+    def fs_mount(self, ctx: GuestContext, flags: int) -> int:
+        self.mounted = True
+        ctx.cov(1)
+        return 0
+
+    def fs_umount(self, ctx: GuestContext) -> int:
+        self.mounted = False
+        return 0
+
+    def fs_op(self, ctx: GuestContext, op: int, a2: int, a3: int) -> int:
+        if op == OP_MDT_CREATE:
+            return self.nilfs_mdt_create(ctx)
+        if op == OP_MDT_DESTROY:
+            return self.nilfs_mdt_destroy(ctx)
+        if op == OP_MDT_WRITE:
+            return self.nilfs_mdt_write(ctx, a2)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="nilfs_mdt_create")
+    def nilfs_mdt_create(self, ctx: GuestContext) -> int:
+        """Allocate the metadata-file info structure."""
+        if not self.mounted or self.mdt:
+            return EINVAL
+        mdt = self.kernel.mm.kzalloc(ctx, _MDT_BYTES)
+        if mdt == 0:
+            return ENOMEM
+        ctx.st32(mdt, 0x4E494C46)  # "NILF"
+        self.mdt = mdt
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="nilfs_mdt_destroy")
+    def nilfs_mdt_destroy(self, ctx: GuestContext) -> int:
+        """Destroy the metadata file."""
+        if self.mdt == 0:
+            return EINVAL
+        mdt = self.mdt
+        self.kernel.mm.kfree(ctx, mdt)
+        if self.kernel.bugs.enabled("t2_23_nilfs_mdt_destroy"):
+            # 6.0-rc7: the destroy path flushes the shadow map through
+            # the just-freed mdt_info
+            ctx.cov(3)
+            ctx.st32(mdt + 4, 0)
+            ctx.ld32(mdt)
+        self.mdt = 0
+        return 0
+
+    @guestfn(name="nilfs_mdt_write")
+    def nilfs_mdt_write(self, ctx: GuestContext, value: int) -> int:
+        """Update the metadata file's dirty state."""
+        if self.mdt == 0:
+            return EINVAL
+        ctx.st32(self.mdt + 8, value)
+        ctx.cov(4)
+        return 0

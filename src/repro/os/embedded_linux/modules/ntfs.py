@@ -1,0 +1,71 @@
+"""fs/ntfs3: run-list unpacking.
+
+Seeded defect: ``t2_20_run_unpack`` — 6.0 slab OOB: the run-list decoder
+trusts the on-disk size nibbles and writes mapping pairs past the
+allocated run array.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+OP_UNPACK = 1
+
+_RUN_BYTES = 8
+
+
+class NtfsModule(GuestModule):
+    """A miniature NTFS3 run-list decoder."""
+
+    location = "fs/ntfs3"
+
+    def __init__(self, kernel):
+        super().__init__(name="ntfs3")
+        self.kernel = kernel
+        self.mounted = False
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_filesystem(2, self)
+
+    def fs_mount(self, ctx: GuestContext, flags: int) -> int:
+        self.mounted = True
+        ctx.cov(1)
+        return 0
+
+    def fs_umount(self, ctx: GuestContext) -> int:
+        self.mounted = False
+        return 0
+
+    def fs_op(self, ctx: GuestContext, op: int, a2: int, a3: int) -> int:
+        if op == OP_UNPACK:
+            return self.run_unpack(ctx, a2, a3)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="run_unpack")
+    def run_unpack(self, ctx: GuestContext, declared_runs: int, seed: int) -> int:
+        """Decode a mapping-pairs array of ``declared_runs`` entries."""
+        if not self.mounted:
+            return EINVAL
+        declared_runs &= 0x1F
+        if declared_runs == 0:
+            return EINVAL
+        ctx.cov(2)
+        # the header's count nibble caps the allocation at 8 runs ...
+        capacity = min(declared_runs, 8)
+        runs = self.kernel.mm.kmalloc(ctx, capacity * _RUN_BYTES)
+        if runs == 0:
+            return ENOMEM
+        count = declared_runs if self.kernel.bugs.enabled(
+            "t2_20_run_unpack"
+        ) else capacity
+        lcn = seed & 0xFFFF
+        for idx in range(count):
+            # 6.0: decode loop honours the declared count, not the
+            # allocated capacity — runs 8.. land past the array
+            ctx.st32(runs + idx * _RUN_BYTES, lcn + idx)
+            ctx.st32(runs + idx * _RUN_BYTES + 4, 1 + (idx & 3))
+        self.kernel.mm.kfree(ctx, runs)
+        return count

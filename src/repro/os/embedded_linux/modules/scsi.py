@@ -1,0 +1,75 @@
+"""drivers/scsi/aic7xxx: SCB queue management.
+
+Table-4 defect: ``t4_aic7xxx_scsi_oob`` — the sequencer patch loader
+copies a vendor-sized patch into the fixed SCB array.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+SCSI_DEV_ID = 0x53
+IOC_LOAD_SEQ = 1
+IOC_QUEUE_SCB = 2
+
+_SCB_ARRAY_BYTES = 64
+
+
+class ScsiAic7xxxModule(GuestModule, DeviceNode):
+    """A miniature aic7xxx host adapter."""
+
+    location = "drivers/scsi/aic7xxx"
+
+    def __init__(self, kernel):
+        super().__init__(name="scsi_aic7xxx")
+        self.kernel = kernel
+        self.scbs = 0
+        self.queued = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(SCSI_DEV_ID, self)
+
+    def late_init(self, ctx: GuestContext) -> None:
+        """Allocate the SCB array at boot."""
+        self.scbs = self.kernel.mm.kzalloc(ctx, _SCB_ARRAY_BYTES)
+
+    # ------------------------------------------------------------------
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_LOAD_SEQ:
+            return self.load_seq(ctx, a2)
+        if cmd == IOC_QUEUE_SCB:
+            return self.queue_scb(ctx, a2)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="ahc_loadseq")
+    def load_seq(self, ctx: GuestContext, patch_len: int) -> int:
+        """Load a sequencer patch over the SCB scratch area."""
+        if self.scbs == 0:
+            return EINVAL
+        ctx.cov(1)
+        declared = patch_len & 0x7F
+        if declared == 0:
+            return EINVAL
+        limit = declared if self.kernel.bugs.enabled(
+            "t4_aic7xxx_scsi_oob"
+        ) else min(declared, _SCB_ARRAY_BYTES)
+        for offset in range(0, limit, 4):
+            # buggy loader trusts the vendor patch header's length
+            ctx.st32(self.scbs + offset, 0xA1C0 + offset)
+        return limit
+
+    @guestfn(name="ahc_queue_scb")
+    def queue_scb(self, ctx: GuestContext, tag: int) -> int:
+        """Queue one SCB."""
+        if self.scbs == 0:
+            return EINVAL
+        slot = (tag % (_SCB_ARRAY_BYTES // 4)) * 4
+        ctx.st32(self.scbs + slot, tag)
+        self.queued += 1
+        ctx.cov(2)
+        return self.queued

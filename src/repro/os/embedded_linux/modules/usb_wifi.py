@@ -1,0 +1,82 @@
+"""drivers/net/wireless/ath/ath9k: the HIF USB receive path.
+
+Seeded defect: ``t2_21_ath9k_hif_usb_rx_cb`` — 5.19 UAF: the URB
+completion callback touches the receive buffer after a disconnect freed
+the device state.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+ATH9K_DEV_ID = 0x13
+IOC_PLUG = 1
+IOC_UNPLUG = 2
+IOC_RX = 3
+
+_HIF_STATE_BYTES = 88
+
+
+class Ath9kUsbModule(GuestModule, DeviceNode):
+    """A miniature ath9k_htc USB front end."""
+
+    location = "drivers/net/wireless/ath/ath9k"
+
+    def __init__(self, kernel):
+        super().__init__(name="ath9k_usb")
+        self.kernel = kernel
+        self.hif_state = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(ATH9K_DEV_ID, self)
+
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_PLUG:
+            return self.ath9k_hif_usb_probe(ctx)
+        if cmd == IOC_UNPLUG:
+            return self.ath9k_hif_usb_disconnect(ctx)
+        if cmd == IOC_RX:
+            return self.ath9k_hif_usb_rx_cb(ctx, a2)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="ath9k_hif_usb_probe")
+    def ath9k_hif_usb_probe(self, ctx: GuestContext) -> int:
+        """Device plugged in: allocate HIF state."""
+        if self.hif_state:
+            return EINVAL
+        state = self.kernel.mm.kzalloc(ctx, _HIF_STATE_BYTES)
+        if state == 0:
+            return ENOMEM
+        ctx.st32(state, 0x9171)  # device id
+        self.hif_state = state
+        ctx.cov(1)
+        return 0
+
+    @guestfn(name="ath9k_hif_usb_disconnect")
+    def ath9k_hif_usb_disconnect(self, ctx: GuestContext) -> int:
+        """Device unplugged: free HIF state (URBs may still complete)."""
+        if self.hif_state == 0:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, self.hif_state)
+        if not self.kernel.bugs.enabled("t2_21_ath9k_hif_usb_rx_cb"):
+            self.hif_state = 0
+        # 5.19: in-flight URB callbacks keep the stale pointer
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="ath9k_hif_usb_rx_cb")
+    def ath9k_hif_usb_rx_cb(self, ctx: GuestContext, length: int) -> int:
+        """URB completion: account the received frame."""
+        if self.hif_state == 0:
+            return EINVAL
+        ctx.cov(3)
+        # UAF read/write after disconnect (t2_21)
+        frames = ctx.ld32(self.hif_state + 4) + 1
+        ctx.st32(self.hif_state + 4, frames)
+        ctx.st32(self.hif_state + 8, length & 0xFFFF)
+        return frames

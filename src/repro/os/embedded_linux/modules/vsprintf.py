@@ -1,0 +1,87 @@
+"""lib/vsprintf: the kernel's string formatter.
+
+Seeded defect: ``t2_25_string`` — 4.17-rc1 **global** OOB: formatting
+``%s`` with a field precision larger than the source string scans past
+the global version-string object.  Like ``fbcon_get_font``, only builds
+with global redzones (EMBSAN-C, native KASAN) catch it — the second
+Table-2 row EMBSAN-D misses.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+PROC_DEV_ID = 0x14
+
+_VERSION = b"Linux version 5.x (repro)\x00"
+
+
+class VsprintfModule(GuestModule, DeviceNode):
+    """A miniature /proc/version formatter."""
+
+    location = "lib/vsprintf"
+
+    def __init__(self, kernel):
+        super().__init__(name="vsprintf")
+        self.kernel = kernel
+        self.version_addr = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(PROC_DEV_ID, self)
+        self.version_addr = self.declare_global(
+            ctx, "linux_banner", len(_VERSION), init=_VERSION
+        )
+
+    # ------------------------------------------------------------------
+    def dev_read(self, ctx: GuestContext, file: int, size: int, off: int) -> int:
+        return self.string(ctx, size)
+
+    def dev_write(self, ctx: GuestContext, file: int, size: int, seed: int) -> int:
+        return self.vsnprintf_stack(ctx, size)
+
+    @guestfn(name="vsnprintf_stack")
+    def vsnprintf_stack(self, ctx: GuestContext, length: int) -> int:
+        """Format into an on-stack scratch buffer (32 bytes).
+
+        With ``demo_stack_oob`` armed, the length check is missing and
+        long messages run past the stack buffer — detectable only by
+        builds with compile-time stack redzones (EMBSAN-C / native),
+        the same asymmetry as the Table-2 global-OOB rows.
+        """
+        length &= 0x3F
+        if length == 0:
+            return EINVAL
+        buf = ctx.frame.var(32, "scratch")
+        span = length if self.kernel.bugs.enabled("demo_stack_oob") \
+            else min(length, 32)
+        for idx in range(span):
+            ctx.st8(buf + idx, 0x30 + (idx % 10))
+        total = 0
+        for idx in range(0, min(span, 32), 4):
+            total = (total + ctx.ld32(buf + idx)) & 0xFFFFFFFF
+        return total & 0x7FFFFFFF
+
+    @guestfn(name="string")
+    def string(self, ctx: GuestContext, precision: int) -> int:
+        """Format the version banner with an explicit %.Ns precision."""
+        precision &= 0xFF
+        if precision == 0:
+            return EINVAL
+        ctx.cov(1)
+        out = self.kernel.mm.kmalloc(ctx, precision)
+        if out == 0:
+            return ENOMEM
+        copied = 0
+        for idx in range(precision):
+            # 4.17-rc1: the precision-bounded scan does not stop at the
+            # terminating NUL, walking past the global banner object
+            byte = ctx.ld8(self.version_addr + idx)
+            if byte == 0 and not self.kernel.bugs.enabled("t2_25_string"):
+                break
+            ctx.st8(out + copied, byte)
+            copied += 1
+        self.kernel.mm.kfree(ctx, out)
+        return copied

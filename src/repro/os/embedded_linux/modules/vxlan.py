@@ -1,0 +1,72 @@
+"""drivers/net/vxlan: VNI filter dump over netlink.
+
+Seeded defect: ``t2_09_vxlan_vnifilter_dump_dev`` — 5.17 slab OOB: the
+dump loop writes one netlink attribute per VNI but sizes the skb tail
+from the *filter count at allocation time*, overrunning when entries
+were added in between.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+NL_VNI_ADD = 1
+NL_VNI_DUMP = 2
+
+_ATTR_BYTES = 8
+
+
+class VxlanModule(GuestModule):
+    """A miniature VXLAN VNI-filter table."""
+
+    location = "drivers/net/vxlan"
+
+    def __init__(self, kernel):
+        super().__init__(name="vxlan")
+        self.kernel = kernel
+        self.vnis: List[int] = []
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_netlink(1, self.netlink)
+
+    # ------------------------------------------------------------------
+    def netlink(self, ctx: GuestContext, cmd: int, arg: int) -> int:
+        if cmd == NL_VNI_ADD:
+            return self.vxlan_vni_add(ctx, arg)
+        if cmd == NL_VNI_DUMP:
+            return self.vxlan_vnifilter_dump_dev(ctx, arg)
+        return EINVAL
+
+    @guestfn(name="vxlan_vni_add")
+    def vxlan_vni_add(self, ctx: GuestContext, vni: int) -> int:
+        """Register a VNI in the filter table."""
+        if len(self.vnis) >= 32:
+            return EINVAL
+        self.vnis.append(vni & 0xFFFFFF)
+        ctx.cov(1)
+        return len(self.vnis)
+
+    @guestfn(name="vxlan_vnifilter_dump_dev")
+    def vxlan_vnifilter_dump_dev(self, ctx: GuestContext, extra: int) -> int:
+        """Dump the filter table into a freshly sized skb."""
+        count = len(self.vnis)
+        if count == 0:
+            return 0
+        ctx.cov(2)
+        skb = self.kernel.mm.kmalloc(ctx, count * _ATTR_BYTES)
+        if skb == 0:
+            return ENOMEM
+        entries = list(self.vnis)
+        if extra and self.kernel.bugs.enabled("t2_09_vxlan_vnifilter_dump_dev"):
+            # 5.17: entries added between sizing and filling the skb
+            ctx.cov(3)
+            entries += [(extra + i) & 0xFFFFFF for i in range(1 + (extra & 3))]
+        for idx, vni in enumerate(entries):
+            ctx.st32(skb + idx * _ATTR_BYTES, vni)
+            ctx.st32(skb + idx * _ATTR_BYTES + 4, 0x0A)
+        self.kernel.mm.kfree(ctx, skb)
+        return len(entries)

@@ -1,0 +1,150 @@
+"""kernel/watch_queue: watch queues and their notification posts.
+
+Carries three Table-2 defects around queue lifetime and filters:
+
+* ``t2_05_post_one_notification`` — 5.19-rc1 UAF: a notification posts
+  into a queue buffer freed by a concurrent clear.
+* ``t2_06_post_watch_notification`` — 5.19-rc1 UAF: the broadcast path
+  walks a watch whose queue died.
+* ``t2_07_watch_queue_set_filter`` — 5.17-rc6 slab OOB: the filter copy
+  sizes the allocation from ``nr_filters`` but copies whole filter
+  records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+
+WQ_CREATE = 1
+WQ_POST = 2
+WQ_POST_ALL = 3
+WQ_SET_FILTER = 4
+WQ_CLEAR = 5
+
+_QUEUE_BYTES = 128
+_FILTER_RECORD = 12  #: type(4) + subtype(4) + action(4)
+
+
+class WatchQueueModule(GuestModule):
+    """A miniature watch_queue subsystem."""
+
+    location = "kernel/watch_queue"
+
+    def __init__(self, kernel):
+        super().__init__(name="watch_queue")
+        self.kernel = kernel
+        #: queue id -> buffer address (0 when cleared)
+        self.queues: Dict[int, int] = {}
+        #: queue id -> filter buffer address
+        self.filters: Dict[int, int] = {}
+        self._next_id = 1
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_handler("watchq", self.handle)
+
+    # ------------------------------------------------------------------
+    def handle(self, ctx: GuestContext, cmd: int, a1: int, a2: int) -> int:
+        if cmd == WQ_CREATE:
+            return self.watch_queue_create(ctx)
+        if cmd == WQ_POST:
+            return self.post_one_notification(ctx, a1, a2)
+        if cmd == WQ_POST_ALL:
+            return self.post_watch_notification(ctx, a1)
+        if cmd == WQ_SET_FILTER:
+            return self.watch_queue_set_filter(ctx, a1, a2)
+        if cmd == WQ_CLEAR:
+            return self.watch_queue_clear(ctx, a1)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="watch_queue_create")
+    def watch_queue_create(self, ctx: GuestContext) -> int:
+        """Allocate a queue buffer; returns queue id."""
+        buf = self.kernel.mm.kzalloc(ctx, _QUEUE_BYTES)
+        if buf == 0:
+            return ENOMEM
+        qid = self._next_id
+        self._next_id += 1
+        self.queues[qid] = buf
+        ctx.cov(1)
+        return qid
+
+    @guestfn(name="watch_queue_clear")
+    def watch_queue_clear(self, ctx: GuestContext, qid: int) -> int:
+        """Tear a queue down, freeing its buffer."""
+        buf = self.queues.get(qid)
+        if buf is None:
+            return EINVAL
+        ctx.cov(2)
+        self.kernel.mm.kfree(ctx, buf)
+        if self.kernel.bugs.enabled("t2_05_post_one_notification") or \
+                self.kernel.bugs.enabled("t2_06_post_watch_notification"):
+            # the buggy kernels leave the dangling pointer registered
+            self.queues[qid] = buf
+        else:
+            del self.queues[qid]
+        fbuf = self.filters.pop(qid, None)
+        if fbuf:
+            self.kernel.mm.kfree(ctx, fbuf)
+        return 0
+
+    @guestfn(name="post_one_notification")
+    def post_one_notification(self, ctx: GuestContext, qid: int, payload: int) -> int:
+        """Append one notification record to a queue."""
+        buf = self.queues.get(qid)
+        if buf is None:
+            return EINVAL
+        ctx.cov(3)
+        # 5.19-rc1 UAF fires here when the queue was cleared underneath us
+        slot = (payload % (_QUEUE_BYTES // 8)) * 8
+        ctx.st32(buf + slot, payload)
+        ctx.st32(buf + slot + 4, qid)
+        return 0
+
+    @guestfn(name="post_watch_notification")
+    def post_watch_notification(self, ctx: GuestContext, payload: int) -> int:
+        """Broadcast a notification to every registered queue."""
+        posted = 0
+        for qid, buf in sorted(self.queues.items()):
+            ctx.cov(4)
+            # 5.19-rc1 UAF: the walk reads the queue header even when the
+            # queue buffer already died
+            head = ctx.ld32(buf)
+            ctx.st32(buf, (head + 1) & 0xFFFFFFFF)
+            ctx.st32(buf + 8 + (payload % 8) * 4, payload)
+            posted += 1
+        return posted
+
+    @guestfn(name="watch_queue_set_filter")
+    def watch_queue_set_filter(self, ctx: GuestContext, qid: int,
+                               nr_filters: int) -> int:
+        """Install a notification filter of ``nr_filters`` records."""
+        if qid not in self.queues:
+            return EINVAL
+        nr_filters &= 0x3F
+        if nr_filters == 0:
+            return EINVAL
+        ctx.cov(5)
+        if self.kernel.bugs.enabled("t2_07_watch_queue_set_filter"):
+            # 5.17-rc6: allocation sized by 8-byte entries, copies 12-byte
+            # filter records — the last records run off the end
+            alloc_size = nr_filters * 8
+        else:
+            alloc_size = nr_filters * _FILTER_RECORD
+        buf = self.kernel.mm.kmalloc(ctx, alloc_size)
+        if buf == 0:
+            return ENOMEM
+        for idx in range(nr_filters):
+            base = buf + idx * _FILTER_RECORD
+            ctx.st32(base, idx)
+            ctx.st32(base + 4, 0xFFFF)
+            ctx.st32(base + 8, 1)
+        old = self.filters.get(qid)
+        if old:
+            self.kernel.mm.kfree(ctx, old)
+        self.filters[qid] = buf
+        return nr_filters

@@ -1,0 +1,128 @@
+"""drivers/net/wireless/<vendor>: vendor WLAN drivers.
+
+Table-4 defects, armed per firmware:
+
+* ``t4_<vendor>_wifi_uaf`` — the firmware-event handler touches the
+  scan state freed by interface-down.
+* ``t4_<vendor>_wifi_oob`` — the beacon parser trusts a length field
+  and reads past the received management frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.vfs import DeviceNode
+
+WIFI_DEV_IDS: Dict[str, int] = {
+    "broadcom": 0x30,
+    "ath": 0x31,
+    "iwlwifi": 0x32,
+    "b43": 0x33,
+}
+
+IOC_UP = 1
+IOC_DOWN = 2
+IOC_FW_EVENT = 3
+IOC_BEACON = 4
+
+_SCAN_STATE_BYTES = 80
+_MGMT_FRAME_BYTES = 96
+
+
+class WifiDriver(GuestModule, DeviceNode):
+    """A vendor WLAN driver with scan state and a beacon parser."""
+
+    def __init__(self, kernel, vendor: str):
+        if vendor not in WIFI_DEV_IDS:
+            raise ValueError(f"unknown wifi vendor {vendor!r}")
+        super().__init__(name=f"wifi_{vendor}")
+        self.location = f"drivers/net/wireless/{vendor}"
+        self.kernel = kernel
+        self.vendor = vendor
+        self.dev_id = WIFI_DEV_IDS[vendor]
+        self.scan_state = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.vfs.register_device(self.dev_id, self)
+
+    def _bug(self, suffix: str) -> bool:
+        return self.kernel.bugs.enabled(f"t4_{self.vendor}_wifi_{suffix}")
+
+    # ------------------------------------------------------------------
+    def dev_write(self, ctx: GuestContext, file: int, size: int, seed: int) -> int:
+        """Transmit path: queue a management frame (benign lengths)."""
+        return self.parse_beacon(ctx, min(size, _MGMT_FRAME_BYTES - 8))
+
+    def dev_read(self, ctx: GuestContext, file: int, size: int, off: int) -> int:
+        """Receive path: parse the next queued beacon."""
+        return self.parse_beacon(ctx, min(size, 64))
+
+    def dev_ioctl(self, ctx: GuestContext, file: int, cmd: int,
+                  a2: int, a3: int) -> int:
+        if cmd == IOC_UP:
+            return self.ifup(ctx)
+        if cmd == IOC_DOWN:
+            return self.ifdown(ctx)
+        if cmd == IOC_FW_EVENT:
+            return self.fw_event(ctx, a2)
+        if cmd == IOC_BEACON:
+            return self.parse_beacon(ctx, a2)
+        return EINVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="wifi_ifup")
+    def ifup(self, ctx: GuestContext) -> int:
+        """Bring the interface up, allocating scan state."""
+        if self.scan_state:
+            return EINVAL
+        state = self.kernel.mm.kzalloc(ctx, _SCAN_STATE_BYTES)
+        if state == 0:
+            return ENOMEM
+        ctx.st32(state, 1)  # if-up
+        self.scan_state = state
+        ctx.cov(1)
+        return 0
+
+    @guestfn(name="wifi_ifdown")
+    def ifdown(self, ctx: GuestContext) -> int:
+        """Bring the interface down, freeing scan state."""
+        if self.scan_state == 0:
+            return EINVAL
+        self.kernel.mm.kfree(ctx, self.scan_state)
+        if not self._bug("uaf"):
+            self.scan_state = 0
+        # the buggy drivers leave the event handler's pointer live
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="wifi_fw_event")
+    def fw_event(self, ctx: GuestContext, code: int) -> int:
+        """Handle an asynchronous firmware event."""
+        if self.scan_state == 0:
+            return EINVAL
+        ctx.cov(3)
+        events = ctx.ld32(self.scan_state + 4) + 1  # UAF after ifdown
+        ctx.st32(self.scan_state + 4, events)
+        ctx.st32(self.scan_state + 8, code & 0xFFFF)
+        return events
+
+    @guestfn(name="wifi_parse_beacon")
+    def parse_beacon(self, ctx: GuestContext, ie_len: int) -> int:
+        """Parse a received beacon's information elements."""
+        ctx.cov(4)
+        frame = self.kernel.mm.kmalloc(ctx, _MGMT_FRAME_BYTES)
+        if frame == 0:
+            return ENOMEM
+        ctx.memset(frame, 0xBE, _MGMT_FRAME_BYTES)
+        declared = ie_len & 0xFF
+        limit = declared if self._bug("oob") else min(declared, _MGMT_FRAME_BYTES)
+        total = 0
+        for offset in range(0, limit, 4):
+            # buggy parsers honour the declared IE length
+            total = (total + ctx.ld32(frame + offset)) & 0xFFFFFFFF
+        self.kernel.mm.kfree(ctx, frame)
+        return total & 0x7FFFFFFF

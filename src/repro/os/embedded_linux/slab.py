@@ -1,0 +1,238 @@
+"""SLUB-style slab caches behind ``kmalloc``/``kfree``.
+
+Each cache serves one size class from pages obtained from the buddy
+allocator.  Slots are ``class size + SLAB_PAD`` bytes so every object is
+followed by pad space — the gap KASAN-style redzoning poisons.  Freed
+objects keep a freelist pointer *inside the object itself* (written
+untraced, like uninstrumented allocator metadata), which is exactly the
+layout that makes use-after-free writes corrupt the freelist in real
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.os.embedded_linux.buddy import BuddyAllocator, PAGE_SIZE
+
+#: kmalloc size classes, like kmalloc-32 ... kmalloc-4096.
+KMALLOC_CLASSES = (32, 64, 96, 128, 192, 256, 512, 1024, 2048, 4096)
+
+#: pad after each slot; the sanitizer's heap redzone lives here.
+SLAB_PAD = 16
+
+#: freelist terminator stored in free objects.
+_FREELIST_END = 0
+
+
+class KmemCache:
+    """One slab cache: a size class and its partial/full pages."""
+
+    def __init__(self, cache_id: int, object_size: int):
+        self.cache_id = cache_id
+        self.object_size = object_size
+        self.slot_size = _align(object_size + SLAB_PAD, 8)
+        self.freelist_head = _FREELIST_END
+        #: slab base addresses owned by this cache
+        self.pages: List[int] = []
+        #: buddy order per slab: large classes (kmalloc-4096's padded
+        #: slot exceeds one page) take order-1 slabs, like SLUB
+        self.slab_order = 0
+        while (PAGE_SIZE << self.slab_order) < self.slot_size:
+            self.slab_order += 1
+        self.objects_per_page = (PAGE_SIZE << self.slab_order) // self.slot_size
+        self.live = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"KmemCache(kmalloc-{self.object_size}, slot={self.slot_size}, "
+            f"live={self.live})"
+        )
+
+
+class SlabAllocator(GuestModule):
+    """The kernel object allocator (``kmalloc`` family)."""
+
+    location = "mm/slub"
+
+    def __init__(self, buddy: BuddyAllocator):
+        super().__init__(name="slub")
+        self.buddy = buddy
+        self.caches: List[KmemCache] = [
+            KmemCache(idx, size) for idx, size in enumerate(KMALLOC_CLASSES)
+        ]
+        #: live object addr -> (cache_id, requested_size)
+        self.live_objects: Dict[int, tuple] = {}
+        #: addresses currently sitting on some freelist
+        self._free_objects: Dict[int, int] = {}
+        #: KASAN-style quarantine: freed objects whose reuse is deferred.
+        #: 0 disables it (uninstrumented builds); instrumented builds set
+        #: a depth, exactly like Linux's slab quarantine is only present
+        #: when KASAN is compiled in.
+        self.quarantine_depth = 0
+        self._quarantine: List[tuple] = []
+        self.alloc_count = 0
+        self.free_count = 0
+        self.double_free_count = 0
+
+    # ------------------------------------------------------------------
+    def cache_for(self, size: int) -> Optional[KmemCache]:
+        """Pick the smallest cache whose class fits ``size``."""
+        for cache in self.caches:
+            if size <= cache.object_size:
+                return cache
+        return None
+
+    # ------------------------------------------------------------------
+    @guestfn(name="kmalloc", allocator="alloc")
+    def kmalloc(self, ctx: GuestContext, size: int) -> int:
+        """Allocate ``size`` bytes of kernel memory; 0 on failure.
+
+        Sizes beyond the largest class fall through to whole pages,
+        like Linux's large-kmalloc path.
+        """
+        if size <= 0:
+            return 0
+        cache = self.cache_for(size)
+        if cache is None:
+            return self._kmalloc_large(ctx, size)
+        addr = self._take_from_freelist(ctx, cache)
+        if addr == 0:
+            if not self._refill(ctx, cache):
+                return 0
+            addr = self._take_from_freelist(ctx, cache)
+            if addr == 0:
+                return 0
+        cache.live += 1
+        self.live_objects[addr] = (cache.cache_id, size)
+        self.alloc_count += 1
+        ctx.work(6)
+        ctx.notify_alloc(addr, size, cache.cache_id)
+        return addr
+
+    @guestfn(name="kzalloc", allocator="alloc")
+    def kzalloc(self, ctx: GuestContext, size: int) -> int:
+        """kmalloc + zeroing.
+
+        Calls the kmalloc body directly (inlined, like the real kernel's
+        header inline) so the object is reported exactly once.
+        """
+        addr = self.kmalloc.pyfunc(ctx, size)
+        if addr:
+            ctx.memset(addr, 0, size)
+            ctx.notify_init(addr, size)  # __GFP_ZERO semantics
+        return addr
+
+    @guestfn(name="kfree", allocator="free")
+    def kfree(self, ctx: GuestContext, addr: int) -> int:
+        """Release a kmalloc'd object.
+
+        Double frees push the object onto the freelist twice — the real
+        corruption — after reporting the free to sanitizer hooks.
+        """
+        if addr == 0:
+            return 0
+        ctx.notify_free(addr)
+        self.free_count += 1
+        ctx.work(6)
+        entry = self.live_objects.pop(addr, None)
+        if entry is None:
+            # double free / invalid free: corrupt the freelist like SLUB
+            cache = self._cache_of_freed(addr)
+            self.double_free_count += 1
+            if cache is not None:
+                self._push_freelist(ctx, cache, addr)
+            return -1
+        cache_id, _size = entry
+        cache = self.caches[cache_id] if cache_id < len(self.caches) else None
+        if cache is None:
+            return self.buddy.free_pages(ctx, addr)
+        cache.live -= 1
+        if self.quarantine_depth > 0:
+            # defer reuse: the object enters quarantine, and the oldest
+            # quarantined object takes its place on the freelist
+            self._quarantine.append((cache, addr))
+            if len(self._quarantine) > self.quarantine_depth:
+                old_cache, old_addr = self._quarantine.pop(0)
+                self._push_freelist(ctx, old_cache, old_addr)
+            return 0
+        self._push_freelist(ctx, cache, addr)
+        return 0
+
+    @guestfn(name="ksize")
+    def ksize(self, ctx: GuestContext, addr: int) -> int:
+        """Usable size of a live allocation (slot size, like SLUB)."""
+        entry = self.live_objects.get(addr)
+        if entry is None:
+            return 0
+        cache_id, _size = entry
+        if cache_id >= len(self.caches):
+            return _size
+        return self.caches[cache_id].object_size
+
+    # ------------------------------------------------------------------
+    # internals (uninstrumented allocator metadata)
+    # ------------------------------------------------------------------
+    def _kmalloc_large(self, ctx: GuestContext, size: int) -> int:
+        order = max(0, (size + PAGE_SIZE - 1) // PAGE_SIZE - 1).bit_length()
+        addr = self.buddy.alloc_pages(ctx, order)
+        if addr:
+            self.live_objects[addr] = (PAGE_SIZE << order, size)
+            self.alloc_count += 1
+            ctx.notify_alloc(addr, size, 0xFFFE)
+        return addr
+
+    def _refill(self, ctx: GuestContext, cache: KmemCache) -> bool:
+        page = self.buddy.alloc_pages(ctx, cache.slab_order)
+        if page == 0:
+            return False
+        cache.pages.append(page)
+        ctx.notify_slab_page(page, PAGE_SIZE << cache.slab_order)
+        for slot in range(cache.objects_per_page - 1, -1, -1):
+            self._push_freelist(ctx, cache, page + slot * cache.slot_size)
+        return True
+
+    def _push_freelist(self, ctx: GuestContext, cache: KmemCache, addr: int) -> None:
+        ctx.raw_st32(addr, cache.freelist_head)
+        cache.freelist_head = addr
+        self._free_objects[addr] = cache.cache_id
+
+    def _take_from_freelist(self, ctx: GuestContext, cache: KmemCache) -> int:
+        addr = cache.freelist_head
+        if addr == _FREELIST_END:
+            return 0
+        cache.freelist_head = ctx.raw_ld32(addr)
+        self._free_objects.pop(addr, None)
+        return addr
+
+    def _cache_of_freed(self, addr: int) -> Optional[KmemCache]:
+        cache_id = self._free_objects.get(addr)
+        if cache_id is not None:
+            return self.caches[cache_id]
+        for cache in self.caches:
+            span = PAGE_SIZE << cache.slab_order
+            for page in cache.pages:
+                if page <= addr < page + span:
+                    return cache
+        return None
+
+    # ------------------------------------------------------------------
+    def live_count(self) -> int:
+        """Number of live objects (diagnostic / test invariant)."""
+        return len(self.live_objects)
+
+    def check_invariants(self) -> None:
+        """Assert cache bookkeeping is self-consistent."""
+        for cache in self.caches:
+            assert cache.live >= 0, f"negative live count in {cache!r}"
+        overlap = set(self.live_objects) & set(self._free_objects)
+        # a double-freed-then-reallocated object can appear in both maps;
+        # absent seeded double frees the sets must be disjoint.
+        if self.double_free_count == 0:
+            assert not overlap, f"objects both live and free: {overlap}"
+
+
+def _align(value: int, boundary: int) -> int:
+    return (value + boundary - 1) // boundary * boundary

@@ -1,0 +1,49 @@
+"""Syscall numbers and dispatch plumbing for the rehosted Linux kernel.
+
+The surface is Linux-shaped but reduced to what the evaluation needs:
+file descriptors over device nodes and filesystems, sockets, bpf, the
+watch_queue/keyctl pair, mmap, and a few subsystem-specific entries.
+Arguments are four guest words, matching the EVM32 ABI, so fuzzers
+generate programs as ``(nr, a0, a1, a2, a3)`` tuples.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: errno values returned as negative numbers, Linux style.
+EINVAL = -22
+EBADF = -9
+ENOMEM = -12
+ENODEV = -19
+ENOSYS = -38
+
+
+class Syscall(enum.IntEnum):
+    """Syscall numbers understood by :class:`EmbeddedLinuxKernel`."""
+
+    OPEN = 1  #: a0 = device id
+    CLOSE = 2  #: a0 = fd
+    READ = 3  #: a0 = fd, a1 = size, a2 = offset
+    WRITE = 4  #: a0 = fd, a1 = size, a2 = data seed
+    IOCTL = 5  #: a0 = fd, a1 = cmd, a2/a3 = args
+    MMAP = 6  #: a0 = length, a1 = prot
+    MUNMAP = 7  #: a0 = addr
+    SOCKET = 8  #: a0 = family
+    SENDMSG = 9  #: a0 = fd, a1 = size, a2 = seed
+    RECVMSG = 10  #: a0 = fd, a1 = size
+    BPF = 11  #: a0 = cmd, a1/a2 = args
+    WATCHQ = 12  #: a0 = cmd, a1/a2 = args
+    MOUNT = 13  #: a0 = fs id, a1 = flags
+    UMOUNT = 14  #: a0 = fs id
+    FSOP = 15  #: a0 = fs id, a1 = op, a2/a3 = args
+    NETLINK = 16  #: a0 = proto, a1 = cmd, a2 = arg
+    SCAN = 17  #: a0 = wiphy id (wireless scan trigger)
+    FONT = 18  #: a0 = op, a1 = height (console font path)
+    FLOPPY = 19  #: a0 = cmd, a1 = arg
+    SYSFS = 20  #: a0 = op, a1 = arg (driver core uevent/register)
+    PRCTL = 21  #: a0 = op, a1 = arg
+
+
+#: Human-readable names, used by reproducer listings.
+SYSCALL_NAMES = {call.value: call.name.lower() for call in Syscall}

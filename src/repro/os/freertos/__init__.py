@@ -1,0 +1,11 @@
+"""Rehosted FreeRTOS.
+
+heap_4 allocator with first-fit + coalescing over guest memory, a task
+layer, queues, and the InfiniTime application modules (littlefs, SPI,
+ST7789 display driver) carrying that firmware's Table-4 defects.
+"""
+
+from repro.os.freertos.heap4 import Heap4Allocator
+from repro.os.freertos.kernel import FreeRtosKernel, FreeRtosOp
+
+__all__ = ["FreeRtosKernel", "FreeRtosOp", "Heap4Allocator"]

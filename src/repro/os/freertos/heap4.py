@@ -1,0 +1,164 @@
+"""FreeRTOS heap_4: first-fit allocation with block coalescing.
+
+Block headers live *inside guest memory* (next-free pointer + size
+word), written untraced like any uninstrumented allocator metadata.
+This is the real heap_4 layout: a singly linked free list ordered by
+address, split on allocation, coalesced with both neighbours on free.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+#: header: next-free pointer (4) + size-and-flag word (4)
+_HEADER_BYTES = 8
+#: top bit of the size word marks "allocated"
+_ALLOC_BIT = 0x8000_0000
+_ALIGN = 8
+
+
+class Heap4Allocator(GuestModule):
+    """The heap_4 memory manager."""
+
+    location = "portable/MemMang/heap_4"
+
+    def __init__(self, base: int, size: int):
+        super().__init__(name="heap4")
+        self.base = _align_up(base)
+        self.size = size - (self.base - base)
+        self.free_bytes = 0
+        self.min_free_bytes = 0
+        self.alloc_count = 0
+        self.free_count = 0
+        self._end_marker = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        """Lay the initial single free block across the heap span."""
+        start = self.base
+        self._end_marker = self.base + self.size - _HEADER_BYTES
+        first_size = self._end_marker - start
+        ctx.raw_st32(start, self._end_marker)  # next free = end marker
+        ctx.raw_st32(start + 4, first_size)
+        ctx.raw_st32(self._end_marker, 0)  # end: next = NULL
+        ctx.raw_st32(self._end_marker + 4, 0)
+        self._free_head = start
+        self.free_bytes = first_size
+        self.min_free_bytes = first_size
+
+    # ------------------------------------------------------------------
+    @guestfn(name="pvPortMalloc", allocator="alloc")
+    def pvPortMalloc(self, ctx: GuestContext, wanted: int) -> int:
+        """Allocate ``wanted`` bytes; returns 0 when the heap is exhausted."""
+        if wanted <= 0:
+            return 0
+        need = _align_up(wanted + _HEADER_BYTES)
+        prev = 0
+        block = self._free_head
+        hops = 0
+        while block != self._end_marker and block != 0:
+            hops += 1
+            if hops > 4096 or not self.base <= block < self.base + self.size:
+                return 0  # heap corruption: fail allocation, stay drivable
+            size = ctx.raw_ld32(block + 4)
+            if size >= need:
+                break
+            prev = block
+            block = ctx.raw_ld32(block)
+        if block == self._end_marker or block == 0:
+            return 0
+        ctx.work(6)
+        size = ctx.raw_ld32(block + 4)
+        nxt = ctx.raw_ld32(block)
+        if size - need > _HEADER_BYTES * 2:
+            # split: the tail stays on the free list
+            tail = block + need
+            ctx.raw_st32(tail, nxt)
+            ctx.raw_st32(tail + 4, size - need)
+            nxt = tail
+            ctx.raw_st32(block + 4, need)
+        if prev:
+            ctx.raw_st32(prev, nxt)
+        else:
+            self._free_head = nxt
+        taken = ctx.raw_ld32(block + 4)
+        ctx.raw_st32(block + 4, taken | _ALLOC_BIT)
+        self.free_bytes -= taken
+        self.min_free_bytes = min(self.min_free_bytes, self.free_bytes)
+        self.alloc_count += 1
+        addr = block + _HEADER_BYTES
+        ctx.notify_alloc(addr, wanted, 0)
+        return addr
+
+    @guestfn(name="vPortFree", allocator="free")
+    def vPortFree(self, ctx: GuestContext, addr: int) -> int:
+        """Return a block to the free list, coalescing neighbours."""
+        if addr == 0:
+            return 0
+        ctx.notify_free(addr)
+        block = addr - _HEADER_BYTES
+        word = ctx.raw_ld32(block + 4)
+        if not word & _ALLOC_BIT:
+            # double free: heap_4 corrupts its list; record and bail
+            self.free_count += 1
+            return -1
+        size = word & ~_ALLOC_BIT
+        ctx.raw_st32(block + 4, size)
+        self.free_bytes += size
+        self.free_count += 1
+        ctx.work(6)
+        # insert by address and coalesce
+        prev = 0
+        cursor = self._free_head
+        hops = 0
+        while cursor != 0 and cursor < block:
+            hops += 1
+            if hops > 4096:
+                break  # corrupted list: give up on ordered insertion
+            prev = cursor
+            cursor = ctx.raw_ld32(cursor)
+        if prev and prev + ctx.raw_ld32(prev + 4) == block:
+            # merge into the previous block
+            ctx.raw_st32(prev + 4, ctx.raw_ld32(prev + 4) + size)
+            block = prev
+        else:
+            if prev:
+                ctx.raw_st32(prev, block)
+            else:
+                self._free_head = block
+            ctx.raw_st32(block, cursor)
+        blk_size = ctx.raw_ld32(block + 4)
+        nxt = ctx.raw_ld32(block)
+        if nxt != 0 and nxt != self._end_marker and block + blk_size == nxt:
+            # merge the following block in
+            ctx.raw_st32(block + 4, blk_size + ctx.raw_ld32(nxt + 4))
+            ctx.raw_st32(block, ctx.raw_ld32(nxt))
+        return 0
+
+    # ------------------------------------------------------------------
+    def walk_free_list(self, ctx: GuestContext):
+        """Yield (block, size) over the free list (diagnostics/tests)."""
+        cursor = self._free_head
+        hops = 0
+        while cursor not in (0, self._end_marker) and hops < 1_000_000:
+            yield cursor, ctx.raw_ld32(cursor + 4)
+            cursor = ctx.raw_ld32(cursor)
+            hops += 1
+
+    def check_invariants(self, ctx: GuestContext) -> None:
+        """Free list must be address-ordered, in-range and acyclic."""
+        last = 0
+        total = 0
+        for block, size in self.walk_free_list(ctx):
+            assert block > last, "free list out of order"
+            assert self.base <= block < self.base + self.size, "block escaped heap"
+            assert size & ~_ALLOC_BIT == size, "free block marked allocated"
+            total += size
+            last = block
+        assert total == self.free_bytes, (
+            f"free accounting drift: walked {total}, counter {self.free_bytes}"
+        )
+
+
+def _align_up(value: int) -> int:
+    return (value + _ALIGN - 1) // _ALIGN * _ALIGN

@@ -1,0 +1,182 @@
+"""InfiniTime application modules (the PineTime smartwatch firmware).
+
+Three Table-4 defects live here:
+
+* ``t4_infinitime_littlefs_oob`` — src/libs/littlefs: the directory-block
+  scanner trusts the on-flash entry size and reads past the block cache.
+* ``t4_infinitime_spi_oob`` — src/drivers/Spi: the DMA descriptor setup
+  writes one transfer descriptor too many for chained transfers.
+* ``t4_infinitime_st7789_uaf`` — src/drivers/St7789: the vsync callback
+  touches the draw buffer freed by a sleep transition.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+E_INVAL = -22
+E_NOMEM = -12
+
+APP_LITTLEFS = 1
+APP_SPI = 2
+APP_ST7789 = 3
+
+LFS_OP_MOUNT = 1
+LFS_OP_SCAN = 2
+SPI_OP_XFER = 1
+ST_OP_WAKE = 1
+ST_OP_SLEEP = 2
+ST_OP_VSYNC = 3
+
+_BLOCK_CACHE_BYTES = 96
+_DESC_BYTES = 8
+_DRAW_BUF_BYTES = 120
+
+
+class LittleFsModule(GuestModule):
+    """src/libs/littlefs: the block-cache directory scanner."""
+
+    location = "src/libs/littlefs"
+
+    def __init__(self, kernel):
+        super().__init__(name="littlefs")
+        self.kernel = kernel
+        self.cache = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_app(APP_LITTLEFS, self.handle)
+
+    def handle(self, ctx: GuestContext, op: int, arg: int) -> int:
+        if op == LFS_OP_MOUNT:
+            return self.lfs_mount(ctx)
+        if op == LFS_OP_SCAN:
+            return self.lfs_dir_scan(ctx, arg)
+        return E_INVAL
+
+    @guestfn(name="lfs_mount")
+    def lfs_mount(self, ctx: GuestContext) -> int:
+        """Mount: allocate the block cache."""
+        if self.cache:
+            return E_INVAL
+        cache = self.kernel.heap.pvPortMalloc(ctx, _BLOCK_CACHE_BYTES)
+        if cache == 0:
+            return E_NOMEM
+        ctx.memset(cache, 0x11, _BLOCK_CACHE_BYTES)
+        self.cache = cache
+        ctx.cov(1)
+        return 0
+
+    @guestfn(name="lfs_dir_scan")
+    def lfs_dir_scan(self, ctx: GuestContext, entry_size: int) -> int:
+        """Scan directory entries out of the cached block."""
+        if self.cache == 0:
+            return E_INVAL
+        ctx.cov(2)
+        declared = entry_size & 0xFF
+        limit = declared if self.kernel.bugs.enabled(
+            "t4_infinitime_littlefs_oob"
+        ) else min(declared, _BLOCK_CACHE_BYTES)
+        entries = 0
+        for offset in range(0, limit, 8):
+            # buggy scanner honours the on-flash entry size field
+            tag = ctx.ld32(self.cache + offset)
+            if tag:
+                entries += 1
+        return entries
+
+
+class SpiDriverModule(GuestModule):
+    """src/drivers/Spi: chained-transfer descriptor setup."""
+
+    location = "src/drivers/Spi"
+
+    def __init__(self, kernel):
+        super().__init__(name="spi")
+        self.kernel = kernel
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_app(APP_SPI, self.handle)
+
+    def handle(self, ctx: GuestContext, op: int, arg: int) -> int:
+        if op == SPI_OP_XFER:
+            return self.spi_transfer(ctx, arg)
+        return E_INVAL
+
+    @guestfn(name="spi_transfer")
+    def spi_transfer(self, ctx: GuestContext, chunks: int) -> int:
+        """Set up a chained SPI transfer of ``chunks`` descriptors."""
+        chunks = max(1, chunks & 0xF)
+        ctx.cov(1)
+        descs = self.kernel.heap.pvPortMalloc(ctx, chunks * _DESC_BYTES)
+        if descs == 0:
+            return E_NOMEM
+        writes = chunks
+        if chunks > 1 and self.kernel.bugs.enabled("t4_infinitime_spi_oob"):
+            # chained transfers emit a trailing stop descriptor the
+            # allocation never accounted for
+            writes = chunks + 1
+        for idx in range(writes):
+            ctx.st32(descs + idx * _DESC_BYTES, 0x40003000)
+            ctx.st32(descs + idx * _DESC_BYTES + 4, 0xFF if idx == writes - 1 else idx)
+        self.kernel.heap.vPortFree(ctx, descs)
+        return writes
+
+
+class St7789Module(GuestModule):
+    """src/drivers/St7789: the display driver's draw buffer."""
+
+    location = "src/drivers/St7789"
+
+    def __init__(self, kernel):
+        super().__init__(name="st7789")
+        self.kernel = kernel
+        self.draw_buf = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_app(APP_ST7789, self.handle)
+
+    def handle(self, ctx: GuestContext, op: int, arg: int) -> int:
+        if op == ST_OP_WAKE:
+            return self.st7789_wake(ctx)
+        if op == ST_OP_SLEEP:
+            return self.st7789_sleep(ctx)
+        if op == ST_OP_VSYNC:
+            return self.st7789_vsync(ctx, arg)
+        return E_INVAL
+
+    @guestfn(name="st7789_wake")
+    def st7789_wake(self, ctx: GuestContext) -> int:
+        """Wake the panel: allocate the draw buffer."""
+        if self.draw_buf:
+            return E_INVAL
+        buf = self.kernel.heap.pvPortMalloc(ctx, _DRAW_BUF_BYTES)
+        if buf == 0:
+            return E_NOMEM
+        ctx.memset(buf, 0, _DRAW_BUF_BYTES)
+        self.draw_buf = buf
+        ctx.cov(1)
+        return 0
+
+    @guestfn(name="st7789_sleep")
+    def st7789_sleep(self, ctx: GuestContext) -> int:
+        """Sleep transition: free the draw buffer."""
+        if self.draw_buf == 0:
+            return E_INVAL
+        self.kernel.heap.vPortFree(ctx, self.draw_buf)
+        if not self.kernel.bugs.enabled("t4_infinitime_st7789_uaf"):
+            self.draw_buf = 0
+        # the buggy driver leaves the vsync callback's pointer live
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="st7789_vsync")
+    def st7789_vsync(self, ctx: GuestContext, line: int) -> int:
+        """Vsync interrupt: flush one scanline from the draw buffer."""
+        if self.draw_buf == 0:
+            return E_INVAL
+        ctx.cov(3)
+        slot = (line % (_DRAW_BUF_BYTES // 4)) * 4
+        pixel = ctx.ld32(self.draw_buf + slot)  # UAF after sleep
+        ctx.st32(self.draw_buf + slot, pixel ^ 0xFFFF)
+        return pixel & 0x7FFFFFFF

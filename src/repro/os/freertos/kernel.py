@@ -1,0 +1,137 @@
+"""The rehosted FreeRTOS kernel.
+
+Exposes a task-API surface (the equivalent of the executor interface
+Tardis drives on RTOS targets): numbered operations over tasks, queues
+and the application modules the firmware ships.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional
+
+from repro.emulator.machine import Machine
+from repro.guest.context import GuestContext
+from repro.os.common import BugSwitchboard, KernelBase
+from repro.os.freertos.heap4 import Heap4Allocator
+from repro.os.freertos.queues import QueueLayer
+from repro.os.freertos.tasks import TaskLayer
+
+E_INVAL = -22
+E_NOMEM = -12
+
+
+class FreeRtosOp(enum.IntEnum):
+    """Executor-visible operations (the Tardis interface spec)."""
+
+    TASK_CREATE = 1
+    TASK_DELETE = 2
+    QUEUE_CREATE = 3
+    QUEUE_SEND = 4
+    QUEUE_RECV = 5
+    QUEUE_DELETE = 6
+    MALLOC = 7
+    FREE = 8
+    APP_OP = 9  #: a0 = app id, a1/a2 -> module
+
+
+class FreeRtosKernel(KernelBase):
+    """FreeRTOS with the InfiniTime application stack."""
+
+    os_name = "freertos"
+
+    def __init__(
+        self,
+        machine: Machine,
+        version: str = "10.4.3",
+        bugs: Optional[BugSwitchboard] = None,
+    ):
+        super().__init__(machine, bugs=bugs)
+        self.version = version
+        self.banner = f"FreeRTOS {version} (repro) scheduler started."
+        dram = machine.arch.region("dram")
+        self.heap = Heap4Allocator(dram.base, min(dram.size, 1 << 22))
+        self.tasks = TaskLayer(self)
+        self.queues = QueueLayer(self)
+        self.add_module(self.heap)
+        self.add_module(self.tasks)
+        self.add_module(self.queues)
+        #: app id -> handler(ctx, op, arg) registered by app modules
+        self.apps: Dict[int, Callable] = {}
+        #: raw allocations made through the executor interface
+        self._exec_allocs: Dict[int, int] = {}
+        self.op_count = 0
+
+    # ------------------------------------------------------------------
+    def register_app(self, app_id: int, handler: Callable) -> None:
+        """Register an application module's operation handler."""
+        self.apps[app_id] = handler
+
+    @property
+    def mm(self):
+        """Allocator alias so shared helpers work across OSs."""
+        return self.heap
+
+    def probe_workload(self, ctx: GuestContext) -> None:
+        """Boot-time self-test: exercise heap_4, tasks and queues."""
+        objs = []
+        for size in (16, 64, 200, 48):
+            addr = self.heap.pvPortMalloc(ctx, size)
+            if addr:
+                ctx.st32(addr, size)
+                objs.append(addr)
+        for addr in objs:
+            self.heap.vPortFree(ctx, addr)
+        handle = self.tasks.xTaskCreate(ctx, 1, 256)
+        if handle > 0:
+            self.tasks.vTaskDelete(ctx, handle)
+        queue = self.queues.xQueueCreate(ctx, 4, 0)
+        if queue > 0:
+            self.queues.xQueueSend(ctx, queue, 0x55)
+            self.queues.xQueueReceive(ctx, queue)
+            self.queues.vQueueDelete(ctx, queue)
+
+    # ------------------------------------------------------------------
+    def invoke(self, ctx: GuestContext, op: int, a0: int = 0, a1: int = 0,
+               a2: int = 0) -> int:
+        """The executor entry point (Tardis's interface)."""
+        self.op_count += 1
+        # task-API trap entry/exit: uninstrumented guest boilerplate
+        ctx.work(10)
+        try:
+            result = self._dispatch(ctx, op, a0, a1, a2)
+        finally:
+            self.sched.tick(ctx)
+        return result
+
+    def _dispatch(self, ctx: GuestContext, op: int, a0: int, a1: int,
+                  a2: int) -> int:
+        if op == FreeRtosOp.TASK_CREATE:
+            return self.tasks.xTaskCreate(ctx, a0, a1)
+        if op == FreeRtosOp.TASK_DELETE:
+            return self.tasks.vTaskDelete(ctx, a0)
+        if op == FreeRtosOp.QUEUE_CREATE:
+            return self.queues.xQueueCreate(ctx, a0, a1)
+        if op == FreeRtosOp.QUEUE_SEND:
+            return self.queues.xQueueSend(ctx, a0, a1)
+        if op == FreeRtosOp.QUEUE_RECV:
+            return self.queues.xQueueReceive(ctx, a0)
+        if op == FreeRtosOp.QUEUE_DELETE:
+            return self.queues.vQueueDelete(ctx, a0)
+        if op == FreeRtosOp.MALLOC:
+            addr = self.heap.pvPortMalloc(ctx, a0 & 0x3FF)
+            if addr:
+                self._exec_allocs[len(self._exec_allocs) + 1] = addr
+                return len(self._exec_allocs)
+            return E_NOMEM
+        if op == FreeRtosOp.FREE:
+            addr = self._exec_allocs.pop(a0, 0)
+            if addr == 0:
+                return E_INVAL
+            return self.heap.vPortFree(ctx, addr)
+        if op == FreeRtosOp.APP_OP:
+            handler = self.apps.get(a0)
+            if handler is None:
+                return E_INVAL
+            return handler(ctx, a1, a2)
+        return E_INVAL

@@ -1,0 +1,91 @@
+"""FreeRTOS queues: ring storage in guest heap memory."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+E_INVAL = -22
+E_NOMEM = -12
+E_FULL = -105
+E_EMPTY = -61
+
+_ITEM_BYTES = 4
+_HDR_BYTES = 16  #: head(4) tail(4) count(4) length(4)
+
+
+class QueueLayer(GuestModule):
+    """Queue control blocks + ring storage."""
+
+    location = "queue.c"
+
+    def __init__(self, kernel):
+        super().__init__(name="freertos_queues")
+        self.kernel = kernel
+        #: handle -> queue guest address
+        self.queues: Dict[int, int] = {}
+        self._next_handle = 1
+
+    # ------------------------------------------------------------------
+    @guestfn(name="xQueueCreate")
+    def xQueueCreate(self, ctx: GuestContext, length: int, _unused: int) -> int:
+        """Create a queue of ``length`` word items; returns its handle."""
+        length = max(1, length & 0x3F)
+        queue = self.kernel.heap.pvPortMalloc(
+            ctx, _HDR_BYTES + length * _ITEM_BYTES
+        )
+        if queue == 0:
+            return E_NOMEM
+        ctx.memset(queue, 0, _HDR_BYTES)
+        ctx.st32(queue + 12, length)
+        handle = self._next_handle
+        self._next_handle += 1
+        self.queues[handle] = queue
+        ctx.cov(1)
+        return handle
+
+    @guestfn(name="xQueueSend")
+    def xQueueSend(self, ctx: GuestContext, handle: int, item: int) -> int:
+        """Enqueue one item."""
+        queue = self.queues.get(handle)
+        if queue is None:
+            return E_INVAL
+        length = ctx.ld32(queue + 12)
+        count = ctx.ld32(queue + 8)
+        if count >= length:
+            return E_FULL
+        head = ctx.ld32(queue)
+        ctx.st32(queue + _HDR_BYTES + head * _ITEM_BYTES, item)
+        ctx.st32(queue, (head + 1) % length)
+        ctx.st32(queue + 8, count + 1)
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="xQueueReceive")
+    def xQueueReceive(self, ctx: GuestContext, handle: int) -> int:
+        """Dequeue one item; E_EMPTY when none is pending."""
+        queue = self.queues.get(handle)
+        if queue is None:
+            return E_INVAL
+        count = ctx.ld32(queue + 8)
+        if count == 0:
+            return E_EMPTY
+        length = ctx.ld32(queue + 12)
+        tail = ctx.ld32(queue + 4)
+        item = ctx.ld32(queue + _HDR_BYTES + tail * _ITEM_BYTES)
+        ctx.st32(queue + 4, (tail + 1) % length)
+        ctx.st32(queue + 8, count - 1)
+        ctx.cov(3)
+        return item & 0x7FFFFFFF
+
+    @guestfn(name="vQueueDelete")
+    def vQueueDelete(self, ctx: GuestContext, handle: int) -> int:
+        """Delete a queue, releasing its storage."""
+        queue = self.queues.pop(handle, None)
+        if queue is None:
+            return E_INVAL
+        self.kernel.heap.vPortFree(ctx, queue)
+        ctx.cov(4)
+        return 0

@@ -1,0 +1,61 @@
+"""FreeRTOS task layer: TCBs in guest heap memory."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+E_INVAL = -22
+E_NOMEM = -12
+
+_TCB_BYTES = 64
+
+
+class TaskLayer(GuestModule):
+    """Task control blocks and deletion semantics."""
+
+    location = "tasks.c"
+
+    def __init__(self, kernel):
+        super().__init__(name="freertos_tasks")
+        self.kernel = kernel
+        #: handle -> TCB guest address
+        self.tcbs: Dict[int, int] = {}
+        self._next_handle = 1
+
+    # ------------------------------------------------------------------
+    @guestfn(name="xTaskCreate")
+    def xTaskCreate(self, ctx: GuestContext, priority: int, depth: int) -> int:
+        """Create a task; returns its handle."""
+        tcb = self.kernel.heap.pvPortMalloc(ctx, _TCB_BYTES)
+        if tcb == 0:
+            return E_NOMEM
+        ctx.memset(tcb, 0, _TCB_BYTES)
+        ctx.st32(tcb, priority & 0xF)
+        ctx.st32(tcb + 4, max(64, depth & 0xFFF))
+        handle = self._next_handle
+        self._next_handle += 1
+        self.tcbs[handle] = tcb
+        ctx.cov(1)
+        return handle
+
+    @guestfn(name="vTaskDelete")
+    def vTaskDelete(self, ctx: GuestContext, handle: int) -> int:
+        """Delete a task, releasing its TCB."""
+        tcb = self.tcbs.pop(handle, None)
+        if tcb is None:
+            return E_INVAL
+        ctx.st32(tcb + 8, 0xDEAD)
+        self.kernel.heap.vPortFree(ctx, tcb)
+        ctx.cov(2)
+        return 0
+
+    @guestfn(name="uxTaskPriorityGet")
+    def uxTaskPriorityGet(self, ctx: GuestContext, handle: int) -> int:
+        """Read a task's priority from its TCB."""
+        tcb = self.tcbs.get(handle)
+        if tcb is None:
+            return E_INVAL
+        return ctx.ld32(tcb)

@@ -1,0 +1,11 @@
+"""Rehosted Huawei LiteOS.
+
+LOS memory pools (best-fit with guest-resident node headers), a small
+VFS and FAT layer, and the task-API surface Tardis drives on the
+OpenHarmony STM32 firmware.
+"""
+
+from repro.os.liteos.mempool import LosMemPool
+from repro.os.liteos.kernel import LiteOsKernel, LiteOsOp
+
+__all__ = ["LiteOsKernel", "LiteOsOp", "LosMemPool"]

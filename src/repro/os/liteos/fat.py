@@ -1,0 +1,69 @@
+"""LiteOS fs/fat: FAT directory entries.
+
+Table-4 defect: ``t4_stm32f407_fat_oob`` — the long-file-name assembler
+reads LFN slots past the directory sector for names spanning the sector
+boundary.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+E_INVAL = -22
+E_NOMEM = -12
+
+_SECTOR_BYTES = 128
+_LFN_SLOT_BYTES = 32
+
+
+class LiteOsFat(GuestModule):
+    """A miniature FAT driver."""
+
+    location = "fs/fat"
+
+    def __init__(self, kernel):
+        super().__init__(name="liteos_fat")
+        self.kernel = kernel
+        self.sector = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_app(2, self.handle)
+
+    def handle(self, ctx: GuestContext, op: int, arg: int) -> int:
+        if op == 1:
+            return self.fat_mount(ctx)
+        if op == 2:
+            return self.fat_read_lfn(ctx, arg)
+        return E_INVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="fat_mount")
+    def fat_mount(self, ctx: GuestContext) -> int:
+        """Mount: cache one directory sector."""
+        if self.sector:
+            return E_INVAL
+        sector = self.kernel.heap.los_mem_alloc(ctx, _SECTOR_BYTES)
+        if sector == 0:
+            return E_NOMEM
+        ctx.memset(sector, 0x41, _SECTOR_BYTES)
+        self.sector = sector
+        ctx.cov(1)
+        return 0
+
+    @guestfn(name="fat_read_lfn")
+    def fat_read_lfn(self, ctx: GuestContext, slots: int) -> int:
+        """Assemble a long file name spanning ``slots`` LFN entries."""
+        if self.sector == 0:
+            return E_INVAL
+        slots = max(1, slots & 0xF)
+        ctx.cov(2)
+        max_slots = _SECTOR_BYTES // _LFN_SLOT_BYTES
+        count = slots if self.kernel.bugs.enabled(
+            "t4_stm32f407_fat_oob"
+        ) else min(slots, max_slots)
+        checksum = 0
+        for slot in range(count):
+            # names spanning the sector boundary read past the cache
+            checksum ^= ctx.ld32(self.sector + slot * _LFN_SLOT_BYTES)
+        return checksum & 0x7FFFFFFF

@@ -1,0 +1,106 @@
+"""The rehosted LiteOS kernel."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional
+
+from repro.emulator.machine import Machine
+from repro.guest.context import GuestContext
+from repro.os.common import BugSwitchboard, KernelBase
+from repro.os.liteos.mempool import LosMemPool
+
+E_INVAL = -22
+E_NOMEM = -12
+
+
+class LiteOsOp(enum.IntEnum):
+    """Executor-visible operations (the Tardis interface spec)."""
+
+    MEM_ALLOC = 1
+    MEM_FREE = 2
+    TASK_CREATE = 3
+    APP_OP = 4  #: a0 = app id, a1/a2 -> module
+
+
+class LiteOsKernel(KernelBase):
+    """LiteOS with the OpenHarmony STM32 application stack."""
+
+    os_name = "liteos"
+
+    def __init__(
+        self,
+        machine: Machine,
+        version: str = "5.0",
+        bugs: Optional[BugSwitchboard] = None,
+    ):
+        super().__init__(machine, bugs=bugs)
+        self.version = version
+        self.banner = f"Huawei LiteOS {version} (repro) entering scheduler."
+        sram = machine.arch.region("dram")
+        self.heap = LosMemPool(sram.base, min(sram.size, 1 << 21))
+        self.add_module(self.heap)
+        self.apps: Dict[int, Callable] = {}
+        self._exec_allocs: Dict[int, int] = {}
+        self.op_count = 0
+
+    @property
+    def mm(self):
+        """Allocator alias shared across OS kernels."""
+        return self.heap
+
+    def register_app(self, app_id: int, handler: Callable) -> None:
+        """Register an application module's operation handler."""
+        self.apps[app_id] = handler
+
+    def probe_workload(self, ctx: GuestContext) -> None:
+        """Boot-time self-test: exercise the LOS memory pool."""
+        objs = []
+        for size in (24, 96, 200, 64):
+            addr = self.heap.los_mem_alloc(ctx, size)
+            if addr:
+                ctx.st32(addr, size)
+                ctx.st32(addr + 4, 0)
+                objs.append(addr)
+        for addr in objs:
+            self.heap.los_mem_free(ctx, addr)
+
+    # ------------------------------------------------------------------
+    def invoke(self, ctx: GuestContext, op: int, a0: int = 0, a1: int = 0,
+               a2: int = 0) -> int:
+        """The executor entry point (Tardis's interface)."""
+        self.op_count += 1
+        # task-API trap entry/exit: uninstrumented guest boilerplate
+        ctx.work(10)
+        try:
+            result = self._dispatch(ctx, op, a0, a1, a2)
+        finally:
+            self.sched.tick(ctx)
+        return result
+
+    def _dispatch(self, ctx: GuestContext, op: int, a0: int, a1: int,
+                  a2: int) -> int:
+        if op == LiteOsOp.MEM_ALLOC:
+            addr = self.heap.los_mem_alloc(ctx, a0 & 0x3FF)
+            if addr == 0:
+                return E_NOMEM
+            self._exec_allocs[len(self._exec_allocs) + 1] = addr
+            return len(self._exec_allocs)
+        if op == LiteOsOp.MEM_FREE:
+            addr = self._exec_allocs.pop(a0, 0)
+            if addr == 0:
+                return E_INVAL
+            return self.heap.los_mem_free(ctx, addr)
+        if op == LiteOsOp.TASK_CREATE:
+            tcb = self.heap.los_mem_alloc(ctx, 48)
+            if tcb == 0:
+                return E_NOMEM
+            ctx.st32(tcb, a0 & 0xF)
+            self._exec_allocs[len(self._exec_allocs) + 1] = tcb
+            return len(self._exec_allocs)
+        if op == LiteOsOp.APP_OP:
+            handler = self.apps.get(a0)
+            if handler is None:
+                return E_INVAL
+            return handler(ctx, a1, a2)
+        return E_INVAL

@@ -1,0 +1,114 @@
+"""LOS memory pools: best-fit allocation with guest-resident headers.
+
+Models LiteOS's ``LOS_MemAlloc``/``LOS_MemFree`` over one system pool:
+each node carries a size-and-flag header word inside guest memory, a
+free node additionally stores its next-free link, and frees coalesce
+with the following node like the real implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+_HEADER_BYTES = 8
+_USED_FLAG = 0x8000_0000
+_ALIGN = 8
+
+
+class LosMemPool(GuestModule):
+    """The LiteOS system memory pool."""
+
+    location = "kernel/base/mem"
+
+    def __init__(self, base: int, size: int):
+        super().__init__(name="los_mem")
+        self.base = _align_up(base)
+        self.size = size - (self.base - base)
+        self.alloc_count = 0
+        self.free_count = 0
+        #: free node addresses, kept sorted (host index over guest nodes)
+        self._free_nodes: List[int] = []
+
+    def on_install(self, ctx: GuestContext) -> None:
+        first = self.base
+        ctx.raw_st32(first, self.size)  # node size, free
+        ctx.raw_st32(first + 4, 0)
+        self._free_nodes = [first]
+
+    # ------------------------------------------------------------------
+    @guestfn(name="LOS_MemAlloc", allocator="alloc")
+    def los_mem_alloc(self, ctx: GuestContext, size: int) -> int:
+        """Best-fit allocate ``size`` bytes from the pool."""
+        if size <= 0:
+            return 0
+        need = _align_up(size + _HEADER_BYTES)
+        best = None
+        best_size = 1 << 62
+        for node in self._free_nodes:
+            node_size = ctx.raw_ld32(node)
+            if need <= node_size < best_size:
+                best, best_size = node, node_size
+        if best is None:
+            return 0
+        ctx.work(6)
+        self._free_nodes.remove(best)
+        if best_size - need >= _HEADER_BYTES * 2:
+            tail = best + need
+            ctx.raw_st32(tail, best_size - need)
+            ctx.raw_st32(tail + 4, 0)
+            self._free_nodes.append(tail)
+            self._free_nodes.sort()
+            ctx.raw_st32(best, need | _USED_FLAG)
+        else:
+            ctx.raw_st32(best, best_size | _USED_FLAG)
+        self.alloc_count += 1
+        addr = best + _HEADER_BYTES
+        ctx.notify_alloc(addr, size, 0)
+        return addr
+
+    @guestfn(name="LOS_MemFree", allocator="free")
+    def los_mem_free(self, ctx: GuestContext, addr: int) -> int:
+        """Return a node to the pool, coalescing with the next node."""
+        if addr == 0:
+            return -1
+        ctx.notify_free(addr)
+        node = addr - _HEADER_BYTES
+        word = ctx.raw_ld32(node)
+        if not word & _USED_FLAG:
+            self.free_count += 1
+            return -1  # double free: the pool header is already clear
+        size = word & ~_USED_FLAG
+        ctx.raw_st32(node, size)
+        self.free_count += 1
+        ctx.work(6)
+        # coalesce with the immediately following free node
+        nxt = node + size
+        if nxt in self._free_nodes:
+            nxt_size = ctx.raw_ld32(nxt)
+            ctx.raw_st32(node, size + nxt_size)
+            self._free_nodes.remove(nxt)
+        self._free_nodes.append(node)
+        self._free_nodes.sort()
+        return 0
+
+    # ------------------------------------------------------------------
+    def free_bytes(self, ctx: GuestContext) -> int:
+        """Total free pool bytes (diagnostic)."""
+        return sum(ctx.raw_ld32(node) for node in self._free_nodes)
+
+    def check_invariants(self, ctx: GuestContext) -> None:
+        """Free nodes must be sorted, in range, non-overlapping."""
+        last_end = self.base
+        for node in self._free_nodes:
+            size = ctx.raw_ld32(node)
+            assert node >= last_end - 0, "free nodes overlap"
+            assert not size & _USED_FLAG, "free node flagged used"
+            assert self.base <= node < self.base + self.size
+            last_end = node + size
+
+
+def _align_up(value: int) -> int:
+    return (value + _ALIGN - 1) // _ALIGN * _ALIGN

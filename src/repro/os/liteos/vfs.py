@@ -1,0 +1,60 @@
+"""LiteOS fs/vfs: path resolution.
+
+Table-4 defects (one per OpenHarmony STM32 firmware):
+
+* ``t4_stm32mp1_vfs_oob`` / ``t4_stm32f407_vfs_oob`` — the path
+  normalizer copies each path component into a fixed name buffer
+  without bounding the component length.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+E_INVAL = -22
+E_NOMEM = -12
+
+_NAME_BUF_BYTES = 32
+
+
+class LiteOsVfs(GuestModule):
+    """A miniature LiteOS VFS."""
+
+    location = "fs/vfs"
+
+    def __init__(self, kernel, bug_id: str):
+        super().__init__(name="liteos_vfs")
+        self.kernel = kernel
+        self.bug_id = bug_id
+        self.lookups = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        self.kernel.register_app(1, self.handle)
+
+    def handle(self, ctx: GuestContext, op: int, arg: int) -> int:
+        if op == 1:
+            return self.vfs_normalize_path(ctx, arg)
+        return E_INVAL
+
+    # ------------------------------------------------------------------
+    @guestfn(name="vfs_normalize_path")
+    def vfs_normalize_path(self, ctx: GuestContext, component_len: int) -> int:
+        """Normalize a path with one ``component_len``-byte component."""
+        component_len &= 0x7F
+        if component_len == 0:
+            return E_INVAL
+        ctx.cov(1)
+        name_buf = self.kernel.heap.los_mem_alloc(ctx, _NAME_BUF_BYTES)
+        if name_buf == 0:
+            return E_NOMEM
+        limit = component_len if self.kernel.bugs.enabled(
+            self.bug_id
+        ) else min(component_len, _NAME_BUF_BYTES)
+        for idx in range(limit):
+            # the buggy normalizer never checks the component against
+            # the fixed name buffer
+            ctx.st8(name_buf + idx, 0x61 + (idx % 26))
+        self.kernel.heap.los_mem_free(ctx, name_buf)
+        self.lookups += 1
+        return limit

@@ -1,0 +1,13 @@
+"""Rehosted Wind River VxWorks (closed-source firmware).
+
+memPartLib (first-fit partitions with guest-resident headers) plus the
+TP-Link WDR-7660's network services — ``pppoed`` and ``dhcpsd`` — which
+ship as **stripped EVM32 binaries** and execute on the TCG engine.
+This is the Prober's category-3 target: no source, no symbols, and the
+sanitizer sees only what the emulator exposes.
+"""
+
+from repro.os.vxworks.mempart import MemPartLib
+from repro.os.vxworks.kernel import VxWorksKernel, VxWorksOp
+
+__all__ = ["MemPartLib", "VxWorksKernel", "VxWorksOp"]

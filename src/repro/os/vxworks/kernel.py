@@ -1,0 +1,198 @@
+"""The rehosted VxWorks kernel (TP-Link WDR-7660).
+
+Closed-source firmware: the memPartLib module is stripped and the
+network daemons are opaque EVM32 binaries executing on the TCG engine.
+The executor interface models packets arriving from the network.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.emulator.machine import Machine
+from repro.guest.context import GuestContext
+from repro.os.common import BugSwitchboard, KernelBase
+from repro.os.vxworks.mempart import MemPartLib
+from repro.os.vxworks.netsvc import (
+    DHCP_RESP_BYTES,
+    PPPOE_RESP_BYTES,
+    assemble_services,
+)
+
+E_INVAL = -22
+E_NOMEM = -12
+
+#: blob placement inside flash (away from rehosted-function slots)
+_BLOB_OFFSET = 0x20_0000
+_BLOB_STRIDE = 0x1000
+
+
+class VxWorksOp(enum.IntEnum):
+    """Executor-visible operations (packets + partition ops)."""
+
+    PPPOE_PACKET = 1  #: a0 = code, a1 = tag_len, a2 = seed
+    DHCP_PACKET = 2  #: a0 = op, a1 = opt_len, a2 = seed
+    MALLOC = 3
+    FREE = 4
+
+
+class VxWorksKernel(KernelBase):
+    """VxWorks with the WDR-7660 service set."""
+
+    os_name = "vxworks"
+    #: closed-source: even the kernel's own wrapper symbols are stripped
+    stripped = True
+
+    def __init__(
+        self,
+        machine: Machine,
+        version: str = "6.9",
+        bugs: Optional[BugSwitchboard] = None,
+    ):
+        super().__init__(machine, bugs=bugs)
+        self.version = version
+        self.banner = f"VxWorks {version} (repro) WDR-7660 services up."
+        dram = machine.arch.region("dram")
+        self.heap = MemPartLib(dram.base, min(dram.size, 1 << 21))
+        self.add_module(self.heap)
+        self.cpu = None
+        self.blobs: Dict[str, tuple] = {}
+        self._halt_pad = 0
+        self._exec_allocs: Dict[int, int] = {}
+        self.op_count = 0
+
+    @property
+    def mm(self):
+        """Allocator alias shared across OS kernels."""
+        return self.heap
+
+    # ------------------------------------------------------------------
+    def do_boot(self, ctx: GuestContext) -> None:
+        flash = self.machine.arch.region("flash")
+        base = flash.base + _BLOB_OFFSET
+        self.blobs = assemble_services(
+            base, base + _BLOB_STRIDE, base + 2 * _BLOB_STRIDE
+        )
+        with ctx.bus.untraced():
+            for name, (image, blob_base, _entry) in self.blobs.items():
+                ctx.bus.region_named("flash").write(blob_base, image)
+                ctx.layout.register_blob(name, blob_base, max(len(image), 1))
+        self._halt_pad = self.blobs["halt_pad"][2]
+        sram = self.machine.arch.region("sram")
+        self.cpu = self.machine.add_cpu(
+            pc=self._halt_pad, sp=sram.base + sram.size // 4, engine="tcg"
+        )
+
+    def probe_workload(self, ctx: GuestContext) -> None:
+        """Boot-time self-test: exercise the system partition and feed
+        each daemon one benign packet (observable service activity)."""
+        objs = []
+        for size in (16, 64, 128, 40):
+            addr = self.heap.memPartAlloc(ctx, size)
+            if addr:
+                ctx.st32(addr, size)
+                objs.append(addr)
+        for addr in objs:
+            self.heap.memPartFree(ctx, addr)
+        self._pppoe_rx(ctx, 0x09, 4, 1)
+        self._dhcp_rx(ctx, 1, 4, 1)
+
+    # ------------------------------------------------------------------
+    def _run_blob(self, entry: int, pkt: int, pkt_len: int, resp: int) -> int:
+        """Execute a service blob with the packet register convention."""
+        state = self.cpu.state
+        state.halted = False
+        state.pc = entry
+        state.write(1, pkt)
+        state.write(2, pkt_len)
+        state.write(3, resp)
+        state.write(15, self._halt_pad)
+        self.cpu.run(max_steps=100_000)
+        return _signed(state.read(1))
+
+    # ------------------------------------------------------------------
+    def invoke(self, ctx: GuestContext, op: int, a0: int = 0, a1: int = 0,
+               a2: int = 0) -> int:
+        """The executor entry point (packets from the network side)."""
+        self.op_count += 1
+        # task-API trap entry/exit: uninstrumented guest boilerplate
+        ctx.work(10)
+        try:
+            result = self._dispatch(ctx, op, a0, a1, a2)
+        finally:
+            self.sched.tick(ctx)
+        return result
+
+    def _dispatch(self, ctx: GuestContext, op: int, a0: int, a1: int,
+                  a2: int) -> int:
+        if op == VxWorksOp.PPPOE_PACKET:
+            return self._pppoe_rx(ctx, a0, a1, a2)
+        if op == VxWorksOp.DHCP_PACKET:
+            return self._dhcp_rx(ctx, a0, a1, a2)
+        if op == VxWorksOp.MALLOC:
+            addr = self.heap.memPartAlloc(ctx, a0 & 0x3FF)
+            if addr == 0:
+                return E_NOMEM
+            self._exec_allocs[len(self._exec_allocs) + 1] = addr
+            return len(self._exec_allocs)
+        if op == VxWorksOp.FREE:
+            addr = self._exec_allocs.pop(a0, 0)
+            if addr == 0:
+                return E_INVAL
+            return self.heap.memPartFree(ctx, addr)
+        return E_INVAL
+
+    # ------------------------------------------------------------------
+    def _pppoe_rx(self, ctx: GuestContext, code: int, tag_len: int,
+                  seed: int) -> int:
+        """A PPPoE discovery frame arrived on the WAN interface."""
+        tag_len &= 0xFF
+        payload = _packet_payload(seed, 16)
+        header = bytes((0x11, code & 0xFF, 0, 0, 0x01, 0x01,
+                        tag_len & 0xFF, (tag_len >> 8) & 0xFF))
+        pkt_bytes = header + payload
+        pkt = self.heap.memPartAlloc(ctx, len(pkt_bytes))
+        resp = self.heap.memPartAlloc(ctx, PPPOE_RESP_BYTES)
+        if pkt == 0 or resp == 0:
+            return E_NOMEM
+        ctx.write_bytes(pkt, pkt_bytes)
+        if (code & 0xFF) == 0x09 and tag_len > PPPOE_RESP_BYTES:
+            # ground truth: the daemon's missing clamp is about to fire
+            self.bugs.enabled("t4_wdr7660_pppoed_oob")
+        result = self._run_blob(self.blobs["pppoed"][2], pkt, len(pkt_bytes), resp)
+        self.heap.memPartFree(ctx, resp)
+        self.heap.memPartFree(ctx, pkt)
+        return result
+
+    def _dhcp_rx(self, ctx: GuestContext, bootp_op: int, opt_len: int,
+                 seed: int) -> int:
+        """A BOOTP/DHCP datagram arrived on the LAN interface."""
+        opt_len &= 0xFF
+        payload = _packet_payload(seed, 12)
+        header = bytes((bootp_op & 0xFF, 1, 53, opt_len & 0xFF))
+        pkt_bytes = header + payload
+        pkt = self.heap.memPartAlloc(ctx, len(pkt_bytes))
+        resp = self.heap.memPartAlloc(ctx, DHCP_RESP_BYTES)
+        if pkt == 0 or resp == 0:
+            return E_NOMEM
+        ctx.write_bytes(pkt, pkt_bytes)
+        if (bootp_op & 0xFF) == 1 and opt_len > DHCP_RESP_BYTES:
+            self.bugs.enabled("t4_wdr7660_dhcpsd_oob")
+        result = self._run_blob(self.blobs["dhcpsd"][2], pkt, len(pkt_bytes), resp)
+        self.heap.memPartFree(ctx, resp)
+        self.heap.memPartFree(ctx, pkt)
+        return result
+
+
+def _packet_payload(seed: int, size: int) -> bytes:
+    state = (seed * 2246822519 + 7) & 0xFFFFFFFF
+    out = bytearray()
+    while len(out) < size:
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        out.append((state >> 16) & 0xFF)
+    return bytes(out)
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value >= 1 << 31 else value

@@ -1,0 +1,104 @@
+"""VxWorks memPartLib: first-fit partition allocator.
+
+Block headers (size word + free link) live in guest memory.  The
+module is ``stripped``: closed-source firmware exports no symbols, so
+the Prober must identify ``memPartAlloc``/``memPartFree`` purely from
+their call/return behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+
+_HEADER_BYTES = 8
+_USED_FLAG = 0x8000_0000
+_ALIGN = 8
+
+
+class MemPartLib(GuestModule):
+    """The VxWorks system memory partition."""
+
+    location = "memPartLib"
+    stripped = True
+
+    def __init__(self, base: int, size: int):
+        super().__init__(name="memPartLib")
+        self.base = _align_up(base)
+        self.size = size - (self.base - base)
+        self.alloc_count = 0
+        self.free_count = 0
+        self._free_head = 0
+
+    def on_install(self, ctx: GuestContext) -> None:
+        first = self.base
+        ctx.raw_st32(first, self.size)
+        ctx.raw_st32(first + 4, 0)  # next free = NULL
+        self._free_head = first
+
+    # ------------------------------------------------------------------
+    @guestfn(name="memPartAlloc", allocator="alloc")
+    def memPartAlloc(self, ctx: GuestContext, size: int) -> int:
+        """First-fit allocate ``size`` bytes from the partition."""
+        if size <= 0:
+            return 0
+        need = _align_up(size + _HEADER_BYTES)
+        prev = 0
+        block = self._free_head
+        hops = 0
+        while block:
+            hops += 1
+            if hops > 256 or not self.base <= block < self.base + self.size:
+                # heap corruption (an overflow scribbled a header): the
+                # real memPartLib would wander or crash here; we fail the
+                # allocation so the guest stays drivable
+                return 0
+            block_size = ctx.raw_ld32(block) & ~_USED_FLAG
+            if block_size >= need:
+                break
+            prev = block
+            block = ctx.raw_ld32(block + 4)
+        if not block:
+            return 0
+        ctx.work(5)
+        block_size = ctx.raw_ld32(block) & ~_USED_FLAG
+        nxt = ctx.raw_ld32(block + 4)
+        if block_size - need >= _HEADER_BYTES * 2:
+            tail = block + need
+            ctx.raw_st32(tail, block_size - need)
+            ctx.raw_st32(tail + 4, nxt)
+            nxt = tail
+            ctx.raw_st32(block, need | _USED_FLAG)
+        else:
+            ctx.raw_st32(block, block_size | _USED_FLAG)
+        if prev:
+            ctx.raw_st32(prev + 4, nxt)
+        else:
+            self._free_head = nxt
+        self.alloc_count += 1
+        addr = block + _HEADER_BYTES
+        ctx.notify_alloc(addr, size, 0)
+        return addr
+
+    @guestfn(name="memPartFree", allocator="free")
+    def memPartFree(self, ctx: GuestContext, addr: int) -> int:
+        """Return a block to the partition free list (no coalescing,
+        like classic memPartLib)."""
+        if addr == 0:
+            return -1
+        ctx.notify_free(addr)
+        block = addr - _HEADER_BYTES
+        word = ctx.raw_ld32(block)
+        if not word & _USED_FLAG:
+            self.free_count += 1
+            return -1  # double free
+        ctx.raw_st32(block, word & ~_USED_FLAG)
+        ctx.raw_st32(block + 4, self._free_head)
+        self._free_head = block
+        self.free_count += 1
+        ctx.work(4)
+        return 0
+
+
+def _align_up(value: int) -> int:
+    return (value + _ALIGN - 1) // _ALIGN * _ALIGN

@@ -1,0 +1,15 @@
+"""EMBSAN's three components plus baselines.
+
+* :mod:`repro.sanitizers.distiller` — the Sanitizer Common Function
+  Distiller (§3.1): parses reference sanitizer headers/sources into the
+  SanSpec DSL and merges multiple sanitizers into one specification.
+* :mod:`repro.sanitizers.prober` — the Embedded Platform Configuration
+  Prober (§3.2): dry-runs firmware to produce platform specs and
+  initialization routines, with one strategy per firmware category.
+* :mod:`repro.sanitizers.runtime` — the Common Sanitizer Runtime (§3.3):
+  compiles the DSL, patches emulator probes/hypercall routes, keeps the
+  unified shadow memory and performs KASAN/KCSAN validation on the host.
+* :mod:`repro.sanitizers.native` — in-guest KASAN/KCSAN baselines whose
+  check routines execute as translated guest code (the comparison bars
+  of Figure 2).
+"""

@@ -1,0 +1,25 @@
+"""The Sanitizer Common Function Distiller (§3.1).
+
+Statically parses reference sanitizer implementations — header files
+for the interception API, source files for call structure and external
+resources — and distills them into SanSpec sanitizer specifications.
+``refs/`` ships reduced reference copies of Linux's KASAN and KCSAN.
+"""
+
+from repro.sanitizers.distiller.headers import parse_header, ApiDecl
+from repro.sanitizers.distiller.sources import parse_source, SourceInfo
+from repro.sanitizers.distiller.distill import (
+    distill,
+    distill_reference,
+    load_reference,
+)
+
+__all__ = [
+    "ApiDecl",
+    "SourceInfo",
+    "distill",
+    "distill_reference",
+    "load_reference",
+    "parse_header",
+    "parse_source",
+]

@@ -1,0 +1,127 @@
+"""Distillation: header + source -> SanSpec sanitizer specification.
+
+Interception points are recognized by their well-known compiler ABI
+names (``__asan_load4``, ``__tsan_write8``, ...), the way real
+binary-instrumentation tooling pattern-matches sanitizer interfaces.
+Functions the call graph shows are *callees* of the API (``kasan_poison``
+and friends) are runtime internals, not interception points.  Sized
+variants (``load1``/``load2``/.../``loadN``) collapse into one event
+whose argument list gains the size.
+"""
+
+from __future__ import annotations
+
+import re
+from importlib import resources as importlib_resources
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DistillerError
+from repro.sanitizers.distiller.headers import ApiDecl, parse_header
+from repro.sanitizers.distiller.sources import SourceInfo, parse_source
+from repro.sanitizers.dsl.ast import InterceptNode, SanitizerSpec
+
+#: ABI name pattern -> (event, implied extra args)
+_EVENT_PATTERNS: Tuple[Tuple[str, str], ...] = (
+    (r"^__asan_load(\d+|N)$", "load"),
+    (r"^__asan_store(\d+|N)$", "store"),
+    (r"^__tsan_read(\d+|N)$", "load"),
+    (r"^__tsan_write(\d+|N)$", "store"),
+    (r"^__msan_load(\d+|N)$", "load"),
+    (r"^__msan_store(\d+|N)$", "store"),
+    (r"^\w*_mark_initialized$", "mark-init"),
+    (r"^__asan_memcpy_read$", "range-read"),
+    (r"^__asan_memcpy_write$", "range-write"),
+    (r"^\w*_alloc_object$", "alloc"),
+    (r"^\w*_free_object$", "free"),
+    (r"^\w*_poison_slab$", "slab-page"),
+    (r"^__asan_register_globals$", "global-register"),
+    (r"^__asan_alloca_poison$", "stack-var"),
+    (r"^__asan_allocas_unpoison$", "stack-leave"),
+)
+
+#: parameter-name normalization to the DSL's canonical vocabulary
+_ARG_ALIASES = {
+    "ip": "pc",
+    "type": "marked",
+    "write": "marked",
+}
+
+
+def _classify(name: str) -> Optional[Tuple[str, bool]]:
+    """Map an API name to (event, has_implicit_size)."""
+    for pattern, event in _EVENT_PATTERNS:
+        match = re.match(pattern, name)
+        if match:
+            implicit = bool(match.groups()) and match.group(1) != "N"
+            return event, implicit
+    return None
+
+
+def distill(name: str, header_text: str, source_text: str) -> SanitizerSpec:
+    """Distill one sanitizer's reference implementation."""
+    decls, defines = parse_header(header_text)
+    info = parse_source(source_text)
+
+    # interception API = declared functions that are not callees of
+    # other declared functions (runtime internals sit below the API)
+    internals = set()
+    for callees in info.call_graph.values():
+        internals |= callees
+    events: Dict[str, List[str]] = {}
+    recognized = 0
+    for decl in decls:
+        classification = _classify(decl.name)
+        if classification is None:
+            continue
+        if decl.name in internals and decl.name not in info.call_graph:
+            continue
+        event, implicit_size = classification
+        recognized += 1
+        args = [_ARG_ALIASES.get(param, param) for param in decl.params]
+        if implicit_size and "size" not in args:
+            args.insert(1, "size")  # loadN variants carry it explicitly
+        merged = events.setdefault(event, [])
+        for arg in args:
+            if arg not in merged:
+                merged.append(arg)
+    if recognized == 0:
+        raise DistillerError(
+            f"no interception points recognized for sanitizer {name!r}"
+        )
+
+    requires = []
+    for _var, resource in info.resources:
+        if resource == "shadow-memory":
+            granule = defines.get("KASAN_SHADOW_SCALE_SHIFT", 3)
+            requires.append(("shadow-memory", 1 << int(granule)))
+        elif resource == "watchpoints":
+            requires.append(("watchpoints", 256))
+        else:
+            requires.append((resource, 0))
+
+    intercepts = tuple(
+        InterceptNode(event, tuple(args))
+        for event, args in sorted(events.items())
+    )
+    return SanitizerSpec(name, intercepts, tuple(requires))
+
+
+# ----------------------------------------------------------------------
+# reference implementations shipped with the package
+# ----------------------------------------------------------------------
+def load_reference(name: str) -> Tuple[str, str]:
+    """Load the packaged reference (header, source) for a sanitizer."""
+    package = "repro.sanitizers.distiller"
+    try:
+        base = importlib_resources.files(package) / "refs"
+        header = (base / f"{name}.h").read_text()
+        source = (base / f"{name}.c").read_text()
+    except (FileNotFoundError, ModuleNotFoundError) as exc:
+        raise DistillerError(f"no reference implementation for {name!r}") from exc
+    return header, source
+
+
+def distill_reference(name: str) -> SanitizerSpec:
+    """Distill one of the packaged reference sanitizers ("kasan"/"kcsan")."""
+    header, source = load_reference(name)
+    return distill(name, header, source)

@@ -1,0 +1,54 @@
+"""C header parsing: extract the sanitizer's declared API."""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Tuple
+
+from repro.errors import DistillerError
+
+_DECL_RE = re.compile(
+    r"^\s*(?:void|int|unsigned\s+\w+|size_t)\s+(\w+)\s*\(([^)]*)\)\s*;",
+    re.MULTILINE,
+)
+_DEFINE_RE = re.compile(r"^\s*#define\s+(\w+)\s+(.+?)\s*$", re.MULTILINE)
+_IDENT_RE = re.compile(r"(\w+)\s*$")
+
+
+class ApiDecl(NamedTuple):
+    """One declared API function."""
+
+    name: str
+    params: Tuple[str, ...]
+
+
+def parse_header(text: str) -> Tuple[List[ApiDecl], dict]:
+    """Parse declarations and #defines from a C header.
+
+    Returns (declarations, defines).  Parameter *names* are recovered as
+    the last identifier of each parameter (C convention); ``void``
+    parameter lists yield an empty tuple.
+    """
+    decls: List[ApiDecl] = []
+    for match in _DECL_RE.finditer(text):
+        name, params_text = match.group(1), match.group(2).strip()
+        params: List[str] = []
+        if params_text and params_text != "void":
+            for piece in params_text.split(","):
+                ident = _IDENT_RE.search(piece.strip())
+                if ident is None:
+                    raise DistillerError(
+                        f"unparsable parameter {piece!r} in {name!r}"
+                    )
+                params.append(ident.group(1))
+        decls.append(ApiDecl(name, tuple(params)))
+    defines = {}
+    for match in _DEFINE_RE.finditer(text):
+        key, value = match.group(1), match.group(2)
+        try:
+            defines[key] = int(value.split("/*")[0].strip().rstrip("UL)u").lstrip("("), 0)
+        except ValueError:
+            defines[key] = value.strip()
+    if not decls:
+        raise DistillerError("header declares no API functions")
+    return decls, defines

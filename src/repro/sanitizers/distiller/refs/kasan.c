@@ -1,0 +1,69 @@
+/* Reference KASAN runtime logic (reduced from mm/kasan/generic.c).
+ * The Distiller parses the call structure of each interception API to
+ * recover the sanitizer's operational semantics and the external
+ * resources (shadow memory) the runtime must provide. */
+#include "kasan.h"
+
+unsigned char *kasan_shadow_base;   /* EXTERNAL RESOURCE: shadow-memory */
+unsigned long kasan_shadow_offset;
+
+void __asan_load1(unsigned long addr)  { kasan_check_range(addr, 1, 0); }
+void __asan_load2(unsigned long addr)  { kasan_check_range(addr, 2, 0); }
+void __asan_load4(unsigned long addr)  { kasan_check_range(addr, 4, 0); }
+void __asan_load8(unsigned long addr)  { kasan_check_range(addr, 8, 0); }
+void __asan_store1(unsigned long addr) { kasan_check_range(addr, 1, 1); }
+void __asan_store2(unsigned long addr) { kasan_check_range(addr, 2, 1); }
+void __asan_store4(unsigned long addr) { kasan_check_range(addr, 4, 1); }
+void __asan_store8(unsigned long addr) { kasan_check_range(addr, 8, 1); }
+
+void __asan_loadN(unsigned long addr, size_t size)
+{
+        kasan_check_range(addr, size, 0);
+}
+
+void __asan_storeN(unsigned long addr, size_t size)
+{
+        kasan_check_range(addr, size, 1);
+}
+
+void __asan_memcpy_read(unsigned long addr, size_t size)
+{
+        kasan_check_range(addr, size, 0);
+}
+
+void __asan_memcpy_write(unsigned long addr, size_t size)
+{
+        kasan_check_range(addr, size, 1);
+}
+
+void kasan_alloc_object(unsigned long addr, size_t size, unsigned int cache)
+{
+        kasan_unpoison(addr, size);
+        kasan_poison(addr + size, KASAN_GRANULE_SIZE * 2, 0xFA);
+}
+
+void kasan_free_object(unsigned long addr)
+{
+        kasan_poison(addr, 0, 0xFF);
+}
+
+void kasan_poison_slab(unsigned long addr, size_t size)
+{
+        kasan_poison(addr, size, 0xFC);
+}
+
+void __asan_register_globals(unsigned long addr, size_t size, size_t redzone)
+{
+        kasan_poison(addr + size, redzone, 0xF9);
+}
+
+void __asan_alloca_poison(unsigned long addr, size_t size)
+{
+        kasan_poison(addr - KASAN_GRANULE_SIZE * 2, KASAN_GRANULE_SIZE * 2, 0xF2);
+        kasan_poison(addr + size, KASAN_GRANULE_SIZE * 2, 0xF2);
+}
+
+void __asan_allocas_unpoison(unsigned long addr, size_t size)
+{
+        kasan_unpoison(addr, size);
+}

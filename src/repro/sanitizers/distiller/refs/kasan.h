@@ -1,0 +1,42 @@
+/* Reference KASAN interface header (reduced from the Linux kernel's
+ * include/linux/kasan.h + mm/kasan internals).  The Distiller parses
+ * this file to enumerate the sanitizer's interception API. */
+#ifndef _REF_KASAN_H
+#define _REF_KASAN_H
+
+#define KASAN_SHADOW_SCALE_SHIFT 3
+#define KASAN_GRANULE_SIZE (1UL << KASAN_SHADOW_SCALE_SHIFT)
+
+/* compiler-emitted access checks */
+void __asan_load1(unsigned long addr);
+void __asan_load2(unsigned long addr);
+void __asan_load4(unsigned long addr);
+void __asan_load8(unsigned long addr);
+void __asan_store1(unsigned long addr);
+void __asan_store2(unsigned long addr);
+void __asan_store4(unsigned long addr);
+void __asan_store8(unsigned long addr);
+void __asan_loadN(unsigned long addr, size_t size);
+void __asan_storeN(unsigned long addr, size_t size);
+
+/* memcpy-family interceptors */
+void __asan_memcpy_read(unsigned long addr, size_t size);
+void __asan_memcpy_write(unsigned long addr, size_t size);
+
+/* allocator hooks */
+void kasan_alloc_object(unsigned long addr, size_t size, unsigned int cache);
+void kasan_free_object(unsigned long addr);
+void kasan_poison_slab(unsigned long addr, size_t size);
+
+/* compile-time object registration */
+void __asan_register_globals(unsigned long addr, size_t size, size_t redzone);
+void __asan_alloca_poison(unsigned long addr, size_t size);
+void __asan_allocas_unpoison(unsigned long addr, size_t size);
+
+/* runtime-internal primitives (not interception points) */
+void kasan_poison(unsigned long addr, size_t size, unsigned char value);
+void kasan_unpoison(unsigned long addr, size_t size);
+int kasan_check_range(unsigned long addr, size_t size, int write);
+void kasan_report(unsigned long addr, size_t size, int write, unsigned long ip);
+
+#endif /* _REF_KASAN_H */

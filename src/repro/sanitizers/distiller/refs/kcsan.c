@@ -1,0 +1,52 @@
+/* Reference KCSAN runtime logic (reduced from kernel/kcsan/core.c). */
+#include "kcsan.h"
+
+unsigned long *kcsan_watchpoints;   /* EXTERNAL RESOURCE: watchpoints */
+
+void __tsan_read1(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 1, marked);
+        kcsan_setup_watchpoint(addr, 1, marked);
+}
+
+void __tsan_read2(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 2, marked);
+        kcsan_setup_watchpoint(addr, 2, marked);
+}
+
+void __tsan_read4(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 4, marked);
+        kcsan_setup_watchpoint(addr, 4, marked);
+}
+
+void __tsan_read8(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 8, marked);
+        kcsan_setup_watchpoint(addr, 8, marked);
+}
+
+void __tsan_write1(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 1, marked | KCSAN_ACCESS_WRITE);
+        kcsan_setup_watchpoint(addr, 1, marked | KCSAN_ACCESS_WRITE);
+}
+
+void __tsan_write2(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 2, marked | KCSAN_ACCESS_WRITE);
+        kcsan_setup_watchpoint(addr, 2, marked | KCSAN_ACCESS_WRITE);
+}
+
+void __tsan_write4(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 4, marked | KCSAN_ACCESS_WRITE);
+        kcsan_setup_watchpoint(addr, 4, marked | KCSAN_ACCESS_WRITE);
+}
+
+void __tsan_write8(unsigned long addr, int marked)
+{
+        kcsan_check_watchpoint(addr, 8, marked | KCSAN_ACCESS_WRITE);
+        kcsan_setup_watchpoint(addr, 8, marked | KCSAN_ACCESS_WRITE);
+}

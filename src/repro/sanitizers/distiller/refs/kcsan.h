@@ -1,0 +1,24 @@
+/* Reference KCSAN interface header (reduced from the Linux kernel's
+ * include/linux/kcsan-checks.h). */
+#ifndef _REF_KCSAN_H
+#define _REF_KCSAN_H
+
+#define KCSAN_ACCESS_WRITE  0x1
+#define KCSAN_ACCESS_ATOMIC 0x2
+
+/* compiler-emitted access checks: `marked` carries ACCESS_ATOMIC */
+void __tsan_read1(unsigned long addr, int marked);
+void __tsan_read2(unsigned long addr, int marked);
+void __tsan_read4(unsigned long addr, int marked);
+void __tsan_read8(unsigned long addr, int marked);
+void __tsan_write1(unsigned long addr, int marked);
+void __tsan_write2(unsigned long addr, int marked);
+void __tsan_write4(unsigned long addr, int marked);
+void __tsan_write8(unsigned long addr, int marked);
+
+/* runtime-internal primitives (not interception points) */
+void kcsan_setup_watchpoint(unsigned long addr, size_t size, int type);
+void kcsan_check_watchpoint(unsigned long addr, size_t size, int type);
+void kcsan_report(unsigned long addr, size_t size, int type, unsigned long other_ip);
+
+#endif /* _REF_KCSAN_H */

@@ -1,0 +1,38 @@
+/* Reference KMSAN runtime logic (reduced from mm/kmsan/). */
+#include "kmsan.h"
+
+unsigned char *kmsan_shadow;   /* EXTERNAL RESOURCE: init-shadow */
+
+void __msan_load1(unsigned long addr)  { kmsan_check_bytes(addr, 1); }
+void __msan_load2(unsigned long addr)  { kmsan_check_bytes(addr, 2); }
+void __msan_load4(unsigned long addr)  { kmsan_check_bytes(addr, 4); }
+void __msan_load8(unsigned long addr)  { kmsan_check_bytes(addr, 8); }
+void __msan_store1(unsigned long addr) { kmsan_set_bytes(addr, 1); }
+void __msan_store2(unsigned long addr) { kmsan_set_bytes(addr, 2); }
+void __msan_store4(unsigned long addr) { kmsan_set_bytes(addr, 4); }
+void __msan_store8(unsigned long addr) { kmsan_set_bytes(addr, 8); }
+
+void __msan_loadN(unsigned long addr, size_t size)
+{
+        kmsan_check_bytes(addr, size);
+}
+
+void __msan_storeN(unsigned long addr, size_t size)
+{
+        kmsan_set_bytes(addr, size);
+}
+
+void kmsan_alloc_object(unsigned long addr, size_t size, unsigned int cache)
+{
+        /* a fresh object is wholly uninitialized */
+}
+
+void kmsan_free_object(unsigned long addr)
+{
+        /* tracking ends with the object */
+}
+
+void kmsan_mark_initialized(unsigned long addr, size_t size)
+{
+        kmsan_set_bytes(addr, size);
+}

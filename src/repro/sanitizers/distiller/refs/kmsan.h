@@ -1,0 +1,31 @@
+/* Reference KMSAN interface header (reduced from the Linux kernel's
+ * include/linux/kmsan.h).  Distilled by the extension exercise of §5:
+ * a third sanitizer functionality plugged into the same pipeline. */
+#ifndef _REF_KMSAN_H
+#define _REF_KMSAN_H
+
+/* compiler-emitted access checks */
+void __msan_load1(unsigned long addr);
+void __msan_load2(unsigned long addr);
+void __msan_load4(unsigned long addr);
+void __msan_load8(unsigned long addr);
+void __msan_store1(unsigned long addr);
+void __msan_store2(unsigned long addr);
+void __msan_store4(unsigned long addr);
+void __msan_store8(unsigned long addr);
+void __msan_loadN(unsigned long addr, size_t size);
+void __msan_storeN(unsigned long addr, size_t size);
+
+/* allocator hooks */
+void kmsan_alloc_object(unsigned long addr, size_t size, unsigned int cache);
+void kmsan_free_object(unsigned long addr);
+
+/* externally initialized spans: __GFP_ZERO, copy_from_user */
+void kmsan_mark_initialized(unsigned long addr, size_t size);
+
+/* runtime-internal primitives (not interception points) */
+void kmsan_check_bytes(unsigned long addr, size_t size);
+void kmsan_set_bytes(unsigned long addr, size_t size);
+void kmsan_report(unsigned long addr, size_t size, unsigned long ip);
+
+#endif /* _REF_KMSAN_H */

@@ -1,0 +1,75 @@
+"""C source analysis: call graphs and external resources."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, NamedTuple, Set, Tuple
+
+_FN_DEF_RE = re.compile(r"^(?:void|int|unsigned\s+\w+)\s+(\w+)\s*\([^)]*\)\s*$",
+                        re.MULTILINE)
+_CALL_RE = re.compile(r"\b(\w+)\s*\(")
+_RESOURCE_RE = re.compile(
+    r"^\s*\w[\w\s*]*?\*?\s*(\w+)\s*;\s*/\*\s*EXTERNAL RESOURCE:\s*([\w-]+)\s*\*/",
+    re.MULTILINE,
+)
+
+_KEYWORDS = {"if", "while", "for", "return", "sizeof", "switch"}
+
+
+class SourceInfo(NamedTuple):
+    """Analysis result for one sanitizer source file."""
+
+    #: function name -> set of callee names
+    call_graph: Dict[str, Set[str]]
+    #: (variable, resource kind) external resources
+    resources: Tuple[Tuple[str, str], ...]
+
+
+def parse_source(text: str) -> SourceInfo:
+    """Extract the call graph and external-resource markers."""
+    resources = tuple(
+        (match.group(1), match.group(2))
+        for match in _RESOURCE_RE.finditer(text)
+    )
+    call_graph: Dict[str, Set[str]] = {}
+    lines = text.splitlines()
+    current = None
+    depth = 0
+    for idx, line in enumerate(lines):
+        if current is None:
+            match = _FN_DEF_RE.match(line.strip())
+            if match is None:
+                # one-line definitions: void f(...) { body }
+                inline = re.match(
+                    r"^(?:void|int|unsigned\s+\w+)\s+(\w+)\s*\([^)]*\)\s*\{(.*)\}\s*$",
+                    line.strip(),
+                )
+                if inline is not None:
+                    name = inline.group(1)
+                    call_graph[name] = _callees(inline.group(2)) - {name}
+                continue
+            current = match.group(1)
+            call_graph[current] = set()
+            depth = 0
+        else:
+            depth += line.count("{") - line.count("}")
+            call_graph[current] |= _callees(line)
+            if depth <= 0 and "}" in line:
+                call_graph[current].discard(current)
+                current = None
+    return SourceInfo(call_graph, resources)
+
+
+def _callees(text: str) -> Set[str]:
+    return {
+        name for name in _CALL_RE.findall(text)
+        if name not in _KEYWORDS
+    }
+
+
+def entry_points(info: SourceInfo) -> List[str]:
+    """Functions never called by other functions: the interception API."""
+    called: Set[str] = set()
+    for callees in info.call_graph.values():
+        called |= callees
+    return sorted(name for name in info.call_graph if name not in called)

@@ -1,0 +1,42 @@
+"""SanSpec: EMBSAN's in-house domain-specific language.
+
+The Distiller emits *sanitizer specifications* (interception APIs and
+their argument lists), the Prober emits *platform specifications*
+(memory map, allocator entry points, ready detection, initialization
+routine), and the Common Sanitizer Runtime compiles both into its
+runtime configuration.  Documents are S-expressions; see the grammar in
+:mod:`repro.sanitizers.dsl.parser`.
+"""
+
+from repro.sanitizers.dsl.ast import (
+    AllocFnNode,
+    InitOp,
+    InterceptNode,
+    MergedSpec,
+    PlatformSpec,
+    ReadyNode,
+    RegionNode,
+    SanitizerSpec,
+)
+from repro.sanitizers.dsl.parser import parse_document, parse_sexprs
+from repro.sanitizers.dsl.compiler import (
+    compile_platform,
+    compile_runtime_config,
+    merge_sanitizers,
+)
+
+__all__ = [
+    "AllocFnNode",
+    "InitOp",
+    "InterceptNode",
+    "MergedSpec",
+    "PlatformSpec",
+    "ReadyNode",
+    "RegionNode",
+    "SanitizerSpec",
+    "compile_platform",
+    "compile_runtime_config",
+    "merge_sanitizers",
+    "parse_document",
+    "parse_sexprs",
+]

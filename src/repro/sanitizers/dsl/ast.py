@@ -1,0 +1,270 @@
+"""Typed nodes for SanSpec documents, with lifting and emission.
+
+Node classes mirror the DSL's top-level forms::
+
+    (sanitizer "kasan"
+      (intercept load (args addr size))
+      (requires shadow-memory (granule 8)))
+
+    (merged-spec (sanitizers "kasan" "kcsan")
+      (intercept load (args addr size marked)
+                 (annotate addr "kasan,kcsan")))
+
+    (platform "OpenWRT-bcm63xx"
+      (arch "mips")
+      (memory-map (region "dram" 0x80000000 0x4000000 "dram") ...)
+      (alloc-fn 0x8000200 "kmalloc" (size-arg 0 "bytes"))
+      (free-fn 0x8000400 "kfree" (addr-arg 0))
+      (ready (banner "... ready."))
+      (init-routine (alloc 0x80001000 64 0) (global 0x20000000 26 32)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DslError
+from repro.sanitizers.dsl.parser import Symbol, write_sexpr
+
+
+@dataclass(frozen=True)
+class InterceptNode:
+    """One interception point: an event name and its argument names."""
+
+    event: str
+    args: Tuple[str, ...]
+    #: arg name -> comma-joined source sanitizers (merged specs only)
+    annotations: Tuple[Tuple[str, str], ...] = ()
+
+    def to_sexpr(self):
+        out = [Symbol("intercept"), Symbol(self.event),
+               [Symbol("args")] + [Symbol(a) for a in self.args]]
+        for arg, sources in self.annotations:
+            out.append([Symbol("annotate"), Symbol(arg), sources])
+        return out
+
+
+@dataclass(frozen=True)
+class SanitizerSpec:
+    """One sanitizer's distilled interface."""
+
+    name: str
+    intercepts: Tuple[InterceptNode, ...]
+    #: external resources the runtime must provide: name -> parameter
+    requires: Tuple[Tuple[str, int], ...] = ()
+
+    def events(self) -> Dict[str, Tuple[str, ...]]:
+        """event -> argument names."""
+        return {node.event: node.args for node in self.intercepts}
+
+    def to_sexpr(self):
+        out = [Symbol("sanitizer"), self.name]
+        out += [node.to_sexpr() for node in self.intercepts]
+        for resource, parameter in self.requires:
+            out.append([Symbol("requires"), Symbol(resource), parameter])
+        return out
+
+    def to_text(self) -> str:
+        return write_sexpr(self.to_sexpr())
+
+
+@dataclass(frozen=True)
+class MergedSpec:
+    """The union specification of several sanitizers (§3.1)."""
+
+    sanitizers: Tuple[str, ...]
+    intercepts: Tuple[InterceptNode, ...]
+    requires: Tuple[Tuple[str, int], ...] = ()
+
+    def events(self) -> Dict[str, Tuple[str, ...]]:
+        """event -> merged argument names."""
+        return {node.event: node.args for node in self.intercepts}
+
+    def to_sexpr(self):
+        out = [Symbol("merged-spec"),
+               [Symbol("sanitizers")] + list(self.sanitizers)]
+        out += [node.to_sexpr() for node in self.intercepts]
+        for resource, parameter in self.requires:
+            out.append([Symbol("requires"), Symbol(resource), parameter])
+        return out
+
+    def to_text(self) -> str:
+        return write_sexpr(self.to_sexpr())
+
+
+@dataclass(frozen=True)
+class RegionNode:
+    """One memory-map entry the Prober reconstructed."""
+
+    name: str
+    base: int
+    size: int
+    kind: str
+
+    def to_sexpr(self):
+        return [Symbol("region"), self.name, self.base, self.size, self.kind]
+
+
+@dataclass(frozen=True)
+class AllocFnNode:
+    """One allocator entry point the Prober identified."""
+
+    addr: int
+    kind: str  #: "alloc" or "free"
+    name: str = ""
+    size_arg: int = 0
+    size_kind: str = "bytes"
+    addr_arg: int = 0
+
+    def to_sexpr(self):
+        if self.kind == "alloc":
+            return [Symbol("alloc-fn"), self.addr, self.name,
+                    [Symbol("size-arg"), self.size_arg, self.size_kind]]
+        return [Symbol("free-fn"), self.addr, self.name,
+                [Symbol("addr-arg"), self.addr_arg]]
+
+
+@dataclass(frozen=True)
+class ReadyNode:
+    """How the firmware's ready-to-run state is recognized."""
+
+    kind: str  #: "hypercall" or "banner"
+    banner: str = ""
+
+    def to_sexpr(self):
+        if self.kind == "hypercall":
+            return [Symbol("ready"), [Symbol("hypercall")]]
+        return [Symbol("ready"), [Symbol("banner"), self.banner]]
+
+
+#: one recorded initialization action: (op, args)
+InitOp = Tuple[str, tuple]
+
+
+@dataclass
+class PlatformSpec:
+    """The Prober's output for one firmware."""
+
+    name: str
+    arch: str
+    category: int  #: 1 (instrumented), 2 (open), 3 (closed binary)
+    regions: List[RegionNode] = field(default_factory=list)
+    alloc_fns: List[AllocFnNode] = field(default_factory=list)
+    ready: ReadyNode = ReadyNode("hypercall")
+    init_routine: List[InitOp] = field(default_factory=list)
+    blobs: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    def to_sexpr(self):
+        out = [Symbol("platform"), self.name,
+               [Symbol("arch"), self.arch],
+               [Symbol("category"), self.category],
+               [Symbol("memory-map")] + [r.to_sexpr() for r in self.regions]]
+        out += [fn.to_sexpr() for fn in self.alloc_fns]
+        out.append(self.ready.to_sexpr())
+        routine = [Symbol("init-routine")]
+        for op, args in self.init_routine:
+            routine.append([Symbol(op)] + list(args))
+        out.append(routine)
+        for name, base, size in self.blobs:
+            out.append([Symbol("blob"), name, base, size])
+        return out
+
+    def to_text(self) -> str:
+        return write_sexpr(self.to_sexpr())
+
+
+# ----------------------------------------------------------------------
+# lifting parsed sexprs into nodes
+# ----------------------------------------------------------------------
+def lift(sexpr):
+    """Lift one top-level S-expression into a typed spec node."""
+    if not isinstance(sexpr, list) or not sexpr:
+        raise DslError(f"expected a form, got {sexpr!r}")
+    head = sexpr[0]
+    if head == Symbol("sanitizer"):
+        return _lift_sanitizer(sexpr)
+    if head == Symbol("merged-spec"):
+        return _lift_merged(sexpr)
+    if head == Symbol("platform"):
+        return _lift_platform(sexpr)
+    raise DslError(f"unknown top-level form {head!r}")
+
+
+def _lift_intercept(form) -> InterceptNode:
+    event = str(form[1])
+    args: Tuple[str, ...] = ()
+    annotations = []
+    for clause in form[2:]:
+        if clause and clause[0] == Symbol("args"):
+            args = tuple(str(a) for a in clause[1:])
+        elif clause and clause[0] == Symbol("annotate"):
+            annotations.append((str(clause[1]), str(clause[2])))
+    return InterceptNode(event, args, tuple(annotations))
+
+
+def _lift_sanitizer(sexpr) -> SanitizerSpec:
+    name = str(sexpr[1])
+    intercepts, requires = [], []
+    for clause in sexpr[2:]:
+        if clause[0] == Symbol("intercept"):
+            intercepts.append(_lift_intercept(clause))
+        elif clause[0] == Symbol("requires"):
+            requires.append((str(clause[1]), int(clause[2])))
+    return SanitizerSpec(name, tuple(intercepts), tuple(requires))
+
+
+def _lift_merged(sexpr) -> MergedSpec:
+    names: Tuple[str, ...] = ()
+    intercepts, requires = [], []
+    for clause in sexpr[1:]:
+        if clause[0] == Symbol("sanitizers"):
+            names = tuple(str(n) for n in clause[1:])
+        elif clause[0] == Symbol("intercept"):
+            intercepts.append(_lift_intercept(clause))
+        elif clause[0] == Symbol("requires"):
+            requires.append((str(clause[1]), int(clause[2])))
+    return MergedSpec(names, tuple(intercepts), tuple(requires))
+
+
+def _lift_platform(sexpr) -> PlatformSpec:
+    spec = PlatformSpec(name=str(sexpr[1]), arch="", category=2)
+    for clause in sexpr[2:]:
+        head = clause[0]
+        if head == Symbol("arch"):
+            spec.arch = str(clause[1])
+        elif head == Symbol("category"):
+            spec.category = int(clause[1])
+        elif head == Symbol("memory-map"):
+            spec.regions = [
+                RegionNode(str(r[1]), int(r[2]), int(r[3]), str(r[4]))
+                for r in clause[1:]
+            ]
+        elif head == Symbol("alloc-fn"):
+            sub = clause[3]
+            spec.alloc_fns.append(AllocFnNode(
+                int(clause[1]), "alloc", str(clause[2]),
+                size_arg=int(sub[1]), size_kind=str(sub[2]),
+            ))
+        elif head == Symbol("free-fn"):
+            sub = clause[3]
+            spec.alloc_fns.append(AllocFnNode(
+                int(clause[1]), "free", str(clause[2]),
+                addr_arg=int(sub[1]),
+            ))
+        elif head == Symbol("ready"):
+            inner = clause[1]
+            if inner[0] == Symbol("hypercall"):
+                spec.ready = ReadyNode("hypercall")
+            else:
+                spec.ready = ReadyNode("banner", str(inner[1]))
+        elif head == Symbol("init-routine"):
+            spec.init_routine = [
+                (str(op[0]), tuple(int(v) for v in op[1:]))
+                for op in clause[1:]
+            ]
+        elif head == Symbol("blob"):
+            spec.blobs.append((str(clause[1]), int(clause[2]), int(clause[3])))
+        else:
+            raise DslError(f"unknown platform clause {head!r}")
+    return spec

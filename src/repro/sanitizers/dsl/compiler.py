@@ -1,0 +1,126 @@
+"""Compile SanSpec documents into runtime configuration.
+
+``merge_sanitizers`` implements the §3.1 union rules; ``compile_*``
+turn a merged sanitizer spec + a Prober platform spec into the
+:class:`~repro.sanitizers.runtime.runtime.RuntimeConfig` the Common
+Sanitizer Runtime consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import DslError
+from repro.sanitizers.dsl.ast import (
+    AllocFnNode,
+    InterceptNode,
+    MergedSpec,
+    PlatformSpec,
+    SanitizerSpec,
+)
+from repro.sanitizers.runtime.runtime import (
+    AllocFnSpec,
+    ReadySpec,
+    RuntimeConfig,
+)
+
+#: events the runtime knows how to hook, with their canonical arg order
+KNOWN_EVENTS = {
+    "load": ("addr", "size", "marked"),
+    "store": ("addr", "size", "marked"),
+    "range-read": ("addr", "size"),
+    "range-write": ("addr", "size"),
+    "alloc": ("addr", "size", "cache"),
+    "free": ("addr",),
+    "slab-page": ("addr", "size"),
+    "global-register": ("addr", "size", "redzone"),
+    "stack-var": ("addr", "size"),
+    "stack-leave": ("addr", "size"),
+    "mark-init": ("addr", "size"),
+}
+
+
+def merge_sanitizers(specs: Sequence[SanitizerSpec]) -> MergedSpec:
+    """Union several sanitizer specs per the paper's §3.1 rules.
+
+    The interception-point set is the union of the individual sets; for
+    each point the argument list is the union of argument names (kept
+    in canonical order); each argument is annotated with the sanitizers
+    that consume it.
+    """
+    events: Dict[str, List[str]] = {}
+    consumers: Dict[Tuple[str, str], List[str]] = {}
+    for spec in specs:
+        for node in spec.intercepts:
+            if node.event not in KNOWN_EVENTS:
+                raise DslError(f"unknown interception event {node.event!r}")
+            canonical = KNOWN_EVENTS[node.event]
+            merged = events.setdefault(node.event, [])
+            for arg in node.args:
+                if arg not in merged:
+                    merged.append(arg)
+                consumers.setdefault((node.event, arg), []).append(spec.name)
+            # keep canonical ordering for overlapping argument data
+            merged.sort(key=lambda a: canonical.index(a)
+                        if a in canonical else len(canonical))
+    intercepts = tuple(
+        InterceptNode(
+            event,
+            tuple(args),
+            tuple(
+                (arg, ",".join(consumers[(event, arg)]))
+                for arg in args
+            ),
+        )
+        for event, args in sorted(events.items())
+    )
+    requires: Dict[str, int] = {}
+    for spec in specs:
+        for resource, parameter in spec.requires:
+            requires[resource] = max(requires.get(resource, 0), parameter)
+    return MergedSpec(
+        tuple(spec.name for spec in specs),
+        intercepts,
+        tuple(sorted(requires.items())),
+    )
+
+
+def compile_platform(platform: PlatformSpec) -> Tuple[Tuple[AllocFnSpec, ...], ReadySpec]:
+    """Lower a platform spec's runtime-relevant parts."""
+    alloc_fns = tuple(
+        AllocFnSpec(
+            addr=node.addr, kind=node.kind, name=node.name,
+            size_arg=node.size_arg, size_kind=node.size_kind,
+            addr_arg=node.addr_arg,
+        )
+        for node in platform.alloc_fns
+    )
+    ready = ReadySpec(
+        kind=platform.ready.kind,
+        banner=platform.ready.banner.encode(),
+    )
+    return alloc_fns, ready
+
+
+def compile_runtime_config(
+    merged: MergedSpec,
+    platform: PlatformSpec,
+    panic_on_report: bool = False,
+) -> RuntimeConfig:
+    """Build the Common Sanitizer Runtime configuration.
+
+    Category-1 platforms (compile-time instrumentation available) take
+    the hypercall fast path ("c"); categories 2 and 3 use dynamic
+    interception ("d").
+    """
+    mode = "c" if platform.category == 1 else "d"
+    alloc_fns, ready = compile_platform(platform)
+    config = RuntimeConfig(
+        sanitizers=tuple(merged.sanitizers),
+        mode=mode,
+        alloc_fns=alloc_fns,
+        ready=ready,
+        panic_on_report=panic_on_report,
+    )
+    config.validate()
+    return config

@@ -1,0 +1,143 @@
+"""S-expression lexer/parser for SanSpec documents.
+
+Grammar::
+
+    document := sexpr*
+    sexpr    := atom | '(' sexpr* ')'
+    atom     := integer (decimal or 0x-hex) | string ("...") | symbol
+
+Comments run from ``;`` to end of line.  The parser produces nested
+Python lists with ints, strs (for strings) and :class:`Symbol` atoms;
+:mod:`repro.sanitizers.dsl.ast` lifts them into typed nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.errors import DslError
+
+
+class Symbol(str):
+    """A bare (unquoted) DSL identifier."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Symbol({str.__repr__(self)})"
+
+
+Sexpr = Union[int, str, Symbol, list]
+
+
+def tokenize(text: str) -> List[Tuple[str, int]]:
+    """Split DSL text into (token, line) pairs."""
+    tokens: List[Tuple[str, int]] = []
+    line = 1
+    idx = 0
+    length = len(text)
+    while idx < length:
+        char = text[idx]
+        if char == "\n":
+            line += 1
+            idx += 1
+        elif char in " \t\r":
+            idx += 1
+        elif char == ";":
+            while idx < length and text[idx] != "\n":
+                idx += 1
+        elif char in "()":
+            tokens.append((char, line))
+            idx += 1
+        elif char == '"':
+            end = idx + 1
+            while end < length and text[end] != '"':
+                if text[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                raise DslError("unterminated string", line)
+            tokens.append((text[idx : end + 1], line))
+            idx = end + 1
+        else:
+            end = idx
+            while end < length and text[end] not in ' \t\r\n();"':
+                end += 1
+            tokens.append((text[idx:end], line))
+            idx = end
+    return tokens
+
+
+def _unescape(body: str) -> str:
+    out = []
+    idx = 0
+    while idx < len(body):
+        char = body[idx]
+        if char == "\\" and idx + 1 < len(body):
+            out.append(body[idx + 1])
+            idx += 2
+        else:
+            out.append(char)
+            idx += 1
+    return "".join(out)
+
+
+def _atom(token: str, line: int) -> Sexpr:
+    if token.startswith('"'):
+        return _unescape(token[1:-1])
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    if token.startswith("-"):
+        try:
+            return int(token)
+        except ValueError:
+            pass
+    return Symbol(token)
+
+
+def parse_sexprs(text: str) -> List[Sexpr]:
+    """Parse a document into a list of top-level S-expressions."""
+    tokens = tokenize(text)
+    stack: List[list] = [[]]
+    open_lines: List[int] = []
+    for token, line in tokens:
+        if token == "(":
+            stack.append([])
+            open_lines.append(line)
+        elif token == ")":
+            if len(stack) == 1:
+                raise DslError("unbalanced ')'", line)
+            done = stack.pop()
+            open_lines.pop()
+            stack[-1].append(done)
+        else:
+            stack[-1].append(_atom(token, line))
+    if len(stack) != 1:
+        raise DslError("unbalanced '('", open_lines[-1])
+    return stack[0]
+
+
+def parse_document(text: str):
+    """Parse and lift a full document into typed spec nodes."""
+    from repro.sanitizers.dsl.ast import lift
+
+    return [lift(sexpr) for sexpr in parse_sexprs(text)]
+
+
+def write_sexpr(sexpr: Sexpr, indent: int = 0) -> str:
+    """Render one S-expression back to text (round-trip safe)."""
+    if isinstance(sexpr, list):
+        inner = " ".join(write_sexpr(item) for item in sexpr)
+        return f"({inner})"
+    if isinstance(sexpr, Symbol):
+        return str(sexpr)
+    if isinstance(sexpr, str):
+        escaped = sexpr.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(sexpr, bool):  # pragma: no cover - defensive
+        return "1" if sexpr else "0"
+    if isinstance(sexpr, int):
+        return hex(sexpr) if abs(sexpr) >= 0x1000 else str(sexpr)
+    raise DslError(f"cannot serialize {type(sexpr).__name__}")

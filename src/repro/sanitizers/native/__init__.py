@@ -1,0 +1,13 @@
+"""Native in-guest sanitizer baselines (KASAN / KCSAN).
+
+These model the OS's own sanitizers compiled into the firmware: the
+same check logic as the Common Sanitizer Runtime's engines, but fed by
+build-time hooks inside the guest and costed as *translated guest code*
+(every check routine pays the TCG expansion factor).  They are the
+comparison bars of Figure 2 and the reference oracle of Table 2.
+"""
+
+from repro.sanitizers.native.native_kasan import NativeKasan
+from repro.sanitizers.native.native_kcsan import NativeKcsan
+
+__all__ = ["NativeKasan", "NativeKcsan"]

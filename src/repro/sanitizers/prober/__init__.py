@@ -1,0 +1,23 @@
+"""The Embedded Platform Configuration Prober (§3.2).
+
+Dry-runs the firmware-under-test and produces a
+:class:`~repro.sanitizers.dsl.ast.PlatformSpec` — memory map, allocator
+entry points, ready-to-run detection and the initialization routine —
+using one of three strategies:
+
+* **category 1** (:mod:`repro.sanitizers.prober.category1`) — open
+  source with compile-time instrumentation: record the dummy sanitizer
+  library's trap calls during a dry run.
+* **category 2** (:mod:`repro.sanitizers.prober.category2`) — open
+  source without instrumentation: identify allocator functions purely
+  from call/return/access behaviour.
+* **category 3** (:mod:`repro.sanitizers.prober.category3`) — closed
+  binary-only firmware: multi-pass dry runs with probes in the
+  emulator's devices, plus tester hints where the paper allows manual
+  intervention.
+"""
+
+from repro.sanitizers.prober.recorder import CallRecord, DryRunRecorder
+from repro.sanitizers.prober.prober import probe_firmware
+
+__all__ = ["CallRecord", "DryRunRecorder", "probe_firmware"]

@@ -1,0 +1,54 @@
+"""Category-1 probing: open source with compile-time instrumentation.
+
+The firmware is compiled with the sanitizer instrumentation enabled but
+linked against the *dummy sanitizer library* (every API one trapping
+instruction).  A dry run then records all sanitizer actions up to the
+ready-to-run point; those become the initialization routine, and the
+ready signal is the dedicated hypercall the build inserts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.emulator.hypercalls import Hypercall
+from repro.sanitizers.dsl.ast import InitOp, PlatformSpec, ReadyNode, RegionNode
+from repro.sanitizers.prober.recorder import DryRunRecorder
+
+
+def probe_category1(image, recorder: DryRunRecorder) -> PlatformSpec:
+    """Analyze a category-1 dry run into a platform spec.
+
+    ``image`` must have been built with ``InstrumentationMode.EMBSAN_C``
+    and booted with ``recorder`` attached.
+    """
+    init_routine: List[InitOp] = []
+    for event in recorder.vmcalls:
+        number, args = event.number, event.args
+        if number == Hypercall.SAN_ALLOC:
+            init_routine.append(("alloc", (args[0], args[1], args[2],
+                                           event.pc, event.task)))
+        elif number == Hypercall.SAN_FREE:
+            init_routine.append(("free", (args[0], event.pc, event.task)))
+        elif number == Hypercall.SAN_GLOBAL_REG:
+            init_routine.append(("global", (args[0], args[1], args[2])))
+        elif number == Hypercall.READY:
+            init_routine.append(("ready", ()))
+            break
+    return PlatformSpec(
+        name=image.name,
+        arch=image.machine.arch.name,
+        category=1,
+        regions=_board_regions(image),
+        alloc_fns=[],  # the hypercall fast path needs no entry points
+        ready=ReadyNode("hypercall"),
+        init_routine=init_routine,
+    )
+
+
+def _board_regions(image) -> List[RegionNode]:
+    """The platform memory map, read off the emulated board."""
+    return [
+        RegionNode(region.name, region.base, region.size, region.kind)
+        for region in image.machine.bus.regions
+    ]

@@ -1,0 +1,190 @@
+"""Category-2 probing: open source without sanitizer instrumentation.
+
+Nothing in the firmware cooperates, so allocator entry points must be
+*inferred from behaviour* during the dry run:
+
+* an **allocation function** returns distinct pointers into RAM whose
+  spans the guest subsequently dereferences;
+* a **free function** repeatedly receives those same pointers as an
+  argument;
+* the **size argument** is the argument whose value best explains the
+  extent of accesses inside each returned block (a page-order argument
+  reveals itself through page-aligned results and tiny argument
+  values);
+* the **ready point** is the firmware's final boot console line.
+
+The paper notes this inference is not complete and may need
+domain-specific knowledge — ``hints`` carries exactly that.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProbeError
+from repro.sanitizers.dsl.ast import (
+    AllocFnNode,
+    PlatformSpec,
+    ReadyNode,
+    RegionNode,
+)
+from repro.sanitizers.prober.recorder import CallRecord, DryRunRecorder
+
+#: minimum completed calls before a function is considered
+MIN_CALLS = 2
+#: fraction of return values that must be dereferenced
+MIN_USE_RATIO = 0.5
+_PAGE = 4096
+
+
+def probe_category2(image, recorder: DryRunRecorder,
+                    hints: Optional[dict] = None) -> PlatformSpec:
+    """Analyze a category-2 dry run into a platform spec."""
+    hints = hints or {}
+    alloc_fns = identify_allocators(image, recorder)
+    if not alloc_fns:
+        raise ProbeError(
+            f"no allocator entry points identifiable in {image.name!r}; "
+            "provide hints or a richer probe workload"
+        )
+    banner = hints.get("banner", recorder.boot_banner())
+    if not banner:
+        raise ProbeError(f"no boot banner observed for {image.name!r}")
+    init_routine = _boot_allocs(recorder, alloc_fns)
+    init_routine.append(("ready", ()))
+    return PlatformSpec(
+        name=image.name,
+        arch=image.machine.arch.name,
+        category=2,
+        regions=[RegionNode(r.name, r.base, r.size, r.kind)
+                 for r in image.machine.bus.regions],
+        alloc_fns=alloc_fns,
+        ready=ReadyNode("banner", banner),
+        init_routine=init_routine,
+    )
+
+
+# ----------------------------------------------------------------------
+# behavioural allocator identification
+# ----------------------------------------------------------------------
+def identify_allocators(image, recorder: DryRunRecorder) -> List[AllocFnNode]:
+    """Infer allocator entry points from the recorded behaviour."""
+    by_target = recorder.calls_by_target()
+    ram = _ram_spans(image)
+    deref_bases = _access_base_index(recorder)
+
+    candidates: Dict[int, List[CallRecord]] = {}
+    for target, records in by_target.items():
+        rets = [r.retval for r in records if r.retval]
+        if len(rets) < MIN_CALLS or len(set(rets)) < 2:
+            continue
+        if not all(_in_ram(ret, ram) for ret in rets):
+            continue
+        used = sum(1 for ret in rets if _is_dereferenced(ret, deref_bases))
+        if used / len(rets) < MIN_USE_RATIO:
+            continue
+        candidates[target] = records
+
+    # a nested candidate whose results feed another allocator (the buddy
+    # under the slab) is still an allocator; keep all of them
+    alloc_fns: List[AllocFnNode] = []
+    all_rets = {r.retval for records in candidates.values()
+                for r in records if r.retval}
+    for target, records in sorted(candidates.items()):
+        size_arg, size_kind = _infer_size_arg(records, recorder)
+        alloc_fns.append(AllocFnNode(
+            target, "alloc", records[0].name or f"fn_{target:08x}",
+            size_arg=size_arg, size_kind=size_kind,
+        ))
+
+    # free functions: repeatedly called with prior allocation results
+    for target, records in sorted(by_target.items()):
+        if target in candidates or len(records) < MIN_CALLS:
+            continue
+        for arg_idx in range(4):
+            hits = sum(
+                1 for r in records
+                if arg_idx < len(r.args) and r.args[arg_idx] in all_rets
+            )
+            if hits >= max(2, len(records) // 2):
+                alloc_fns.append(AllocFnNode(
+                    target, "free", records[0].name or f"fn_{target:08x}",
+                    addr_arg=arg_idx,
+                ))
+                break
+    return alloc_fns
+
+
+def _ram_spans(image) -> List[Tuple[int, int]]:
+    return [
+        (r.base, r.base + r.size)
+        for r in image.machine.bus.regions
+        if r.kind in ("dram", "sram", "ram")
+    ]
+
+
+def _in_ram(addr: int, spans: Sequence[Tuple[int, int]]) -> bool:
+    return any(base <= addr < end for base, end in spans)
+
+
+def _access_base_index(recorder: DryRunRecorder) -> set:
+    """Quantized base addresses of every recorded data access."""
+    return {access.addr >> 6 for access in recorder.accesses}
+
+
+def _is_dereferenced(ret: int, deref_bases: set) -> bool:
+    return any((ret >> 6) + delta in deref_bases for delta in (0, 1))
+
+
+def _infer_size_arg(records: Sequence[CallRecord],
+                    recorder: DryRunRecorder) -> Tuple[int, str]:
+    """Pick the argument position carrying the allocation size."""
+    # page-order shape: page-aligned results and tiny argument values
+    rets = [r.retval for r in records if r.retval]
+    page_aligned = all(ret % _PAGE == 0 for ret in rets)
+    best_idx, best_score = 0, -1.0
+    for idx in range(4):
+        values = [r.args[idx] for r in records if idx < len(r.args)]
+        if not values:
+            continue
+        plausible = [v for v in values if 1 <= v <= (1 << 20)]
+        if not plausible:
+            continue
+        score = len(plausible) / len(values) + 0.1 * min(len(set(plausible)), 4)
+        if score > best_score:
+            best_idx, best_score = idx, score
+    values = [r.args[best_idx] for r in records if best_idx < len(r.args)]
+    if page_aligned and values and max(values) <= 12:
+        return best_idx, "page_order"
+    return best_idx, "bytes"
+
+
+def _boot_allocs(recorder: DryRunRecorder,
+                 alloc_fns: Sequence[AllocFnNode]) -> List[tuple]:
+    """Reconstruct the boot-time allocator activity as init-routine ops."""
+    spec_by_addr = {fn.addr: fn for fn in alloc_fns}
+    routine: List[tuple] = []
+    boundary = recorder.ready_seq
+    seen_free_targets = set()
+    events: List[Tuple[int, tuple]] = []
+    for record in recorder.calls:
+        if boundary is not None and record.seq > boundary:
+            continue
+        spec = spec_by_addr.get(record.target)
+        if spec is None:
+            continue
+        if spec.kind == "alloc" and record.retval:
+            size = record.args[spec.size_arg] if spec.size_arg < len(record.args) else 0
+            if spec.size_kind == "page_order":
+                size = _PAGE << min(size, 16)
+            events.append((record.seq, ("alloc", (record.retval, size, 0,
+                                                  record.target, record.task))))
+        elif spec.kind == "free":
+            addr = record.args[spec.addr_arg] if spec.addr_arg < len(record.args) else 0
+            events.append((record.seq, ("free", (addr, record.target,
+                                                 record.task))))
+            seen_free_targets.add(record.target)
+    events.sort(key=lambda pair: pair[0])
+    routine = [op for _seq, op in events]
+    return routine

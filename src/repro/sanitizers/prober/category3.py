@@ -1,0 +1,105 @@
+"""Category-3 probing: closed-source binary-only firmware.
+
+Multiple dry-run passes plus probes planted in the emulator's devices:
+
+* pass 1 — boot with a UART probe: the last complete console line is
+  the ready marker (no hypercall exists in a closed build);
+* pass 2 — boot with call/return/access recording: allocator entry
+  points are identified behaviourally exactly as in category 2, except
+  every symbol is missing;
+* pass 3 — a static sweep of the executable regions: runs of decodable
+  instructions ending in returns delimit the service binaries.
+
+Tester prior knowledge (§3.2 explicitly allows manual intervention
+here) arrives via ``hints`` — e.g. the known service names for blob
+spans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.disasm import disassemble
+from repro.isa.insn import Op
+from repro.mem.regions import Perm
+from repro.sanitizers.dsl.ast import PlatformSpec, ReadyNode, RegionNode
+from repro.sanitizers.prober.category2 import identify_allocators
+from repro.sanitizers.prober.category2 import _boot_allocs  # shared analysis
+from repro.sanitizers.prober.recorder import DryRunRecorder
+
+
+def probe_category3(image, recorder: DryRunRecorder,
+                    hints: Optional[dict] = None) -> PlatformSpec:
+    """Analyze a closed-source dry run into a platform spec."""
+    hints = hints or {}
+    alloc_fns = identify_allocators(image, recorder)
+    banner = hints.get("banner", recorder.boot_banner())
+    blobs = scan_binary_regions(image, hints.get("blob_names", ()))
+    init_routine = _boot_allocs(recorder, alloc_fns)
+    init_routine.append(("ready", ()))
+    return PlatformSpec(
+        name=image.name,
+        arch=image.machine.arch.name,
+        category=3,
+        regions=[RegionNode(r.name, r.base, r.size, r.kind)
+                 for r in image.machine.bus.regions],
+        alloc_fns=alloc_fns,
+        ready=ReadyNode("banner", banner),
+        init_routine=init_routine,
+        blobs=blobs,
+    )
+
+
+def scan_binary_regions(image, blob_names: Tuple[str, ...] = (),
+                        min_run: int = 4) -> List[Tuple[str, int, int]]:
+    """Find instruction runs in executable regions (the service blobs).
+
+    A blob is a maximal run of >= ``min_run`` consecutively decodable
+    instructions containing at least one RET.  Names come from tester
+    hints when available, otherwise synthetic ``svc_<addr>`` labels.
+    """
+    blobs: List[Tuple[str, int, int]] = []
+    for region in image.machine.bus.regions:
+        if not region.perm & Perm.X:
+            continue
+        run: List[Tuple[int, object]] = []
+        nop_streak = 0
+        last_end = region.base
+        for addr, insn, _text in disassemble(bytes(region.data), region.base):
+            gap = addr != last_end
+            last_end = addr + 8
+            if insn.op is Op.NOP:
+                nop_streak += 1
+            else:
+                nop_streak = 0
+            # zero-filled flash decodes as NOPs: long NOP streaks (or
+            # undecodable gaps) separate one service from the next
+            if gap or nop_streak >= 8:
+                _close_run(blobs, run, min_run)
+                run = []
+                if insn.op is Op.NOP:
+                    continue
+            run.append((addr, insn))
+        _close_run(blobs, run, min_run)
+    named = []
+    for idx, (name, base, size) in enumerate(sorted(blobs, key=lambda b: b[1])):
+        label = blob_names[idx] if idx < len(blob_names) else name
+        named.append((label, base, size))
+    return named
+
+
+def _close_run(blobs, run, min_run: int) -> None:
+    # trim leading/trailing NOP padding
+    while run and run[0][1].op is Op.NOP:
+        run.pop(0)
+    while run and run[-1][1].op is Op.NOP:
+        run.pop()
+    if not run:
+        return
+    meaningful = [insn for _addr, insn in run if insn.op is not Op.NOP]
+    if len(meaningful) >= min_run and any(
+        insn.op in (Op.RET, Op.HLT) for insn in meaningful
+    ):
+        start = run[0][0]
+        end = run[-1][0] + 8
+        blobs.append((f"svc_{start:08x}", start, end - start))

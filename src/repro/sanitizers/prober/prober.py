@@ -1,0 +1,64 @@
+"""The Prober façade: pick a strategy, dry-run, emit the platform spec.
+
+This is the *Pre-Testing Probing Phase* of §3.4: the tester classifies
+the firmware (source available? build-system sanitizer support?), the
+Prober dry-runs a throwaway build of it, and the result is a DSL
+platform specification the Common Sanitizer Runtime compiles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProbeError
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware, firmware_spec
+from repro.sanitizers.dsl.ast import PlatformSpec
+from repro.sanitizers.prober.category1 import probe_category1
+from repro.sanitizers.prober.category2 import probe_category2
+from repro.sanitizers.prober.category3 import probe_category3
+from repro.sanitizers.prober.recorder import DryRunRecorder
+
+
+def classify_firmware(name: str) -> int:
+    """Firmware category per §3.2 (1: instrumentable, 2: open, 3: closed)."""
+    spec = firmware_spec(name)
+    if spec.source == "closed":
+        return 3
+    if spec.inst_mode is InstrumentationMode.EMBSAN_C:
+        return 1
+    return 2
+
+
+def probe_firmware(
+    name: str,
+    category: Optional[int] = None,
+    hints: Optional[dict] = None,
+    workload: bool = True,
+) -> PlatformSpec:
+    """Dry-run one Table-1 firmware and produce its platform spec.
+
+    ``workload`` additionally exercises the firmware's self-test after
+    boot, giving the behavioural analysis allocator activity to watch
+    (category 2/3 targets whose boot path allocates little).
+    """
+    if category is None:
+        category = classify_firmware(name)
+    if category == 1:
+        image = build_firmware(name, mode=InstrumentationMode.EMBSAN_C,
+                               with_bugs=False, boot=False)
+    else:
+        # dry runs of uninstrumented targets use a bare build
+        image = build_firmware(name, mode=InstrumentationMode.EMBSAN_D,
+                               with_bugs=False, boot=False)
+    recorder = DryRunRecorder(image.machine)
+    image.boot()
+    if workload:
+        image.kernel.probe_workload(image.ctx)
+    if category == 1:
+        return probe_category1(image, recorder)
+    if category == 2:
+        return probe_category2(image, recorder, hints=hints)
+    if category == 3:
+        return probe_category3(image, recorder, hints=hints)
+    raise ProbeError(f"unknown firmware category {category!r}")

@@ -1,0 +1,112 @@
+"""Dry-run event recording.
+
+Attach a :class:`DryRunRecorder` to a machine *before* boot; after the
+dry run it exposes the raw material the probing strategies analyze:
+completed call records (call/return pairs with arguments), memory
+accesses, hypercalls, console output and the observed ready point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.emulator.events import (
+    CallEvent,
+    ConsoleEvent,
+    EventKind,
+    RetEvent,
+    VmcallEvent,
+)
+from repro.emulator.machine import Machine
+from repro.mem.access import Access
+
+#: cap on recorded accesses; boot + probe workloads stay well under it
+MAX_ACCESSES = 200_000
+
+
+class CallRecord(NamedTuple):
+    """One completed guest function call."""
+
+    target: int
+    name: Optional[str]
+    args: tuple
+    retval: int
+    task: int
+    seq: int  #: global event sequence number of the call
+
+
+class DryRunRecorder:
+    """Records every observable event of a firmware dry run."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.calls: List[CallRecord] = []
+        self.accesses: List[Access] = []
+        self.vmcalls: List[VmcallEvent] = []
+        self.console = bytearray()
+        self.ready_seq: Optional[int] = None
+        self._seq = 0
+        self._pending: Dict[int, list] = defaultdict(list)
+        hooks = machine.hooks
+        hooks.add(EventKind.CALL, self._on_call)
+        hooks.add(EventKind.RET, self._on_ret)
+        hooks.add(EventKind.MEM_ACCESS, self._on_access)
+        hooks.add(EventKind.VMCALL, self._on_vmcall)
+        hooks.add(EventKind.CONSOLE, self._on_console)
+        hooks.add(EventKind.READY, self._on_ready)
+
+    # ------------------------------------------------------------------
+    def _on_call(self, event: CallEvent) -> None:
+        self._seq += 1
+        self._pending[event.task].append((event, self._seq))
+
+    def _on_ret(self, event: RetEvent) -> None:
+        self._seq += 1
+        stack = self._pending.get(event.task)
+        if not stack:
+            return
+        call, seq = stack.pop()
+        self.calls.append(CallRecord(
+            call.target, call.name, tuple(call.args), event.retval,
+            event.task, seq,
+        ))
+
+    def _on_access(self, access: Access) -> None:
+        self._seq += 1
+        if len(self.accesses) < MAX_ACCESSES:
+            self.accesses.append(access)
+
+    def _on_vmcall(self, event: VmcallEvent) -> None:
+        self._seq += 1
+        self.vmcalls.append(event)
+
+    def _on_console(self, event: ConsoleEvent) -> None:
+        self._seq += 1
+        self.console.append(event.byte)
+
+    def _on_ready(self, _payload) -> None:
+        if self.ready_seq is None:
+            self.ready_seq = self._seq
+
+    # ------------------------------------------------------------------
+    def calls_by_target(self) -> Dict[int, List[CallRecord]]:
+        """Completed calls grouped by callee address."""
+        out: Dict[int, List[CallRecord]] = defaultdict(list)
+        for record in self.calls:
+            out[record.target].append(record)
+        return dict(out)
+
+    def console_lines(self) -> List[str]:
+        """Console output decoded into lines."""
+        return self.console.decode("utf-8", errors="replace").splitlines()
+
+    def boot_banner(self) -> str:
+        """The last complete console line of the dry run.
+
+        Embedded firmware conventionally prints a final readiness line
+        when boot completes; with probes in the emulated UART this is
+        observable even for closed-source targets.
+        """
+        lines = self.console_lines()
+        return lines[-1] if lines else ""

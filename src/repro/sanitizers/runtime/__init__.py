@@ -1,0 +1,17 @@
+"""The Common Sanitizer Runtime and its engines."""
+
+from repro.sanitizers.runtime.shadow import ShadowMemory, ShadowCode
+from repro.sanitizers.runtime.reports import SanitizerReport, ReportSink
+from repro.sanitizers.runtime.kasan import KasanEngine
+from repro.sanitizers.runtime.kcsan import KcsanEngine
+from repro.sanitizers.runtime.runtime import CommonSanitizerRuntime
+
+__all__ = [
+    "CommonSanitizerRuntime",
+    "KasanEngine",
+    "KcsanEngine",
+    "ReportSink",
+    "SanitizerReport",
+    "ShadowCode",
+    "ShadowMemory",
+]

@@ -1,0 +1,187 @@
+"""KASAN-functionality engine.
+
+The address-sanity logic shared by every deployment mode: EMBSAN-C feeds
+it from dummy-library hypercalls, EMBSAN-D from emulator probes, and the
+native baseline calls it from inside the guest (paying translated-code
+cost).  Only the *event source and cost accounting* differ per mode —
+which is precisely the paper's argument for a common runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional
+
+from repro.mem.access import Access, AccessKind
+from repro.sanitizers.runtime.quarantine import FreedObject, QuarantineLog
+from repro.sanitizers.runtime.reports import BugType, ReportSink, SanitizerReport
+from repro.sanitizers.runtime.shadow import ShadowCode, ShadowMemory
+
+#: redzone poisoned after each heap object (matches the slab pad).
+HEAP_REDZONE = 16
+#: redzone poisoned around instrumented stack variables.
+STACK_REDZONE = 16
+
+_PAGE_CACHE_ID = 0xFFFF
+
+_CODE_TO_BUG = {
+    int(ShadowCode.FREED): BugType.UAF,
+    int(ShadowCode.PAGE_FREE): BugType.UAF,
+    int(ShadowCode.REDZONE_HEAP): BugType.SLAB_OOB,
+    int(ShadowCode.UNALLOCATED): BugType.SLAB_OOB,
+    int(ShadowCode.REDZONE_GLOBAL): BugType.GLOBAL_OOB,
+    int(ShadowCode.REDZONE_STACK): BugType.STACK_OOB,
+}
+
+
+class AllocInfo(NamedTuple):
+    """Host-side record of one live allocation."""
+
+    size: int
+    cache: int
+    alloc_pc: int
+    task: int
+
+
+class KasanEngine:
+    """Shadow-memory address sanitation (OOB / UAF / double-free)."""
+
+    tool = "kasan"
+
+    def __init__(self, shadow: ShadowMemory, sink: ReportSink):
+        self.shadow = shadow
+        self.sink = sink
+        self.live: Dict[int, AllocInfo] = {}
+        self.freed = QuarantineLog()
+        #: raised by the runtime while allocator internals execute
+        self.suppress_depth = 0
+        self.checks = 0
+
+    # ------------------------------------------------------------------
+    # allocator state transitions
+    # ------------------------------------------------------------------
+    def on_alloc(
+        self, addr: int, size: int, cache: int, pc: int = 0, task: int = 0
+    ) -> None:
+        """An object of ``size`` bytes was carved out at ``addr``."""
+        if addr == 0 or size <= 0:
+            return
+        self.freed.pop(addr)
+        self.live[addr] = AllocInfo(size, cache, pc, task)
+        self.shadow.unpoison(addr, size)
+        if cache != _PAGE_CACHE_ID:
+            # slab / large-kmalloc objects get a trailing redzone; whole
+            # pages do not (KASAN leaves page allocations redzone-free).
+            # Tightly packed allocators (heap_4, memPartLib) can place a
+            # live neighbour within redzone reach — clamp at it so the
+            # neighbour's first bytes stay addressable.
+            end = addr + size
+            limit = end + HEAP_REDZONE
+            for candidate in range(end + 1, limit + 1):
+                if candidate in self.live:
+                    limit = candidate
+                    break
+            if limit > end:
+                self.shadow.poison(end, limit - end, ShadowCode.REDZONE_HEAP)
+
+    def on_free(self, addr: int, pc: int = 0, task: int = 0) -> None:
+        """An object at ``addr`` is being released."""
+        if addr == 0:
+            return
+        info = self.live.pop(addr, None)
+        if info is None:
+            bug = (
+                BugType.DOUBLE_FREE
+                if self.freed.recently_freed(addr)
+                else BugType.INVALID_FREE
+            )
+            prior = self.freed.find(addr)
+            self.sink.emit(
+                SanitizerReport(
+                    self.tool, bug, addr, 0, True, pc, task,
+                    free_pc=prior.free_pc if prior else 0,
+                )
+            )
+            return
+        code = (
+            ShadowCode.PAGE_FREE
+            if info.cache == _PAGE_CACHE_ID
+            else ShadowCode.FREED
+        )
+        self.shadow.poison(addr, info.size, code)
+        # poison any leading partial granule fully: the object is gone
+        self.freed.push(FreedObject(addr, info.size, info.alloc_pc, pc, task))
+
+    def on_slab_page(self, addr: int, size: int) -> None:
+        """A fresh page joined a slab cache: poison its unallocated slots."""
+        self.shadow.poison(addr, size, ShadowCode.UNALLOCATED)
+
+    # ------------------------------------------------------------------
+    # compile-time-only registrations (EMBSAN-C / native builds)
+    # ------------------------------------------------------------------
+    def register_global(self, addr: int, size: int, redzone: int) -> None:
+        """Poison the pad after a firmware global object."""
+        self.shadow.poison(addr + size, redzone, ShadowCode.REDZONE_GLOBAL)
+
+    def stack_var(self, addr: int, size: int) -> None:
+        """Poison redzones around an instrumented stack variable."""
+        self.shadow.poison(addr - STACK_REDZONE, STACK_REDZONE, ShadowCode.REDZONE_STACK)
+        self.shadow.poison(addr + size, STACK_REDZONE, ShadowCode.REDZONE_STACK)
+
+    def stack_clear(self, base: int, size: int) -> None:
+        """Unpoison a departed stack frame's span."""
+        self.shadow.unpoison(base, size)
+
+    # ------------------------------------------------------------------
+    # access validation
+    # ------------------------------------------------------------------
+    def check(self, access: Access) -> Optional[SanitizerReport]:
+        """Validate one access against the shadow map."""
+        if self.suppress_depth:
+            return None
+        if access.kind is AccessKind.FETCH:
+            return None
+        self.checks += 1
+        verdict = self.shadow.check(access.addr, access.size)
+        if verdict is None:
+            return None
+        bad_addr, code = verdict
+        bug = _CODE_TO_BUG.get(code, BugType.WILD_ACCESS)
+        alloc_pc = free_pc = 0
+        if bug is BugType.UAF:
+            prior = self.freed.find(bad_addr)
+            if prior is not None:
+                alloc_pc, free_pc = prior.alloc_pc, prior.free_pc
+        elif bug is BugType.SLAB_OOB:
+            owner = self._object_before(bad_addr)
+            if owner is not None:
+                alloc_pc = owner.alloc_pc
+        return self.sink.emit(
+            SanitizerReport(
+                self.tool, bug, bad_addr, access.size, access.is_write,
+                access.pc, access.task, alloc_pc=alloc_pc, free_pc=free_pc,
+                shadow_dump=self.shadow.dump_around(bad_addr),
+            )
+        )
+
+    def check_range(
+        self, addr: int, size: int, is_write: bool, pc: int = 0, task: int = 0
+    ) -> Optional[SanitizerReport]:
+        """Validate a bulk (memcpy-family) operation."""
+        return self.check(
+            Access(addr, size, is_write, pc, task, kind=AccessKind.RANGE)
+        )
+
+    # ------------------------------------------------------------------
+    def _object_before(self, addr: int) -> Optional[AllocInfo]:
+        """The live object whose redzone ``addr`` most plausibly is."""
+        best = None
+        best_base = -1
+        for base, info in self.live.items():
+            if base + info.size <= addr <= base + info.size + HEAP_REDZONE:
+                if base > best_base:
+                    best, best_base = info, base
+        return best
+
+    def live_count(self) -> int:
+        """Number of live tracked allocations (diagnostic)."""
+        return len(self.live)

@@ -1,0 +1,402 @@
+"""The Common Sanitizer Runtime (§3.3).
+
+Accepts the distilled sanitizer specification and the probed platform
+configuration (both arrive as plain config objects, normally compiled
+from the SanSpec DSL), then wires the KASAN/KCSAN engines to the
+machine:
+
+* **EMBSAN-C** — subscribes to the dummy-sanitizer-library hypercalls
+  (``SAN_LOAD``/``SAN_STORE``/``SAN_ALLOC``/...) that instrumented
+  firmware issues; the hypercall fast path of the paper.
+* **EMBSAN-D** — subscribes to raw bus accesses, injects probes into
+  every attached TCG engine's translation templates, and reconstructs
+  allocator semantics from CALL/RET events at the entry points the
+  Prober identified.
+
+State-maintenance events (allocations, globals, stack frames) are
+processed from the moment of attachment; *validation* begins at the
+firmware's ready-to-run point, detected by hypercall or by the probed
+console banner.  Alternatively :meth:`apply_init_routine` replays a
+Prober-recorded initialization sequence onto a started machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.costmodel import CostModel, DEFAULT_COSTS
+from repro.emulator.events import (
+    CallEvent,
+    ConsoleEvent,
+    EventKind,
+    RetEvent,
+    VmcallEvent,
+)
+from repro.emulator.hypercalls import Hypercall
+from repro.emulator.machine import Machine
+from repro.errors import DslError
+from repro.mem.access import Access, AccessKind
+from repro.sanitizers.runtime.kasan import KasanEngine
+from repro.sanitizers.runtime.kcsan import KcsanEngine
+from repro.sanitizers.runtime.reports import ReportSink
+from repro.sanitizers.runtime.shadow import ShadowMemory
+
+from repro.os.embedded_linux.buddy import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class AllocFnSpec:
+    """One allocator entry point, as identified by the Prober."""
+
+    addr: int
+    kind: str  #: "alloc" or "free"
+    name: str = ""
+    size_arg: int = 0  #: which ABI argument carries the size (alloc)
+    size_kind: str = "bytes"  #: "bytes" or "page_order"
+    addr_arg: int = 0  #: which ABI argument carries the pointer (free)
+    cache_hint: int = 0
+
+    def size_from(self, args: List[int]) -> int:
+        """Derive the allocation size from call arguments."""
+        raw = args[self.size_arg] if self.size_arg < len(args) else 0
+        if self.size_kind == "page_order":
+            return PAGE_SIZE << min(raw, 16)
+        return raw
+
+
+@dataclass(frozen=True)
+class ReadySpec:
+    """How the runtime recognizes the firmware's ready-to-run state."""
+
+    kind: str = "hypercall"  #: "hypercall" or "banner"
+    banner: bytes = b""
+
+
+@dataclass
+class RuntimeConfig:
+    """Everything the Common Sanitizer Runtime needs to start."""
+
+    sanitizers: Tuple[str, ...] = ("kasan",)
+    mode: str = "c"  #: "c" (hypercall fast path) or "d" (dynamic probes)
+    alloc_fns: Tuple[AllocFnSpec, ...] = ()
+    ready: ReadySpec = field(default_factory=ReadySpec)
+    panic_on_report: bool = False
+    costs: CostModel = DEFAULT_COSTS
+
+    def validate(self) -> None:
+        """Reject configurations the runtime cannot honor."""
+        if self.mode not in ("c", "d"):
+            raise DslError(f"unknown runtime mode {self.mode!r}")
+        unknown = set(self.sanitizers) - {"kasan", "kcsan", "kmsan"}
+        if unknown:
+            raise DslError(f"unknown sanitizers {sorted(unknown)}")
+        if "kmsan" in self.sanitizers and self.mode != "c":
+            # like the real KMSAN, uninit tracking needs compile-time
+            # instrumentation: there is no binary-only variant
+            raise DslError("kmsan functionality requires mode 'c' "
+                           "(compile-time instrumentation)")
+        if self.mode == "d" and self.ready.kind == "banner" and not self.ready.banner:
+            raise DslError("banner ready-detection requires banner bytes")
+
+
+class CommonSanitizerRuntime:
+    """Attach sanitizer engines to one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: RuntimeConfig,
+        symbolizer: Optional[Callable[[int], str]] = None,
+    ):
+        config.validate()
+        self.machine = machine
+        self.config = config
+        self.costs = config.costs
+        self.shadow = ShadowMemory(machine.bus)
+        self.sink = ReportSink(
+            panic_on_report=config.panic_on_report, symbolizer=symbolizer
+        )
+        self.kasan: Optional[KasanEngine] = None
+        self.kcsan: Optional[KcsanEngine] = None
+        self.kmsan = None
+        if "kasan" in config.sanitizers:
+            self.kasan = KasanEngine(self.shadow, self.sink)
+        if "kcsan" in config.sanitizers:
+            self.kcsan = KcsanEngine(self.sink)
+        if "kmsan" in config.sanitizers:
+            from repro.sanitizers.runtime.kmsan import KmsanEngine
+
+            self.kmsan = KmsanEngine(self.sink)
+        self.enabled = False
+        self.attached = False
+        self._alloc_map: Dict[int, AllocFnSpec] = {
+            spec.addr: spec for spec in config.alloc_fns
+        }
+        #: per-task stacks of in-flight allocator calls
+        self._pending: Dict[int, List[Tuple[AllocFnSpec, int]]] = {}
+        self._suppress = 0
+        self._console_tail = b""
+        self._handlers: List[Tuple[EventKind, Callable]] = []
+        self.events_handled = 0
+        #: §4.3 composition: where the added cycles go
+        self.breakdown: Dict[str, float] = {
+            "interception": 0.0, "checks": 0.0, "allocator": 0.0,
+            "range": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self) -> "CommonSanitizerRuntime":
+        """Subscribe to machine events according to the configured mode."""
+        if self.attached:
+            return self
+        hooks = self.machine.hooks
+        self._subscribe(hooks, EventKind.READY, self._on_ready)
+        if self.config.mode == "c":
+            self._subscribe(hooks, EventKind.VMCALL, self._on_vmcall)
+        else:
+            self._subscribe(hooks, EventKind.MEM_ACCESS, self._on_access)
+            self._subscribe(hooks, EventKind.CALL, self._on_call)
+            self._subscribe(hooks, EventKind.RET, self._on_ret)
+            if self.config.ready.kind == "banner":
+                self._subscribe(hooks, EventKind.CONSOLE, self._on_console)
+            # patch probes into every TCG engine's translation templates,
+            # including engines attached after us (created at guest boot)
+            for engine in self.machine.engines:
+                self._inject_probe(engine)
+            self.machine.engine_listeners.append(self._inject_probe)
+        self.attached = True
+        return self
+
+    def _inject_probe(self, engine) -> None:
+        add_probe = getattr(engine, "add_mem_probe", None)
+        if add_probe is not None:
+            add_probe(self._on_access)
+
+    def detach(self) -> None:
+        """Unsubscribe everything (end of a testing campaign)."""
+        for kind, handler in self._handlers:
+            self.machine.hooks.remove(kind, handler)
+        for engine in self.machine.engines:
+            remove_probe = getattr(engine, "remove_mem_probe", None)
+            if remove_probe is not None:
+                remove_probe(self._on_access)
+        if self._inject_probe in self.machine.engine_listeners:
+            self.machine.engine_listeners.remove(self._inject_probe)
+        self._handlers.clear()
+        self.attached = False
+
+    def _subscribe(self, hooks, kind: EventKind, handler: Callable) -> None:
+        hooks.add(kind, handler)
+        self._handlers.append((kind, handler))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _on_ready(self, _payload) -> None:
+        self.enabled = True
+
+    def _on_console(self, event: ConsoleEvent) -> None:
+        if self.enabled:
+            return
+        banner = self.config.ready.banner
+        self._console_tail = (self._console_tail + bytes([event.byte]))[-len(banner):]
+        if self._console_tail == banner:
+            self.enabled = True
+            self.machine.mark_ready()
+
+    def apply_init_routine(self, routine) -> None:
+        """Replay a Prober-recorded initialization sequence (DSL ops).
+
+        ``routine`` is an iterable of ``(op, args)`` pairs as produced by
+        :mod:`repro.sanitizers.prober`; it seeds engine state so the
+        runtime can attach to an already-booted snapshot.
+        """
+        for op, args in routine:
+            if op == "alloc" and self.kasan is not None:
+                self.kasan.on_alloc(*args)
+            elif op == "free" and self.kasan is not None:
+                self.kasan.on_free(*args)
+            elif op == "global" and self.kasan is not None:
+                self.kasan.register_global(*args)
+            elif op == "ready":
+                self.enabled = True
+            else:  # pragma: no cover - defensive
+                raise DslError(f"unknown init-routine op {op!r}")
+
+    # ------------------------------------------------------------------
+    # EMBSAN-C: hypercall fast path
+    # ------------------------------------------------------------------
+    def _on_vmcall(self, event: VmcallEvent) -> None:
+        number, args = event.number, event.args
+        self.events_handled += 1
+        if number == Hypercall.SAN_LOAD or number == Hypercall.SAN_STORE:
+            if not self.enabled:
+                return
+            access = Access(
+                args[0], args[1] or 1, number == Hypercall.SAN_STORE,
+                pc=event.pc, task=event.task,
+                atomic=bool(args[2]) if len(args) > 2 else False,
+            )
+            self._run_checks(access, mode="c")
+        elif number == Hypercall.SAN_ALLOC:
+            if self.kasan is not None:
+                self.kasan.on_alloc(args[0], args[1], args[2], event.pc, event.task)
+                self._charge(self.costs.alloc_cost("c"), "allocator")
+            if self.kmsan is not None:
+                self.kmsan.on_alloc(args[0], args[1], args[2], event.pc, event.task)
+                self._charge(self.costs.kmsan_c_alloc, "allocator")
+        elif number == Hypercall.SAN_FREE:
+            if self.kasan is not None:
+                self.kasan.on_free(args[0], event.pc, event.task)
+                self._charge(self.costs.alloc_cost("c"), "allocator")
+            if self.kmsan is not None:
+                self.kmsan.on_free(args[0], event.pc, event.task)
+        elif number == Hypercall.SAN_MARK_INIT:
+            if self.kmsan is not None:
+                self.kmsan.mark_initialized(args[0], args[1])
+        elif number == Hypercall.SAN_SLAB_PAGE:
+            if self.kasan is not None:
+                self.kasan.on_slab_page(args[0], args[1])
+        elif number == Hypercall.SAN_GLOBAL_REG:
+            if self.kasan is not None:
+                self.kasan.register_global(args[0], args[1], args[2])
+        elif number == Hypercall.SAN_STACK_ENTER:
+            pass  # frame extent bookkeeping is carried by the vars
+        elif number == Hypercall.SAN_STACK_VAR:
+            if self.kasan is not None:
+                self.kasan.stack_var(args[0], args[1])
+        elif number == Hypercall.SAN_STACK_LEAVE:
+            if self.kasan is not None:
+                self.kasan.stack_clear(args[0], args[1])
+        elif number in (Hypercall.SAN_RANGE_READ, Hypercall.SAN_RANGE_WRITE):
+            if self.enabled:
+                self._check_range(
+                    args[0], args[1], number == Hypercall.SAN_RANGE_WRITE,
+                    event.pc, event.task, mode="c",
+                )
+
+    # ------------------------------------------------------------------
+    # EMBSAN-D: dynamic interception
+    # ------------------------------------------------------------------
+    def _on_access(self, access: Access) -> None:
+        if not self.enabled or self._suppress:
+            return
+        if access.kind is AccessKind.FETCH:
+            return
+        self.events_handled += 1
+        if access.kind is AccessKind.RANGE:
+            self._check_range(access.addr, access.size, access.is_write,
+                              access.pc, access.task, mode="d")
+            return
+        self._run_checks(access, mode="d")
+
+    def _on_call(self, event: CallEvent) -> None:
+        spec = self._alloc_map.get(event.target)
+        if spec is None:
+            return
+        self.events_handled += 1
+        self._suppress += 1
+        stack = self._pending.setdefault(event.task, [])
+        nested = bool(stack)
+        if spec.kind == "alloc":
+            stack.append((spec, spec.size_from(event.args)))
+        else:
+            addr = event.args[spec.addr_arg] if event.args else 0
+            stack.append((spec, addr))
+            # a free issued from inside another allocator call is that
+            # allocator releasing backing store, not an object lifetime
+            # event (e.g. kfree of a large object forwarding to the buddy)
+            if not nested and self.kasan is not None:
+                self.kasan.on_free(addr, event.pc, event.task)
+                self._charge(self.costs.alloc_cost("d"), "allocator")
+
+    def _on_ret(self, event: RetEvent) -> None:
+        spec = self._alloc_map.get(event.target)
+        if spec is None:
+            return
+        stack = self._pending.get(event.task)
+        if not stack:
+            return
+        pending_spec, value = stack.pop()
+        self._suppress = max(0, self._suppress - 1)
+        if pending_spec.kind == "alloc" and self.kasan is not None:
+            if event.retval:
+                if stack and stack[-1][0].kind == "alloc":
+                    # a page allocation nested inside another allocator is
+                    # slab backing store: poison it like kasan_poison_slab
+                    self.kasan.on_slab_page(event.retval, value)
+                else:
+                    self.kasan.on_alloc(
+                        event.retval, value, pending_spec.cache_hint,
+                        event.target, event.task,
+                    )
+                self._charge(self.costs.alloc_cost("d"), "allocator")
+
+    # ------------------------------------------------------------------
+    def _check_range(self, addr: int, size: int, is_write: bool,
+                     pc: int, task: int, mode: str) -> None:
+        access = Access(addr, size, is_write, pc, task, kind=AccessKind.RANGE)
+        if self.kasan is not None:
+            self._charge(self.costs.range_cost(size, mode, "kasan"), "range")
+            self.kasan.check(access)
+        if self.kcsan is not None:
+            self._charge(self.costs.range_cost(size, mode, "kcsan"), "range")
+            self.kcsan.check(access)
+        if self.kmsan is not None:
+            self._charge(self.costs.kmsan_c_check, "range")
+            self.kmsan.check(access)
+
+    def _run_checks(self, access: Access, mode: str) -> None:
+        costs = self.costs
+        if self.kasan is not None:
+            intercept = costs.kasan_c_trap if mode == "c" else costs.kasan_d_intercept
+            check = costs.kasan_c_check if mode == "c" else costs.kasan_d_check
+            self._charge(intercept, "interception")
+            self._charge(check, "checks")
+            self.kasan.check(access)
+        if self.kcsan is not None:
+            intercept = costs.kcsan_c_trap if mode == "c" else costs.kcsan_d_intercept
+            check = costs.kcsan_c_check if mode == "c" else costs.kcsan_d_check
+            self._charge(intercept, "interception")
+            self._charge(check, "checks")
+            self.kcsan.check(access)
+        if self.kmsan is not None:
+            self._charge(costs.kmsan_c_trap, "interception")
+            self._charge(costs.kmsan_c_check, "checks")
+            self.kmsan.check(access)
+
+    def _charge(self, cycles: float, category: str) -> None:
+        self.machine.charge_overhead(cycles)
+        self.breakdown[category] += cycles
+
+    def profile(self) -> Dict[str, float]:
+        """The §4.3 composition analysis: fraction of added cycles per
+        category (interception / checks / allocator / range)."""
+        total = sum(self.breakdown.values())
+        if total == 0:
+            return {key: 0.0 for key in self.breakdown}
+        return {key: value / total for key, value in self.breakdown.items()}
+
+    # ------------------------------------------------------------------
+    @property
+    def reports(self) -> ReportSink:
+        """The runtime's report sink."""
+        return self.sink
+
+    def stats(self) -> Dict[str, int]:
+        """Diagnostic counters."""
+        out = {
+            "events_handled": self.events_handled,
+            "shadow_checks": self.shadow.check_ops,
+            "reports": self.sink.count(),
+            "unique_reports": self.sink.unique_count(),
+        }
+        if self.kasan is not None:
+            out["kasan_checks"] = self.kasan.checks
+            out["kasan_live"] = self.kasan.live_count()
+        if self.kcsan is not None:
+            out["kcsan_checks"] = self.kcsan.checks
+        return out

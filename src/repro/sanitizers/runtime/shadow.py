@@ -1,0 +1,211 @@
+"""Unified shadow memory.
+
+One byte of shadow describes one 8-byte granule of guest memory, using
+KASAN's encoding: ``0`` means fully addressable, ``1..7`` means only the
+first N bytes of the granule are addressable, and values >= 0x80 are
+poison codes identifying *why* the granule is off limits.
+
+"Unified" (§3.3) means a single shadow map serves every sanitizer
+functionality in the runtime: KASAN consumes the poison codes, KCSAN
+uses addressability to skip uninteresting traffic, and the quarantine
+bookkeeping reuses the FREE code.  The map is host-side: the guest
+never sees it, which is the core trick that lets EMBSAN sanitize
+firmware whose platform could not host shadow memory at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.bus import MemoryBus
+from repro.mem.regions import MmioRegion
+
+#: Bytes of guest memory per shadow byte.
+GRANULE = 8
+
+
+class ShadowCode(enum.IntEnum):
+    """Poison codes (>= 0x80) stored in shadow bytes."""
+
+    ADDRESSABLE = 0x00
+    FREED = 0xFF  #: object freed (KASAN use-after-free)
+    REDZONE_HEAP = 0xFA  #: pad after a slab object
+    REDZONE_GLOBAL = 0xF9  #: pad after an instrumented global
+    REDZONE_STACK = 0xF2  #: pad around an instrumented stack variable
+    PAGE_FREE = 0xFE  #: whole page returned to the buddy allocator
+    UNALLOCATED = 0xFC  #: slab page space never handed out
+
+
+class _RegionShadow:
+    """Shadow bytes for one guest memory region."""
+
+    __slots__ = ("base", "size", "bytes")
+
+    def __init__(self, base: int, size: int, fill: int):
+        self.base = base
+        self.size = size
+        self.bytes = bytearray([fill]) * ((size + GRANULE - 1) // GRANULE)
+
+
+class ShadowMemory:
+    """Host-side shadow map over a machine's RAM regions.
+
+    Device (MMIO) regions deliberately get no shadow: KASAN never maps
+    shadow for device apertures, and the runtime skips checks there.
+    """
+
+    def __init__(self, bus: MemoryBus):
+        self._shadows: List[_RegionShadow] = []
+        self._bases: List[int] = []
+        for region in bus.regions:
+            if isinstance(region, MmioRegion) or region.kind == "device":
+                continue
+            shadow = _RegionShadow(region.base, region.size, 0)
+            self._shadows.append(shadow)
+            self._bases.append(region.base)
+        self._shadows.sort(key=lambda s: s.base)
+        self._bases.sort()
+        self.poison_ops = 0
+        self.check_ops = 0
+
+    # ------------------------------------------------------------------
+    def _find(self, addr: int) -> Optional[_RegionShadow]:
+        # linear scan: machines map < 8 RAM regions
+        for shadow in self._shadows:
+            if shadow.base <= addr < shadow.base + shadow.size:
+                return shadow
+        return None
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def poison(self, start: int, size: int, code: ShadowCode) -> None:
+        """Mark ``[start, start+size)`` poisoned with ``code``.
+
+        Partial granules at the edges stay addressable up to the object
+        boundary (KASAN's first-N-bytes encoding), so only the fully
+        covered granules take the poison code; a leading partial granule
+        records how many of its bytes remain valid.
+        """
+        if size <= 0:
+            return
+        shadow = self._find(start)
+        if shadow is None:
+            return
+        self.poison_ops += 1
+        end = min(start + size, shadow.base + shadow.size)
+        first = (start - shadow.base) // GRANULE
+        valid_prefix = start % GRANULE
+        if valid_prefix:
+            # the object sharing this granule keeps its first bytes
+            shadow.bytes[first] = valid_prefix
+            first += 1
+        last = (end - shadow.base + GRANULE - 1) // GRANULE
+        for idx in range(first, last):
+            shadow.bytes[idx] = int(code)
+
+    def unpoison(self, start: int, size: int) -> None:
+        """Mark ``[start, start+size)`` addressable (partial tail encoded)."""
+        if size <= 0:
+            return
+        shadow = self._find(start)
+        if shadow is None:
+            return
+        self.poison_ops += 1
+        end = min(start + size, shadow.base + shadow.size)
+        first = (start - shadow.base) // GRANULE
+        full_last = (end - shadow.base) // GRANULE
+        for idx in range(first, full_last):
+            shadow.bytes[idx] = 0
+        tail = end % GRANULE
+        if tail and full_last < len(shadow.bytes):
+            shadow.bytes[full_last] = tail
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def check(self, addr: int, size: int) -> Optional[Tuple[int, int]]:
+        """Validate an access; returns ``(bad_addr, code)`` or None.
+
+        A device-region or out-of-shadow access returns None — the bus
+        permission model, not the sanitizer, polices those.
+        """
+        if size <= 0:
+            return None
+        shadow = self._find(addr)
+        if shadow is None:
+            return None
+        self.check_ops += 1
+        end = addr + size
+        idx = (addr - shadow.base) // GRANULE
+        granule_start = shadow.base + idx * GRANULE
+        table = shadow.bytes
+        limit = len(table)
+        while granule_start < end and idx < limit:
+            value = table[idx]
+            if value:
+                if value >= 0x80:
+                    bad = max(addr, granule_start)
+                    return bad, value
+                # partial granule: first `value` bytes valid
+                access_end_in_granule = min(end, granule_start + GRANULE)
+                if access_end_in_granule - granule_start > value:
+                    # classify by the poison that follows the object, the
+                    # way KASAN inspects the next shadow byte
+                    if idx + 1 < limit and table[idx + 1] >= 0x80:
+                        code = table[idx + 1]
+                    else:
+                        code = int(ShadowCode.REDZONE_HEAP)
+                    return granule_start + value, code
+            idx += 1
+            granule_start += GRANULE
+        return None
+
+    def code_at(self, addr: int) -> int:
+        """Raw shadow byte covering ``addr`` (0 when unshadowed)."""
+        shadow = self._find(addr)
+        if shadow is None:
+            return 0
+        return shadow.bytes[(addr - shadow.base) // GRANULE]
+
+    # ------------------------------------------------------------------
+    def poisoned_bytes(self) -> int:
+        """Granule count currently carrying any poison code (diagnostic)."""
+        return sum(
+            1
+            for shadow in self._shadows
+            for value in shadow.bytes
+            if value >= 0x80
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Operation counters used by overhead analysis."""
+        return {"poison_ops": self.poison_ops, "check_ops": self.check_ops}
+
+    def dump_around(self, addr: int, rows: int = 2) -> str:
+        """Render the shadow bytes around ``addr``, dmesg-KASAN style.
+
+        16 shadow bytes (128 guest bytes) per row, the row holding
+        ``addr`` marked with ``^`` under the offending granule.
+        """
+        shadow = self._find(addr)
+        if shadow is None:
+            return ""
+        granule = (addr - shadow.base) // GRANULE
+        row_of = granule // 16
+        lines = ["Memory state around the buggy address:"]
+        for row in range(row_of - rows, row_of + rows + 1):
+            first = row * 16
+            if first < 0 or first >= len(shadow.bytes):
+                continue
+            cells = shadow.bytes[first:first + 16]
+            rendered = " ".join(f"{value:02x}" for value in cells)
+            marker = ">" if row == row_of else " "
+            lines.append(
+                f"{marker}{shadow.base + first * GRANULE:#010x}: {rendered}"
+            )
+            if row == row_of:
+                column = granule - first
+                lines.append(" " * 12 + "   " * column + " ^^")
+        return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Unit + property tests: the four OS allocators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.emulator.arch import arch_by_name
+from repro.emulator.machine import Machine
+from repro.guest.context import GuestContext
+from repro.os.embedded_linux.buddy import BuddyAllocator, PAGE_SIZE
+from repro.os.embedded_linux.slab import KMALLOC_CLASSES, SlabAllocator
+from repro.os.freertos.heap4 import Heap4Allocator
+from repro.os.liteos.mempool import LosMemPool
+from repro.os.vxworks.mempart import MemPartLib
+
+
+def fresh_ctx():
+    machine = Machine(arch_by_name("arm"), name="alloc-test")
+    return GuestContext(machine)
+
+
+def linux_mm():
+    ctx = fresh_ctx()
+    dram = ctx.machine.arch.region("dram")
+    buddy = BuddyAllocator(dram.base, 1 << 22).install(ctx)
+    slab = SlabAllocator(buddy).install(ctx)
+    return ctx, buddy, slab
+
+
+class TestBuddy:
+    def test_alloc_free_roundtrip(self):
+        ctx, buddy, _ = linux_mm()
+        before = buddy.free_page_count()
+        addr = buddy.alloc_pages(ctx, 2)
+        assert addr % PAGE_SIZE == 0
+        assert buddy.free_page_count() == before - 4
+        assert buddy.free_pages(ctx, addr) == 0
+        assert buddy.free_page_count() == before
+        buddy.check_invariants()
+
+    def test_split_and_coalesce(self):
+        ctx, buddy, _ = linux_mm()
+        pages = [buddy.alloc_pages(ctx, 0) for _ in range(8)]
+        assert len(set(pages)) == 8
+        for addr in pages:
+            buddy.free_pages(ctx, addr)
+        buddy.check_invariants()
+        # a large block must be allocatable again after coalescing
+        big = buddy.alloc_pages(ctx, 3)
+        assert big != 0
+
+    def test_double_free_reported_not_fatal(self):
+        ctx, buddy, _ = linux_mm()
+        addr = buddy.alloc_pages(ctx, 0)
+        assert buddy.free_pages(ctx, addr) == 0
+        assert buddy.free_pages(ctx, addr) == -1
+
+    def test_exhaustion_returns_zero(self):
+        ctx, buddy, _ = linux_mm()
+        assert buddy.alloc_pages(ctx, 30) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=24))
+    def test_no_page_leak(self, orders):
+        ctx, buddy, _ = linux_mm()
+        live = []
+        for order in orders:
+            addr = buddy.alloc_pages(ctx, order)
+            if addr:
+                live.append(addr)
+        for addr in live:
+            assert buddy.free_pages(ctx, addr) == 0
+        buddy.check_invariants()
+
+
+class TestSlab:
+    def test_size_classes(self):
+        ctx, _, slab = linux_mm()
+        for size in (1, 32, 33, 100, 4096):
+            addr = slab.kmalloc(ctx, size)
+            assert addr != 0
+            assert slab.ksize(ctx, addr) >= size
+            slab.kfree(ctx, addr)
+        slab.check_invariants()
+
+    def test_kzalloc_zeroes(self):
+        ctx, _, slab = linux_mm()
+        first = slab.kmalloc(ctx, 64)
+        ctx.memset(first, 0xFF, 64)
+        slab.kfree(ctx, first)
+        addr = slab.kzalloc(ctx, 64)
+        assert ctx.ld32(addr + 16) == 0
+
+    def test_reuse_after_free(self):
+        ctx, _, slab = linux_mm()
+        addr = slab.kmalloc(ctx, 64)
+        slab.kfree(ctx, addr)
+        again = slab.kmalloc(ctx, 64)
+        assert again == addr  # LIFO freelist
+
+    def test_large_alloc_uses_pages(self):
+        ctx, buddy, slab = linux_mm()
+        addr = slab.kmalloc(ctx, 6000)
+        assert addr % PAGE_SIZE == 0
+        assert slab.kfree(ctx, addr) == 0
+        buddy.check_invariants()
+
+    def test_double_free_detected(self):
+        ctx, _, slab = linux_mm()
+        addr = slab.kmalloc(ctx, 32)
+        slab.kfree(ctx, addr)
+        assert slab.kfree(ctx, addr) == -1
+        assert slab.double_free_count == 1
+
+    def test_objects_do_not_overlap(self):
+        ctx, _, slab = linux_mm()
+        objs = [(slab.kmalloc(ctx, 96), 96) for _ in range(50)]
+        spans = sorted((addr, addr + size) for addr, size in objs)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(KMALLOC_CLASSES), st.booleans()),
+        min_size=1, max_size=40,
+    ))
+    def test_alloc_free_sequences(self, ops):
+        ctx, _, slab = linux_mm()
+        live = []
+        for size, do_free in ops:
+            if do_free and live:
+                slab.kfree(ctx, live.pop())
+            else:
+                addr = slab.kmalloc(ctx, size)
+                if addr:
+                    live.append(addr)
+        assert slab.live_count() == len(live)
+        for addr in live:
+            slab.kfree(ctx, addr)
+        slab.check_invariants()
+
+
+class TestHeap4:
+    def make(self):
+        ctx = fresh_ctx()
+        dram = ctx.machine.arch.region("dram")
+        heap = Heap4Allocator(dram.base, 1 << 16).install(ctx)
+        return ctx, heap
+
+    def test_roundtrip_and_coalesce(self):
+        ctx, heap = self.make()
+        start_free = heap.free_bytes
+        addrs = [heap.pvPortMalloc(ctx, size) for size in (16, 100, 600)]
+        assert all(addrs)
+        for addr in addrs:
+            assert heap.vPortFree(ctx, addr) == 0
+        assert heap.free_bytes == start_free
+        heap.check_invariants(ctx)
+        # coalesced back into one block
+        assert len(list(heap.walk_free_list(ctx))) == 1
+
+    def test_first_fit_reuse(self):
+        ctx, heap = self.make()
+        a = heap.pvPortMalloc(ctx, 64)
+        b = heap.pvPortMalloc(ctx, 64)
+        heap.vPortFree(ctx, a)
+        c = heap.pvPortMalloc(ctx, 32)
+        assert c == a  # fits in the freed hole
+        heap.vPortFree(ctx, b)
+        heap.vPortFree(ctx, c)
+
+    def test_exhaustion(self):
+        ctx, heap = self.make()
+        assert heap.pvPortMalloc(ctx, 1 << 20) == 0
+
+    def test_double_free_detected(self):
+        ctx, heap = self.make()
+        addr = heap.pvPortMalloc(ctx, 48)
+        assert heap.vPortFree(ctx, addr) == 0
+        assert heap.vPortFree(ctx, addr) == -1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(1, 512), min_size=1, max_size=30))
+    def test_accounting_invariant(self, sizes):
+        ctx, heap = self.make()
+        start = heap.free_bytes
+        live = []
+        for size in sizes:
+            addr = heap.pvPortMalloc(ctx, size)
+            if addr:
+                live.append(addr)
+        for addr in live:
+            heap.vPortFree(ctx, addr)
+        assert heap.free_bytes == start
+        heap.check_invariants(ctx)
+
+
+class TestLosMemPool:
+    def make(self):
+        ctx = fresh_ctx()
+        dram = ctx.machine.arch.region("dram")
+        pool = LosMemPool(dram.base, 1 << 16).install(ctx)
+        return ctx, pool
+
+    def test_best_fit(self):
+        ctx, pool = self.make()
+        a = pool.los_mem_alloc(ctx, 512)
+        guard1 = pool.los_mem_alloc(ctx, 16)
+        b = pool.los_mem_alloc(ctx, 64)
+        guard2 = pool.los_mem_alloc(ctx, 16)
+        # two non-adjacent holes (guards block coalescing)
+        pool.los_mem_free(ctx, a)
+        pool.los_mem_free(ctx, b)
+        # a small request should pick the smaller (best-fit) hole
+        c = pool.los_mem_alloc(ctx, 32)
+        assert c == b
+        pool.check_invariants(ctx)
+        for addr in (guard1, guard2, c):
+            pool.los_mem_free(ctx, addr)
+
+    def test_double_free(self):
+        ctx, pool = self.make()
+        addr = pool.los_mem_alloc(ctx, 64)
+        assert pool.los_mem_free(ctx, addr) == 0
+        assert pool.los_mem_free(ctx, addr) == -1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(1, 300), min_size=1, max_size=25))
+    def test_free_bytes_restored(self, sizes):
+        ctx, pool = self.make()
+        start = pool.free_bytes(ctx)
+        live = [pool.los_mem_alloc(ctx, s) for s in sizes]
+        for addr in live:
+            if addr:
+                pool.los_mem_free(ctx, addr)
+        assert pool.free_bytes(ctx) == start
+        pool.check_invariants(ctx)
+
+
+class TestMemPart:
+    def make(self):
+        ctx = fresh_ctx()
+        dram = ctx.machine.arch.region("dram")
+        part = MemPartLib(dram.base, 1 << 16).install(ctx)
+        return ctx, part
+
+    def test_roundtrip(self):
+        ctx, part = self.make()
+        addrs = [part.memPartAlloc(ctx, s) for s in (16, 64, 256)]
+        assert all(addrs) and len(set(addrs)) == 3
+        for addr in addrs:
+            assert part.memPartFree(ctx, addr) == 0
+
+    def test_no_coalescing_but_reuse(self):
+        ctx, part = self.make()
+        a = part.memPartAlloc(ctx, 64)
+        part.memPartFree(ctx, a)
+        b = part.memPartAlloc(ctx, 64)
+        assert b == a  # freed block is head of the list
+
+    def test_double_free(self):
+        ctx, part = self.make()
+        addr = part.memPartAlloc(ctx, 32)
+        assert part.memPartFree(ctx, addr) == 0
+        assert part.memPartFree(ctx, addr) == -1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=20))
+    def test_distinct_live_blocks(self, sizes):
+        ctx, part = self.make()
+        live = [a for a in (part.memPartAlloc(ctx, s) for s in sizes) if a]
+        assert len(set(live)) == len(live)
+        for addr in live:
+            part.memPartFree(ctx, addr)

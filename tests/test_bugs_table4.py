@@ -1,0 +1,51 @@
+"""The Table-4 corpus as a test: all 41 new bugs replay and classify."""
+
+import pytest
+
+from repro.bugs.catalog import TABLE4_BUGS, census_by_firmware, table4_bugs_for
+from repro.bugs.replay import replay_on_embsan
+from repro.firmware.registry import all_firmware, firmware_spec
+
+IDS = [record.bug_id for record in TABLE4_BUGS]
+
+#: the paper's Table 3, verbatim
+PAPER_TABLE3 = {
+    "OpenWRT-armvirt": {"OOB Access": 5, "Double Free": 1},
+    "OpenWRT-bcm63xx": {"OOB Access": 3, "UAF": 2},
+    "OpenWRT-ipq807x": {"OOB Access": 3, "UAF": 1, "Double Free": 1},
+    "OpenWRT-mt7629": {"OOB Access": 2, "Double Free": 2},
+    "OpenWRT-rtl839x": {"OOB Access": 1, "UAF": 1, "Double Free": 1},
+    "OpenWRT-x86_64": {"OOB Access": 5, "Race": 2},
+    "OpenHarmony-rk3566": {"OOB Access": 2, "UAF": 1},
+    "OpenHarmony-stm32mp1": {"OOB Access": 1},
+    "OpenHarmony-stm32f407": {"OOB Access": 2},
+    "InfiniTime": {"OOB Access": 2, "UAF": 1},
+    "TP-Link WDR-7660": {"OOB Access": 2},
+}
+
+
+def test_41_bugs_total():
+    assert len(TABLE4_BUGS) == 41
+
+
+def test_census_matches_paper_table3():
+    assert census_by_firmware() == PAPER_TABLE3
+
+
+def test_every_firmware_arms_its_bugs():
+    for spec in all_firmware():
+        expected = {record.arm_id for record in table4_bugs_for(spec.name)}
+        assert expected <= set(spec.bug_ids), spec.name
+
+
+@pytest.mark.parametrize("record", TABLE4_BUGS, ids=IDS)
+def test_reproducer_detects_under_paper_mode(record):
+    mode = firmware_spec(record.firmware).inst_mode
+    result = replay_on_embsan(record, mode)
+    assert result.detected, (
+        f"{record.bug_id} ({record.location}) not detected on "
+        f"{record.firmware} under {mode.value}"
+    )
+    assert result.reports, record.bug_id
+    report = result.reports[0]
+    assert report.bug_type is record.expect_type

@@ -1,0 +1,59 @@
+"""Integration tests: KCSAN-involving campaigns and multi-sanitizer runs."""
+
+import pytest
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.registry import build_firmware
+from repro.fuzz.campaign import run_campaign, run_campaign_repeated
+from repro.os.embedded_linux.syscalls import Syscall as S
+from repro.sanitizers.runtime.reports import BugType
+
+
+class TestRaceDetection:
+    def test_btrfs_races_detected_by_kcsan(self):
+        image = build_firmware("OpenWRT-x86_64", boot=False)
+        runtime = attach_runtime(image, sanitizers=("kasan", "kcsan"))
+        image.boot()
+        k, ctx = image.kernel, image.ctx
+        k.do_syscall(ctx, S.MOUNT, 1, 0, 0, 0)
+        for _ in range(3):
+            k.do_syscall(ctx, S.FSOP, 1, 4, 0, 0)  # racy generation bump
+            k.do_syscall(ctx, S.FSOP, 1, 2, 100, 0)  # racy dirty account
+        races = [r for r in runtime.sink.unique.values()
+                 if r.bug_type is BugType.DATA_RACE]
+        assert len(races) == 2  # two distinct racing words
+
+    def test_fixed_build_has_no_races(self):
+        image = build_firmware("OpenWRT-x86_64", with_bugs=False, boot=False)
+        runtime = attach_runtime(image, sanitizers=("kasan", "kcsan"))
+        image.boot()
+        k, ctx = image.kernel, image.ctx
+        k.do_syscall(ctx, S.MOUNT, 1, 0, 0, 0)
+        for _ in range(5):
+            k.do_syscall(ctx, S.FSOP, 1, 4, 0, 0)
+            k.do_syscall(ctx, S.FSOP, 1, 2, 100, 0)
+        assert not runtime.sink.has(BugType.DATA_RACE)
+
+    def test_campaign_selects_kcsan_automatically(self):
+        result = run_campaign("OpenWRT-x86_64", budget=1200, seed=1)
+        race_rows = [bug_id for bug_id in result.matched
+                     if bug_id in ("t4_x8_06", "t4_x8_07")]
+        # at least one of the two races is typically found quickly
+        assert result.fuzzer == "syzkaller"
+        assert result.found_count() >= 3
+
+
+class TestRepeatedCampaigns:
+    def test_merging_across_seeds(self):
+        merged = run_campaign_repeated("InfiniTime", budget=800,
+                                       seeds=(1, 2))
+        assert merged.found_count() + len(merged.missed) == 3
+        # merged exec count reflects every seed actually run
+        assert merged.execs >= 800
+
+    def test_early_stop_when_all_found(self):
+        merged = run_campaign_repeated("OpenHarmony-stm32mp1", budget=600,
+                                       seeds=(1, 2, 3, 4))
+        assert not merged.missed
+        # the first seed finds the single bug: later seeds skipped
+        assert merged.execs == 600

@@ -1,0 +1,60 @@
+"""Tests: the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["probe", "InfiniTime"],
+            ["probe", "InfiniTime", "--sanitizers", "kasan", "kcsan"],
+            ["replay", "t2_01", "--deployment", "embsan-d"],
+            ["fuzz", "InfiniTime", "--budget", "50", "--seed", "2"],
+            ["overhead", "InfiniTime"],
+            ["table2"],
+        ):
+            assert parser.parse_args(argv) is not None
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "OpenWRT-armvirt" in out and "TP-Link WDR-7660" in out
+
+    def test_probe_prints_dsl(self, capsys):
+        assert main(["probe", "InfiniTime"]) == 0
+        out = capsys.readouterr().out
+        assert "(merged-spec" in out and "(platform" in out
+        assert "pvPortMalloc" in out
+
+    def test_replay_detected(self, capsys):
+        assert main(["replay", "t2_16"]) == 0
+        out = capsys.readouterr().out
+        assert "DETECTED" in out and "use-after-free" in out
+
+    def test_replay_miss_exit_code(self, capsys):
+        # the global-OOB bug is invisible to EMBSAN-D: exit code 1
+        assert main(["replay", "t2_24", "--deployment", "embsan-d"]) == 1
+
+    def test_replay_unknown_bug(self, capsys):
+        assert main(["replay", "t9_99"]) == 2
+
+    def test_fuzz_small_budget(self, capsys):
+        assert main(["fuzz", "OpenHarmony-stm32mp1", "--budget", "150",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "execs: 150" in out
+
+    def test_overhead_single_firmware(self, capsys):
+        assert main(["overhead", "InfiniTime"]) == 0
+        out = capsys.readouterr().out
+        assert "embsan-d" in out and "x" in out

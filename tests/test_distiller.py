@@ -1,0 +1,105 @@
+"""Unit tests: the Sanitizer Common Function Distiller."""
+
+import pytest
+
+from repro.errors import DistillerError
+from repro.sanitizers.distiller import (
+    distill,
+    distill_reference,
+    load_reference,
+    parse_header,
+    parse_source,
+)
+from repro.sanitizers.distiller.sources import entry_points
+from repro.sanitizers.dsl.compiler import merge_sanitizers
+
+
+class TestHeaderParsing:
+    def test_declarations(self):
+        decls, defines = parse_header(
+            """
+            #define WIDTH 8
+            void f(unsigned long addr, size_t size);
+            int  g(void);
+            unsigned int h(unsigned long x);
+            """
+        )
+        by_name = {d.name: d.params for d in decls}
+        assert by_name == {"f": ("addr", "size"), "g": (), "h": ("x",)}
+        assert defines["WIDTH"] == 8
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(DistillerError):
+            parse_header("/* nothing here */")
+
+
+class TestSourceParsing:
+    SOURCE = """
+    unsigned char *shadow;   /* EXTERNAL RESOURCE: shadow-memory */
+
+    void api_one(unsigned long a) { helper(a); }
+
+    void api_two(unsigned long a)
+    {
+            helper(a);
+            other_helper(a, 1);
+    }
+    """
+
+    def test_call_graph(self):
+        info = parse_source(self.SOURCE)
+        assert info.call_graph["api_one"] == {"helper"}
+        assert info.call_graph["api_two"] == {"helper", "other_helper"}
+
+    def test_resources(self):
+        info = parse_source(self.SOURCE)
+        assert info.resources == (("shadow", "shadow-memory"),)
+
+    def test_entry_points(self):
+        info = parse_source(self.SOURCE)
+        assert entry_points(info) == ["api_one", "api_two"]
+
+
+class TestDistillReferences:
+    def test_kasan_events(self):
+        spec = distill_reference("kasan")
+        events = spec.events()
+        assert events["load"] == ("addr", "size")
+        assert events["store"] == ("addr", "size")
+        assert events["alloc"] == ("addr", "size", "cache")
+        assert events["free"] == ("addr",)
+        assert events["global-register"] == ("addr", "size", "redzone")
+        assert "slab-page" in events
+        assert ("shadow-memory", 8) in spec.requires
+
+    def test_kcsan_events(self):
+        spec = distill_reference("kcsan")
+        events = spec.events()
+        assert events == {
+            "load": ("addr", "size", "marked"),
+            "store": ("addr", "size", "marked"),
+        }
+
+    def test_internals_not_intercepted(self):
+        spec = distill_reference("kasan")
+        # kasan_poison / kasan_report are runtime internals, not events
+        for node in spec.intercepts:
+            assert "poison" not in node.event
+            assert "report" not in node.event
+
+    def test_merge_of_both_references(self):
+        merged = merge_sanitizers(
+            [distill_reference("kasan"), distill_reference("kcsan")]
+        )
+        assert merged.sanitizers == ("kasan", "kcsan")
+        load = merged.events()["load"]
+        assert load == ("addr", "size", "marked")
+
+    def test_unknown_reference(self):
+        with pytest.raises(DistillerError):
+            load_reference("msan")
+
+    def test_unrecognizable_api_rejected(self):
+        with pytest.raises(DistillerError):
+            distill("weird", "void mystery_fn(unsigned long a);",
+                    "void mystery_fn(unsigned long a) { noop(a); }")

@@ -1,0 +1,179 @@
+"""Unit + property tests: the SanSpec DSL."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DslError
+from repro.sanitizers.dsl.ast import (
+    AllocFnNode,
+    InterceptNode,
+    PlatformSpec,
+    ReadyNode,
+    RegionNode,
+    SanitizerSpec,
+    lift,
+)
+from repro.sanitizers.dsl.compiler import (
+    compile_platform,
+    compile_runtime_config,
+    merge_sanitizers,
+)
+from repro.sanitizers.dsl.parser import (
+    Symbol,
+    parse_document,
+    parse_sexprs,
+    write_sexpr,
+)
+
+
+class TestParser:
+    def test_atoms(self):
+        out = parse_sexprs('42 0x10 -3 hello "a string"')
+        assert out == [42, 16, -3, Symbol("hello"), "a string"]
+        assert isinstance(out[3], Symbol)
+        assert not isinstance(out[4], Symbol)
+
+    def test_nesting(self):
+        out = parse_sexprs("(a (b 1) (c (d 2)))")
+        assert out == [[Symbol("a"), [Symbol("b"), 1],
+                        [Symbol("c"), [Symbol("d"), 2]]]]
+
+    def test_comments_and_whitespace(self):
+        out = parse_sexprs("; a comment\n( a ; mid\n 1 )\n")
+        assert out == [[Symbol("a"), 1]]
+
+    def test_unbalanced(self):
+        with pytest.raises(DslError):
+            parse_sexprs("(a (b)")
+        with pytest.raises(DslError):
+            parse_sexprs("a)")
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslError):
+            parse_sexprs('( "open')
+
+    sexpr_atoms = st.one_of(
+        st.integers(-2**31, 2**31 - 1),
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+            min_size=0, max_size=12,
+        ),
+        st.builds(Symbol, st.from_regex(r"[a-z][a-z0-9-]{0,10}", fullmatch=True)),
+    )
+    sexprs = st.recursive(
+        sexpr_atoms, lambda inner: st.lists(inner, max_size=5), max_leaves=20
+    )
+
+    @settings(max_examples=150, deadline=None)
+    @given(sexpr=sexprs)
+    def test_write_parse_roundtrip(self, sexpr):
+        text = write_sexpr(sexpr)
+        parsed = parse_sexprs(text)
+        expected = [sexpr]
+        assert parsed == expected
+
+
+class TestLifting:
+    def test_sanitizer_roundtrip(self):
+        spec = SanitizerSpec(
+            "kasan",
+            (InterceptNode("load", ("addr", "size")),
+             InterceptNode("alloc", ("addr", "size", "cache"))),
+            (("shadow-memory", 8),),
+        )
+        again = parse_document(spec.to_text())[0]
+        assert again == spec
+
+    def test_platform_roundtrip(self):
+        spec = PlatformSpec(
+            name="fw", arch="mips", category=2,
+            regions=[RegionNode("dram", 0x80000000, 0x1000000, "dram")],
+            alloc_fns=[
+                AllocFnNode(0x8000100, "alloc", "kmalloc", size_arg=0),
+                AllocFnNode(0x8000200, "free", "kfree", addr_arg=0),
+            ],
+            ready=ReadyNode("banner", "fw ready."),
+            init_routine=[("alloc", (0x80001000, 64, 0)), ("ready", ())],
+            blobs=[("pppoed", 0x8200000, 128)],
+        )
+        again = parse_document(spec.to_text())[0]
+        assert again.name == spec.name
+        assert again.alloc_fns == spec.alloc_fns
+        assert again.ready == spec.ready
+        assert again.init_routine == spec.init_routine
+        assert again.blobs == spec.blobs
+
+    def test_unknown_form(self):
+        with pytest.raises(DslError):
+            lift([Symbol("mystery"), 1])
+
+
+class TestMergeRules:
+    """The §3.1 union rules."""
+
+    def kasan(self):
+        return SanitizerSpec(
+            "kasan",
+            (InterceptNode("load", ("addr", "size")),
+             InterceptNode("alloc", ("addr", "size", "cache"))),
+            (("shadow-memory", 8),),
+        )
+
+    def kcsan(self):
+        return SanitizerSpec(
+            "kcsan",
+            (InterceptNode("load", ("addr", "size", "marked")),),
+            (("watchpoints", 256),),
+        )
+
+    def test_union_of_interception_points(self):
+        merged = merge_sanitizers([self.kasan(), self.kcsan()])
+        assert set(merged.events()) == {"load", "alloc"}
+
+    def test_union_of_arguments_with_annotations(self):
+        merged = merge_sanitizers([self.kasan(), self.kcsan()])
+        load = [n for n in merged.intercepts if n.event == "load"][0]
+        assert load.args == ("addr", "size", "marked")
+        notes = dict(load.annotations)
+        assert notes["addr"] == "kasan,kcsan"
+        assert notes["marked"] == "kcsan"
+
+    def test_requires_union(self):
+        merged = merge_sanitizers([self.kasan(), self.kcsan()])
+        assert dict(merged.requires) == {"shadow-memory": 8,
+                                         "watchpoints": 256}
+
+    def test_unknown_event_rejected(self):
+        bad = SanitizerSpec("x", (InterceptNode("teleport", ("addr",)),))
+        with pytest.raises(DslError):
+            merge_sanitizers([bad])
+
+
+class TestCompiler:
+    def platform(self, category):
+        return PlatformSpec(
+            name="fw", arch="arm", category=category,
+            alloc_fns=[
+                AllocFnNode(0x100, "alloc", "kmalloc", size_arg=0),
+                AllocFnNode(0x200, "free", "kfree", addr_arg=0),
+            ],
+            ready=ReadyNode("banner", "ready."),
+        )
+
+    def test_category1_compiles_to_mode_c(self):
+        merged = merge_sanitizers([TestMergeRules().kasan()])
+        config = compile_runtime_config(merged, self.platform(1))
+        assert config.mode == "c"
+
+    def test_category2_compiles_to_mode_d(self):
+        merged = merge_sanitizers([TestMergeRules().kasan()])
+        config = compile_runtime_config(merged, self.platform(2))
+        assert config.mode == "d"
+        assert {fn.name for fn in config.alloc_fns} == {"kmalloc", "kfree"}
+        assert config.ready.banner == b"ready."
+
+    def test_compile_platform_lowering(self):
+        alloc_fns, ready = compile_platform(self.platform(3))
+        kinds = {(fn.name, fn.kind) for fn in alloc_fns}
+        assert kinds == {("kmalloc", "alloc"), ("kfree", "free")}
+        assert ready.kind == "banner"

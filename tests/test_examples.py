@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts run end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "BUG: KASAN: slab-out-of-bounds in bluetooth.hci_event" in out
+    assert "probed allocator entry points" in out
+
+
+def test_table2_replay():
+    out = run_example("table2_replay.py")
+    assert "fbcon_get_font" in out
+    assert "EMBSAN-D misses this one" in out
+
+
+def test_closed_source_probing():
+    out = run_example("closed_source_probing.py")
+    assert "slab-out-of-bounds in pppoed" in out
+    assert "behaviourally identified allocators" in out
+
+
+def test_baremetal_demo():
+    out = run_example("baremetal_demo.py")
+    assert "TB flush(es) from probe injection" in out
+    assert "write of size 4" in out
+
+
+def test_extend_sanitizer():
+    out = run_example("extend_sanitizer.py")
+    assert "BUG: KMSAN: uninit-value" in out
+    assert "consumed by kasan,kmsan" in out
+
+
+@pytest.mark.slow
+def test_fuzz_campaign():
+    out = run_example("fuzz_campaign.py")
+    assert "Table-4 bugs found" in out
+
+
+@pytest.mark.slow
+def test_overhead_study():
+    out = run_example("overhead_study.py")
+    assert "hypercall fast path" in out

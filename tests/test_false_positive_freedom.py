@@ -1,0 +1,68 @@
+"""Property: EMBSAN never reports on bug-free firmware.
+
+The dual of the detection experiments: arbitrary (valid or garbage)
+program streams against fixed builds must produce zero sanitizer
+reports in every deployment mode.  This is the property that makes a
+sanitizer usable at all — KCSAN's false-positive problem is exactly why
+the paper validates Table 2 on KASAN.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import GuestFault
+from repro.firmware.builder import attach_runtime
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware
+from repro.fuzz.ifspec import interface_for
+from repro.fuzz.program import ResourcePool, resolve_args
+
+import random
+
+
+def run_random_workload(image, runtime, seed, programs=12):
+    rng = random.Random(seed)
+    spec = interface_for(image.kernel)
+    kernel, ctx = image.kernel, image.ctx
+    for _ in range(programs):
+        pool = ResourcePool()
+        length = rng.randint(1, 5)
+        for _ in range(length):
+            call = spec.generate_call(rng)
+            args = resolve_args(call.args, pool)
+            try:
+                if spec.style == "syscall":
+                    result = kernel.do_syscall(ctx, call.nr, *args)
+                else:
+                    result = kernel.invoke(ctx, call.nr, *args[:3])
+            except GuestFault:
+                return  # bug-free builds never fault; asserted by caller
+            if call.produces and isinstance(result, int):
+                pool.put(call.produces, result)
+
+
+# The closed-source VxWorks target is deliberately absent: its daemons
+# are vulnerable *binaries* — there is no patched build to test, and
+# random packets legitimately trigger their missing bounds checks.
+CASES = [
+    ("OpenWRT-armvirt", InstrumentationMode.EMBSAN_C, ("kasan",)),
+    ("OpenWRT-bcm63xx", InstrumentationMode.EMBSAN_D, ("kasan",)),
+    ("OpenWRT-x86_64", InstrumentationMode.EMBSAN_C, ("kasan", "kcsan")),
+    ("InfiniTime", InstrumentationMode.EMBSAN_D, ("kasan",)),
+    ("OpenHarmony-stm32f407", InstrumentationMode.EMBSAN_D, ("kasan",)),
+]
+
+
+@pytest.mark.parametrize("firmware,mode,sanitizers", CASES,
+                         ids=[c[0] for c in CASES])
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_no_reports_on_bug_free_builds(firmware, mode, sanitizers, seed):
+    image = build_firmware(firmware, mode=mode, with_bugs=False, boot=False)
+    runtime = attach_runtime(image, sanitizers=sanitizers)
+    image.boot()
+    run_random_workload(image, runtime, seed)
+    assert runtime.sink.count() == 0, [
+        str(r).splitlines()[0] for r in runtime.sink.unique.values()
+    ]

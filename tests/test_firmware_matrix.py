@@ -1,0 +1,67 @@
+"""The Table-1 matrix as tests: every firmware row builds and boots."""
+
+import pytest
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import all_firmware, build_firmware, firmware_spec
+
+#: the paper's Table 1, verbatim
+PAPER_TABLE1 = {
+    "OpenWRT-armvirt": ("Embedded Linux", "arm", "embsan-c", "open", "syzkaller"),
+    "OpenWRT-bcm63xx": ("Embedded Linux", "mips", "embsan-d", "open", "syzkaller"),
+    "OpenWRT-ipq807x": ("Embedded Linux", "arm", "embsan-c", "open", "syzkaller"),
+    "OpenWRT-mt7629": ("Embedded Linux", "arm", "embsan-c", "open", "syzkaller"),
+    "OpenWRT-rtl839x": ("Embedded Linux", "mips", "embsan-d", "open", "syzkaller"),
+    "OpenWRT-x86_64": ("Embedded Linux", "x86", "embsan-c", "open", "syzkaller"),
+    "OpenHarmony-rk3566": ("Embedded Linux", "arm", "embsan-c", "open", "tardis"),
+    "OpenHarmony-stm32mp1": ("LiteOS", "arm", "embsan-d", "open", "tardis"),
+    "OpenHarmony-stm32f407": ("LiteOS", "mips", "embsan-d", "open", "tardis"),
+    "InfiniTime": ("FreeRTOS", "arm", "embsan-d", "open", "tardis"),
+    "TP-Link WDR-7660": ("VxWorks", "arm", "embsan-d", "closed", "tardis"),
+}
+
+NAMES = list(PAPER_TABLE1)
+
+
+def test_registry_matches_paper_rows():
+    registered = {spec.name for spec in all_firmware()}
+    assert registered == set(PAPER_TABLE1)
+    for spec in all_firmware():
+        os_, arch, mode, source, fuzzer = PAPER_TABLE1[spec.name]
+        assert spec.base_os == os_, spec.name
+        assert spec.arch == arch, spec.name
+        assert spec.inst_mode.value == mode, spec.name
+        assert spec.source == source, spec.name
+        assert spec.fuzzer == fuzzer, spec.name
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_firmware_boots_with_embsan(name):
+    image = build_firmware(name, boot=False)
+    runtime = attach_runtime(image)
+    image.boot()
+    assert image.machine.ready
+    assert runtime.enabled
+    assert image.kernel.banner in image.console()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_bare_build_boots(name):
+    image = build_firmware(name, mode=InstrumentationMode.NONE,
+                           with_bugs=False)
+    assert image.machine.ready
+
+
+def test_unknown_firmware_rejected():
+    from repro.errors import FirmwareBuildError
+
+    with pytest.raises(FirmwareBuildError):
+        firmware_spec("OpenWRT-nonexistent")
+
+
+def test_native_builds_only_for_linux():
+    image = build_firmware("OpenWRT-x86_64", mode=InstrumentationMode.NATIVE,
+                           native_sanitizers=("kasan", "kcsan"),
+                           with_bugs=False)
+    assert len(image.native_hooks) == 2

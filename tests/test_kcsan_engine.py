@@ -1,0 +1,101 @@
+"""Unit tests: the KCSAN-functionality engine."""
+
+import pytest
+
+from repro.mem.access import Access, AccessKind
+from repro.sanitizers.runtime.kcsan import KcsanEngine
+from repro.sanitizers.runtime.reports import BugType, ReportSink
+
+ADDR = 0x2000_0000
+
+
+def access(addr=ADDR, size=4, write=False, task=1, atomic=False, pc=0x10):
+    return Access(addr, size, write, pc=pc, task=task, atomic=atomic)
+
+
+@pytest.fixture
+def engine():
+    return KcsanEngine(ReportSink())
+
+
+class TestRaces:
+    def test_write_write_race(self, engine):
+        assert engine.check(access(write=True, task=1)) is None
+        report = engine.check(access(write=True, task=2))
+        assert report is not None
+        assert report.bug_type is BugType.DATA_RACE
+        assert report.second_pc == 0x10
+
+    def test_read_write_race(self, engine):
+        engine.check(access(write=False, task=1))
+        assert engine.check(access(write=True, task=2)) is not None
+
+    def test_write_read_race(self, engine):
+        engine.check(access(write=True, task=1))
+        assert engine.check(access(write=False, task=2)) is not None
+
+    def test_read_read_no_race(self, engine):
+        engine.check(access(write=False, task=1))
+        assert engine.check(access(write=False, task=2)) is None
+
+    def test_same_task_no_race(self, engine):
+        engine.check(access(write=True, task=1))
+        assert engine.check(access(write=True, task=1)) is None
+
+    def test_both_atomic_no_race(self, engine):
+        engine.check(access(write=True, task=1, atomic=True))
+        assert engine.check(access(write=True, task=2, atomic=True)) is None
+
+    def test_one_atomic_still_races(self, engine):
+        engine.check(access(write=True, task=1, atomic=True))
+        assert engine.check(access(write=True, task=2)) is not None
+
+    def test_disjoint_addresses_no_race(self, engine):
+        engine.check(access(addr=ADDR, write=True, task=1))
+        assert engine.check(access(addr=ADDR + 64, write=True, task=2)) is None
+
+    def test_same_granule_disjoint_words_no_race(self, engine):
+        engine.check(access(addr=ADDR, size=4, write=True, task=1))
+        assert engine.check(access(addr=ADDR + 4, size=4, write=True,
+                                   task=2)) is None
+
+    def test_boot_task_excluded(self, engine):
+        engine.check(access(write=True, task=0))
+        assert engine.check(access(write=True, task=2)) is None
+
+
+class TestWindow:
+    def test_expired_watchpoint(self):
+        engine = KcsanEngine(ReportSink(), window=4)
+        engine.check(access(write=True, task=1))
+        for i in range(6):
+            engine.check(access(addr=ADDR + 0x1000 + 64 * i, task=1))
+        assert engine.check(access(write=True, task=2)) is None
+
+    def test_within_window(self):
+        engine = KcsanEngine(ReportSink(), window=16)
+        engine.check(access(write=True, task=1))
+        for i in range(4):
+            engine.check(access(addr=ADDR + 0x1000 + 64 * i, task=1))
+        assert engine.check(access(write=True, task=2)) is not None
+
+    def test_reset_clears_watchpoints(self, engine):
+        engine.check(access(write=True, task=1))
+        engine.reset()
+        assert engine.check(access(write=True, task=2)) is None
+
+
+class TestRangeAccesses:
+    def test_range_race_detected(self, engine):
+        engine.check(access(write=True, task=1))
+        bulk = Access(ADDR - 16, 64, False, pc=0x20, task=2,
+                      kind=AccessKind.RANGE)
+        assert engine.check(bulk) is not None
+
+    def test_dedup_key_distinguishes_addresses(self, engine):
+        engine.check(access(addr=ADDR, write=True, task=1, pc=0x50))
+        r1 = engine.check(access(addr=ADDR, write=True, task=2, pc=0x50))
+        engine.check(access(addr=ADDR + 4, write=True, task=1, pc=0x50))
+        r2 = engine.check(access(addr=ADDR + 4, write=True, task=2, pc=0x50))
+        assert r1.dedup_key() != r2.dedup_key()
+        assert len(engine.sink.unique) == 2

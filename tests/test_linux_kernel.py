@@ -1,0 +1,135 @@
+"""Integration tests: the rehosted Embedded Linux kernel."""
+
+import pytest
+
+from repro.errors import GuestFault
+from repro.firmware.builder import build_image
+from repro.firmware.instrument import InstrumentationMode
+from repro.os.embedded_linux.kernel import CONSOLE_DEV_ID, parse_version
+from repro.os.embedded_linux.syscalls import EBADF, EINVAL, ENOSYS, Syscall as S
+
+
+class TestVersionParsing:
+    def test_ordering(self):
+        v = parse_version
+        assert v("5.17-rc2") < v("5.17")
+        assert v("5.17") < v("5.17.1")
+        assert v("5.18") < v("5.18-next")
+        assert v("5.19") < v("6.0-rc1")
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            parse_version("five.seventeen")
+
+
+class TestBootAndConsole:
+    def test_banner_printed(self, linux_image):
+        assert "Embedded Linux 5.19 (repro) ready." in linux_image.console()
+
+    def test_double_boot_rejected(self, linux_image):
+        from repro.errors import FirmwareBuildError
+
+        with pytest.raises(FirmwareBuildError):
+            linux_image.boot()
+
+    def test_ready_flag(self, linux_image):
+        assert linux_image.machine.ready
+
+
+class TestFileDescriptors:
+    def test_open_close(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, CONSOLE_DEV_ID, 0, 0, 0)
+        assert fd >= 3
+        assert k.do_syscall(ctx, S.CLOSE, fd, 0, 0, 0) == 0
+        assert k.do_syscall(ctx, S.CLOSE, fd, 0, 0, 0) == EBADF
+
+    def test_bad_device(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        assert k.do_syscall(ctx, S.OPEN, 0x7F, 0, 0, 0) < 0
+
+    def test_console_write_read(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, CONSOLE_DEV_ID, 0, 0, 0)
+        written = k.do_syscall(ctx, S.WRITE, fd, 32, 7, 0)
+        assert written == 32
+        checksum = k.do_syscall(ctx, S.READ, fd, 32, 0, 0)
+        assert checksum != 0
+
+    def test_fd_numbers_monotonic(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        fd1 = k.do_syscall(ctx, S.OPEN, CONSOLE_DEV_ID, 0, 0, 0)
+        k.do_syscall(ctx, S.CLOSE, fd1, 0, 0, 0)
+        fd2 = k.do_syscall(ctx, S.OPEN, CONSOLE_DEV_ID, 0, 0, 0)
+        assert fd2 > fd1
+
+
+class TestMmap:
+    def test_map_unmap(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        addr = k.do_syscall(ctx, S.MMAP, 0x3000, 0, 0, 0)
+        assert addr > 0
+        assert k.do_syscall(ctx, S.MUNMAP, addr, 0, 0, 0) == 0
+        assert k.do_syscall(ctx, S.MUNMAP, addr, 0, 0, 0) == EINVAL
+
+    def test_null_deref_bug_gated(self):
+        from tests.conftest import small_linux_factory
+
+        image = build_image(
+            "null-test", "x86", small_linux_factory,
+            mode=InstrumentationMode.NONE,
+            bug_ids=("t2_08_free_pages",),
+        )
+        k, ctx = image.kernel, image.ctx
+        with pytest.raises(GuestFault):
+            k.do_syscall(ctx, S.MUNMAP, 0x00DEA000, 0, 0, 0)
+
+
+class TestDispatch:
+    def test_unhandled_syscall(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        assert k.do_syscall(ctx, 99, 0, 0, 0, 0) == ENOSYS
+
+    def test_unregistered_subsystem(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        # this build has bpf/watchq but no scan handler
+        assert k.do_syscall(ctx, S.SCAN, 1, 0, 0, 0) == ENOSYS
+
+    def test_netlink_unknown_proto(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        assert k.do_syscall(ctx, S.NETLINK, 9, 1, 0, 0) == EINVAL
+
+    def test_syscall_count(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        before = k.syscall_count
+        k.do_syscall(ctx, S.OPEN, CONSOLE_DEV_ID, 0, 0, 0)
+        assert k.syscall_count == before + 1
+
+    def test_user_payload_deterministic(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        addr1 = k.user_payload(ctx, 42, 16)
+        data1 = ctx.raw_read(addr1, 16)
+        k.user_payload(ctx, 99, 16)
+        k.user_payload(ctx, 42, 16)
+        assert ctx.raw_read(addr1, 16) == data1
+
+
+class TestBugSwitchboard:
+    def test_disarmed_bugs_never_trigger(self, linux_image):
+        k, ctx = linux_image.kernel, linux_image.ctx
+        qid = k.do_syscall(ctx, S.WATCHQ, 1, 0, 0, 0)
+        k.do_syscall(ctx, S.WATCHQ, 4, qid, 4, 0)
+        assert k.bugs.triggered == []
+
+    def test_armed_bug_records_trigger(self):
+        from tests.conftest import small_linux_factory
+
+        image = build_image(
+            "armed", "x86", small_linux_factory,
+            mode=InstrumentationMode.NONE,
+            bug_ids=("t2_07_watch_queue_set_filter",),
+        )
+        k, ctx = image.kernel, image.ctx
+        qid = k.do_syscall(ctx, S.WATCHQ, 1, 0, 0, 0)
+        k.do_syscall(ctx, S.WATCHQ, 4, qid, 4, 0)
+        assert "t2_07_watch_queue_set_filter" in k.bugs.triggered

@@ -1,0 +1,238 @@
+"""Per-module tests: every Linux subsystem behaves sanely when benign
+and produces exactly its seeded defect's access pattern when armed."""
+
+import pytest
+
+from repro.bugs.table2 import TABLE2_MODULES, table2_kernel_factory
+from repro.firmware.builder import build_image, build_with_embsan
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware
+from repro.os.embedded_linux.syscalls import EINVAL, Syscall as S
+from repro.sanitizers.runtime.reports import BugType
+
+
+@pytest.fixture()
+def bench_kernel():
+    """A bare kernel carrying every Table-2 module."""
+    image = build_image("modules-bare", "x86", table2_kernel_factory("6.1"),
+                        mode=InstrumentationMode.NONE)
+    return image.kernel, image.ctx
+
+
+def sanitized(bug_ids=()):
+    image, runtime = build_with_embsan(
+        "modules-san", "x86", table2_kernel_factory("6.1"),
+        InstrumentationMode.EMBSAN_C, bug_ids=bug_ids,
+    )
+    return image.kernel, image.ctx, runtime
+
+
+class TestBpf:
+    def test_ringbuf_lifecycle(self, bench_kernel):
+        k, ctx = bench_kernel
+        map_id = k.do_syscall(ctx, S.BPF, 1, 0x80, 0, 0)
+        assert map_id > 0
+        assert k.do_syscall(ctx, S.BPF, 5, map_id, 0, 0) >= 0
+
+    def test_prog_load_unload(self, bench_kernel):
+        k, ctx = bench_kernel
+        prog = k.do_syscall(ctx, S.BPF, 3, 8, 0, 0)
+        assert prog > 0
+        assert k.do_syscall(ctx, S.BPF, 4, prog, 0, 0) == 0
+        assert k.do_syscall(ctx, S.BPF, 4, prog, 0, 0) == EINVAL
+
+    def test_xdp_test_run(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.BPF, 2, 48, 7, 0) >= 0
+
+    def test_tiny_ringbuf_rejected(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.BPF, 1, 4, 0, 0) == EINVAL
+
+
+class TestWatchQueue:
+    def test_post_and_filter(self, bench_kernel):
+        k, ctx = bench_kernel
+        qid = k.do_syscall(ctx, S.WATCHQ, 1, 0, 0, 0)
+        assert k.do_syscall(ctx, S.WATCHQ, 2, qid, 7, 0) == 0
+        assert k.do_syscall(ctx, S.WATCHQ, 4, qid, 3, 0) == 3
+        assert k.do_syscall(ctx, S.WATCHQ, 3, 1, 0, 0) >= 1
+        assert k.do_syscall(ctx, S.WATCHQ, 5, qid, 0, 0) == 0
+        assert k.do_syscall(ctx, S.WATCHQ, 2, qid, 7, 0) == EINVAL
+
+
+class TestScanPath:
+    def test_scan_roundtrip(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.SCAN, 1, 1, 0, 0) == 0
+        assert k.do_syscall(ctx, S.SCAN, 1, 1, 0, 0) == EINVAL  # in flight
+        assert k.do_syscall(ctx, S.SCAN, 2, 1, 16, 0) >= 0
+        assert k.do_syscall(ctx, S.SCAN, 3, 1, 0, 0) == 0
+        assert k.do_syscall(ctx, S.SCAN, 2, 1, 16, 0) == EINVAL  # cleared
+
+
+class TestBtrfs:
+    def test_mount_extent_commit(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.MOUNT, 1, 0, 0, 0) == 0
+        assert k.do_syscall(ctx, S.FSOP, 1, 2, 0x800, 0) == 1
+        assert k.do_syscall(ctx, S.FSOP, 1, 3, 0, 0) == 1
+        assert k.do_syscall(ctx, S.UMOUNT, 1, 0, 0, 0) == 0
+
+    def test_scan_magic_check(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.FSOP, 1, 1, 0, 0) == 0
+        assert k.do_syscall(ctx, S.FSOP, 1, 1, 4, 0) == EINVAL
+
+    def test_over_quota_extent_rejected(self, bench_kernel):
+        k, ctx = bench_kernel
+        k.do_syscall(ctx, S.MOUNT, 1, 0, 0, 0)
+        assert k.do_syscall(ctx, S.FSOP, 1, 2, 0xF800, 0) == EINVAL
+
+
+class TestBlockAndCrypto:
+    def test_bio_lifecycle(self, bench_kernel):
+        k, ctx = bench_kernel
+        fd = k.do_syscall(ctx, S.OPEN, 0x12, 0, 0, 0)
+        cookie = k.do_syscall(ctx, S.IOCTL, fd, 1, 9, 0)
+        assert k.do_syscall(ctx, S.IOCTL, fd, 2, cookie, 0) == 0  # pending
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, cookie, 0) == 0  # complete
+        assert k.do_syscall(ctx, S.IOCTL, fd, 2, cookie, 0) == EINVAL
+
+    def test_skcipher_roundtrip(self, bench_kernel):
+        k, ctx = bench_kernel
+        fd = k.do_syscall(ctx, S.OPEN, 0x11, 0, 0, 0)
+        tfm = k.do_syscall(ctx, S.IOCTL, fd, 1, 0, 0)
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, tfm, 32) == 32
+        assert k.do_syscall(ctx, S.IOCTL, fd, 2, tfm, 0) == 0
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, tfm, 32) == EINVAL
+
+
+class TestDriverBaseAndFloppy:
+    def test_register_uevent(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.SYSFS, 1, 3, 0, 0) == 0
+        assert k.do_syscall(ctx, S.SYSFS, 3, 3, 0, 0) == 1
+        assert k.do_syscall(ctx, S.SYSFS, 2, 3, 0, 0) == 0
+        assert k.do_syscall(ctx, S.SYSFS, 3, 3, 0, 0) == EINVAL
+
+    def test_failed_probe(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.SYSFS, 1, 4, 1, 0) == EINVAL
+
+    def test_floppy_raw_cmd(self, bench_kernel):
+        k, ctx = bench_kernel
+        assert k.do_syscall(ctx, S.FLOPPY, 1, 0, 0, 0) == 0
+        assert k.do_syscall(ctx, S.FLOPPY, 2, 0x7F, 0, 0) == 0
+
+
+class TestFsModules:
+    def test_ntfs_unpack_capped(self, bench_kernel):
+        k, ctx = bench_kernel
+        k.do_syscall(ctx, S.MOUNT, 2, 0, 0, 0)
+        assert k.do_syscall(ctx, S.FSOP, 2, 1, 12, 3) == 8  # clamped
+
+    def test_nilfs_lifecycle(self, bench_kernel):
+        k, ctx = bench_kernel
+        k.do_syscall(ctx, S.MOUNT, 3, 0, 0, 0)
+        assert k.do_syscall(ctx, S.FSOP, 3, 1, 0, 0) == 0
+        assert k.do_syscall(ctx, S.FSOP, 3, 3, 9, 0) == 0
+        assert k.do_syscall(ctx, S.FSOP, 3, 2, 0, 0) == 0
+        assert k.do_syscall(ctx, S.FSOP, 3, 2, 0, 0) == EINVAL
+
+
+class TestVendorDrivers:
+    """The parameterized Table-4 driver families on their firmware."""
+
+    def test_ethernet_tx_rx(self):
+        image = build_firmware("OpenWRT-armvirt",
+                               mode=InstrumentationMode.NONE,
+                               with_bugs=False)
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x20, 0, 0, 0)  # marvell
+        assert k.do_syscall(ctx, S.IOCTL, fd, 1, 100, 5) == 100
+        assert k.do_syscall(ctx, S.IOCTL, fd, 2, 64, 0) >= 0
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, 40, 0) == EINVAL
+        assert k.do_syscall(ctx, S.IOCTL, fd, 4, 0, 0) == 0  # nothing queued
+
+    def test_wifi_updown(self):
+        image = build_firmware("OpenWRT-bcm63xx",
+                               mode=InstrumentationMode.NONE,
+                               with_bugs=False)
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x30, 0, 0, 0)
+        assert k.do_syscall(ctx, S.IOCTL, fd, 1, 0, 0) == 0
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, 2, 0) == 1  # fw event
+        assert k.do_syscall(ctx, S.IOCTL, fd, 2, 0, 0) == 0
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, 2, 0) == EINVAL
+
+    def test_dma_issue_terminate(self):
+        image = build_firmware("OpenWRT-mt7629",
+                               mode=InstrumentationMode.NONE,
+                               with_bugs=False)
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x52, 0, 0, 0)  # mediatek dma
+        assert k.do_syscall(ctx, S.IOCTL, fd, 1, 100, 0) == 2  # 2 blocks
+        assert k.do_syscall(ctx, S.IOCTL, fd, 2, 0, 0) == 0
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, 0, 0) == 0  # nothing inflight
+
+    def test_netfilter_chain_eval(self):
+        image = build_firmware("OpenWRT-armvirt",
+                               mode=InstrumentationMode.NONE,
+                               with_bugs=False)
+        k, ctx = image.kernel, image.ctx
+        assert k.do_syscall(ctx, S.NETLINK, 2, 1, 4, 0) == 4
+        verdict = k.do_syscall(ctx, S.NETLINK, 2, 2, 0, 0)
+        assert verdict >= 0
+
+    def test_net_sched_stats(self):
+        image = build_firmware("OpenWRT-ipq807x",
+                               mode=InstrumentationMode.NONE,
+                               with_bugs=False)
+        k, ctx = image.kernel, image.ctx
+        assert k.do_syscall(ctx, S.NETLINK, 3, 1, 3, 0) == 3
+        assert k.do_syscall(ctx, S.NETLINK, 3, 3, 0, 0) == 3
+        assert k.do_syscall(ctx, S.NETLINK, 3, 2, 0, 0) == 0
+
+    def test_iommu_map_unmap(self):
+        image = build_firmware("OpenWRT-x86_64",
+                               mode=InstrumentationMode.NONE,
+                               with_bugs=False)
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x54, 0, 0, 0)
+        assert k.do_syscall(ctx, S.IOCTL, fd, 1, 0, 0) == 0
+        assert k.do_syscall(ctx, S.IOCTL, fd, 2, 0x3000, 0x9000) == 0
+        assert k.do_syscall(ctx, S.IOCTL, fd, 3, 0x3000, 2) == 2
+
+
+class TestArmedAccessPatterns:
+    """Armed defects produce exactly their class of bad access."""
+
+    def test_oob_is_a_write_bug(self):
+        k, ctx, runtime = sanitized(("t2_07_watch_queue_set_filter",))
+        qid = k.do_syscall(ctx, S.WATCHQ, 1, 0, 0, 0)
+        k.do_syscall(ctx, S.WATCHQ, 4, qid, 4, 0)
+        report = next(iter(runtime.sink.unique.values()))
+        assert report.bug_type is BugType.SLAB_OOB
+        assert report.is_write
+
+    def test_uaf_reports_cite_both_sites(self):
+        k, ctx, runtime = sanitized(("t2_13_bio_poll",))
+        fd = k.do_syscall(ctx, S.OPEN, 0x12, 0, 0, 0)
+        cookie = k.do_syscall(ctx, S.IOCTL, fd, 1, 5, 0)
+        k.do_syscall(ctx, S.IOCTL, fd, 3, cookie, 0)
+        k.do_syscall(ctx, S.IOCTL, fd, 2, cookie, 0)
+        report = next(iter(runtime.sink.unique.values()))
+        assert report.bug_type is BugType.UAF
+        assert report.alloc_pc and report.free_pc
+
+    def test_shadow_dump_present(self):
+        k, ctx, runtime = sanitized(("t2_01_ringbuf_map_alloc",))
+        k.do_syscall(ctx, S.BPF, 1, 0x1040, 0, 0)
+        report = next(iter(runtime.sink.unique.values()))
+        assert "Memory state around the buggy address:" in str(report)
+        assert "^^" in str(report)
+
+
+def test_table2_module_count():
+    assert len(TABLE2_MODULES) == 15

@@ -1,0 +1,207 @@
+"""Unit tests: memory regions, the system bus and access events."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.mem.access import Access, AccessKind
+from repro.mem.bus import MemoryBus
+from repro.mem.regions import MemoryRegion, MmioRegion, Perm
+
+
+def make_bus():
+    bus = MemoryBus()
+    bus.map(MemoryRegion("ram", 0x1000, 0x1000, Perm.RW, "ram"))
+    bus.map(MemoryRegion("rom", 0x4000, 0x1000, Perm.RX, "flash"))
+    return bus
+
+
+class TestRegions:
+    def test_contains(self):
+        region = MemoryRegion("r", 0x100, 0x100)
+        assert region.contains(0x100)
+        assert region.contains(0x1FF)
+        assert region.contains(0x1F0, 0x10)
+        assert not region.contains(0x1F0, 0x11)
+        assert not region.contains(0xFF)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", 0, 0)
+
+    def test_fill(self):
+        region = MemoryRegion("r", 0, 16, fill=0xAB)
+        assert region.read(0, 4) == b"\xab\xab\xab\xab"
+
+    def test_overlap_rejected(self):
+        bus = make_bus()
+        with pytest.raises(BusError):
+            bus.map(MemoryRegion("overlap", 0x1800, 0x1000))
+
+    def test_adjacent_ok(self):
+        bus = make_bus()
+        bus.map(MemoryRegion("adjacent", 0x2000, 0x1000))
+        assert bus.region_named("adjacent").base == 0x2000
+
+    def test_unmap(self):
+        bus = make_bus()
+        bus.unmap("ram")
+        with pytest.raises(BusError):
+            bus.region_named("ram")
+        with pytest.raises(BusError):
+            bus.unmap("ram")
+
+
+class TestScalarAccess:
+    def test_store_load_roundtrip(self):
+        bus = make_bus()
+        for size, value in ((1, 0xAB), (2, 0xBEEF), (4, 0xDEADBEEF),
+                            (8, 0x0123456789ABCDEF)):
+            bus.store(0x1100, size, value)
+            assert bus.load(0x1100, size) == value
+
+    def test_little_endian(self):
+        bus = make_bus()
+        bus.store(0x1000, 4, 0x11223344)
+        assert bus.load(0x1000, 1) == 0x44
+        assert bus.load(0x1003, 1) == 0x11
+
+    def test_value_truncated(self):
+        bus = make_bus()
+        bus.store(0x1000, 1, 0x1FF)
+        assert bus.load(0x1000, 1) == 0xFF
+
+    def test_unmapped_raises(self):
+        bus = make_bus()
+        with pytest.raises(BusError):
+            bus.load(0x9000, 4)
+        with pytest.raises(BusError):
+            bus.load(0, 4)
+
+    def test_straddling_region_end_raises(self):
+        bus = make_bus()
+        with pytest.raises(BusError):
+            bus.load(0x1FFE, 4)
+
+    def test_write_to_rom_raises(self):
+        bus = make_bus()
+        with pytest.raises(BusError):
+            bus.store(0x4000, 4, 1)
+
+    def test_bad_scalar_size(self):
+        bus = make_bus()
+        with pytest.raises(BusError):
+            bus.load(0x1000, 3)
+
+
+class TestBulkAccess:
+    def test_bytes_roundtrip(self):
+        bus = make_bus()
+        bus.write_bytes(0x1000, b"hello world")
+        assert bus.read_bytes(0x1000, 11) == b"hello world"
+
+    def test_fill(self):
+        bus = make_bus()
+        bus.fill(0x1000, 8, 0x5A)
+        assert bus.read_bytes(0x1000, 8) == b"\x5a" * 8
+
+    def test_copy(self):
+        bus = make_bus()
+        bus.write_bytes(0x1000, b"abcd")
+        bus.copy(0x1200, 0x1000, 4)
+        assert bus.read_bytes(0x1200, 4) == b"abcd"
+
+    def test_empty_ops_are_noops(self):
+        bus = make_bus()
+        bus.write_bytes(0x1000, b"")
+        assert bus.read_bytes(0x1000, 0) == b""
+
+    def test_cstring(self):
+        bus = make_bus()
+        bus.write_bytes(0x1000, b"text\x00junk")
+        assert bus.load_cstring(0x1000) == b"text"
+
+
+class TestObservers:
+    def test_observer_sees_accesses(self):
+        bus = make_bus()
+        seen = []
+        bus.add_observer(seen.append)
+        bus.store(0x1000, 4, 7, pc=0x42, task=3)
+        bus.load(0x1000, 4)
+        assert len(seen) == 2
+        assert seen[0].is_write and not seen[1].is_write
+        assert seen[0].pc == 0x42 and seen[0].task == 3
+
+    def test_observer_ordering_before_effect(self):
+        bus = make_bus()
+        values = []
+        bus.add_observer(
+            lambda a: values.append(bus_read(bus, a)) if a.is_write else None
+        )
+
+        def bus_read(bus, access):
+            with bus.untraced():
+                return bus.load(access.addr, 4)
+
+        bus.store(0x1000, 4, 0xAA)
+        # the observer ran before the store landed
+        assert values == [0]
+
+    def test_untraced_suppresses(self):
+        bus = make_bus()
+        seen = []
+        bus.add_observer(seen.append)
+        with bus.untraced():
+            bus.store(0x1000, 4, 1)
+            with bus.untraced():
+                bus.load(0x1000, 4)
+        assert seen == []
+        bus.load(0x1000, 4)
+        assert len(seen) == 1
+
+    def test_remove_observer(self):
+        bus = make_bus()
+        seen = []
+        observer = seen.append
+        bus.add_observer(observer)
+        bus.remove_observer(observer)
+        bus.store(0x1000, 4, 1)
+        assert seen == []
+
+    def test_range_kind(self):
+        bus = make_bus()
+        seen = []
+        bus.add_observer(seen.append)
+        bus.write_bytes(0x1000, b"xy")
+        assert seen[0].kind is AccessKind.RANGE
+        assert seen[0].size == 2
+
+
+class TestMmio:
+    def test_callbacks(self):
+        log = []
+        region = MmioRegion(
+            "dev", 0x8000, 0x100,
+            on_read=lambda off, size: 0x99,
+            on_write=lambda off, size, val: log.append((off, val)),
+        )
+        bus = MemoryBus()
+        bus.map(region)
+        assert bus.load(0x8000, 4) == 0x99
+        bus.store(0x8004, 4, 0x17)
+        assert log == [(4, 0x17)]
+
+    def test_fallback_storage(self):
+        region = MmioRegion("dev", 0x8000, 0x100)
+        bus = MemoryBus()
+        bus.map(region)
+        bus.store(0x8010, 4, 42)
+        assert bus.load(0x8010, 4) == 42
+
+
+class TestAccess:
+    def test_overlap(self):
+        a = Access(100, 4, False)
+        assert a.overlaps(Access(102, 4, True))
+        assert not a.overlaps(Access(104, 4, True))
+        assert a.end == 104

@@ -1,0 +1,62 @@
+"""End-to-end tests: the full distill → probe → compile → test pipeline."""
+
+import pytest
+
+from repro import prepare
+from repro.bugs.catalog import table4_bugs_for
+from repro.bugs.replay import run_program
+from repro.firmware.instrument import InstrumentationMode
+
+
+class TestDeployment:
+    def test_category1_deployment(self):
+        deployment = prepare("OpenWRT-armvirt", sanitizers=("kasan",))
+        assert deployment.mode is InstrumentationMode.EMBSAN_C
+        assert deployment.platform.category == 1
+        assert deployment.merged.sanitizers == ("kasan",)
+
+    def test_category2_deployment_detects(self):
+        deployment = prepare("OpenWRT-bcm63xx", sanitizers=("kasan",))
+        record = table4_bugs_for("OpenWRT-bcm63xx")[0]
+        image, runtime = deployment.launch()
+        run_program(image, record.reproducer, record.interface)
+        assert any(
+            any(sub in report.location for sub in record.report_match)
+            for report in runtime.sink.unique.values()
+        )
+
+    def test_category3_deployment_detects(self):
+        deployment = prepare("TP-Link WDR-7660", sanitizers=("kasan",))
+        assert deployment.platform.category == 3
+        image, runtime = deployment.launch()
+        image.kernel.invoke(image.ctx, 1, 0x09, 200, 42)
+        assert runtime.sink.has  # sink exists
+        locations = [r.location for r in runtime.sink.unique.values()]
+        assert any("pppoed" in loc for loc in locations)
+
+    def test_both_sanitizers_merge(self):
+        deployment = prepare("OpenWRT-x86_64", sanitizers=("kasan", "kcsan"))
+        image, runtime = deployment.launch()
+        assert runtime.kasan is not None and runtime.kcsan is not None
+        load_args = deployment.merged.events()["load"]
+        assert load_args == ("addr", "size", "marked")
+
+    def test_dsl_text_archivable(self):
+        from repro.sanitizers.dsl import parse_document
+
+        deployment = prepare("InfiniTime", sanitizers=("kasan",))
+        docs = parse_document(deployment.dsl_text())
+        assert len(docs) == 2  # merged spec + platform spec
+
+    def test_panic_on_report(self):
+        from repro.errors import SanitizerViolation
+
+        deployment = prepare("OpenWRT-bcm63xx", sanitizers=("kasan",),
+                             panic_on_report=True)
+        record = table4_bugs_for("OpenWRT-bcm63xx")[0]
+        image, runtime = deployment.launch()
+        fault = None
+        with pytest.raises(SanitizerViolation):
+            for step in record.reproducer:
+                padded = tuple(step) + (0,) * (5 - len(step))
+                image.kernel.do_syscall(image.ctx, *padded[:5])

@@ -1,0 +1,102 @@
+"""Integration tests: the Embedded Platform Configuration Prober."""
+
+import pytest
+
+from repro.errors import ProbeError
+from repro.firmware.builder import ground_truth_alloc_specs
+from repro.firmware.registry import build_firmware
+from repro.sanitizers.prober import probe_firmware
+from repro.sanitizers.prober.prober import classify_firmware
+from repro.sanitizers.dsl import parse_document
+
+
+class TestClassification:
+    def test_categories_match_table1(self):
+        assert classify_firmware("OpenWRT-armvirt") == 1
+        assert classify_firmware("OpenWRT-bcm63xx") == 2
+        assert classify_firmware("InfiniTime") == 2
+        assert classify_firmware("TP-Link WDR-7660") == 3
+
+
+class TestCategory1:
+    def test_ready_hypercall_and_init_routine(self):
+        spec = probe_firmware("OpenWRT-armvirt")
+        assert spec.category == 1
+        assert spec.ready.kind == "hypercall"
+        assert spec.init_routine[-1] == ("ready", ())
+        ops = [op for op, _args in spec.init_routine]
+        assert "alloc" in ops  # boot-time allocations were recorded
+
+    def test_memory_map_matches_board(self):
+        spec = probe_firmware("OpenWRT-x86_64")
+        names = {region.name for region in spec.regions}
+        assert {"flash", "dram", "sram", "uart"} <= names
+
+
+@pytest.mark.parametrize("firmware", [
+    "OpenWRT-bcm63xx", "OpenWRT-rtl839x", "InfiniTime",
+    "OpenHarmony-stm32mp1", "OpenHarmony-stm32f407",
+])
+class TestCategory2:
+    def test_allocators_match_ground_truth(self, firmware):
+        spec = probe_firmware(firmware)
+        truth = {
+            (fn.addr, fn.kind, fn.size_arg, fn.size_kind, fn.addr_arg)
+            for fn in ground_truth_alloc_specs(build_firmware(firmware).kernel)
+        }
+        probed = {
+            (fn.addr, fn.kind, fn.size_arg, fn.size_kind, fn.addr_arg)
+            for fn in spec.alloc_fns
+        }
+        assert probed == truth
+
+    def test_banner_ready(self, firmware):
+        spec = probe_firmware(firmware)
+        assert spec.ready.kind == "banner"
+        image = build_firmware(firmware)
+        assert spec.ready.banner == image.kernel.banner
+
+
+class TestCategory3:
+    def test_closed_firmware_probing(self):
+        spec = probe_firmware(
+            "TP-Link WDR-7660", hints={"blob_names": ("pppoed", "dhcpsd")}
+        )
+        assert spec.category == 3
+        assert spec.ready.kind == "banner"
+        assert [name for name, _b, _s in spec.blobs] == ["pppoed", "dhcpsd"]
+        kinds = {fn.kind for fn in spec.alloc_fns}
+        assert kinds == {"alloc", "free"}
+
+    def test_blob_spans_cover_entries(self):
+        spec = probe_firmware(
+            "TP-Link WDR-7660", hints={"blob_names": ("pppoed", "dhcpsd")}
+        )
+        image = build_firmware("TP-Link WDR-7660")
+        for name in ("pppoed", "dhcpsd"):
+            _image_bytes, base, entry = image.kernel.blobs[name]
+            span = [b for b in spec.blobs if b[0] == name][0]
+            assert span[1] <= entry < span[1] + span[2]
+
+    def test_stripped_symbols_absent(self):
+        spec = probe_firmware(
+            "TP-Link WDR-7660", hints={"blob_names": ("pppoed", "dhcpsd")}
+        )
+        # behavioural names are synthetic addresses, not real symbols
+        for fn in spec.alloc_fns:
+            assert fn.name.startswith("fn_")
+
+
+class TestDslEmission:
+    def test_platform_spec_round_trips_through_text(self):
+        spec = probe_firmware("OpenWRT-bcm63xx")
+        again = parse_document(spec.to_text())[0]
+        assert again.alloc_fns == spec.alloc_fns
+        assert again.ready == spec.ready
+        assert again.category == spec.category
+
+    def test_workload_needed_for_quiet_targets(self):
+        # LiteOS boots without allocating: the dry run alone is blind,
+        # exactly the incompleteness §3.2 concedes for category 2
+        with pytest.raises(ProbeError):
+            probe_firmware("OpenHarmony-stm32mp1", workload=False)

@@ -1,0 +1,70 @@
+"""Integration: the Prober's init routine vs live boot tracking.
+
+The runtime can learn the firmware's initial sanitizer state two ways:
+watching boot live (attach-before-boot) or replaying the Prober's
+recorded initialization routine onto an already-booted snapshot.  Both
+must converge to the same engine state and the same detections.
+"""
+
+import pytest
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware
+from repro.os.embedded_linux.syscalls import Syscall as S
+from repro.sanitizers.prober import probe_firmware
+from repro.sanitizers.runtime.reports import BugType
+
+FIRMWARE = "OpenWRT-bcm63xx"
+
+
+def late_attached_runtime():
+    """Boot first, attach after, seed from the Prober's routine."""
+    platform = probe_firmware(FIRMWARE)
+    image = build_firmware(FIRMWARE, boot=True)
+    runtime = attach_runtime(image)
+    runtime.apply_init_routine(platform.init_routine)
+    return image, runtime, platform
+
+
+class TestInitRoutineParity:
+    def test_routine_records_boot_allocations(self):
+        platform = probe_firmware(FIRMWARE)
+        allocs = [args for op, args in platform.init_routine if op == "alloc"]
+        frees = [args for op, args in platform.init_routine if op == "free"]
+        assert allocs, "boot allocates (user page, device buffers)"
+        # the probe workload's objects were freed again
+        assert frees
+
+    def test_engine_state_matches_live_attach(self):
+        image_live = build_firmware(FIRMWARE, boot=False)
+        runtime_live = attach_runtime(image_live)
+        image_live.boot()
+
+        _image, runtime_late, _platform = late_attached_runtime()
+        live = set(runtime_live.kasan.live)
+        late = set(runtime_late.kasan.live)
+        # the late attach additionally saw the probe workload's churn,
+        # but every boot-surviving object must be known to both
+        assert live <= late | live
+        assert live & late == live & late  # sanity
+        # the canonical boot objects agree exactly
+        assert live - late == set()
+
+    def test_detection_after_late_attach(self):
+        image, runtime, _platform = late_attached_runtime()
+        assert runtime.enabled  # the routine ends with the ready op
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x40, 0, 0, 0)
+        k.do_syscall(ctx, S.IOCTL, fd, 1, 0x10, 0)
+        assert runtime.sink.has(BugType.SLAB_OOB, "hci_event")
+
+    def test_no_false_invalid_frees_after_late_attach(self):
+        image, runtime, _platform = late_attached_runtime()
+        k, ctx = image.kernel, image.ctx
+        # churn objects through the allocator: no spurious reports
+        for seed in range(6):
+            fd = k.do_syscall(ctx, S.OPEN, 1, 0, 0, 0)
+            k.do_syscall(ctx, S.WRITE, fd, 40, seed, 0)
+            k.do_syscall(ctx, S.CLOSE, fd, 0, 0, 0)
+        assert runtime.sink.count() == 0

@@ -1,0 +1,62 @@
+"""The public API surface: everything a downstream user imports."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = (
+    "repro",
+    "repro.mem",
+    "repro.isa",
+    "repro.emulator",
+    "repro.guest",
+    "repro.os.embedded_linux",
+    "repro.os.freertos",
+    "repro.os.liteos",
+    "repro.os.vxworks",
+    "repro.firmware",
+    "repro.sanitizers.dsl",
+    "repro.sanitizers.distiller",
+    "repro.sanitizers.prober",
+    "repro.sanitizers.runtime",
+    "repro.sanitizers.native",
+    "repro.fuzz",
+    "repro.bugs",
+    "repro.bench",
+    "repro.cli",
+)
+
+
+@pytest.mark.parametrize("name", PUBLIC_MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} needs a module docstring"
+
+
+@pytest.mark.parametrize("name", [m for m in PUBLIC_MODULES
+                                  if m not in ("repro.cli",)])
+def test_dunder_all_resolves(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", ()):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_workflow_symbols():
+    import repro
+
+    assert callable(repro.prepare)
+    assert callable(repro.build_firmware)
+    assert callable(repro.firmware_spec)
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_items_documented():
+    """Spot-check: every public class/function we export has a docstring."""
+    import repro.fuzz as fuzz
+    import repro.sanitizers.runtime as runtime
+
+    for module in (fuzz, runtime):
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if callable(obj):
+                assert obj.__doc__, f"{module.__name__}.{symbol} undocumented"

@@ -1,0 +1,112 @@
+"""Integration tests: FreeRTOS, LiteOS and VxWorks kernels."""
+
+import pytest
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.registry import build_firmware
+from repro.os.freertos.kernel import FreeRtosOp
+from repro.os.liteos.kernel import LiteOsOp
+from repro.os.vxworks.kernel import VxWorksOp
+from repro.sanitizers.runtime.reports import BugType
+
+
+@pytest.fixture(scope="module")
+def freertos():
+    return build_firmware("InfiniTime", with_bugs=False)
+
+
+@pytest.fixture(scope="module")
+def liteos():
+    return build_firmware("OpenHarmony-stm32f407", with_bugs=False)
+
+
+@pytest.fixture(scope="module")
+def vxworks():
+    return build_firmware("TP-Link WDR-7660", with_bugs=False)
+
+
+class TestFreeRtos:
+    def test_banner(self, freertos):
+        assert "FreeRTOS" in freertos.console()
+
+    def test_task_lifecycle(self, freertos):
+        k, ctx = freertos.kernel, freertos.ctx
+        handle = k.invoke(ctx, FreeRtosOp.TASK_CREATE, 2, 128)
+        assert handle > 0
+        assert k.tasks.uxTaskPriorityGet(ctx, handle) == 2
+        assert k.invoke(ctx, FreeRtosOp.TASK_DELETE, handle) == 0
+        assert k.invoke(ctx, FreeRtosOp.TASK_DELETE, handle) < 0
+
+    def test_queue_fifo(self, freertos):
+        k, ctx = freertos.kernel, freertos.ctx
+        q = k.invoke(ctx, FreeRtosOp.QUEUE_CREATE, 4, 0)
+        for value in (11, 22, 33):
+            assert k.invoke(ctx, FreeRtosOp.QUEUE_SEND, q, value) == 0
+        assert k.invoke(ctx, FreeRtosOp.QUEUE_RECV, q) == 11
+        assert k.invoke(ctx, FreeRtosOp.QUEUE_RECV, q) == 22
+        assert k.invoke(ctx, FreeRtosOp.QUEUE_DELETE, q) == 0
+
+    def test_queue_full_and_empty(self, freertos):
+        k, ctx = freertos.kernel, freertos.ctx
+        q = k.invoke(ctx, FreeRtosOp.QUEUE_CREATE, 1, 0)
+        assert k.invoke(ctx, FreeRtosOp.QUEUE_SEND, q, 1) == 0
+        assert k.invoke(ctx, FreeRtosOp.QUEUE_SEND, q, 2) < 0
+        k.invoke(ctx, FreeRtosOp.QUEUE_RECV, q)
+        assert k.invoke(ctx, FreeRtosOp.QUEUE_RECV, q) < 0
+        k.invoke(ctx, FreeRtosOp.QUEUE_DELETE, q)
+
+    def test_malloc_free_via_executor(self, freertos):
+        k, ctx = freertos.kernel, freertos.ctx
+        handle = k.invoke(ctx, FreeRtosOp.MALLOC, 96, 0)
+        assert handle > 0
+        assert k.invoke(ctx, FreeRtosOp.FREE, handle) == 0
+
+
+class TestLiteOs:
+    def test_banner(self, liteos):
+        assert "LiteOS" in liteos.console()
+
+    def test_mem_ops(self, liteos):
+        k, ctx = liteos.kernel, liteos.ctx
+        handle = k.invoke(ctx, LiteOsOp.MEM_ALLOC, 64, 0)
+        assert handle > 0
+        assert k.invoke(ctx, LiteOsOp.MEM_FREE, handle) == 0
+        assert k.invoke(ctx, LiteOsOp.MEM_FREE, handle) < 0
+
+    def test_vfs_benign_path(self, liteos):
+        k, ctx = liteos.kernel, liteos.ctx
+        assert k.invoke(ctx, LiteOsOp.APP_OP, 1, 1, 20) == 20
+
+    def test_fat_benign(self, liteos):
+        k, ctx = liteos.kernel, liteos.ctx
+        assert k.invoke(ctx, LiteOsOp.APP_OP, 2, 1, 0) in (0, -22)
+        # one LFN slot: checksum over the 0x41-filled sector
+        assert k.invoke(ctx, LiteOsOp.APP_OP, 2, 2, 1) == 0x41414141
+
+
+class TestVxWorks:
+    def test_banner_and_blobs(self, vxworks):
+        assert "VxWorks" in vxworks.console()
+        assert set(vxworks.kernel.blobs) == {"pppoed", "dhcpsd", "halt_pad"}
+
+    def test_benign_pppoe_copies_tag(self, vxworks):
+        k, ctx = vxworks.kernel, vxworks.ctx
+        assert k.invoke(ctx, VxWorksOp.PPPOE_PACKET, 0x09, 8, 3) == 8
+
+    def test_wrong_code_rejected(self, vxworks):
+        k, ctx = vxworks.kernel, vxworks.ctx
+        assert k.invoke(ctx, VxWorksOp.PPPOE_PACKET, 0x07, 8, 3) == -22
+        assert k.invoke(ctx, VxWorksOp.DHCP_PACKET, 2, 8, 3) == -22
+
+    def test_oob_detected_only_with_runtime(self):
+        image = build_firmware("TP-Link WDR-7660", boot=False)
+        runtime = attach_runtime(image)
+        image.boot()
+        k, ctx = image.kernel, image.ctx
+        k.invoke(ctx, VxWorksOp.DHCP_PACKET, 1, 120, 9)
+        assert runtime.sink.has(BugType.SLAB_OOB, "dhcpsd")
+
+    def test_blob_execution_on_tcg(self, vxworks):
+        before = vxworks.kernel.cpu.insn_count
+        vxworks.kernel.invoke(vxworks.ctx, VxWorksOp.PPPOE_PACKET, 0x09, 4, 1)
+        assert vxworks.kernel.cpu.insn_count > before

@@ -1,0 +1,217 @@
+"""Integration tests: the Common Sanitizer Runtime in both modes."""
+
+import pytest
+
+from repro.firmware.builder import (
+    attach_runtime,
+    build_image,
+    build_with_embsan,
+    ground_truth_alloc_specs,
+)
+from repro.firmware.instrument import InstrumentationMode
+from repro.os.embedded_linux.syscalls import Syscall as S
+from repro.sanitizers.runtime.reports import BugType
+from repro.sanitizers.runtime.runtime import (
+    AllocFnSpec,
+    CommonSanitizerRuntime,
+    ReadySpec,
+    RuntimeConfig,
+)
+from tests.conftest import small_linux_factory
+
+
+class TestConfigValidation:
+    def test_bad_mode(self):
+        from repro.errors import DslError
+
+        with pytest.raises(DslError):
+            RuntimeConfig(mode="x").validate()
+
+    def test_unknown_sanitizer(self):
+        from repro.errors import DslError
+
+        with pytest.raises(DslError):
+            RuntimeConfig(sanitizers=("msan",)).validate()
+
+    def test_banner_requires_bytes(self):
+        from repro.errors import DslError
+
+        with pytest.raises(DslError):
+            RuntimeConfig(mode="d", ready=ReadySpec("banner", b"")).validate()
+
+
+class TestModeC:
+    def test_checks_start_at_ready(self, linux_c):
+        image, runtime = linux_c
+        assert runtime.enabled  # READY hypercall fired during boot
+        assert runtime.config.mode == "c"
+
+    def test_boot_allocations_tracked(self, linux_c):
+        image, runtime = linux_c
+        # the user staging page and device buffers were allocated at boot
+        assert runtime.kasan.live_count() > 0
+
+    def test_detection(self, linux_c):
+        image, runtime = linux_c
+        image.kernel.bugs.enable("t2_07_watch_queue_set_filter")
+        k, ctx = image.kernel, image.ctx
+        qid = k.do_syscall(ctx, S.WATCHQ, 1, 0, 0, 0)
+        k.do_syscall(ctx, S.WATCHQ, 4, qid, 4, 0)
+        assert runtime.sink.has(BugType.SLAB_OOB, "watch_queue_set_filter")
+
+    def test_no_false_positives_on_benign_load(self, linux_c):
+        image, runtime = linux_c
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 1, 0, 0, 0)
+        k.do_syscall(ctx, S.WRITE, fd, 32, 5, 0)
+        k.do_syscall(ctx, S.READ, fd, 32, 0, 0)
+        k.do_syscall(ctx, S.CLOSE, fd, 0, 0, 0)
+        k.do_syscall(ctx, S.BPF, 1, 64, 0, 0)
+        assert runtime.sink.count() == 0
+
+
+class TestModeD:
+    def test_banner_enables(self, linux_d):
+        image, runtime = linux_d
+        assert runtime.enabled
+        assert runtime.config.ready.kind == "banner"
+
+    def test_alloc_specs_from_ground_truth(self, linux_d):
+        image, runtime = linux_d
+        names = {spec.name for spec in runtime.config.alloc_fns}
+        assert {"kmalloc", "kfree", "alloc_pages", "free_pages"} <= names
+
+    def test_detection_and_suppression(self, linux_d):
+        image, runtime = linux_d
+        image.kernel.bugs.enable("t2_05_post_one_notification")
+        k, ctx = image.kernel, image.ctx
+        qid = k.do_syscall(ctx, S.WATCHQ, 1, 0, 0, 0)
+        k.do_syscall(ctx, S.WATCHQ, 5, qid, 0, 0)
+        k.do_syscall(ctx, S.WATCHQ, 2, qid, 1, 0)
+        assert runtime.sink.has(BugType.UAF, "post_one_notification")
+        # allocator internals never reported despite heavy freelist traffic
+        assert not runtime.sink.has(BugType.UAF, "kmalloc")
+
+    def test_no_false_positives_over_workload(self, linux_d):
+        image, runtime = linux_d
+        k, ctx = image.kernel, image.ctx
+        for seed in range(12):
+            fd = k.do_syscall(ctx, S.OPEN, 1, 0, 0, 0)
+            k.do_syscall(ctx, S.WRITE, fd, 48, seed, 0)
+            k.do_syscall(ctx, S.READ, fd, 48, 0, 0)
+            k.do_syscall(ctx, S.CLOSE, fd, 0, 0, 0)
+            k.do_syscall(ctx, S.BPF, 1, 32 + seed, 0, 0)
+            k.do_syscall(ctx, S.MMAP, 0x1000, 0, 0, 0)
+        assert runtime.sink.count() == 0
+
+    def test_detach_stops_observation(self, linux_d):
+        image, runtime = linux_d
+        runtime.detach()
+        image.kernel.bugs.enable("t2_07_watch_queue_set_filter")
+        k, ctx = image.kernel, image.ctx
+        qid = k.do_syscall(ctx, S.WATCHQ, 1, 0, 0, 0)
+        k.do_syscall(ctx, S.WATCHQ, 4, qid, 4, 0)
+        assert runtime.sink.count() == 0
+
+
+class TestGlobalRedzonesAsymmetry:
+    """The §4.1 ablation: only compile-time builds catch global OOB."""
+
+    def test_c_catches_global_oob(self):
+        from repro.bugs.table2 import table2_kernel_factory
+
+        image, runtime = build_with_embsan(
+            "glob-c", "x86", table2_kernel_factory("5.7-rc5"),
+            InstrumentationMode.EMBSAN_C, bug_ids=("t2_24_fbcon_get_font",),
+        )
+        image.kernel.do_syscall(image.ctx, S.FONT, 1, 32, 0, 0)
+        assert runtime.sink.has(BugType.GLOBAL_OOB)
+
+    def test_d_misses_global_oob(self):
+        from repro.bugs.table2 import table2_kernel_factory
+
+        image, runtime = build_with_embsan(
+            "glob-d", "x86", table2_kernel_factory("5.7-rc5"),
+            InstrumentationMode.EMBSAN_D, bug_ids=("t2_24_fbcon_get_font",),
+        )
+        image.kernel.do_syscall(image.ctx, S.FONT, 1, 32, 0, 0)
+        assert not runtime.sink.has(BugType.GLOBAL_OOB)
+
+
+class TestStackRedzonesAsymmetry:
+    """Stack OOB mirrors the global story: compile-time builds only."""
+
+    def build(self, mode):
+        from repro.bugs.table2 import table2_kernel_factory
+
+        return build_with_embsan(
+            f"stack-{mode.value}", "x86", table2_kernel_factory("6.1"),
+            mode, bug_ids=("demo_stack_oob",),
+        )
+
+    def trigger(self, image):
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x14, 0, 0, 0)
+        k.do_syscall(ctx, S.WRITE, fd, 40, 0, 0)  # 40 > the 32-byte buffer
+
+    def test_c_catches_stack_oob(self):
+        image, runtime = self.build(InstrumentationMode.EMBSAN_C)
+        self.trigger(image)
+        assert runtime.sink.has(BugType.STACK_OOB, "vsnprintf_stack")
+
+    def test_d_misses_stack_oob(self):
+        image, runtime = self.build(InstrumentationMode.EMBSAN_D)
+        self.trigger(image)
+        assert not runtime.sink.has(BugType.STACK_OOB)
+
+    def test_benign_stack_use_clean(self):
+        image, runtime = self.build(InstrumentationMode.EMBSAN_C)
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x14, 0, 0, 0)
+        k.do_syscall(ctx, S.WRITE, fd, 24, 0, 0)  # fits the buffer
+        assert not runtime.sink.has(BugType.STACK_OOB)
+
+    def test_frame_leave_unpoisons(self):
+        image, runtime = self.build(InstrumentationMode.EMBSAN_C)
+        k, ctx = image.kernel, image.ctx
+        fd = k.do_syscall(ctx, S.OPEN, 0x14, 0, 0, 0)
+        # many sequential calls reuse the same stack region; stale
+        # redzones from departed frames must not fire
+        for size in (8, 16, 24, 32, 8, 16):
+            k.do_syscall(ctx, S.WRITE, fd, size, 0, 0)
+        assert runtime.sink.count() == 0
+
+
+class TestInitRoutineReplay:
+    def test_recorded_state_seeds_late_attach(self):
+        """apply_init_routine == live tracking from boot (prober parity)."""
+        from repro.emulator.events import EventKind
+        from repro.emulator.hypercalls import Hypercall
+
+        # record boot-time sanitizer actions from an instrumented build
+        image, runtime = build_with_embsan(
+            "early", "x86", small_linux_factory, InstrumentationMode.EMBSAN_C,
+        )
+        live_early = dict(runtime.kasan.live)
+
+        # attach to an identical build only after boot, seed via routine
+        image2 = build_image("late", "x86", small_linux_factory,
+                             mode=InstrumentationMode.EMBSAN_C, boot=False)
+        routine = []
+
+        def record(event):
+            if event.number == Hypercall.SAN_ALLOC:
+                routine.append(("alloc", tuple(event.args[:3])))
+            elif event.number == Hypercall.SAN_FREE:
+                routine.append(("free", (event.args[0],)))
+            elif event.number == Hypercall.SAN_GLOBAL_REG:
+                routine.append(("global", tuple(event.args[:3])))
+            elif event.number == Hypercall.READY:
+                routine.append(("ready", ()))
+
+        image2.machine.hooks.add(EventKind.VMCALL, record)
+        image2.boot()
+        late = attach_runtime(image2)
+        late.apply_init_routine(routine)
+        assert late.enabled
+        assert set(late.kasan.live) == set(live_early)

@@ -1,0 +1,104 @@
+"""Deeper tests: the EVM32 service blobs and category-3 machinery."""
+
+import pytest
+
+from repro.firmware.builder import attach_runtime
+from repro.firmware.registry import build_firmware
+from repro.isa.disasm import disassemble, memory_footprint
+from repro.isa.insn import Op
+from repro.os.vxworks.netsvc import (
+    DHCP_RESP_BYTES,
+    PPPOE_RESP_BYTES,
+    assemble_services,
+)
+from repro.os.vxworks.kernel import VxWorksOp
+from repro.sanitizers.prober.category3 import scan_binary_regions
+from repro.sanitizers.runtime.reports import BugType
+
+
+class TestBlobAssembly:
+    def test_services_assemble(self):
+        blobs = assemble_services(0x1000, 0x2000, 0x3000)
+        assert set(blobs) == {"pppoed", "dhcpsd", "halt_pad"}
+        for name, (image, base, entry) in blobs.items():
+            assert base <= entry < base + len(image)
+
+    def test_parsers_end_with_ret(self):
+        blobs = assemble_services(0x1000, 0x2000, 0x3000)
+        for name in ("pppoed", "dhcpsd"):
+            image, base, _entry = blobs[name]
+            ops = [insn.op for _a, insn, _t in disassemble(image, base)]
+            assert Op.RET in ops
+            assert Op.BGEU in ops  # the (unclamped) copy-loop bound
+
+    def test_copy_loops_are_memory_heavy(self):
+        blobs = assemble_services(0x1000, 0x2000, 0x3000)
+        image, _base, _entry = blobs["pppoed"]
+        mem, total = memory_footprint(image)
+        assert mem >= 3 and total >= 10
+
+
+class TestDaemonSemantics:
+    @pytest.fixture()
+    def target(self):
+        image = build_firmware("TP-Link WDR-7660", boot=False)
+        runtime = attach_runtime(image)
+        image.boot()
+        return image, runtime
+
+    def test_copy_is_byte_exact(self, target):
+        image, _runtime = target
+        k, ctx = image.kernel, image.ctx
+        rc = k.invoke(ctx, VxWorksOp.PPPOE_PACKET, 0x09, 12, 5)
+        assert rc == 12
+
+    def test_boundary_plus_one_detected(self, target):
+        image, runtime = target
+        k, ctx = image.kernel, image.ctx
+        k.invoke(ctx, VxWorksOp.DHCP_PACKET, 1, DHCP_RESP_BYTES + 1, 5)
+        assert runtime.sink.has(BugType.SLAB_OOB, "dhcpsd")
+
+    def test_within_both_buffers_not_reported(self, target):
+        image, runtime = target
+        k, ctx = image.kernel, image.ctx
+        # option fits both the packet payload and the response buffer
+        k.invoke(ctx, VxWorksOp.DHCP_PACKET, 1, 10, 5)
+        assert not runtime.sink.has(BugType.SLAB_OOB, "dhcpsd")
+
+    def test_long_option_overreads_the_packet_too(self, target):
+        image, runtime = target
+        k, ctx = image.kernel, image.ctx
+        # a 20-byte option fits the 24-byte response but runs past the
+        # 16-byte datagram: the read side of the missing clamp
+        k.invoke(ctx, VxWorksOp.DHCP_PACKET, 1, 20, 5)
+        report = next(r for r in runtime.sink.unique.values()
+                      if r.location == "dhcpsd")
+        assert not report.is_write
+
+    def test_report_pc_points_into_blob(self, target):
+        image, runtime = target
+        k, ctx = image.kernel, image.ctx
+        k.invoke(ctx, VxWorksOp.PPPOE_PACKET, 0x09, 200, 5)
+        report = next(r for r in runtime.sink.unique.values()
+                      if r.location == "pppoed")
+        _image, base, _entry = image.kernel.blobs["pppoed"]
+        assert base <= report.pc < base + 0x1000
+
+
+class TestBinaryScan:
+    def test_scan_separates_services(self):
+        image = build_firmware("TP-Link WDR-7660")
+        blobs = scan_binary_regions(image, ("pppoed", "dhcpsd"))
+        assert [b[0] for b in blobs] == ["pppoed", "dhcpsd"]
+        (p_name, p_base, p_size), (d_name, d_base, d_size) = blobs
+        assert p_base + p_size <= d_base  # disjoint spans
+
+    def test_halt_pad_filtered(self):
+        image = build_firmware("TP-Link WDR-7660")
+        blobs = scan_binary_regions(image)
+        # the single-instruction landing pad is below min_run
+        assert len(blobs) == 2
+
+    def test_rehosted_firmware_has_no_blobs(self):
+        image = build_firmware("OpenWRT-armvirt", with_bugs=False)
+        assert scan_binary_regions(image) == []

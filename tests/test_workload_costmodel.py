@@ -1,0 +1,75 @@
+"""Unit tests: cost model and benchmark workloads."""
+
+import pytest
+
+from repro.bench.costmodel import DEFAULT_COSTS, CostModel, TCG_EXPANSION
+from repro.bench.workload import merged_corpus, replay
+from repro.firmware.instrument import InstrumentationMode
+from repro.firmware.registry import build_firmware
+
+
+class TestCostModel:
+    def test_access_cost_modes(self):
+        costs = DEFAULT_COSTS
+        for sanitizer in ("kasan", "kcsan"):
+            for mode in ("c", "d", "native"):
+                assert costs.access_cost(sanitizer, mode) > 0
+
+    def test_unknown_sanitizer(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COSTS.access_cost("msan", "c")
+
+    def test_range_cost_scales_with_size(self):
+        costs = DEFAULT_COSTS
+        assert costs.range_cost(256, "d") > costs.range_cost(16, "d")
+        assert costs.range_cost(1 << 20, "d") == costs.range_cost(4096, "d")
+
+    def test_native_costs_carry_expansion(self):
+        # translated routines pay the TCG expansion factor
+        ratio = DEFAULT_COSTS.kasan_native_check / TCG_EXPANSION
+        assert ratio == pytest.approx(round(ratio, 4))
+        assert DEFAULT_COSTS.kasan_native_alloc / TCG_EXPANSION == 15.0
+
+    def test_paper_cost_ordering(self):
+        costs = DEFAULT_COSTS
+        # hypercall interception is cheaper than probe reconstruction
+        assert costs.kasan_c_trap < costs.kasan_d_intercept
+        # KCSAN checks cost several times a KASAN check
+        assert costs.access_cost("kcsan", "c") > \
+            2 * costs.access_cost("kasan", "c")
+
+
+class TestWorkload:
+    def test_corpus_deterministic_and_cached(self):
+        first = merged_corpus("InfiniTime", seed=5)
+        second = merged_corpus("InfiniTime", seed=5)
+        assert first is second  # cached
+        texts = [p.serialize() for p in first]
+        assert texts == [p.serialize() for p in merged_corpus("InfiniTime", seed=5)]
+
+    def test_replay_counts_cycles(self):
+        corpus = merged_corpus("InfiniTime", seed=5)
+        image = build_firmware("InfiniTime", mode=InstrumentationMode.NONE,
+                               with_bugs=False)
+        counters = replay(image, corpus)
+        assert counters["guest_cycles"] > 0
+        assert counters["overhead_cycles"] == 0  # bare build
+        assert counters["total_cycles"] == counters["guest_cycles"]
+
+    def test_identical_guest_work_across_modes(self):
+        """The slowdown denominator requirement: guest cycles match."""
+        from repro.firmware.builder import attach_runtime
+
+        corpus = merged_corpus("OpenWRT-rtl839x", seed=5)
+        bare = build_firmware("OpenWRT-rtl839x",
+                              mode=InstrumentationMode.NONE,
+                              with_bugs=False)
+        bare_counters = replay(bare, corpus)
+        sanitized = build_firmware("OpenWRT-rtl839x",
+                                   mode=InstrumentationMode.EMBSAN_D,
+                                   with_bugs=False, boot=False)
+        attach_runtime(sanitized, sanitizers=("kasan",))
+        sanitized.boot()
+        san_counters = replay(sanitized, corpus)
+        assert san_counters["guest_cycles"] == bare_counters["guest_cycles"]
+        assert san_counters["overhead_cycles"] > 0
