@@ -1,0 +1,80 @@
+"""Translation-block specialization microbenchmark.
+
+Measures guest instructions per host second on the figure-2-style hot
+loop (``repro.bench.tcg_profile``) for the specialized closure engine
+vs the per-opcode re-dispatch templates it replaced, bare and with
+KASAN+KCSAN attached in EMBSAN-D mode, and asserts the PR's acceptance
+floors: >= 2x bare, >= 1.5x sanitized.
+
+Run as a script to (re)generate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_tcg_specialization.py [out.json]
+
+writes ``BENCH_tcg.json`` (default) with the raw numbers so future PRs
+have a perf trajectory; CI uploads it per run.
+"""
+
+import json
+import sys
+
+from repro.bench.tcg_profile import profile_all
+
+#: acceptance floors (ISSUE 1): specialized vs interpreter templates
+MIN_SPEEDUP_BARE = 2.0
+MIN_SPEEDUP_SANITIZED = 1.5
+
+#: outer iterations; ~150 guest instructions each
+ITERATIONS = 1200
+
+
+def _format(results) -> str:
+    lines = ["TCG specialization: hot-loop instructions/second"]
+    for key in ("spec_bare", "interp_bare", "spec_kasan_kcsan",
+                "interp_kasan_kcsan"):
+        row = results[key]
+        lines.append(
+            f"  {key:20s} {row['insn_per_sec']:>12,.0f} insn/s  "
+            f"({row['instructions']} insns, chain_hits="
+            f"{row.get('tb_chain_hits', 0)})"
+        )
+    lines.append(f"  speedup bare      : {results['speedup_bare']:.2f}x "
+                 f"(floor {MIN_SPEEDUP_BARE}x)")
+    lines.append(f"  speedup sanitized : {results['speedup_sanitized']:.2f}x "
+                 f"(floor {MIN_SPEEDUP_SANITIZED}x)")
+    return "\n".join(lines)
+
+
+def _check(results) -> None:
+    assert results["speedup_bare"] >= MIN_SPEEDUP_BARE, (
+        f"bare speedup {results['speedup_bare']:.2f}x "
+        f"below the {MIN_SPEEDUP_BARE}x floor"
+    )
+    assert results["speedup_sanitized"] >= MIN_SPEEDUP_SANITIZED, (
+        f"sanitized speedup {results['speedup_sanitized']:.2f}x "
+        f"below the {MIN_SPEEDUP_SANITIZED}x floor"
+    )
+    # both modes must retire the identical instruction stream
+    assert (results["spec_bare"]["instructions"]
+            == results["interp_bare"]["instructions"])
+    assert (results["spec_kasan_kcsan"]["guest_cycles"]
+            == results["interp_kasan_kcsan"]["guest_cycles"])
+
+
+def test_tcg_specialization_speedup(once):
+    results = once(profile_all, ITERATIONS)
+    print("\n" + _format(results))
+    _check(results)
+
+
+def main(path: str = "BENCH_tcg.json") -> None:
+    results = profile_all(ITERATIONS)
+    print(_format(results))
+    _check(results)
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -95,9 +95,19 @@ class Machine:
     # execution engines
     # ------------------------------------------------------------------
     def add_cpu(self, pc: int = 0, sp: int = 0, engine: str = "tcg"):
-        """Attach an execution engine ("tcg" or "interp") for EVM32 code."""
+        """Attach an execution engine for EVM32 code.
+
+        ``engine`` selects the implementation: ``"tcg"`` (translation
+        blocks, specialized closures — the default), ``"tcg-interp"``
+        (translation blocks, per-opcode re-dispatch; the pre-specialization
+        behaviour kept for A/B benchmarking) or ``"interp"`` (the
+        reference single-step interpreter).
+        """
         if engine == "tcg":
             core = TcgEngine(self.bus, pc=pc, sp=sp, hypercall=self._hypercall)
+        elif engine == "tcg-interp":
+            core = TcgEngine(self.bus, pc=pc, sp=sp, hypercall=self._hypercall,
+                             specialize=False)
         elif engine == "interp":
             core = Cpu(self.bus, pc=pc, sp=sp, hypercall=self._hypercall)
         else:

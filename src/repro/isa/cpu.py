@@ -16,6 +16,7 @@ from repro.isa.insn import (
     Instruction,
     NUM_REGS,
     Op,
+    apply_load_sign,
     decode,
     sign32,
     u32,
@@ -176,10 +177,10 @@ class Cpu:
             state.write(insn.rd, self._load(rs1 + insn.imm, 4, pc))
         elif op is Op.LD8S:
             value = self._load(rs1 + insn.imm, 1, pc)
-            state.write(insn.rd, value - 0x100 if value >= 0x80 else value)
+            state.write(insn.rd, apply_load_sign(op, value))
         elif op is Op.LD16S:
             value = self._load(rs1 + insn.imm, 2, pc)
-            state.write(insn.rd, value - 0x10000 if value >= 0x8000 else value)
+            state.write(insn.rd, apply_load_sign(op, value))
         elif op is Op.LDA32:
             state.write(insn.rd, self._load(rs1 + insn.imm, 4, pc, atomic=True))
         elif op is Op.ST8:

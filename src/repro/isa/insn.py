@@ -210,6 +210,21 @@ def decode(blob: bytes, offset: int = 0) -> Instruction:
     )
 
 
+def apply_load_sign(op: Op, value: int) -> int:
+    """Sign-extend a loaded ``value`` for the signed load opcodes.
+
+    LD8S/LD16S load 1/2 bytes and sign-extend into the 32-bit register;
+    every other load returns the raw zero-extended value.  Shared by the
+    interpreter CPU and both TCG template flavours so the extension rule
+    lives in exactly one place.
+    """
+    if op is Op.LD8S and value >= 0x80:
+        return value - 0x100
+    if op is Op.LD16S and value >= 0x8000:
+        return value - 0x10000
+    return value
+
+
 def sign32(value: int) -> int:
     """Interpret the low 32 bits of ``value`` as a signed integer."""
     value &= _U32

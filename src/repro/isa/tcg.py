@@ -12,24 +12,45 @@ new templates take effect — exactly like a QEMU ``tb_flush``.
 Guest code executed here performs its memory traffic *untraced* on the
 bus: the injected probes are the single notification channel, so an
 attached runtime never sees the same access twice.
+
+Two execution modes share the block cache and probe machinery:
+
+* **specialized** (default) — ``translate()`` compiles *every* instruction
+  into a closure with its operands, immediates and probe set pre-bound, so
+  ``_exec_block`` is a tight loop over pre-built thunks with no opcode
+  comparisons or dict lookups on the hot path.  ``run()`` additionally
+  chains blocks: a block whose terminator has static successors (jump,
+  call, conditional branch, fall-through) links directly to the successor
+  ``TranslationBlock``, skipping the cache lookup entirely.  Links carry
+  the translation generation and die on ``flush_tbs()``; guest stores into
+  translated code flush and exit the current block, so self-modifying code
+  re-translates before its next instruction executes.
+* **interpreter** — the seed engine's behaviour: memory instructions are
+  specialized only when probed; everything else re-dispatches through a
+  per-opcode interpreter each execution.  Kept behind the ``specialize``
+  flag so benchmarks can measure exactly what specialization buys.
+
+Both modes charge identical guest cycles and instruction counts for the
+same program, so the calibrated Figure-2 cost model is mode-independent.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import GuestFault, InvalidOpcode
+from repro.errors import InvalidOpcode
 from repro.isa.cpu import CpuState, HypercallHandler
 from repro.isa.insn import (
     INSN_SIZE,
     Instruction,
     MEM_OPS,
     Op,
+    apply_load_sign,
     decode,
     sign32,
     u32,
 )
-from repro.mem.access import Access
+from repro.mem.access import Access, AccessKind
 from repro.mem.bus import MemoryBus
 
 #: Probe delegate signature: receives a fully reconstructed Access.
@@ -42,19 +63,55 @@ RetProbe = Callable[[int, int], None]
 #: Maximum instructions per translation block.
 MAX_BLOCK_LEN = 64
 
+#: Default bound on cached translation blocks; long campaigns evict FIFO
+#: from the least-recently-translated end instead of growing unboundedly.
+TB_CACHE_CAPACITY = 2048
+
+#: Successor links kept per block; static terminators need at most two
+#: (taken + fall-through), the cap only guards degenerate exits.
+_MAX_LINKS = 4
+
+_M = 0xFFFFFFFF
+_DATA = AccessKind.DATA
+
+#: Terminators whose successors are static, hence chainable.
+_CHAINABLE = frozenset(
+    {Op.JMP, Op.CALL, Op.BEQ, Op.BNE, Op.BLT, Op.BLTU, Op.BGE, Op.BGEU}
+)
+
 
 class TranslationBlock:
     """One translated basic block: entry pc, length, and executable ops."""
 
-    __slots__ = ("pc", "insns", "ops", "host_ops")
+    __slots__ = ("pc", "insns", "ops", "host_ops", "cum_cycles", "pre_charge",
+                 "end_pc", "links", "generation")
 
-    def __init__(self, pc: int, insns: List[Instruction], ops: List, host_ops: int):
+    def __init__(self, pc: int, insns: List[Instruction], ops: List,
+                 host_ops: int, cum_cycles: Optional[Tuple[int, ...]] = None,
+                 pre_charge: Optional[Tuple[int, ...]] = None,
+                 end_pc: int = 0, links: Optional[Dict] = None,
+                 generation: int = 0):
         self.pc = pc
         self.insns = insns
         self.ops = ops
         #: number of host-level operations the templates expand to; the
         #: cost model uses this as the translation expansion measure.
         self.host_ops = host_ops
+        #: prefix sums of per-instruction guest cycles (specialized mode):
+        #: ``cum_cycles[i]`` is the charge after executing ``i`` thunks.
+        self.cum_cycles = cum_cycles
+        #: cycles the interpreter would have charged for instruction ``i``
+        #: *before* reaching its first raise point; keeps trap-path cycle
+        #: accounting identical across engine modes.
+        self.pre_charge = pre_charge
+        #: pc after the last instruction (fall-through target).
+        self.end_pc = end_pc
+        #: successor-pc -> TranslationBlock for chainable terminators;
+        #: None when the terminator is dynamic (JR/CALLR/RET) or halting.
+        self.links = links
+        #: translation generation; ``run()`` refuses chained links whose
+        #: generation predates the last ``flush_tbs()``.
+        self.generation = generation
 
     def __len__(self) -> int:
         return len(self.insns)
@@ -63,12 +120,18 @@ class TranslationBlock:
 class TcgEngine:
     """Basic-block translating executor for EVM32 guest code."""
 
+    #: class-wide default for the ``specialize`` flag; tests flip this to
+    #: run whole firmware builds under the interpreter templates.
+    DEFAULT_SPECIALIZE = True
+
     def __init__(
         self,
         bus: MemoryBus,
         pc: int = 0,
         sp: int = 0,
         hypercall: Optional[HypercallHandler] = None,
+        specialize: Optional[bool] = None,
+        tb_cache_capacity: int = TB_CACHE_CAPACITY,
     ):
         self.bus = bus
         self.state = CpuState(pc=pc, sp=sp)
@@ -78,9 +141,20 @@ class TcgEngine:
         self.host_ops = 0
         self.tb_cache: Dict[int, TranslationBlock] = {}
         self.tb_flush_count = 0
+        self.tb_generation = 0
+        self.tb_evictions = 0
+        self.tb_chain_hits = 0
+        self.tb_cache_capacity = tb_cache_capacity
         self._mem_probes: tuple = ()
         self.call_probes: List[CallProbe] = []
         self.ret_probes: List[RetProbe] = []
+        self.specialize = (
+            self.DEFAULT_SPECIALIZE if specialize is None else specialize
+        )
+        # span of guest addresses covered by live translations; scalar
+        # stores landing inside it are self-modifying code and flush.
+        self._code_lo = 1 << 62
+        self._code_hi = -1
 
     # ------------------------------------------------------------------
     # probe management (the Runtime's template-modification entry point)
@@ -91,22 +165,35 @@ class TcgEngine:
         self.flush_tbs()
 
     def remove_mem_probe(self, probe: MemProbe) -> None:
-        """Remove a probe and regenerate templates without it."""
+        """Remove a probe and regenerate templates without it.
+
+        A probe that was never registered is a no-op: the templates
+        already lack it, so there is nothing to flush.
+        """
+        if not any(p is probe for p in self._mem_probes):
+            return
         self._mem_probes = tuple(p for p in self._mem_probes if p is not probe)
         self.flush_tbs()
 
     def flush_tbs(self) -> None:
-        """Discard every cached translation block."""
+        """Discard every cached translation block and kill chained links."""
         self.tb_cache.clear()
         self.tb_flush_count += 1
+        self.tb_generation += 1
+        self._code_lo = 1 << 62
+        self._code_hi = -1
 
     # ------------------------------------------------------------------
     # translation
     # ------------------------------------------------------------------
     def translate(self, pc: int) -> TranslationBlock:
         """Translate (or fetch from cache) the block starting at ``pc``."""
-        cached = self.tb_cache.get(pc)
+        cache = self.tb_cache
+        cached = cache.get(pc)
         if cached is not None:
+            # LRU touch: recently-run blocks move to the young end
+            del cache[pc]
+            cache[pc] = cached
             return cached
         insns: List[Instruction] = []
         addr = pc
@@ -117,13 +204,29 @@ class TcgEngine:
             if insn.is_terminator():
                 break
             addr += INSN_SIZE
-        ops, host_ops = self._build_ops(pc, insns)
-        block = TranslationBlock(pc, insns, ops, host_ops)
-        self.tb_cache[pc] = block
+        end_pc = pc + len(insns) * INSN_SIZE
+        if self.specialize:
+            block = self._build_spec_block(pc, insns, end_pc)
+            if pc < self._code_lo:
+                self._code_lo = pc
+            if end_pc > self._code_hi:
+                self._code_hi = end_pc
+        else:
+            ops, host_ops = self._build_ops(pc, insns)
+            block = TranslationBlock(pc, insns, ops, host_ops,
+                                     end_pc=end_pc,
+                                     generation=self.tb_generation)
+        cache[pc] = block
+        if len(cache) > self.tb_cache_capacity:
+            cache.pop(next(iter(cache)))
+            self.tb_evictions += 1
         return block
 
+    # ------------------------------------------------------------------
+    # interpreter-mode templates (the seed engine's behaviour)
+    # ------------------------------------------------------------------
     def _build_ops(self, pc: int, insns: List[Instruction]):
-        """Specialize templates for the current probe set."""
+        """Specialize only probed memory templates for the probe set."""
         ops = []
         host_ops = 0
         probes = self._mem_probes
@@ -159,24 +262,331 @@ class TcgEngine:
                     bus.store(addr, size, state.read(rs2))
                 else:
                     value = bus.load(addr, size)
-                    if op is Op.LD8S and value >= 0x80:
-                        value -= 0x100
-                    elif op is Op.LD16S and value >= 0x8000:
-                        value -= 0x10000
-                    state.write(rd, value)
+                    state.write(rd, apply_load_sign(op, value))
 
         return run
+
+    # ------------------------------------------------------------------
+    # specialized-mode templates: one closure per instruction
+    # ------------------------------------------------------------------
+    def _build_spec_block(self, pc: int, insns: List[Instruction],
+                          end_pc: int) -> TranslationBlock:
+        ops: List[Callable] = []
+        cycles: List[int] = []
+        pre: List[int] = []
+        host_ops = 0
+        probes = self._mem_probes
+        for idx, insn in enumerate(insns):
+            insn_pc = pc + idx * INSN_SIZE
+            thunk, cyc, hops = self._compile_insn(insn, insn_pc, probes)
+            ops.append(thunk)
+            cycles.append(cyc)
+            # interpreter-mode probed templates charge nothing before the
+            # probe call can raise; every other template charges its full
+            # cycle cost before its first raise point
+            pre.append(0 if (probes and insn.op in MEM_OPS) else cyc)
+            host_ops += hops
+        cum = [0]
+        for cyc in cycles:
+            cum.append(cum[-1] + cyc)
+        links: Optional[Dict] = None
+        if insns[-1].op in _CHAINABLE or not insns[-1].is_terminator():
+            links = {}
+        return TranslationBlock(pc, insns, ops, host_ops,
+                                cum_cycles=tuple(cum), pre_charge=tuple(pre),
+                                end_pc=end_pc, links=links,
+                                generation=self.tb_generation)
+
+    def _compile_insn(self, insn: Instruction, insn_pc: int,
+                      probes: tuple):
+        """Compile one instruction to a thunk with everything pre-bound.
+
+        The thunk returns ``None`` to fall through or the next pc to
+        transfer control (ending the block).  Returns ``(thunk, cycles,
+        host_ops)`` where the cycle charge matches the interpreter path
+        exactly (1 per instruction, +1 for memory traffic or a hypercall).
+
+        Closures bind ``state.regs`` directly: the register file list is
+        created once per :class:`CpuState` and never reassigned, and
+        ``regs[0]`` is never written, so reading it is always 0.
+        """
+        eng = self
+        state = self.state
+        regs = state.regs
+        bus = self.bus
+        op = insn.op
+        rd, rs1, rs2, imm = insn.rd, insn.rs1, insn.rs2, insn.imm
+        next_pc = (insn_pc + INSN_SIZE) & _M
+
+        # --- memory ----------------------------------------------------
+        if op in MEM_OPS:
+            size, is_write, atomic = MEM_OPS[op]
+            if probes:
+                thunk = self._compile_probed_mem(
+                    insn, insn_pc, next_pc, size, is_write, atomic, probes
+                )
+                return thunk, 2, 2 + len(probes)
+            if is_write:
+                bus_store = bus.store
+
+                def thunk():
+                    state.pc = insn_pc
+                    addr = (regs[rs1] + imm) & _M
+                    bus_store(addr, size, regs[rs2], insn_pc, state.task,
+                              atomic)
+                    if addr < eng._code_hi and addr + size > eng._code_lo:
+                        # self-modifying code: drop every translation and
+                        # leave the block so the store takes effect before
+                        # the next instruction executes
+                        eng.flush_tbs()
+                        return next_pc
+                    return None
+
+                return thunk, 2, 2
+            bus_load = bus.load
+            if op is Op.LD8S or op is Op.LD16S:
+                bound, adjust = (0x80, 0x100) if op is Op.LD8S else (0x8000, 0x10000)
+
+                def thunk():
+                    state.pc = insn_pc
+                    value = bus_load((regs[rs1] + imm) & _M, size, insn_pc,
+                                     state.task, atomic)
+                    if value >= bound:
+                        value -= adjust
+                    if rd:
+                        regs[rd] = value & _M
+
+                return thunk, 2, 2
+
+            def thunk():
+                state.pc = insn_pc
+                value = bus_load((regs[rs1] + imm) & _M, size, insn_pc,
+                                 state.task, atomic)
+                if rd:
+                    regs[rd] = value
+
+            return thunk, 2, 2
+
+        # --- control / misc -------------------------------------------
+        if op is Op.NOP or (rd == 0 and op in _WRITES_RD):
+            # register writes to r0 are architectural no-ops; the cycle
+            # still accrues, the work is specialized away entirely
+            return _nop_thunk, 1, 1
+        if op is Op.HLT:
+
+            def thunk():
+                state.halted = True
+                return next_pc
+
+            return thunk, 1, 1
+        if op is Op.BRK:
+
+            def thunk():
+                state.pc = insn_pc
+                state.halted = True
+                raise InvalidOpcode(f"BRK trap at {insn_pc:#010x}", addr=insn_pc)
+
+            return thunk, 1, 1
+        if op is Op.VMCALL:
+
+            def thunk():
+                state.pc = insn_pc
+                handler = eng.hypercall
+                if handler is None:
+                    raise InvalidOpcode(
+                        f"VMCALL with no handler at {insn_pc:#010x}",
+                        addr=insn_pc,
+                    )
+                result = handler(eng, imm)
+                if result is not None:
+                    regs[1] = result & _M
+                if state.halted:
+                    return next_pc
+                return None
+
+            return thunk, 2, 1
+
+        # --- ALU register-register ------------------------------------
+        if op is Op.ADD:
+            def thunk(): regs[rd] = (regs[rs1] + regs[rs2]) & _M
+        elif op is Op.SUB:
+            def thunk(): regs[rd] = (regs[rs1] - regs[rs2]) & _M
+        elif op is Op.MUL:
+            def thunk(): regs[rd] = (regs[rs1] * regs[rs2]) & _M
+        elif op is Op.DIVU:
+            def thunk():
+                b = regs[rs2]
+                regs[rd] = _M if b == 0 else regs[rs1] // b
+        elif op is Op.REMU:
+            def thunk():
+                b = regs[rs2]
+                regs[rd] = regs[rs1] if b == 0 else regs[rs1] % b
+        elif op is Op.AND:
+            def thunk(): regs[rd] = regs[rs1] & regs[rs2]
+        elif op is Op.OR:
+            def thunk(): regs[rd] = regs[rs1] | regs[rs2]
+        elif op is Op.XOR:
+            def thunk(): regs[rd] = regs[rs1] ^ regs[rs2]
+        elif op is Op.SHL:
+            def thunk(): regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _M
+        elif op is Op.SHR:
+            def thunk(): regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+        elif op is Op.SRA:
+            def thunk(): regs[rd] = (sign32(regs[rs1]) >> (regs[rs2] & 31)) & _M
+        elif op is Op.SLT:
+            def thunk(): regs[rd] = 1 if sign32(regs[rs1]) < sign32(regs[rs2]) else 0
+        elif op is Op.SLTU:
+            def thunk(): regs[rd] = 1 if regs[rs1] < regs[rs2] else 0
+        # --- ALU immediate --------------------------------------------
+        elif op is Op.ADDI:
+            def thunk(): regs[rd] = (regs[rs1] + imm) & _M
+        elif op is Op.ANDI:
+            def thunk(): regs[rd] = (regs[rs1] & imm) & _M
+        elif op is Op.ORI:
+            def thunk(): regs[rd] = (regs[rs1] | imm) & _M
+        elif op is Op.XORI:
+            def thunk(): regs[rd] = (regs[rs1] ^ imm) & _M
+        elif op is Op.SHLI:
+            shift = imm & 31
+
+            def thunk(): regs[rd] = (regs[rs1] << shift) & _M
+        elif op is Op.SHRI:
+            shift = imm & 31
+
+            def thunk(): regs[rd] = regs[rs1] >> shift
+        elif op is Op.MOVI:
+            value = imm & _M
+
+            def thunk(): regs[rd] = value
+        elif op is Op.LUI:
+            value = (imm << 16) & _M
+
+            def thunk(): regs[rd] = value
+        elif op is Op.MOV:
+            def thunk(): regs[rd] = regs[rs1]
+        # --- control flow ---------------------------------------------
+        elif op is Op.JMP:
+            target = imm & _M
+
+            def thunk(): return target
+        elif op is Op.JR:
+            def thunk(): return regs[rs1]
+        elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BLTU, Op.BGE, Op.BGEU):
+            thunk = _compile_branch(regs, op, rs1, rs2, imm & _M, next_pc)
+        elif op is Op.CALL or op is Op.CALLR:
+            static_target = imm & _M if op is Op.CALL else None
+
+            def thunk():
+                target = static_target if static_target is not None else regs[rs1]
+                regs[15] = next_pc
+                if eng.call_probes:
+                    args = [regs[1], regs[2], regs[3], regs[4]]
+                    for probe in eng.call_probes:
+                        probe(insn_pc, target, args, next_pc)
+                return target
+        elif op is Op.RET:
+
+            def thunk():
+                rp = eng.ret_probes
+                if rp:
+                    rv = regs[1]
+                    for probe in rp:
+                        probe(insn_pc, rv)
+                return regs[15]
+        else:  # pragma: no cover - decode() rejects unknown opcodes
+            raise InvalidOpcode(f"unhandled opcode {op!r}", addr=insn_pc)
+
+        return thunk, 1, 1
+
+    def _compile_probed_mem(self, insn, insn_pc, next_pc, size, is_write,
+                            atomic, probes):
+        """Specialized probed memory template: notify probes, then access
+        the bus silently (the probes are the single notification channel).
+        """
+        eng = self
+        state = self.state
+        regs = state.regs
+        bus = self.bus
+        rs1, rs2, rd, imm, op = insn.rs1, insn.rs2, insn.rd, insn.imm, insn.op
+        single = probes[0] if len(probes) == 1 else None
+        if is_write:
+            store_silent = bus.store_silent
+
+            def thunk():
+                state.pc = insn_pc
+                addr = (regs[rs1] + imm) & _M
+                access = Access(addr, size, True, insn_pc, state.task, _DATA,
+                                atomic)
+                if single is not None:
+                    single(access)
+                else:
+                    for probe in probes:
+                        probe(access)
+                store_silent(addr, size, regs[rs2])
+                if addr < eng._code_hi and addr + size > eng._code_lo:
+                    eng.flush_tbs()
+                    return next_pc
+                return None
+
+            return thunk
+        load_silent = bus.load_silent
+        signed = op is Op.LD8S or op is Op.LD16S
+        bound, adjust = (0x80, 0x100) if op is Op.LD8S else (0x8000, 0x10000)
+
+        def thunk():
+            state.pc = insn_pc
+            addr = (regs[rs1] + imm) & _M
+            access = Access(addr, size, False, insn_pc, state.task, _DATA,
+                            atomic)
+            if single is not None:
+                single(access)
+            else:
+                for probe in probes:
+                    probe(access)
+            value = load_silent(addr, size)
+            if signed and value >= bound:
+                value -= adjust
+            if rd:
+                regs[rd] = value & _M
+
+        return thunk
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, max_steps: int = 1_000_000) -> int:
-        """Run translated blocks until HLT or the step budget; returns steps."""
+        """Run translated blocks until HLT or the step budget; returns steps.
+
+        Consecutive blocks chain: when the previous block's terminator has
+        static successors, the successor ``TranslationBlock`` is linked in
+        and reused directly on later passes (generation-checked), so
+        straight-line and loop-heavy firmware stops round-tripping through
+        ``translate()`` and the TB cache.
+        """
         executed = 0
         state = self.state
+        exec_block = self._exec_block
+        translate = self.translate
+        prev: Optional[TranslationBlock] = None
         while not state.halted and executed < max_steps:
-            block = self.translate(state.pc)
-            executed += self._exec_block(block)
+            pc = state.pc
+            block = None
+            if prev is not None:
+                links = prev.links
+                if links is not None:
+                    block = links.get(pc)
+                    if block is not None:
+                        if block.generation == self.tb_generation:
+                            self.tb_chain_hits += 1
+                        else:
+                            block = None
+            if block is None:
+                block = translate(pc)
+                if (prev is not None and prev.links is not None
+                        and len(prev.links) < _MAX_LINKS):
+                    prev.links[pc] = block
+            executed += exec_block(block)
+            prev = block
         return executed
 
     def step_block(self) -> int:
@@ -186,6 +596,35 @@ class TcgEngine:
         return self._exec_block(self.translate(self.state.pc))
 
     def _exec_block(self, block: TranslationBlock) -> int:
+        if block.cum_cycles is not None:
+            return self._exec_block_spec(block)
+        return self._exec_block_interp(block)
+
+    def _exec_block_spec(self, block: TranslationBlock) -> int:
+        """Tight thunk loop: no opcode tests, no dict lookups."""
+        state = self.state
+        done = 0
+        target = None
+        try:
+            for fn in block.ops:
+                target = fn()
+                done += 1
+                if target is not None:
+                    break
+        except BaseException:
+            # charge retired instructions plus whatever the interpreter
+            # would have charged for the trapping one before it raised
+            self.cycles += block.cum_cycles[done] + block.pre_charge[done]
+            self.insn_count += done
+            self.host_ops += block.host_ops
+            raise
+        state.pc = block.end_pc if target is None else target
+        self.cycles += block.cum_cycles[done]
+        self.insn_count += done
+        self.host_ops += block.host_ops
+        return done
+
+    def _exec_block_interp(self, block: TranslationBlock) -> int:
         state = self.state
         executed = 0
         self.host_ops += block.host_ops
@@ -242,11 +681,7 @@ class TcgEngine:
                 self.bus.store(addr, size, rs2, pc=pc, task=state.task, atomic=atomic)
             else:
                 value = self.bus.load(addr, size, pc=pc, task=state.task, atomic=atomic)
-                if op is Op.LD8S and value >= 0x80:
-                    value -= 0x100
-                elif op is Op.LD16S and value >= 0x8000:
-                    value -= 0x10000
-                state.write(insn.rd, value)
+                state.write(insn.rd, apply_load_sign(op, value))
             return next_pc
 
         if op is Op.ADD:
@@ -329,3 +764,36 @@ class TcgEngine:
             args = [self.state.read(i) for i in range(1, 5)]
             for probe in self.call_probes:
                 probe(pc, target, args, lr)
+
+
+def _nop_thunk() -> None:
+    """Shared thunk for NOP and r0-destination writes."""
+    return None
+
+
+def _compile_branch(regs, op: Op, rs1: int, rs2: int, taken: int, fall: int):
+    """Build a conditional-branch thunk with the predicate pre-bound."""
+    if op is Op.BEQ:
+        def thunk(): return taken if regs[rs1] == regs[rs2] else fall
+    elif op is Op.BNE:
+        def thunk(): return taken if regs[rs1] != regs[rs2] else fall
+    elif op is Op.BLT:
+        def thunk():
+            return taken if sign32(regs[rs1]) < sign32(regs[rs2]) else fall
+    elif op is Op.BLTU:
+        def thunk(): return taken if regs[rs1] < regs[rs2] else fall
+    elif op is Op.BGE:
+        def thunk():
+            return taken if sign32(regs[rs1]) >= sign32(regs[rs2]) else fall
+    else:
+        def thunk(): return taken if regs[rs1] >= regs[rs2] else fall
+    return thunk
+
+
+#: opcodes whose only architectural effect is a register write; with
+#: rd == r0 they specialize to a shared no-op thunk.
+_WRITES_RD = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.DIVU, Op.REMU, Op.AND, Op.OR, Op.XOR,
+     Op.SHL, Op.SHR, Op.SRA, Op.SLT, Op.SLTU, Op.ADDI, Op.ANDI, Op.ORI,
+     Op.XORI, Op.SHLI, Op.SHRI, Op.MOVI, Op.LUI, Op.MOV}
+)

@@ -157,6 +157,22 @@ class MemoryBus:
             self._notify(Access(addr, size, True, pc, task, atomic=atomic))
         region.write(addr, int(value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
 
+    def load_silent(self, addr: int, size: int) -> int:
+        """Scalar load with no observer notification.
+
+        Hot-path twin of ``with untraced(): load(...)`` for specialized
+        TCG templates whose injected probes are already the notification
+        channel; skips the context-manager round trip and the scalar-size
+        guard (instruction decoding fixes the size to 1/2/4).
+        """
+        region = self._resolve(addr, size, Perm.R)
+        return int.from_bytes(region.read(addr, size), "little")
+
+    def store_silent(self, addr: int, size: int, value: int) -> None:
+        """Scalar store with no observer notification (see load_silent)."""
+        region = self._resolve(addr, size, Perm.W)
+        region.write(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+
     # ------------------------------------------------------------------
     # bulk access (guest memcpy / memset family)
     # ------------------------------------------------------------------

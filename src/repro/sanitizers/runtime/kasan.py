@@ -54,6 +54,9 @@ class KasanEngine:
         self.freed = QuarantineLog()
         #: raised by the runtime while allocator internals execute
         self.suppress_depth = 0
+        #: accesses validated; the runtime's inline fast path bumps this
+        #: directly when the addressable-granule test already proves an
+        #: access clean, so the count is fast-path independent
         self.checks = 0
 
     # ------------------------------------------------------------------

@@ -50,7 +50,12 @@ class KcsanEngine:
 
     # ------------------------------------------------------------------
     def check(self, access: Access) -> Optional[SanitizerReport]:
-        """Feed one access; returns a data-race report when one fires."""
+        """Feed one access; returns a data-race report when one fires.
+
+        The runtime's inline shadow fast path never filters KCSAN traffic
+        — races live on perfectly addressable memory — so this sees every
+        DATA access regardless of the KASAN granule test's outcome.
+        """
         if self.suppress_depth:
             return None
         if access.kind not in (AccessKind.DATA, AccessKind.RANGE):

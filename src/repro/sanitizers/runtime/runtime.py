@@ -83,6 +83,10 @@ class RuntimeConfig:
     ready: ReadySpec = field(default_factory=ReadySpec)
     panic_on_report: bool = False
     costs: CostModel = DEFAULT_COSTS
+    #: inline the addressable-granule shadow test in the injected probe
+    #: (the paper's inline-mode ablation); False forces every access
+    #: through the full callback-mode validation path
+    inline_fastpath: bool = True
 
     def validate(self) -> None:
         """Reject configurations the runtime cannot honor."""
@@ -144,6 +148,9 @@ class CommonSanitizerRuntime:
             "interception": 0.0, "checks": 0.0, "allocator": 0.0,
             "range": 0.0,
         }
+        #: the delegate injected into TCG templates and bus hooks; either
+        #: the plain handler or the combined fast-path probe
+        self._probe_cb: Callable[[Access], None] = self._make_probe()
 
     # ------------------------------------------------------------------
     # attachment
@@ -157,7 +164,7 @@ class CommonSanitizerRuntime:
         if self.config.mode == "c":
             self._subscribe(hooks, EventKind.VMCALL, self._on_vmcall)
         else:
-            self._subscribe(hooks, EventKind.MEM_ACCESS, self._on_access)
+            self._subscribe(hooks, EventKind.MEM_ACCESS, self._probe_cb)
             self._subscribe(hooks, EventKind.CALL, self._on_call)
             self._subscribe(hooks, EventKind.RET, self._on_ret)
             if self.config.ready.kind == "banner":
@@ -173,7 +180,58 @@ class CommonSanitizerRuntime:
     def _inject_probe(self, engine) -> None:
         add_probe = getattr(engine, "add_mem_probe", None)
         if add_probe is not None:
-            add_probe(self._on_access)
+            add_probe(self._probe_cb)
+
+    def _make_probe(self) -> Callable[[Access], None]:
+        """Build the combined probe compiled into translation templates.
+
+        When KASAN is active and :attr:`RuntimeConfig.inline_fastpath` is
+        on, scalar DATA traffic first takes an inlined addressable-granule
+        test against the unified shadow; only non-zero shadow bytes fall
+        into the full validation walk (report classification, partial
+        granules, quarantine lookups).  KCSAN still observes *every* data
+        access — races live on perfectly addressable memory — and all
+        cycle charges and counters are identical to the callback path, so
+        the fast path changes wall-clock cost only, never the modeled
+        overhead or the detection behaviour.
+        """
+        if (not self.config.inline_fastpath or self.kasan is None
+                or self.kmsan is not None):
+            return self._on_access
+        kasan = self.kasan
+        kcsan = self.kcsan
+        clear_for = self.shadow.clear_for
+        charge = self._charge
+        costs = self.costs
+        kasan_intercept = costs.kasan_d_intercept
+        kasan_check = costs.kasan_d_check
+        if kcsan is not None:
+            kcsan_intercept = costs.kcsan_d_intercept
+            kcsan_check = costs.kcsan_d_check
+
+        def probe(access: Access) -> None:
+            if not self.enabled or self._suppress:
+                return
+            if access.kind is not AccessKind.DATA:
+                # FETCH filtering and RANGE decomposition stay on the
+                # callback path
+                self._on_access(access)
+                return
+            self.events_handled += 1
+            charge(kasan_intercept, "interception")
+            charge(kasan_check, "checks")
+            if kasan.suppress_depth:
+                pass
+            elif clear_for(access.addr, access.size):
+                kasan.checks += 1
+            else:
+                kasan.check(access)
+            if kcsan is not None:
+                charge(kcsan_intercept, "interception")
+                charge(kcsan_check, "checks")
+                kcsan.check(access)
+
+        return probe
 
     def detach(self) -> None:
         """Unsubscribe everything (end of a testing campaign)."""
@@ -182,7 +240,7 @@ class CommonSanitizerRuntime:
         for engine in self.machine.engines:
             remove_probe = getattr(engine, "remove_mem_probe", None)
             if remove_probe is not None:
-                remove_probe(self._on_access)
+                remove_probe(self._probe_cb)
         if self._inject_probe in self.machine.engine_listeners:
             self.machine.engine_listeners.remove(self._inject_probe)
         self._handlers.clear()

@@ -162,6 +162,43 @@ class ShadowMemory:
             granule_start += GRANULE
         return None
 
+    def clear_for(self, addr: int, size: int) -> bool:
+        """Fast path: True when every granule the access touches is 0.
+
+        The inline counterpart of :meth:`check` used by the runtime's
+        combined probe: an all-addressable answer needs no poison-code
+        classification, no partial-granule arithmetic and no report
+        machinery, which covers the overwhelming majority of traffic.  A
+        False return says nothing about *why* — the caller falls back to
+        the full :meth:`check` walk, which also re-validates partial
+        granules the fast path conservatively rejects.
+
+        Counter parity with :meth:`check`: a clean access counts one
+        ``check_ops`` here; a dirty access counts nothing (the full check
+        the caller then runs contributes the one count); an unshadowed
+        access counts nothing on either path.
+        """
+        if size <= 0:
+            return True
+        shadow = self._find(addr)
+        if shadow is None:
+            # device/out-of-shadow traffic: the bus polices it, not us
+            return True
+        base = shadow.base
+        table = shadow.bytes
+        first = (addr - base) >> 3
+        last = (addr + size - 1 - base) >> 3
+        if first == last:
+            # addr is inside the region, so ``first`` always indexes the
+            # table; a multi-granule slice clamps at the region end just
+            # like check()'s ``idx < limit`` walk
+            if table[first]:
+                return False
+        elif any(table[first:last + 1]):
+            return False
+        self.check_ops += 1
+        return True
+
     def code_at(self, addr: int) -> int:
         """Raw shadow byte covering ``addr`` (0 when unshadowed)."""
         shadow = self._find(addr)

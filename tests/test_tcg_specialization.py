@@ -1,0 +1,349 @@
+"""TB semantics of the specialized TCG engine.
+
+Covers the translation-block contract the specialization rewrite must
+preserve: block boundaries, flush/invalidation behaviour (probe churn,
+chained links, self-modifying code), cache capacity, and — the load-
+bearing property — that the specialized closures, the per-opcode
+interpreter templates and the reference CPU retire bit-identical
+architectural state with identical cycle accounting.
+"""
+
+import pytest
+
+from repro.bugs.catalog import table4_bugs_for
+from repro.bugs.replay import replay_on_embsan
+from repro.firmware.instrument import InstrumentationMode
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu
+from repro.isa.insn import INSN_SIZE, Op, apply_load_sign
+from repro.isa.tcg import MAX_BLOCK_LEN, TcgEngine
+from repro.mem.bus import MemoryBus
+from repro.mem.regions import MemoryRegion, Perm
+from repro.sanitizers.runtime.shadow import ShadowCode, ShadowMemory
+
+RAM_BASE = 0x10000
+
+
+def make_core(source, engine="tcg", text_perm=Perm.RX, hypercall=None, **kw):
+    bus = MemoryBus()
+    bus.map(MemoryRegion("text", 0, 0x4000, text_perm, "flash"))
+    bus.map(MemoryRegion("ram", RAM_BASE, 0x4000, Perm.RW, "ram"))
+    program = assemble(source)
+    with bus.untraced():
+        bus.region_named("text").write(0, program.image)
+    if engine == "interp":
+        core = Cpu(bus, pc=0, sp=RAM_BASE + 0x4000, hypercall=hypercall)
+    else:
+        core = TcgEngine(bus, pc=0, sp=RAM_BASE + 0x4000, hypercall=hypercall,
+                         specialize=(engine == "tcg"), **kw)
+    return core, program
+
+
+def ram_bytes(core, size=0x100):
+    with core.bus.untraced():
+        return core.bus.read_bytes(RAM_BASE, size)
+
+
+STRAIGHT_LINE = "\n".join(
+    [f"    addi a0, a0, {i % 7}" for i in range(100)] + ["    hlt"]
+)
+
+MIXED_PROGRAM = f"""
+    movi a0, {RAM_BASE}
+    movi t0, 0
+    movi t1, 12
+loop:
+    shli t2, t0, 2
+    add  t2, a0, t2
+    st32 t0, [t2]
+    ld32 t3, [t2]
+    mul  t3, t3, t1
+    st8  t3, [t2]
+    ld8s s0, [t2]
+    ld16s s1, [t2]
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    call tail
+    hlt
+tail:
+    movi s2, -3
+    sra  s3, s2, t1
+    ret
+"""
+
+
+class TestBlockBoundaries:
+    def test_max_block_len_split(self):
+        core, _ = make_core(STRAIGHT_LINE)
+        core.run()
+        # 101 instructions split at the MAX_BLOCK_LEN fall-through
+        first = core.tb_cache[0]
+        assert len(first) == MAX_BLOCK_LEN
+        assert first.end_pc == MAX_BLOCK_LEN * INSN_SIZE
+        assert MAX_BLOCK_LEN * INSN_SIZE in core.tb_cache
+        assert core.insn_count == 101
+        ref, _ = make_core(STRAIGHT_LINE, "interp")
+        ref.run()
+        assert core.state.regs == ref.state.regs
+
+    def test_fallthrough_block_chains(self):
+        core, _ = make_core(STRAIGHT_LINE)
+        core.run()
+        assert core.tb_cache[0].links[MAX_BLOCK_LEN * INSN_SIZE] is (
+            core.tb_cache[MAX_BLOCK_LEN * INSN_SIZE]
+        )
+
+
+class TestFlushSemantics:
+    def test_probe_add_remove_flush_counts(self):
+        core, _ = make_core(MIXED_PROGRAM)
+        probe = lambda access: None
+        assert core.tb_flush_count == 0
+        core.add_mem_probe(probe)
+        assert core.tb_flush_count == 1
+        core.remove_mem_probe(probe)
+        assert core.tb_flush_count == 2
+
+    def test_remove_unregistered_probe_is_noop(self):
+        core, _ = make_core(MIXED_PROGRAM)
+        core.add_mem_probe(lambda access: None)
+        flushes = core.tb_flush_count
+        core.remove_mem_probe(lambda access: None)  # never registered
+        assert core.tb_flush_count == flushes
+        assert len(core._mem_probes) == 1
+
+    def test_flush_invalidates_chained_links(self):
+        """A probe added mid-run via hypercall must see subsequent accesses
+
+        even though the remaining blocks were already chained: flush_tbs()
+        bumps the generation, so stale links are refused and retranslated
+        with the probe compiled in.
+        """
+        seen = []
+
+        def hypercall(engine, number):
+            engine.add_mem_probe(lambda access: seen.append(access.addr))
+            return None
+
+        source = f"""
+            movi a0, {RAM_BASE}
+            movi t0, 0
+            movi t1, 6
+        loop:
+            st32 t0, [a0]
+            addi t0, t0, 1
+            blt  t0, t1, loop
+            vmcall 7
+            movi t0, 0
+            jmp  loop2
+        loop2:
+            st32 t0, [a0 + 4]
+            addi t0, t0, 1
+            blt  t0, t1, loop2
+            hlt
+        """
+        core, _ = make_core(source, hypercall=hypercall)
+        core.run()
+        assert core.tb_chain_hits > 0
+        # only the six post-VMCALL stores are probed
+        assert seen == [RAM_BASE + 4] * 6
+
+    def test_self_modifying_code_retranslates(self):
+        """A store into translated text must invalidate the stale blocks."""
+        # patch_target starts as `movi a1, 7`; the program overwrites its
+        # 8 encoded bytes with `movi a1, 42` (op=0x26 rd=2 in the low
+        # word, the new immediate in the high word) before jumping back
+        # through it
+        source = """
+            jmp  start
+        patch_target:
+            movi a1, 7
+            hlt
+        start:
+            movi t0, 8         ; address of patch_target
+            call warm
+            movi t1, 0x0226    ; MOVI encoding low half: op=0x26 rd=2
+            st32 t1, [t0]
+            movi t2, 42        ; imm word
+            st32 t2, [t0 + 4]
+            jmp  patch_target
+        warm:
+            ret
+        """
+        core, _ = make_core(source, text_perm=Perm.RWX)
+        ref, _ = make_core(source, "interp", text_perm=Perm.RWX)
+        core.run()
+        ref.run()
+        assert core.state.read(2) == 42  # not the stale 7
+        assert core.state.regs == ref.state.regs
+        assert core.tb_flush_count >= 1
+
+
+class TestCacheCapacity:
+    def test_eviction_counter_and_correctness(self):
+        blocks = "\n".join(
+            f"b{i}:\n    addi a0, a0, {i + 1}\n    jmp b{i + 1}"
+            for i in range(12)
+        )
+        source = f"    jmp b0\n{blocks}\nb12:\n    hlt"
+        core, _ = make_core(source, tb_cache_capacity=4)
+        core.run()
+        assert core.tb_evictions > 0
+        assert len(core.tb_cache) <= 4
+        assert core.state.read(1) == sum(range(1, 13))
+
+    def test_unbounded_default_keeps_everything(self):
+        core, _ = make_core(MIXED_PROGRAM)
+        core.run()
+        assert core.tb_evictions == 0
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("source", [STRAIGHT_LINE, MIXED_PROGRAM])
+    def test_spec_interp_cpu_identical(self, source):
+        spec, _ = make_core(source, "tcg")
+        interp, _ = make_core(source, "tcg-interp")
+        ref, _ = make_core(source, "interp")
+        spec.run()
+        interp.run()
+        ref.run()
+        assert spec.state.regs == interp.state.regs == ref.state.regs
+        assert spec.state.pc == interp.state.pc == ref.state.pc
+        assert spec.state.halted and interp.state.halted and ref.state.halted
+        assert ram_bytes(spec) == ram_bytes(interp) == ram_bytes(ref)
+        # accounting parity: the calibrated figure-2 bands depend on it
+        assert spec.cycles == interp.cycles == ref.cycles
+        assert spec.insn_count == interp.insn_count == ref.insn_count
+
+    def test_probed_equals_unprobed_state(self):
+        plain, _ = make_core(MIXED_PROGRAM)
+        probed, _ = make_core(MIXED_PROGRAM)
+        seen = []
+        probed.add_mem_probe(lambda access: seen.append(access))
+        plain.run()
+        probed.run()
+        assert seen  # the probe actually fired
+        assert plain.state.regs == probed.state.regs
+        assert plain.state.pc == probed.state.pc
+        assert ram_bytes(plain) == ram_bytes(probed)
+        assert plain.cycles == probed.cycles
+        assert plain.insn_count == probed.insn_count
+
+    def test_probed_modes_see_identical_accesses(self):
+        streams = {}
+        for mode in ("tcg", "tcg-interp"):
+            core, _ = make_core(MIXED_PROGRAM, mode)
+            seen = []
+            core.add_mem_probe(
+                lambda a, seen=seen: seen.append(
+                    (a.addr, a.size, a.is_write, a.pc, a.atomic)
+                )
+            )
+            core.run()
+            streams[mode] = seen
+        assert streams["tcg"] == streams["tcg-interp"]
+
+    def test_chain_hit_counter(self):
+        core, _ = make_core(MIXED_PROGRAM)
+        core.run()
+        assert core.tb_chain_hits > 0
+        interp, _ = make_core(MIXED_PROGRAM, "tcg-interp")
+        interp.run()
+        assert interp.tb_chain_hits == 0
+
+
+class TestReplaySuiteEquivalence:
+    """ISSUE acceptance: bit-identical state on the bug-replay corpus.
+
+    The VxWorks firmware is the corpus' EVM32/TCG consumer (its service
+    blobs execute on the engine); replay each of its bugs under both
+    template flavours and require identical detection and machine state.
+    """
+
+    @pytest.mark.parametrize(
+        "record", table4_bugs_for("TP-Link WDR-7660"), ids=lambda r: r.bug_id
+    )
+    def test_vxworks_replay_identical(self, record, monkeypatch):
+        outcomes = {}
+        for specialize in (True, False):
+            monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE", specialize)
+            result = replay_on_embsan(record, InstrumentationMode.EMBSAN_D)
+            outcomes[specialize] = result
+        spec, interp = outcomes[True], outcomes[False]
+        assert spec.detected == interp.detected
+        assert spec.crashed == interp.crashed
+        assert (
+            [(r.bug_type, r.addr, r.pc) for r in spec.reports]
+            == [(r.bug_type, r.addr, r.pc) for r in interp.reports]
+        )
+
+    @pytest.mark.parametrize(
+        "record", table4_bugs_for("TP-Link WDR-7660"), ids=lambda r: r.bug_id
+    )
+    def test_vxworks_machine_state_identical(self, record, monkeypatch):
+        from repro.bugs.replay import _build_for_record, run_program
+        from repro.firmware.builder import attach_runtime
+
+        states = {}
+        for specialize in (True, False):
+            monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE", specialize)
+            image = _build_for_record(record, InstrumentationMode.EMBSAN_D)
+            runtime = attach_runtime(image, sanitizers=("kasan",))
+            image.boot()
+            fault = run_program(image, record.reproducer, record.interface)
+            cpu = image.kernel.cpu
+            states[specialize] = (
+                tuple(cpu.state.regs), cpu.state.pc, cpu.state.halted,
+                cpu.cycles, cpu.insn_count, fault is None,
+                runtime.sink.unique_count(),
+            )
+        assert states[True] == states[False]
+
+
+class TestSignExtensionHelper:
+    @pytest.mark.parametrize("op,value,expect", [
+        (Op.LD8S, 0x7F, 0x7F),
+        (Op.LD8S, 0x80, -0x80),
+        (Op.LD8S, 0xFF, -1),
+        (Op.LD16S, 0x7FFF, 0x7FFF),
+        (Op.LD16S, 0x8000, -0x8000),
+        (Op.LD16S, 0xFFFF, -1),
+        (Op.LD8, 0xFF, 0xFF),
+        (Op.LD32, 0xFFFFFFFF, 0xFFFFFFFF),
+    ])
+    def test_apply_load_sign(self, op, value, expect):
+        assert apply_load_sign(op, value) == expect
+
+
+class TestShadowFastPath:
+    def make_shadow(self):
+        bus = MemoryBus()
+        bus.map(MemoryRegion("ram", 0x1000, 0x1000, Perm.RW, "ram"))
+        return ShadowMemory(bus)
+
+    def test_clean_granules_are_clear(self):
+        shadow = self.make_shadow()
+        assert shadow.clear_for(0x1000, 8)
+        assert shadow.clear_for(0x1FF8, 8)  # last granule
+        assert shadow.check_ops == 2
+
+    def test_poisoned_granule_rejected_without_counting(self):
+        shadow = self.make_shadow()
+        shadow.poison(0x1100, 32, ShadowCode.REDZONE_HEAP)
+        before = shadow.check_ops
+        assert not shadow.clear_for(0x1100, 4)
+        assert not shadow.clear_for(0x10F8, 16)  # straddles into poison
+        assert shadow.check_ops == before  # the full check does the count
+
+    def test_partial_granule_falls_to_slow_path(self):
+        shadow = self.make_shadow()
+        shadow.poison(0x1104, 12, ShadowCode.REDZONE_HEAP)  # 0x1100: partial 4
+        assert not shadow.clear_for(0x1100, 4)  # in-bounds but non-zero byte
+        # ... and the slow path then validates it as fine
+        assert shadow.check(0x1100, 4) is None
+
+    def test_unshadowed_is_clear_and_uncounted(self):
+        shadow = self.make_shadow()
+        before = shadow.check_ops
+        assert shadow.clear_for(0xDEAD0000, 4)
+        assert shadow.check_ops == before
