@@ -4,7 +4,9 @@ Fuzzers reset the target to a clean post-boot state between inputs;
 the Prober's multi-pass dry runs rewind the firmware between passes.
 A snapshot captures every RAM region and each engine's architectural
 state.  Device and host-side state (UART capture, hooks, counters) is
-deliberately *not* captured: observers persist across restores.
+deliberately *not* captured: observers persist across restores.  Restore
+does flush each engine's translation-block cache, since rewriting RAM
+behind the bus may change the code image cached blocks were built from.
 """
 
 from __future__ import annotations
@@ -52,10 +54,18 @@ class Snapshot:
             if saved is not None and len(saved) == region.size:
                 region.data[:] = saved
         for engine, saved in zip(machine.engines, self._engines):
-            engine.state.regs = list(saved.regs)
+            # In place: specialized TCG thunks bind the register-file list
+            # by identity at translate time, so the list must never be
+            # reassigned or cached blocks would keep the orphaned one.
+            engine.state.regs[:] = saved.regs
             engine.state.pc = saved.pc
             engine.state.halted = saved.halted
             engine.state.task = saved.task
+            # Region restores above bypassed the bus, so cached translation
+            # blocks (and their chained links) may hold a stale code image.
+            flush = getattr(engine, "flush_tbs", None)
+            if flush is not None:
+                flush()
         machine.ready = self._ready
         machine.panicked = None
         machine.current_task = self._task

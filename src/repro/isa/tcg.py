@@ -22,9 +22,12 @@ Two execution modes share the block cache and probe machinery:
   chains blocks: a block whose terminator has static successors (jump,
   call, conditional branch, fall-through) links directly to the successor
   ``TranslationBlock``, skipping the cache lookup entirely.  Links carry
-  the translation generation and die on ``flush_tbs()``; guest stores into
-  translated code flush and exit the current block, so self-modifying code
-  re-translates before its next instruction executes.
+  the translation generation and die on ``flush_tbs()``; scalar guest
+  stores into translated code flush and exit the current block, so
+  self-modifying code re-translates before its next instruction executes.
+  Bulk writes into translated code (``write_bytes``/``fill``/``copy``/DMA)
+  flush via a bus write watcher and take effect at the next block
+  boundary.
 * **interpreter** — the seed engine's behaviour: memory instructions are
   specialized only when probed; everything else re-dispatches through a
   per-opcode interpreter each execution.  Kept behind the ``specialize``
@@ -63,8 +66,9 @@ RetProbe = Callable[[int, int], None]
 #: Maximum instructions per translation block.
 MAX_BLOCK_LEN = 64
 
-#: Default bound on cached translation blocks; long campaigns evict FIFO
-#: from the least-recently-translated end instead of growing unboundedly.
+#: Default bound on cached translation blocks; long campaigns evict the
+#: least-recently-executed block (cache hits and chain hits both touch)
+#: instead of growing unboundedly.
 TB_CACHE_CAPACITY = 2048
 
 #: Successor links kept per block; static terminators need at most two
@@ -155,6 +159,9 @@ class TcgEngine:
         # stores landing inside it are self-modifying code and flush.
         self._code_lo = 1 << 62
         self._code_hi = -1
+        # bulk writes (write_bytes/fill/copy/DMA) bypass the scalar-store
+        # templates, so the bus reports them here for the same check
+        bus.add_write_watcher(self._on_bulk_write)
 
     # ------------------------------------------------------------------
     # probe management (the Runtime's template-modification entry point)
@@ -182,6 +189,11 @@ class TcgEngine:
         self.tb_generation += 1
         self._code_lo = 1 << 62
         self._code_hi = -1
+
+    def _on_bulk_write(self, addr: int, size: int) -> None:
+        """Bus bulk-write watcher: flush when the write hits translated code."""
+        if addr < self._code_hi and addr + size > self._code_lo:
+            self.flush_tbs()
 
     # ------------------------------------------------------------------
     # translation
@@ -218,7 +230,11 @@ class TcgEngine:
                                      generation=self.tb_generation)
         cache[pc] = block
         if len(cache) > self.tb_cache_capacity:
-            cache.pop(next(iter(cache)))
+            evicted = cache.pop(next(iter(cache)))
+            # sever incoming chain links: a dead generation makes every
+            # link to this block miss, so capacity bounds live
+            # translations, not just the cache dict
+            evicted.generation = -1
             self.tb_evictions += 1
         return block
 
@@ -578,7 +594,15 @@ class TcgEngine:
                     if block is not None:
                         if block.generation == self.tb_generation:
                             self.tb_chain_hits += 1
+                            # LRU touch: chain hits bypass translate(), so
+                            # the hottest blocks must be aged here or the
+                            # cache would evict them first under pressure
+                            cache = self.tb_cache
+                            if cache.get(pc) is block:
+                                del cache[pc]
+                                cache[pc] = block
                         else:
+                            del links[pc]
                             block = None
             if block is None:
                 block = translate(pc)

@@ -34,6 +34,7 @@ class MemoryBus:
         self._regions: List[MemoryRegion] = []
         self._bases: List[int] = []
         self._observers: tuple = ()
+        self._write_watchers: tuple = ()
         self._silent_depth = 0
 
     # ------------------------------------------------------------------
@@ -100,6 +101,24 @@ class MemoryBus:
     def remove_observer(self, observer: Observer) -> None:
         """Detach a previously attached observer."""
         self._observers = tuple(o for o in self._observers if o is not observer)
+
+    def add_write_watcher(self, watcher: Callable[[int, int], None]) -> None:
+        """Attach a ``(addr, size)`` callback fired on every bulk write.
+
+        Unlike observers, watchers are a cache-coherency channel, not a
+        tracing one: they fire even inside ``untraced()`` (a host-side
+        write invalidates translations just as a guest one does), and
+        execution engines use them to detect writes into translated code
+        arriving via ``write_bytes``/``fill``/``copy``/DMA rather than
+        scalar stores.
+        """
+        self._write_watchers = self._write_watchers + (watcher,)
+
+    def remove_write_watcher(self, watcher: Callable[[int, int], None]) -> None:
+        """Detach a previously attached bulk-write watcher."""
+        self._write_watchers = tuple(
+            w for w in self._write_watchers if w is not watcher
+        )
 
     @contextmanager
     def untraced(self):
@@ -207,6 +226,8 @@ class MemoryBus:
         if self._observers:
             self._notify(Access(addr, len(payload), True, pc, task, kind=kind))
         region.write(addr, bytes(payload))
+        for watcher in self._write_watchers:
+            watcher(addr, len(payload))
 
     def fill(
         self, addr: int, size: int, value: int, pc: int = 0, task: int = 0

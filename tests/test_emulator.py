@@ -135,3 +135,17 @@ class TestSnapshot:
     def test_snapshot_size(self, machine):
         snap = take(machine)
         assert snap.ram_bytes() > 0
+
+    def test_restore_preserves_regs_identity_and_flushes(self, machine):
+        """Specialized TCG thunks bind the register list by identity and
+        cache translations of the pre-restore code image; restore must
+        mutate the list in place and flush every engine's TB cache."""
+        core = machine.add_cpu(pc=0, sp=0)
+        regs = core.state.regs
+        snap = take(machine)
+        core.state.write(3, 77)
+        flushes = core.tb_flush_count
+        snap.restore(machine)
+        assert core.state.regs is regs
+        assert core.state.read(3) == 0
+        assert core.tb_flush_count == flushes + 1

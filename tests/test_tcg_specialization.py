@@ -178,6 +178,33 @@ class TestFlushSemantics:
         assert core.state.regs == ref.state.regs
         assert core.tb_flush_count >= 1
 
+    def test_bulk_write_into_code_flushes(self):
+        """Bulk writes (write_bytes/fill/copy/DMA family) into translated
+        code bypass the scalar-store templates; the bus write watcher must
+        flush so re-execution sees the patched image."""
+        source = """
+            movi a1, 7
+            hlt
+        """
+        core, _ = make_core(source, text_perm=Perm.RWX)
+        core.run()
+        assert core.state.read(2) == 7
+        flushes = core.tb_flush_count
+        patched = assemble("    movi a1, 42\n    hlt").image
+        core.bus.write_bytes(0, patched)
+        assert core.tb_flush_count == flushes + 1
+        core.state.halted = False
+        core.state.pc = 0
+        core.run()
+        assert core.state.read(2) == 42
+
+    def test_bulk_write_outside_code_does_not_flush(self):
+        core, _ = make_core(MIXED_PROGRAM)
+        core.run()
+        flushes = core.tb_flush_count
+        core.bus.write_bytes(RAM_BASE, b"\x00" * 64)
+        assert core.tb_flush_count == flushes
+
 
 class TestCacheCapacity:
     def test_eviction_counter_and_correctness(self):
@@ -196,6 +223,50 @@ class TestCacheCapacity:
         core, _ = make_core(MIXED_PROGRAM)
         core.run()
         assert core.tb_evictions == 0
+
+    def test_eviction_severs_chain_links(self):
+        """An evicted block must not stay executable through chained
+        links: eviction kills its generation so every incoming link
+        misses, making the capacity a bound on live translations."""
+        core, _ = make_core(STRAIGHT_LINE, tb_cache_capacity=2)
+        first = core.translate(0)
+        second = core.translate(first.end_pc)
+        core.translate(second.end_pc)  # evicts the oldest (first)
+        assert core.tb_evictions == 1
+        assert first.generation != core.tb_generation
+        assert second.generation == core.tb_generation
+
+    def test_chain_hit_touches_lru(self):
+        """Chain hits bypass translate(); they must still age the target
+        in the cache, or the hottest loop blocks evict first."""
+        calls = []
+
+        def hypercall(engine, number):
+            calls.append(number)
+            if len(calls) == 3:
+                # a colder block enters the cache mid-loop...
+                engine.translate(OTHER_PC)
+            return None
+
+        source = """
+            movi t1, 6
+        loop:
+            vmcall 0
+            addi t0, t0, 1
+            blt  t0, t1, loop
+            hlt
+        other:
+            hlt
+        """
+        OTHER_PC = 5 * INSN_SIZE
+        loop_pc = 1 * INSN_SIZE
+        core, _ = make_core(source, hypercall=hypercall)
+        core.run()
+        assert core.tb_chain_hits > 0
+        order = list(core.tb_cache)
+        # ...but the loop block, hit only via its own chain link after
+        # that point, must be younger than the cold block
+        assert order.index(loop_pc) > order.index(OTHER_PC)
 
 
 class TestModeEquivalence:
