@@ -402,6 +402,22 @@ TABLE4_BUGS: Tuple[BugRecord, ...] = (
 )
 
 
+#: id -> record index over both tables, built once at import; campaign
+#: census/matching code resolves ids through this instead of scanning
+TABLE4_BY_ID: dict = {bug.bug_id: bug for bug in TABLE4_BUGS}
+TABLE2_BY_ID: dict = {bug.bug_id: bug for bug in TABLE2_BUGS}
+
+
+def record_by_id(bug_id: str) -> BugRecord:
+    """Resolve a catalog row by id (Table 4 first, then Table 2)."""
+    record = TABLE4_BY_ID.get(bug_id)
+    if record is None:
+        record = TABLE2_BY_ID.get(bug_id)
+    if record is None:
+        raise KeyError(bug_id)
+    return record
+
+
 def table4_bugs_for(firmware: str) -> Tuple[BugRecord, ...]:
     """The Table-4 rows seeded in one firmware."""
     return tuple(bug for bug in TABLE4_BUGS if bug.firmware == firmware)

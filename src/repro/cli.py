@@ -65,11 +65,28 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.emulator.faults import plan_for
     from repro.fuzz.campaign import run_campaign
 
-    result = run_campaign(args.firmware, budget=args.budget, seed=args.seed)
-    print(f"fuzzer: {result.fuzzer}, execs: {result.execs}, "
+    fault_plan = plan_for(args.faults, seed=args.seed) if args.faults else None
+    result = run_campaign(
+        args.firmware,
+        budget=args.budget,
+        seed=args.seed,
+        fault_plan=fault_plan,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        crash_budget=args.crash_budget,
+        watchdog_insns=args.watchdog_insns,
+        watchdog_cycles=args.watchdog_cycles,
+    )
+    print(f"fuzzer: {result.fuzzer}, seed: {result.seed}, "
+          f"budget: {result.budget}, execs: {result.execs}, "
           f"coverage: {result.coverage}, crashes: {result.crashes}")
+    if fault_plan is not None:
+        print(f"fault plan: {fault_plan.describe()}")
     reproducible = [f for f in result.findings if f.reproducible]
     print(f"{len(reproducible)} reproducible unique finding(s):")
     for finding in reproducible:
@@ -78,6 +95,13 @@ def _cmd_fuzz(args) -> int:
         print(f"catalog rows matched: {sorted(result.matched)}")
     if result.missed:
         print(f"catalog rows missed: {[r.bug_id for r in result.missed]}")
+    diagnostics = result.diagnostics
+    if diagnostics is not None:
+        print(f"diagnostics: {diagnostics.summary()}")
+        if args.diagnostics:
+            with open(args.diagnostics, "w", encoding="utf-8") as fh:
+                json.dump(diagnostics.to_json(), fh, indent=2)
+            print(f"diagnostics written to {args.diagnostics}")
     return 0
 
 
@@ -133,6 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("firmware")
     fuzz.add_argument("--budget", type=int, default=2000)
     fuzz.add_argument("--seed", type=int, default=1)
+    fuzz.add_argument("--faults", default=None, metavar="SPEC",
+                      help="fault plan DSL, e.g. "
+                           "'alloc:every=50;bitflip:0x20000000-0x20001000:"
+                           "p=0.001;irq:drop=0.05'")
+    fuzz.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="checkpoint file; resumes if it exists")
+    fuzz.add_argument("--checkpoint-every", type=int, default=0,
+                      help="execs between checkpoints (0 = default cadence)")
+    fuzz.add_argument("--crash-budget", type=int, default=None,
+                      help="host crashes tolerated before degradation")
+    fuzz.add_argument("--watchdog-insns", type=int, default=None,
+                      help="per-program instruction budget before GuestHang")
+    fuzz.add_argument("--watchdog-cycles", type=float, default=None,
+                      help="per-program cycle budget before GuestHang")
+    fuzz.add_argument("--diagnostics", default=None, metavar="PATH",
+                      help="write campaign diagnostics JSON here")
 
     overhead = sub.add_parser("overhead", help="measure Figure-2 slowdowns")
     overhead.add_argument("firmware", nargs="?", default=None)

@@ -27,6 +27,8 @@ DMA_SRC = 0x00
 DMA_DST = 0x04
 DMA_LEN = 0x08
 DMA_CTRL = 0x0C
+# interrupt lines
+DMA_IRQ = 1
 
 
 class Uart:
@@ -97,9 +99,15 @@ class DmaEngine:
     even though no CPU instruction performed it.
     """
 
-    def __init__(self, base: int, bus: MemoryBus):
+    def __init__(
+        self,
+        base: int,
+        bus: MemoryBus,
+        on_complete: Optional[Callable[[], None]] = None,
+    ):
         self.base = base
         self.bus = bus
+        self.on_complete = on_complete
         self.src = 0
         self.dst = 0
         self.length = 0
@@ -129,3 +137,7 @@ class DmaEngine:
         payload = self.bus.read_bytes(self.src, self.length, kind=AccessKind.DMA)
         self.bus.write_bytes(self.dst, payload, kind=AccessKind.DMA)
         self.transfers += 1
+        # completion interrupt: routed through Machine.raise_irq so the
+        # fault plan can drop or delay it like real flaky hardware
+        if self.on_complete is not None:
+            self.on_complete()

@@ -1,0 +1,285 @@
+"""Deterministic, seed-driven fault injection for hostile-guest testing.
+
+Real embedded firmware misbehaves: allocators run dry, flaky buses flip
+bits, interrupt lines glitch.  A :class:`FaultPlan` models those hazards
+deterministically so tests can *prove* the sanitizer runtime and the
+campaign loop survive hostile guests instead of hoping they do.  All
+randomness comes from one ``random.Random`` seeded at construction, so
+a plan replays identically given the same query sequence.
+
+Injection points (wired via :meth:`Machine.set_fault_plan`):
+
+``fail_alloc``
+    Consulted by the rehosted allocators (``kmalloc``, ``pvPortMalloc``,
+    ``LOS_MemAlloc``, ``memPartAlloc``) before carving an object; an
+    injected failure makes the allocator return NULL exactly as an
+    exhausted heap would, exercising every caller's error path.
+
+``mutate_load``
+    Consulted by the bus on scalar guest loads; flips one random bit of
+    the value when the address falls inside a designated flip region.
+    Host-side untraced reads are never mutated.
+
+``irq_action``
+    Consulted by ``Machine.raise_irq``; an interrupt may be delivered,
+    dropped on the floor, or delayed a few ticks of guest time.
+
+A compact text DSL (:meth:`FaultPlan.parse`) exposes plans on the CLI::
+
+    alloc:every=10                fail every 10th allocation
+    alloc:p=0.05                  fail 5% of allocations
+    bitflip:0x40000000-0x40001000:p=0.01
+                                  flip a bit in 1% of loads in the range
+    irq:drop=0.5                  drop half the interrupts
+    irq:delay=3,p=0.25            delay a quarter of them by 3 ticks
+    seed=7                        reseed the plan's RNG
+
+Clauses are ``;``-separated: ``alloc:every=10;irq:drop=0.5;seed=7``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class FaultPlanError(ReproError):
+    """A fault-plan DSL string failed to parse."""
+
+
+class FlipRegion(NamedTuple):
+    """A guest address range whose scalar loads may be bit-flipped."""
+
+    lo: int
+    hi: int  #: exclusive
+    rate: float
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    One plan may outlive many target rebuilds inside a campaign — its
+    RNG stream continues across rebuilds, which keeps the injected-fault
+    sequence a pure function of the (seed, query-order) pair.  The RNG
+    state is therefore part of campaign checkpoints.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        alloc_fail_every: int = 0,
+        alloc_fail_rate: float = 0.0,
+        flip_regions: Tuple[FlipRegion, ...] = (),
+        irq_drop_rate: float = 0.0,
+        irq_delay: int = 0,
+        irq_delay_rate: float = 0.0,
+    ):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.alloc_fail_every = alloc_fail_every
+        self.alloc_fail_rate = alloc_fail_rate
+        self.flip_regions: Tuple[FlipRegion, ...] = tuple(flip_regions)
+        self.irq_drop_rate = irq_drop_rate
+        self.irq_delay = irq_delay
+        self.irq_delay_rate = irq_delay_rate
+        # counters (diagnostics; never consulted for decisions)
+        self.allocs_seen = 0
+        self.alloc_failures = 0
+        self.bit_flips = 0
+        self.irqs_dropped = 0
+        self.irqs_delayed = 0
+
+    # ------------------------------------------------------------------
+    # injection points
+    # ------------------------------------------------------------------
+    def fail_alloc(self, size: int, pc: int = 0) -> bool:
+        """Decide whether the next allocation of ``size`` bytes fails."""
+        self.allocs_seen += 1
+        fail = False
+        if self.alloc_fail_every and self.allocs_seen % self.alloc_fail_every == 0:
+            fail = True
+        elif self.alloc_fail_rate and self.rng.random() < self.alloc_fail_rate:
+            fail = True
+        if fail:
+            self.alloc_failures += 1
+        return fail
+
+    def mutate_load(self, addr: int, size: int, value: int) -> int:
+        """Possibly flip one bit of a scalar load result."""
+        for region in self.flip_regions:
+            if region.lo <= addr < region.hi:
+                if self.rng.random() < region.rate:
+                    bit = self.rng.randrange(size * 8)
+                    self.bit_flips += 1
+                    return value ^ (1 << bit)
+                break
+        return value
+
+    def irq_action(self, irq: int) -> Tuple[str, int]:
+        """Decide the fate of an interrupt: deliver, drop, or (delay, n)."""
+        if self.irq_drop_rate and self.rng.random() < self.irq_drop_rate:
+            self.irqs_dropped += 1
+            return "drop", 0
+        if (
+            self.irq_delay
+            and self.irq_delay_rate
+            and self.rng.random() < self.irq_delay_rate
+        ):
+            self.irqs_delayed += 1
+            return "delay", self.irq_delay
+        return "deliver", 0
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when the plan can inject at least one fault kind."""
+        return bool(
+            self.alloc_fail_every
+            or self.alloc_fail_rate
+            or self.flip_regions
+            or self.irq_drop_rate
+            or (self.irq_delay and self.irq_delay_rate)
+        )
+
+    def stats(self) -> dict:
+        """Injection counters for diagnostics records."""
+        return {
+            "allocs_seen": self.allocs_seen,
+            "alloc_failures": self.alloc_failures,
+            "bit_flips": self.bit_flips,
+            "irqs_dropped": self.irqs_dropped,
+            "irqs_delayed": self.irqs_delayed,
+        }
+
+    def save_rng_state(self):
+        """RNG state for checkpoints (JSON-encodable via list round-trip)."""
+        return self.rng.getstate()
+
+    def load_rng_state(self, state) -> None:
+        """Restore a checkpointed RNG state."""
+        version, internal, gauss = state
+        self.rng.setstate((version, tuple(internal), gauss))
+
+    # ------------------------------------------------------------------
+    # DSL
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from the ``;``-separated clause DSL (see module doc)."""
+        kwargs = {
+            "seed": seed,
+            "alloc_fail_every": 0,
+            "alloc_fail_rate": 0.0,
+            "irq_drop_rate": 0.0,
+            "irq_delay": 0,
+            "irq_delay_rate": 0.0,
+        }
+        regions: List[FlipRegion] = []
+        for raw in spec.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            head, _, rest = clause.partition(":")
+            head = head.strip().lower()
+            try:
+                if head == "seed" or head.startswith("seed="):
+                    kwargs["seed"] = int(clause.partition("=")[2], 0)
+                elif head == "alloc":
+                    for key, val in _parse_kv(rest):
+                        if key == "every":
+                            kwargs["alloc_fail_every"] = int(val, 0)
+                        elif key == "p":
+                            kwargs["alloc_fail_rate"] = float(val)
+                        else:
+                            raise FaultPlanError(
+                                f"unknown alloc option {key!r} in {clause!r}"
+                            )
+                elif head == "bitflip":
+                    span, _, tail = rest.partition(":")
+                    lo_s, _, hi_s = span.partition("-")
+                    lo, hi = int(lo_s, 0), int(hi_s, 0)
+                    if hi <= lo:
+                        raise FaultPlanError(f"empty bitflip range in {clause!r}")
+                    rate = 1.0
+                    for key, val in _parse_kv(tail):
+                        if key == "p":
+                            rate = float(val)
+                        else:
+                            raise FaultPlanError(
+                                f"unknown bitflip option {key!r} in {clause!r}"
+                            )
+                    regions.append(FlipRegion(lo, hi, rate))
+                elif head == "irq":
+                    for key, val in _parse_kv(rest):
+                        if key == "drop":
+                            kwargs["irq_drop_rate"] = float(val)
+                        elif key == "delay":
+                            kwargs["irq_delay"] = int(val, 0)
+                        elif key == "p":
+                            kwargs["irq_delay_rate"] = float(val)
+                        else:
+                            raise FaultPlanError(
+                                f"unknown irq option {key!r} in {clause!r}"
+                            )
+                else:
+                    raise FaultPlanError(f"unknown fault clause {clause!r}")
+            except ValueError as exc:
+                raise FaultPlanError(f"bad value in clause {clause!r}: {exc}")
+        # delay without an explicit probability means "always delay"
+        if kwargs["irq_delay"] and not kwargs["irq_delay_rate"]:
+            kwargs["irq_delay_rate"] = 1.0
+        return cls(flip_regions=tuple(regions), **kwargs)
+
+    def describe(self) -> str:
+        """Canonical DSL form of the plan: ``parse(describe())`` round-trips.
+
+        Doubles as the CLI one-liner, so what gets logged is exactly
+        what to pass back via ``--faults`` to re-run the plan.
+        """
+        parts = []
+        if self.alloc_fail_every:
+            parts.append(f"alloc:every={self.alloc_fail_every}")
+        if self.alloc_fail_rate:
+            parts.append(f"alloc:p={self.alloc_fail_rate:g}")
+        for region in self.flip_regions:
+            parts.append(
+                f"bitflip:{region.lo:#x}-{region.hi:#x}:p={region.rate:g}"
+            )
+        irq_opts = []
+        if self.irq_drop_rate:
+            irq_opts.append(f"drop={self.irq_drop_rate:g}")
+        if self.irq_delay and self.irq_delay_rate:
+            irq_opts.append(f"delay={self.irq_delay}")
+            irq_opts.append(f"p={self.irq_delay_rate:g}")
+        if irq_opts:
+            parts.append("irq:" + ",".join(irq_opts))
+        parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(seed={self.seed}, {self.describe()})"
+
+
+def _parse_kv(text: str):
+    """Yield (key, value) pairs from ``k=v,k=v`` clause tails."""
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        key, sep, val = chunk.partition("=")
+        if not sep:
+            raise FaultPlanError(f"expected key=value, got {chunk!r}")
+        yield key.strip().lower(), val.strip()
+
+
+def plan_for(
+    spec: Optional[str], seed: int = 0
+) -> Optional[FaultPlan]:
+    """CLI helper: None/empty spec means no fault injection."""
+    if not spec:
+        return None
+    return FaultPlan.parse(spec, seed=seed)

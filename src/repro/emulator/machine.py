@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.emulator.arch import Arch
-from repro.emulator.devices import DmaEngine, Timer, Uart
+from repro.emulator.devices import DMA_IRQ, DmaEngine, Timer, Uart
 from repro.emulator.events import (
     CallEvent,
     ConsoleEvent,
     EventKind,
+    InterruptEvent,
     RetEvent,
     TaskSwitchEvent,
     VmcallEvent,
@@ -57,6 +58,18 @@ class Machine:
         self._charged_guest_cycles = 0
         self.overhead_cycles = 0
 
+        #: optional hang guard shared by every engine and charge_guest
+        self.watchdog = None
+        #: optional deterministic fault-injection plan (see emulator/faults.py)
+        self.fault_plan = None
+        #: delayed interrupts: [remaining_ticks, irq, device] triples, FIFO
+        self._pending_irqs: List[list] = []
+        self.irqs_delivered = 0
+        #: objects with save_state()/load_state() captured by Snapshot so
+        #: host-side runtime state (shadow memory, allocator maps) stays
+        #: coherent with guest memory across restores
+        self.state_providers: List[object] = []
+
         self._build_board()
 
     # ------------------------------------------------------------------
@@ -75,7 +88,9 @@ class Machine:
                     self.timer = Timer(spec.base)
                     self.bus.map(self.timer.region)
                 elif spec.name == "dma":
-                    self.dma = DmaEngine(spec.base, self.bus)
+                    self.dma = DmaEngine(
+                        spec.base, self.bus, on_complete=self._on_dma_complete
+                    )
                     self.bus.map(self.dma.region)
             else:
                 perm = Perm.RWX if spec.kind == "flash" else Perm.RW
@@ -90,6 +105,92 @@ class Machine:
 
     def _on_console_byte(self, byte: int) -> None:
         self.hooks.emit(EventKind.CONSOLE, ConsoleEvent(byte))
+
+    def _on_dma_complete(self) -> None:
+        self.raise_irq(DMA_IRQ, device="dma")
+
+    # ------------------------------------------------------------------
+    # hardening: watchdog + fault injection + interrupts
+    # ------------------------------------------------------------------
+    def set_watchdog(
+        self,
+        insn_budget: Optional[int] = None,
+        cycle_budget: Optional[float] = None,
+    ):
+        """Arm a :class:`~repro.emulator.watchdog.Watchdog` on this machine.
+
+        The watchdog is shared by every attached engine (present and
+        future) and by :meth:`charge_guest`, so both EVM32 code and
+        rehosted Python kernels are guarded.  Passing no budgets disarms.
+        """
+        from repro.emulator.watchdog import Watchdog
+
+        if insn_budget is None and cycle_budget is None:
+            self.clear_watchdog()
+            return None
+        self.watchdog = Watchdog(
+            insn_budget=insn_budget, cycle_budget=cycle_budget, machine=self
+        )
+        for engine in self.engines:
+            engine.watchdog = self.watchdog
+        return self.watchdog
+
+    def clear_watchdog(self) -> None:
+        """Disarm the watchdog on the machine and every engine."""
+        self.watchdog = None
+        for engine in self.engines:
+            engine.watchdog = None
+
+    def set_fault_plan(self, plan):
+        """Install a :class:`~repro.emulator.faults.FaultPlan` (or None).
+
+        The plan is consulted by the bus (read bit-flips), the rehosted
+        allocators (injected allocation failures) and :meth:`raise_irq`
+        (dropped/delayed interrupts).
+        """
+        self.fault_plan = plan
+        self.bus.fault_plan = plan
+        return plan
+
+    def raise_irq(self, irq: int, device: str = "board") -> bool:
+        """Deliver a device interrupt, subject to the fault plan.
+
+        Returns True when the interrupt was delivered immediately; a
+        dropped interrupt returns False and a delayed one is queued until
+        enough :meth:`tick_irqs` steps elapse.
+        """
+        plan = self.fault_plan
+        if plan is not None:
+            action, delay = plan.irq_action(irq)
+            if action == "drop":
+                return False
+            if action == "delay":
+                self._pending_irqs.append([delay, irq, device])
+                return False
+        self._deliver_irq(irq, device)
+        return True
+
+    def _deliver_irq(self, irq: int, device: str = "board") -> None:
+        self.irqs_delivered += 1
+        self.hooks.emit(EventKind.INTERRUPT, InterruptEvent(irq, device))
+
+    def tick_irqs(self) -> None:
+        """Advance delayed-interrupt countdowns by one step.
+
+        Called from the hypercall path so delayed interrupts drain at
+        deterministic points in the guest's own timeline rather than on a
+        host clock.
+        """
+        if not self._pending_irqs:
+            return
+        still: List[list] = []
+        for entry in self._pending_irqs:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                self._deliver_irq(entry[1], entry[2])
+            else:
+                still.append(entry)
+        self._pending_irqs = still
 
     # ------------------------------------------------------------------
     # execution engines
@@ -114,6 +215,7 @@ class Machine:
             raise ValueError(f"unknown engine kind {engine!r}")
         core.call_probes.append(self._on_isa_call)
         core.ret_probes.append(self._on_isa_ret)
+        core.watchdog = self.watchdog
         self.engines.append(core)
         for listener in self.engine_listeners:
             listener(core)
@@ -142,6 +244,7 @@ class Machine:
         if task is None:
             task = self.current_task
         self.hooks.emit(EventKind.VMCALL, VmcallEvent(number, list(args), pc, task))
+        self.tick_irqs()
         if number == Hypercall.READY:
             self.mark_ready()
         elif number == Hypercall.PANIC:
@@ -209,8 +312,17 @@ class Machine:
     # cycle accounting
     # ------------------------------------------------------------------
     def charge_guest(self, cycles: int) -> None:
-        """Account guest work not tied to an ISA engine (rehosted code)."""
+        """Account guest work not tied to an ISA engine (rehosted code).
+
+        When a watchdog is armed this is also its metering point for
+        rehosted kernels: a kernel wedged in a Python-side loop still
+        charges cycles here and trips the cycle budget with a
+        :class:`~repro.errors.GuestHang`.
+        """
         self._charged_guest_cycles += cycles
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.consume_cycles(cycles, task=self.current_task)
 
     def charge_overhead(self, cycles: int) -> None:
         """Account sanitizer-added work (host checks or translated routines)."""

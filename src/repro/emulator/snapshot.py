@@ -1,12 +1,23 @@
-"""Machine snapshots: save and restore full guest state.
+"""Machine snapshots and lightweight checkpoints.
 
 Fuzzers reset the target to a clean post-boot state between inputs;
 the Prober's multi-pass dry runs rewind the firmware between passes.
-A snapshot captures every RAM region and each engine's architectural
-state.  Device and host-side state (UART capture, hooks, counters) is
-deliberately *not* captured: observers persist across restores.  Restore
-does flush each engine's translation-block cache, since rewriting RAM
-behind the bus may change the code image cached blocks were built from.
+A :class:`Snapshot` captures every RAM region, each engine's
+architectural state, and the state of every registered
+``machine.state_providers`` entry (the sanitizer runtime registers
+itself there so shadow memory and allocator maps stay coherent with
+guest memory across restores).  Device and host-side observer state
+(UART capture, hooks, counters) is deliberately *not* captured:
+observers persist across restores.  Restore does flush each engine's
+translation-block cache, since rewriting RAM behind the bus may change
+the code image cached blocks were built from.
+
+A :class:`Checkpoint` is the cheap sibling used for per-input crash
+isolation: instead of copying all of RAM up front (tens of MiB per
+machine), it arms the bus write journal and rewinds only the bytes the
+input actually wrote.  It restores engine registers and machine flags
+but *not* state-provider or host-side Python state — callers that roll
+back a checkpoint after a host-level crash rebuild the target anyway.
 """
 
 from __future__ import annotations
@@ -44,6 +55,12 @@ class Snapshot:
         ]
         self._ready = machine.ready
         self._task = machine.current_task
+        # host-side runtime state (shadow memory, allocator maps, ...)
+        # captured via the provider protocol: save_state() -> opaque blob
+        self._provider_states = [
+            (provider, provider.save_state())
+            for provider in machine.state_providers
+        ]
 
     def restore(self, machine: Machine) -> None:
         """Write the captured state back into ``machine``."""
@@ -69,6 +86,10 @@ class Snapshot:
         machine.ready = self._ready
         machine.panicked = None
         machine.current_task = self._task
+        # providers restore *after* guest memory so a provider that peeks
+        # at the bus (shadow reconstruction) sees the restored image
+        for provider, saved in self._provider_states:
+            provider.load_state(saved)
 
     def ram_bytes(self) -> int:
         """Total bytes captured (diagnostic)."""
@@ -78,3 +99,61 @@ class Snapshot:
 def take(machine: Machine) -> Snapshot:
     """Capture a snapshot of ``machine``."""
     return Snapshot(machine)
+
+
+class Checkpoint:
+    """A journal-backed rollback point for per-input crash isolation.
+
+    Arms the machine's bus write journal at construction and captures
+    engine registers plus machine flags.  Exactly one of
+    :meth:`commit` (keep all writes) or :meth:`rollback` (rewind them,
+    LIFO) must be called; both disarm the journal.  Cost scales with
+    bytes *written* after the checkpoint, not with RAM size, so a fuzzer
+    can afford one per executed program.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self._engines: List[_EngineState] = [
+            _EngineState(
+                tuple(engine.state.regs),
+                engine.state.pc,
+                engine.state.halted,
+                engine.state.task,
+            )
+            for engine in machine.engines
+        ]
+        self._ready = machine.ready
+        self._panicked = machine.panicked
+        self._task = machine.current_task
+        machine.bus.journal_begin()
+        self.active = True
+
+    def commit(self) -> int:
+        """Keep everything written since the checkpoint."""
+        if not self.active:
+            return 0
+        self.active = False
+        return self.machine.bus.journal_commit()
+
+    def rollback(self) -> int:
+        """Rewind guest memory, engine state and machine flags."""
+        if not self.active:
+            return 0
+        self.active = False
+        machine = self.machine
+        undone = machine.bus.journal_rollback()
+        for engine, saved in zip(machine.engines, self._engines):
+            # in place: specialized TCG thunks bind the register list by
+            # identity (see Snapshot.restore)
+            engine.state.regs[:] = saved.regs
+            engine.state.pc = saved.pc
+            engine.state.halted = saved.halted
+            engine.state.task = saved.task
+            flush = getattr(engine, "flush_tbs", None)
+            if flush is not None:
+                flush()
+        machine.ready = self._ready
+        machine.panicked = self._panicked
+        machine.current_task = self._task
+        return undone

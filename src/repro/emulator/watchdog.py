@@ -1,0 +1,122 @@
+"""Instruction/cycle-budget watchdog for guest run loops.
+
+Rehosted firmware routinely wedges: a driver spins on a status bit that
+never flips, a boot loop keeps re-entering the same handler, an EVM32
+replay suite branches back on itself.  Without a guard the campaign loop
+inherits the hang.  A :class:`Watchdog` sits beside the execution
+engines and the rehosted-code cycle accountant and converts a blown
+budget into a structured :class:`~repro.errors.GuestHang` carrying the
+trip PC and a short backtrace of recently executed block PCs.
+
+The watchdog meters two independent budgets:
+
+``insn_budget``
+    ISA instructions retired since the last :meth:`reset`.  Consumed by
+    ``TcgEngine.run`` once per executed translation block (both the
+    specialized and interp modes share that loop) and by ``Cpu.run`` per
+    instruction, so a trip overshoots by at most one block.
+
+``cycle_budget``
+    Guest cycles charged since the last :meth:`reset`.  Consumed by
+    ``Machine.charge_guest``, which is how rehosted Python kernels
+    account their work — a kernel spinning in a scheduler loop trips
+    this budget even though no ISA engine is running.
+
+Watchdog bookkeeping is sanitizer-style overhead, not guest work: each
+check charges :data:`CHECK_COST` overhead cycles to the machine so the
+Figure-2 cost split stays honest (see ``docs/cost_model.md``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import GuestHang
+
+#: overhead cycles charged per watchdog consume() call (one compare + add)
+CHECK_COST = 1
+
+#: default number of recent block PCs retained for hang backtraces
+BACKTRACE_DEPTH = 16
+
+
+class Watchdog:
+    """A per-machine guard that bounds how long a guest may run unobserved.
+
+    Budgets are measured from the most recent :meth:`reset`; fuzz targets
+    reset the watchdog before every program so the budget is per-input,
+    not per-campaign.  A ``None``/0 budget disables that dimension.
+    """
+
+    def __init__(
+        self,
+        insn_budget: Optional[int] = None,
+        cycle_budget: Optional[float] = None,
+        machine=None,
+        backtrace_depth: int = BACKTRACE_DEPTH,
+    ):
+        self.insn_budget = insn_budget or None
+        self.cycle_budget = cycle_budget or None
+        self.machine = machine
+        self.insns = 0
+        self.cycles = 0.0
+        self.trips = 0
+        self._ring: deque = deque(maxlen=backtrace_depth)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Re-arm both budgets (start of a new input or measured window)."""
+        self.insns = 0
+        self.cycles = 0.0
+        self._ring.clear()
+
+    def backtrace(self) -> tuple:
+        """Recently executed block PCs, oldest first."""
+        return tuple(self._ring)
+
+    # ------------------------------------------------------------------
+    def consume(self, insns: int, pc: int = 0, task: int = 0) -> None:
+        """Account ``insns`` retired instructions ending at ``pc``.
+
+        Raises :class:`GuestHang` once the instruction budget is blown.
+        """
+        self.insns += insns
+        self._ring.append(pc)
+        machine = self.machine
+        if machine is not None:
+            machine.charge_overhead(CHECK_COST)
+        budget = self.insn_budget
+        if budget is not None and self.insns > budget:
+            self._trip("insn", pc, task)
+
+    def consume_cycles(self, cycles: float, pc: int = 0, task: int = 0) -> None:
+        """Account ``cycles`` of charged guest work (rehosted kernels)."""
+        self.cycles += cycles
+        budget = self.cycle_budget
+        if budget is not None and self.cycles > budget:
+            machine = self.machine
+            if machine is not None:
+                machine.charge_overhead(CHECK_COST)
+            self._trip("cycle", pc, task)
+
+    # ------------------------------------------------------------------
+    def _trip(self, kind: str, pc: int, task: int) -> None:
+        self.trips += 1
+        budget = self.insn_budget if kind == "insn" else self.cycle_budget
+        raise GuestHang(
+            f"guest hang: {kind} budget {budget} exhausted at pc {pc:#x} "
+            f"(task {task}, {self.insns} insns, {self.cycles:g} cycles)",
+            pc=pc,
+            insns=self.insns,
+            cycles=self.cycles,
+            backtrace=self.backtrace(),
+            kind=kind,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Watchdog(insn_budget={self.insn_budget}, "
+            f"cycle_budget={self.cycle_budget}, insns={self.insns}, "
+            f"cycles={self.cycles:g}, trips={self.trips})"
+        )

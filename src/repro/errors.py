@@ -31,6 +31,35 @@ class BusError(GuestFault):
     """Access to an unmapped or permission-violating guest address."""
 
 
+class GuestHang(GuestFault):
+    """The guest exceeded its watchdog budget and is presumed wedged.
+
+    Raised by :class:`repro.emulator.watchdog.Watchdog` when a run loop
+    burns through its instruction or cycle budget without yielding.  The
+    fault carries the program counter at the trip point, the budgets
+    consumed, and a short backtrace of recently executed block PCs so a
+    campaign can quarantine the offending input with useful context.
+    ``addr`` aliases ``pc`` so hang findings flow through the same
+    crash-oracle plumbing as other guest faults.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pc: int = 0,
+        insns: int = 0,
+        cycles: float = 0,
+        backtrace: tuple = (),
+        kind: str = "insn",
+    ):
+        super().__init__(message, addr=pc)
+        self.pc = pc
+        self.insns = insns
+        self.cycles = cycles
+        self.backtrace = tuple(backtrace)
+        self.kind = kind
+
+
 class InvalidOpcode(GuestFault):
     """The CPU fetched an instruction it cannot decode."""
 

@@ -11,14 +11,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bugs.catalog import BugRecord, table4_bugs_for
+from repro.bugs.catalog import BugRecord, record_by_id, table4_bugs_for
 from repro.firmware.registry import firmware_spec
-from repro.fuzz.engine import Finding
+from repro.fuzz.checkpoint import (
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.fuzz.diagnostics import CampaignDiagnostics
+from repro.fuzz.engine import DEFAULT_CRASH_BUDGET, Finding
 from repro.fuzz.syzkaller import SyzkallerFuzzer
 from repro.fuzz.tardis import TardisFuzzer
 
 #: default per-firmware execution budget for a scaled-down campaign
 DEFAULT_BUDGET = 1500
+#: default checkpoint cadence when a checkpoint path is configured;
+#: matches the engine's refresh interval so checkpoint boundaries align
+#: with refreshes the campaign performs anyway
+DEFAULT_CHECKPOINT_EVERY = 500
 
 
 @dataclass
@@ -35,27 +45,24 @@ class CampaignResult:
     matched: Dict[str, Finding] = field(default_factory=dict)
     #: catalog rows never matched
     missed: List[BugRecord] = field(default_factory=list)
+    #: campaign identity: replaying with the same seed and budget
+    #: reproduces every finding and crash exactly
+    seed: int = 0
+    budget: int = 0
+    #: robustness telemetry (quarantined crashes, degradation, faults)
+    diagnostics: Optional[CampaignDiagnostics] = None
 
     def census(self) -> Dict[str, int]:
         """Found-bug counts by Table-3 class."""
         out: Dict[str, int] = {}
         for bug_id, _finding in self.matched.items():
-            record = _record_by_id(bug_id)
+            record = record_by_id(bug_id)
             out[record.bug_class] = out.get(record.bug_class, 0) + 1
         return out
 
     def found_count(self) -> int:
         """Distinct catalog rows found."""
         return len(self.matched)
-
-
-def _record_by_id(bug_id: str) -> BugRecord:
-    from repro.bugs.catalog import TABLE4_BUGS
-
-    for record in TABLE4_BUGS:
-        if record.bug_id == bug_id:
-            return record
-    raise KeyError(bug_id)
 
 
 def _match_findings(records: Sequence[BugRecord],
@@ -80,18 +87,68 @@ def run_campaign(
     budget: int = DEFAULT_BUDGET,
     seed: int = 0,
     sanitizers: Optional[Sequence[str]] = None,
+    fault_plan=None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    crash_budget: Optional[int] = None,
+    watchdog_insns: Optional[int] = None,
+    watchdog_cycles: Optional[float] = None,
 ) -> CampaignResult:
-    """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN."""
+    """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN.
+
+    When ``checkpoint_path`` is set, campaign state is serialized there
+    every ``checkpoint_every`` execs (default
+    :data:`DEFAULT_CHECKPOINT_EVERY`) and an existing checkpoint at that
+    path resumes the campaign mid-budget; the resumed run produces the
+    same census and findings as an uninterrupted one.
+    """
     spec = firmware_spec(firmware)
     records = table4_bugs_for(firmware)
     if sanitizers is None:
         needs_kcsan = any(r.tool == "kcsan" for r in records)
         sanitizers = ("kasan", "kcsan") if needs_kcsan else ("kasan",)
     fuzzer_cls = SyzkallerFuzzer if spec.fuzzer == "syzkaller" else TardisFuzzer
-    fuzzer = fuzzer_cls(firmware, sanitizers=sanitizers, seed=seed)
-    fuzzer.run(budget)
+    kwargs = dict(
+        sanitizers=sanitizers,
+        seed=seed,
+        fault_plan=fault_plan,
+        crash_budget=(DEFAULT_CRASH_BUDGET if crash_budget is None
+                      else crash_budget),
+    )
+    if watchdog_insns is not None:
+        kwargs["watchdog_insns"] = watchdog_insns
+    if watchdog_cycles is not None:
+        kwargs["watchdog_cycles"] = watchdog_cycles
+    fuzzer = fuzzer_cls(firmware, **kwargs)
+
+    on_checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+        state = load_checkpoint(checkpoint_path)
+        if state is not None:
+            restore_engine(fuzzer, state, firmware)
+
+        def on_checkpoint(engine):
+            save_checkpoint(checkpoint_path, engine, firmware, budget)
+
+    fuzzer.run(budget, checkpoint_every=checkpoint_every,
+               on_checkpoint=on_checkpoint)
     findings = fuzzer.reproduce_findings()
     matched, missed = _match_findings(records, findings)
+    if checkpoint_path is not None:
+        # final checkpoint: a later resume of a finished campaign is a
+        # no-op instead of re-fuzzing
+        save_checkpoint(checkpoint_path, fuzzer, firmware, budget)
+    diagnostics = CampaignDiagnostics(
+        firmware=firmware,
+        seed=seed,
+        budget=budget,
+        quarantined=list(fuzzer.quarantined),
+        host_crashes=fuzzer.host_crashes,
+        degraded=fuzzer.degraded,
+        watchdog_trips=fuzzer.watchdog_trips(),
+        fault_stats=fault_plan.stats() if fault_plan is not None else {},
+    )
     return CampaignResult(
         firmware=firmware,
         fuzzer=fuzzer.name,
@@ -101,6 +158,9 @@ def run_campaign(
         findings=findings,
         matched=matched,
         missed=missed,
+        seed=seed,
+        budget=budget,
+        diagnostics=diagnostics,
     )
 
 
@@ -108,16 +168,19 @@ def run_campaign_repeated(
     firmware: str,
     budget: int = DEFAULT_BUDGET,
     seeds: Sequence[int] = (1, 2, 3),
+    **kwargs,
 ) -> CampaignResult:
     """Repeat a campaign across seeds, merging findings.
 
     The paper repeats every quantitative experiment 10 times per
     accepted fuzzing-evaluation practice; findings merge across
     repetitions.  Stops early once every seeded defect is matched.
+    Extra keyword arguments (fault plans, watchdog budgets, ...) are
+    forwarded to :func:`run_campaign`.
     """
     merged: Optional[CampaignResult] = None
     for seed in seeds:
-        result = run_campaign(firmware, budget=budget, seed=seed)
+        result = run_campaign(firmware, budget=budget, seed=seed, **kwargs)
         if merged is None:
             merged = result
         else:
@@ -140,16 +203,35 @@ def run_all_campaigns(
     budget: int = DEFAULT_BUDGET,
     seed: int = 0,
     seeds: Optional[Sequence[int]] = None,
+    checkpoint_dir: Optional[str] = None,
+    **kwargs,
 ) -> List[CampaignResult]:
-    """Run every Table-1 firmware's campaign (the full Table-3 sweep)."""
+    """Run every Table-1 firmware's campaign (the full Table-3 sweep).
+
+    With ``checkpoint_dir``, each firmware checkpoints into its own file
+    (``campaign_<firmware>.json``), making a multi-firmware sweep
+    interruption-safe: re-running the sweep resumes each firmware from
+    its last checkpoint instead of starting over.
+    """
+    import os
+
     from repro.firmware.registry import all_firmware
+
+    def _path(name: str) -> Optional[str]:
+        if checkpoint_dir is None:
+            return None
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        safe = name.replace("/", "_")
+        return os.path.join(checkpoint_dir, f"campaign_{safe}.json")
 
     if seeds is not None:
         return [
-            run_campaign_repeated(spec.name, budget=budget, seeds=seeds)
+            run_campaign_repeated(spec.name, budget=budget, seeds=seeds,
+                                  **kwargs)
             for spec in all_firmware()
         ]
     return [
-        run_campaign(spec.name, budget=budget, seed=seed)
+        run_campaign(spec.name, budget=budget, seed=seed,
+                     checkpoint_path=_path(spec.name), **kwargs)
         for spec in all_firmware()
     ]

@@ -1,0 +1,220 @@
+"""Campaign checkpoint/resume: JSON serialization of fuzzer state.
+
+A long census sweep must survive interruption.  ``run_campaign``
+periodically serializes the complete deterministic state of its
+:class:`~repro.fuzz.engine.FuzzerEngine` — corpus, remaining triage
+queue, findings, exec counters, quarantine records, and the exact
+Mersenne-Twister state of the campaign RNG (plus the fault plan's RNG
+when one is attached) — so a killed campaign resumes mid-budget and
+produces byte-identical results to an uninterrupted run.
+
+Checkpoints are only written at engine refresh boundaries (fresh
+target, empty session), which is why the file does not need to capture
+guest memory: the resumed run rebuilds the target from the firmware
+recipe exactly as the uninterrupted run refreshes it.
+
+File format (``version`` 1): one JSON object with
+``firmware``/``fuzzer``/``seed``/``budget`` identity fields (validated
+on resume), counters, ``rng_state``/``fault_rng_state``, ``corpus`` and
+``triage`` as program lists, ``findings`` as full report records, and
+``quarantined`` diagnostics records.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.errors import FuzzerError
+from repro.fuzz.diagnostics import CrashRecord
+from repro.fuzz.engine import Finding, FuzzerEngine
+from repro.fuzz.program import Program
+from repro.sanitizers.runtime.reports import BugType, SanitizerReport
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# leaf encoders
+# ----------------------------------------------------------------------
+def _rng_state_to_json(state) -> list:
+    # random.Random.getstate() == (version, (int, ...), gauss_next)
+    return [state[0], list(state[1]), state[2]]
+
+
+def _rng_state_from_json(data) -> tuple:
+    return (data[0], tuple(data[1]), data[2])
+
+
+def _key_to_json(key: tuple) -> list:
+    return list(key)
+
+
+def _key_from_json(data: list) -> tuple:
+    return tuple(data)
+
+
+def _report_to_json(report: SanitizerReport) -> dict:
+    return {
+        "tool": report.tool,
+        "bug_type": report.bug_type.value,
+        "addr": report.addr,
+        "size": report.size,
+        "is_write": report.is_write,
+        "pc": report.pc,
+        "task": report.task,
+        "location": report.location,
+        "detail": report.detail,
+        "alloc_pc": report.alloc_pc,
+        "free_pc": report.free_pc,
+        "second_pc": report.second_pc,
+        "shadow_dump": report.shadow_dump,
+    }
+
+
+def _report_from_json(data: dict) -> SanitizerReport:
+    return SanitizerReport(
+        data["tool"],
+        BugType(data["bug_type"]),
+        data["addr"],
+        data["size"],
+        data["is_write"],
+        data["pc"],
+        data["task"],
+        location=data["location"],
+        detail=data["detail"],
+        alloc_pc=data["alloc_pc"],
+        free_pc=data["free_pc"],
+        second_pc=data["second_pc"],
+        shadow_dump=data["shadow_dump"],
+    )
+
+
+def _finding_to_json(finding: Finding) -> dict:
+    return {
+        "key": _key_to_json(finding.key),
+        "report": _report_to_json(finding.report),
+        "program": finding.program.to_json(),
+        "context": [p.to_json() for p in finding.context],
+        "reproducible": finding.reproducible,
+        "reproducer": (
+            None
+            if finding.reproducer is None
+            else [p.to_json() for p in finding.reproducer]
+        ),
+        "seed": finding.seed,
+    }
+
+
+def _finding_from_json(data: dict) -> Finding:
+    finding = Finding(
+        _key_from_json(data["key"]),
+        _report_from_json(data["report"]),
+        Program.from_json(data["program"]),
+        context=[Program.from_json(p) for p in data["context"]],
+        seed=data.get("seed"),
+    )
+    finding.reproducible = data["reproducible"]
+    if data["reproducer"] is not None:
+        finding.reproducer = [Program.from_json(p) for p in data["reproducer"]]
+    return finding
+
+
+# ----------------------------------------------------------------------
+# engine <-> checkpoint state
+# ----------------------------------------------------------------------
+def engine_state(
+    fuzzer: FuzzerEngine, firmware: str, budget: int
+) -> dict:
+    """Snapshot a fuzzer's deterministic state as a JSON-encodable dict."""
+    state = {
+        "version": FORMAT_VERSION,
+        "firmware": firmware,
+        "fuzzer": type(fuzzer).__name__,
+        "seed": fuzzer.seed,
+        "budget": budget,
+        "execs": fuzzer.execs,
+        "crashes": fuzzer.crashes,
+        "host_crashes": fuzzer.host_crashes,
+        "degraded": fuzzer.degraded,
+        "watchdog_trips": fuzzer.watchdog_trips(),
+        "rng_state": _rng_state_to_json(fuzzer.rng.getstate()),
+        "corpus": [p.to_json() for p in fuzzer.corpus],
+        "triage": [p.to_json() for p in fuzzer._triage],
+        "findings": [_finding_to_json(f) for f in fuzzer.findings.values()],
+        "quarantined": [r.to_json() for r in fuzzer.quarantined],
+    }
+    if fuzzer.fault_plan is not None:
+        state["fault_rng_state"] = _rng_state_to_json(
+            fuzzer.fault_plan.save_rng_state()
+        )
+    return state
+
+
+def restore_engine(fuzzer: FuzzerEngine, state: dict, firmware: str) -> None:
+    """Load a checkpoint into a freshly constructed fuzzer.
+
+    The fuzzer must have been built with the same firmware and seed the
+    checkpoint was taken from; mismatches raise :class:`FuzzerError`
+    rather than silently producing a different campaign.
+    """
+    if state.get("version") != FORMAT_VERSION:
+        raise FuzzerError(
+            f"checkpoint format {state.get('version')!r} not supported"
+        )
+    if state["firmware"] != firmware:
+        raise FuzzerError(
+            f"checkpoint is for firmware {state['firmware']!r}, "
+            f"not {firmware!r}"
+        )
+    if state["seed"] != fuzzer.seed:
+        raise FuzzerError(
+            f"checkpoint was taken with seed {state['seed']}, "
+            f"engine has seed {fuzzer.seed}"
+        )
+    fuzzer.execs = state["execs"]
+    fuzzer.crashes = state["crashes"]
+    fuzzer.host_crashes = state["host_crashes"]
+    fuzzer.degraded = state["degraded"]
+    fuzzer._watchdog_trips_retired = state.get("watchdog_trips", 0)
+    fuzzer.rng.setstate(_rng_state_from_json(state["rng_state"]))
+    fuzzer.corpus = [Program.from_json(p) for p in state["corpus"]]
+    fuzzer._triage = [Program.from_json(p) for p in state["triage"]]
+    fuzzer.findings = {}
+    for entry in state["findings"]:
+        finding = _finding_from_json(entry)
+        fuzzer.findings[finding.key] = finding
+    fuzzer.quarantined = [
+        CrashRecord.from_json(entry) for entry in state["quarantined"]
+    ]
+    if fuzzer.fault_plan is not None and "fault_rng_state" in state:
+        fuzzer.fault_plan.load_rng_state(
+            _rng_state_from_json(state["fault_rng_state"])
+        )
+    # checkpoints are written at refresh boundaries: the engine starts
+    # from a fresh target with an empty session, matching that state
+    fuzzer._session.clear()
+    fuzzer._execs_since_refresh = 0
+
+
+# ----------------------------------------------------------------------
+# file I/O
+# ----------------------------------------------------------------------
+def save_checkpoint(
+    path: str, fuzzer: FuzzerEngine, firmware: str, budget: int
+) -> None:
+    """Atomically write a checkpoint file (write-then-rename)."""
+    state = engine_state(fuzzer, firmware, budget)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Optional[dict]:
+    """Read a checkpoint file; None when it does not exist."""
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

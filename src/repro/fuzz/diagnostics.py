@@ -1,0 +1,158 @@
+"""Campaign diagnostics: quarantined crashes and degradation records.
+
+When a program escapes the guest-fault boundary — a host-level exception
+out of the rehosted kernel, the runtime, or the emulator itself — the
+engine rolls the machine back, quarantines the offending input into a
+:class:`CrashRecord`, and keeps fuzzing.  The records, together with the
+campaign's watchdog/fault-plan counters, form a
+:class:`CampaignDiagnostics` blob that is serialized next to results so
+a wedged 7-day census can be triaged after the fact instead of lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fuzz.program import Program
+
+#: console bytes preserved per crash record
+CONSOLE_TAIL = 400
+
+
+@dataclass
+class CrashRecord:
+    """One quarantined program and the wreckage it left behind."""
+
+    index: int  #: exec count when the crash happened
+    program: Program  #: the offending input
+    exc_type: str  #: exception class name
+    exception: str  #: repr of the escaping exception
+    console_tail: str  #: last guest console bytes before the crash
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-encodable form for checkpoints and CI artifacts."""
+        return {
+            "index": self.index,
+            "program": self.program.to_json(),
+            "exc_type": self.exc_type,
+            "exception": self.exception,
+            "console_tail": self.console_tail,
+            "counters": dict(self.counters),
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "CrashRecord":
+        """Rebuild a record from :meth:`to_json` output."""
+        return CrashRecord(
+            index=data["index"],
+            program=Program.from_json(data["program"]),
+            exc_type=data["exc_type"],
+            exception=data["exception"],
+            console_tail=data["console_tail"],
+            counters=dict(data.get("counters", {})),
+        )
+
+
+def capture_crash(engine, program: Program, exc: BaseException) -> CrashRecord:
+    """Build a :class:`CrashRecord` from a live (possibly broken) target.
+
+    Every probe is defensive: the target just failed in an arbitrary way,
+    so any attribute may be missing or raising.
+    """
+    counters: Dict[str, float] = {"execs": engine.execs}
+    console = ""
+    try:
+        machine = engine.target.image.ctx.machine
+    except Exception:
+        machine = None
+    if machine is not None:
+        try:
+            console = machine.console_text()[-CONSOLE_TAIL:]
+        except Exception:
+            console = "<console unavailable>"
+        try:
+            counters["guest_cycles"] = machine.guest_cycles
+            counters["overhead_cycles"] = machine.overhead_cycles
+            counters["insns"] = sum(
+                getattr(e, "insn_count", 0) for e in machine.engines
+            )
+        except Exception:
+            pass
+        watchdog = getattr(machine, "watchdog", None)
+        if watchdog is not None:
+            counters["watchdog_trips"] = watchdog.trips
+        plan = getattr(machine, "fault_plan", None)
+        if plan is not None:
+            for key, value in plan.stats().items():
+                counters[f"fault_{key}"] = value
+    try:
+        runtime_stats = engine.target.runtime.stats()
+        counters["runtime_events"] = runtime_stats.get("events_handled", 0)
+        counters["runtime_reports"] = runtime_stats.get("reports", 0)
+    except Exception:
+        pass
+    return CrashRecord(
+        index=engine.execs,
+        program=program.clone(),
+        exc_type=type(exc).__name__,
+        exception=repr(exc),
+        console_tail=console,
+        counters=counters,
+    )
+
+
+@dataclass
+class CampaignDiagnostics:
+    """Robustness telemetry for one campaign."""
+
+    firmware: str
+    seed: int
+    budget: int
+    quarantined: List[CrashRecord] = field(default_factory=list)
+    host_crashes: int = 0
+    degraded: bool = False
+    watchdog_trips: int = 0
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-encodable form for the CI artifact."""
+        return {
+            "firmware": self.firmware,
+            "seed": self.seed,
+            "budget": self.budget,
+            "host_crashes": self.host_crashes,
+            "degraded": self.degraded,
+            "watchdog_trips": self.watchdog_trips,
+            "fault_stats": dict(self.fault_stats),
+            "quarantined": [record.to_json() for record in self.quarantined],
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "CampaignDiagnostics":
+        """Rebuild diagnostics from :meth:`to_json` output."""
+        return CampaignDiagnostics(
+            firmware=data["firmware"],
+            seed=data["seed"],
+            budget=data["budget"],
+            quarantined=[
+                CrashRecord.from_json(entry)
+                for entry in data.get("quarantined", [])
+            ],
+            host_crashes=data.get("host_crashes", 0),
+            degraded=data.get("degraded", False),
+            watchdog_trips=data.get("watchdog_trips", 0),
+            fault_stats=dict(data.get("fault_stats", {})),
+        )
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        bits = [f"{self.host_crashes} host crash(es)"]
+        if self.watchdog_trips:
+            bits.append(f"{self.watchdog_trips} watchdog trip(s)")
+        if self.fault_stats.get("alloc_failures"):
+            bits.append(f"{self.fault_stats['alloc_failures']} alloc fault(s)")
+        if self.degraded:
+            bits.append("DEGRADED: crash budget exhausted")
+        return ", ".join(bits)

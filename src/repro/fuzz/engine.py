@@ -10,8 +10,10 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import GuestFault
+from repro.emulator.snapshot import Checkpoint
+from repro.errors import GuestFault, GuestHang
 from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.diagnostics import CrashRecord, capture_crash
 from repro.fuzz.ifspec import INTERESTING, InterfaceSpec
 from repro.fuzz.program import (
     Call,
@@ -21,6 +23,14 @@ from repro.fuzz.program import (
     resolve_args,
 )
 from repro.sanitizers.runtime.reports import BugType, SanitizerReport
+
+#: host-level crashes tolerated before a campaign degrades to skip mode
+DEFAULT_CRASH_BUDGET = 25
+#: default per-program watchdog budgets armed by the fuzzer frontends;
+#: generous (3+ orders of magnitude above a normal program) so only a
+#: genuinely wedged guest trips
+DEFAULT_WATCHDOG_INSNS = 2_000_000
+DEFAULT_WATCHDOG_CYCLES = 5_000_000
 
 
 class Finding:
@@ -33,13 +43,16 @@ class Finding:
     """
 
     def __init__(self, key: tuple, report: SanitizerReport,
-                 program: Program, context: Optional[List[Program]] = None):
+                 program: Program, context: Optional[List[Program]] = None,
+                 seed: Optional[int] = None):
         self.key = key
         self.report = report
         self.program = program
         self.context: List[Program] = context or []
         self.reproducible = False
         self.reproducer: Optional[List[Program]] = None
+        #: campaign RNG seed that produced this finding (exact replay)
+        self.seed = seed
 
     def reproducer_calls(self) -> List:
         """Flattened call list of the minimized reproducer."""
@@ -74,9 +87,23 @@ class FuzzTarget:
         self.rebuilds += 1
 
     def execute(self, program: Program, style: str) -> Optional[GuestFault]:
-        """Run one program; returns the fault when the guest dies."""
+        """Run one program; returns the fault when the guest dies.
+
+        Each program runs behind a journal-backed :class:`Checkpoint`:
+        a :class:`GuestFault` (including watchdog hangs) is part of
+        normal fuzzing and commits — the engine's crash-oracle and
+        refresh logic handle it — but *any other* escaping exception
+        rolls guest memory and engine state back to the pre-program
+        point before re-raising, so the caller can quarantine the input
+        against a machine that is not also corrupted.
+        """
         ctx = self.image.ctx
         kernel = self.image.kernel
+        machine = ctx.machine
+        watchdog = machine.watchdog
+        if watchdog is not None:
+            watchdog.reset()  # budgets are per-program
+        checkpoint = Checkpoint(machine)
         pool = ResourcePool()
         try:
             for nr, args, produces in program.resolve():
@@ -88,7 +115,12 @@ class FuzzTarget:
                 if produces and isinstance(result, int):
                     pool.put(produces, result)
         except GuestFault as fault:
+            checkpoint.commit()
             return fault
+        except BaseException:
+            checkpoint.rollback()
+            raise
+        checkpoint.commit()
         return None
 
 
@@ -101,9 +133,12 @@ class FuzzerEngine:
         spec: InterfaceSpec,
         seed: int = 0,
         refresh_interval: int = 500,
+        crash_budget: int = DEFAULT_CRASH_BUDGET,
+        fault_plan=None,
     ):
         self.target = target
         self.spec = spec
+        self.seed = seed
         self.rng = random.Random(seed)
         self.mutator = Mutator(self.rng, INTERESTING)
         self.corpus: List[Program] = spec.seed_programs(self.rng)
@@ -111,6 +146,22 @@ class FuzzerEngine:
         self.execs = 0
         self.crashes = 0
         self.refresh_interval = refresh_interval
+        #: host-level (non-GuestFault) crashes tolerated before degrading
+        self.crash_budget = crash_budget
+        self.host_crashes = 0
+        self.quarantined: List[CrashRecord] = []
+        #: set when the crash budget is exhausted or a rebuild failed;
+        #: run() stops early and the campaign records the degradation
+        self.degraded = False
+        #: the fault plan shared across target rebuilds (its RNG stream
+        #: is campaign state and rides along in checkpoints)
+        self.fault_plan = fault_plan
+        #: watchdog trips harvested from machines discarded by rebuilds
+        self._watchdog_trips_retired = 0
+        #: seed-corpus programs awaiting their unmutated triage pass;
+        #: explicit state so checkpoints can resume mid-triage
+        self._triage: List[Program] = [p.clone() for p in self.corpus]
+        self._execs_since_refresh = 0
         self._current_reports: List[SanitizerReport] = []
         #: programs executed on the current target session (for
         #: multi-input reproducer extraction), most recent last
@@ -137,45 +188,81 @@ class FuzzerEngine:
         return self._generate_program()
 
     # ------------------------------------------------------------------
-    def run(self, budget: int) -> "FuzzerEngine":
-        """Execute ``budget`` fuzz inputs.
+    def run(
+        self,
+        budget: int,
+        checkpoint_every: int = 0,
+        on_checkpoint=None,
+    ) -> "FuzzerEngine":
+        """Execute up to ``budget`` fuzz inputs (stops early when degraded).
 
         The first pass triages the seed corpus as-is (each description-
-        derived chain runs once, unmutated) before mutation takes over.
+        derived chain runs once, unmutated) before mutation takes over;
+        the triage queue is explicit engine state so a checkpointed run
+        resumes exactly where it stopped.
+
+        ``checkpoint_every`` > 0 invokes ``on_checkpoint(self)`` every
+        that many execs.  Each boundary also forces a target refresh and
+        session clear, making the campaign trajectory a function of the
+        (seed, cadence) pair alone — an interrupted-and-resumed run and
+        an uninterrupted one produce identical results.
         """
-        triage = list(self.corpus)
-        for program in triage:
-            if self.execs >= budget:
-                break
-            self.step(program.clone())
-        while self.execs < budget:
+        while self.execs < budget and not self.degraded:
             self.step()
+            if (
+                checkpoint_every
+                and self.execs % checkpoint_every == 0
+                and self.execs < budget
+            ):
+                # deterministic boundary: fresh target + empty session,
+                # matching the state a resumed run starts from
+                if self._execs_since_refresh:
+                    self._fresh_target()
+                else:
+                    self._session.clear()
+                if on_checkpoint is not None:
+                    on_checkpoint(self)
         return self
 
     def step(self, program: Optional[Program] = None) -> None:
-        """One fuzz iteration: pick (or take), execute, triage."""
+        """One fuzz iteration: pick (or take), execute, triage.
+
+        A non-:class:`GuestFault` exception escaping the target is a
+        *host-level* crash: the input is quarantined into a
+        :class:`CrashRecord`, the (already rolled-back) target is
+        rebuilt, and the campaign continues — until ``crash_budget``
+        such crashes, after which the engine degrades and stops.
+        """
         if program is None:
-            program = self._pick_input()
+            if self._triage:
+                program = self._triage.pop(0)
+            else:
+                program = self._pick_input()
         self.execs += 1
+        self._execs_since_refresh += 1
         coverage = self.target.coverage
         coverage.begin_input()
         self._current_reports.clear()
         before_keys = set(self.findings)
-        fault = self.target.execute(program, self.spec.style)
+        try:
+            fault = self.target.execute(program, self.spec.style)
+        except Exception as exc:
+            self._quarantine(program, exc)
+            return
 
         context = list(self._session[-30:])
         for report in self._current_reports:
             key = report.dedup_key()
             if key not in self.findings:
                 self.findings[key] = Finding(key, report, program.clone(),
-                                             context=context)
+                                             context=context, seed=self.seed)
         if fault is not None:
             self.crashes += 1
             report = _fault_report(fault)
             key = report.dedup_key()
             if key not in self.findings:
                 self.findings[key] = Finding(key, report, program.clone(),
-                                             context=context)
+                                             context=context, seed=self.seed)
         elif coverage.new_coverage() > 0:
             self.corpus.append(program)
         self._session.append(program.clone())
@@ -189,10 +276,39 @@ class FuzzerEngine:
             # fuzzers do
             self._fresh_target()
 
+    def _quarantine(self, program: Program, exc: Exception) -> None:
+        """Record a host-level crash and recover (or degrade)."""
+        self.host_crashes += 1
+        self.quarantined.append(capture_crash(self, program, exc))
+        if self.host_crashes >= self.crash_budget:
+            # graceful degradation, stage 2: stop fuzzing this firmware;
+            # the campaign completes with what it has plus diagnostics
+            self.degraded = True
+            return
+        try:
+            # stage 1: rebuild — Checkpoint rolled guest memory back,
+            # but host-side kernel objects may be inconsistent
+            self._fresh_target()
+        except Exception:
+            self.degraded = True
+
     def _fresh_target(self) -> None:
+        self._watchdog_trips_retired += self._live_watchdog_trips()
         self.target.reset()
         self._session.clear()
+        self._execs_since_refresh = 0
         self._listen()
+
+    def _live_watchdog_trips(self) -> int:
+        try:
+            watchdog = self.target.image.ctx.machine.watchdog
+        except Exception:
+            return 0
+        return watchdog.trips if watchdog is not None else 0
+
+    def watchdog_trips(self) -> int:
+        """Total watchdog trips across every machine this campaign built."""
+        return self._watchdog_trips_retired + self._live_watchdog_trips()
 
     # ------------------------------------------------------------------
     def reproduce_findings(self, minimize_budget: int = 150) -> List[Finding]:
@@ -257,10 +373,20 @@ class FuzzerEngine:
         return current
 
     def _replays(self, programs: List[Program], key: tuple) -> bool:
-        self._fresh_target()
+        try:
+            self._fresh_target()
+        except Exception:
+            self.degraded = True
+            return False
         self._current_reports.clear()
         for program in programs:
-            fault = self.target.execute(program, self.spec.style)
+            try:
+                fault = self.target.execute(program, self.spec.style)
+            except Exception as exc:
+                # a replay escaping the guest boundary is quarantined the
+                # same as a fuzz-loop escape; the candidate is a non-repro
+                self._quarantine(program, exc)
+                return False
             if any(r.dedup_key() == key for r in self._current_reports):
                 return True
             if fault is not None:
@@ -270,6 +396,11 @@ class FuzzerEngine:
 
 def _fault_report(fault: GuestFault) -> SanitizerReport:
     """Synthesize the crash-oracle report for a guest fault."""
+    if isinstance(fault, GuestHang):
+        return SanitizerReport(
+            "oracle", BugType.HANG, fault.pc, 0, False, fault.pc, 0,
+            location="guest-hang", detail=str(fault),
+        )
     addr = fault.addr or 0
     bug = BugType.NULL_DEREF if addr < 0x1000 else BugType.WILD_ACCESS
     return SanitizerReport(

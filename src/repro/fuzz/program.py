@@ -28,6 +28,23 @@ class Call:
     def clone(self) -> "Call":
         return Call(self.nr, list(self.args), self.produces)
 
+    def to_json(self) -> dict:
+        """JSON-encodable form (checkpoints, diagnostics records)."""
+        return {
+            "nr": self.nr,
+            "args": [list(a) if isinstance(a, tuple) else a for a in self.args],
+            "produces": self.produces,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "Call":
+        """Rebuild a call from :meth:`to_json` output."""
+        args = [
+            (a[0], a[1], a[2]) if isinstance(a, list) else a
+            for a in data["args"]
+        ]
+        return Call(data["nr"], args, data.get("produces"))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Call({self.nr}, {self.args}, produces={self.produces!r})"
 
@@ -62,6 +79,15 @@ class Program:
             yields = f" -> ${call.produces}" if call.produces else ""
             lines.append(f"{idx:2d}: {head}({rendered}){yields}")
         return "\n".join(lines)
+
+    def to_json(self) -> list:
+        """JSON-encodable form (checkpoints, diagnostics records)."""
+        return [call.to_json() for call in self.calls]
+
+    @staticmethod
+    def from_json(data: list) -> "Program":
+        """Rebuild a program from :meth:`to_json` output."""
+        return Program([Call.from_json(entry) for entry in data])
 
     @staticmethod
     def from_steps(steps: Sequence[Sequence[int]]) -> "Program":

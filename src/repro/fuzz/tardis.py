@@ -15,7 +15,13 @@ from typing import Sequence
 from repro.firmware.builder import attach_runtime
 from repro.firmware.registry import build_firmware
 from repro.fuzz.coverage import EmulatorCoverage
-from repro.fuzz.engine import FuzzerEngine, FuzzTarget
+from repro.fuzz.engine import (
+    DEFAULT_CRASH_BUDGET,
+    DEFAULT_WATCHDOG_CYCLES,
+    DEFAULT_WATCHDOG_INSNS,
+    FuzzerEngine,
+    FuzzTarget,
+)
 from repro.fuzz.ifspec import interface_for
 
 
@@ -29,6 +35,10 @@ class TardisFuzzer(FuzzerEngine):
         firmware: str,
         sanitizers: Sequence[str] = ("kasan",),
         seed: int = 0,
+        fault_plan=None,
+        crash_budget: int = DEFAULT_CRASH_BUDGET,
+        watchdog_insns: int = DEFAULT_WATCHDOG_INSNS,
+        watchdog_cycles: float = DEFAULT_WATCHDOG_CYCLES,
     ):
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
@@ -38,8 +48,17 @@ class TardisFuzzer(FuzzerEngine):
             runtime = attach_runtime(image, sanitizers=self.sanitizers)
             coverage = EmulatorCoverage(image.machine)
             image.boot()
+            # arm hardening after boot so boot-time work never trips the
+            # per-program watchdog; the shared fault plan keeps one RNG
+            # stream across target rebuilds
+            if fault_plan is not None:
+                image.machine.set_fault_plan(fault_plan)
+            image.machine.set_watchdog(
+                insn_budget=watchdog_insns, cycle_budget=watchdog_cycles
+            )
             return image, runtime, coverage
 
         target = FuzzTarget(make)
         spec = interface_for(target.image.kernel)
-        super().__init__(target, spec, seed=seed)
+        super().__init__(target, spec, seed=seed, fault_plan=fault_plan,
+                         crash_budget=crash_budget)

@@ -138,6 +138,19 @@ class GuestContext:
         self.in_allocator = 0
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def alloc_fault(self, size: int) -> bool:
+        """True when the machine's fault plan fails this allocation.
+
+        Every rehosted allocator (kmalloc, pvPortMalloc, LOS_MemAlloc,
+        memPartAlloc) asks before carving an object; an injected failure
+        is indistinguishable from heap exhaustion to the caller.
+        """
+        plan = self.machine.fault_plan
+        return plan is not None and plan.fail_alloc(size, pc=self.current_pc())
+
+    # ------------------------------------------------------------------
     # call mechanics
     # ------------------------------------------------------------------
     def call(self, fn, args: Sequence[int]):

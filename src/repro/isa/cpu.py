@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.errors import GuestFault, InvalidOpcode
+from repro.errors import GuestFault, GuestHang, InvalidOpcode
 from repro.isa.insn import (
     INSN_SIZE,
     Instruction,
@@ -70,6 +70,8 @@ class Cpu:
         self.insn_count = 0
         self.call_probes: List[CallProbe] = []
         self.ret_probes: List[RetProbe] = []
+        #: optional hang guard, consulted once per retired instruction
+        self.watchdog = None
         #: optional per-instruction trace hook (pc, insn) for the Prober.
         self.trace: Optional[Callable[[int, Instruction], None]] = None
 
@@ -95,8 +97,15 @@ class Cpu:
     def run(self, max_steps: int = 1_000_000) -> int:
         """Run until HLT or ``max_steps``; returns instructions executed."""
         executed = 0
+        watchdog = self.watchdog
         while executed < max_steps and self.step():
             executed += 1
+            if watchdog is not None:
+                try:
+                    watchdog.consume(1, self.state.pc, self.state.task)
+                except GuestHang:
+                    self.state.halted = True
+                    raise
         return executed
 
     # ------------------------------------------------------------------

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import InvalidOpcode
+from repro.errors import GuestHang, InvalidOpcode
 from repro.isa.cpu import CpuState, HypercallHandler
 from repro.isa.insn import (
     INSN_SIZE,
@@ -152,6 +152,8 @@ class TcgEngine:
         self._mem_probes: tuple = ()
         self.call_probes: List[CallProbe] = []
         self.ret_probes: List[RetProbe] = []
+        #: optional hang guard, consulted once per executed block
+        self.watchdog = None
         self.specialize = (
             self.DEFAULT_SPECIALIZE if specialize is None else specialize
         )
@@ -583,6 +585,7 @@ class TcgEngine:
         state = self.state
         exec_block = self._exec_block
         translate = self.translate
+        watchdog = self.watchdog
         prev: Optional[TranslationBlock] = None
         while not state.halted and executed < max_steps:
             pc = state.pc
@@ -609,7 +612,19 @@ class TcgEngine:
                 if (prev is not None and prev.links is not None
                         and len(prev.links) < _MAX_LINKS):
                     prev.links[pc] = block
-            executed += exec_block(block)
+            done = exec_block(block)
+            executed += done
+            if watchdog is not None:
+                # Per-block granularity: a trip overshoots by at most one
+                # block (< MAX_BLOCK_LEN instructions).  Applies to both
+                # the specialized and interp templates, which share this
+                # loop.  On a trip the engine halts so the hang surfaces
+                # once, not on every subsequent run() call.
+                try:
+                    watchdog.consume(done, state.pc, state.task)
+                except GuestHang:
+                    state.halted = True
+                    raise
             prev = block
         return executed
 

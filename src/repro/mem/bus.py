@@ -36,6 +36,10 @@ class MemoryBus:
         self._observers: tuple = ()
         self._write_watchers: tuple = ()
         self._silent_depth = 0
+        #: optional FaultPlan whose mutate_load() filters guest loads
+        self.fault_plan = None
+        #: active write journal (pre-image log) or None; see journal_begin
+        self._journal: Optional[list] = None
 
     # ------------------------------------------------------------------
     # region management
@@ -141,6 +145,46 @@ class MemoryBus:
             observer(access)
 
     # ------------------------------------------------------------------
+    # write journal (crash-isolation rollback)
+    # ------------------------------------------------------------------
+    def journal_begin(self) -> None:
+        """Start recording pre-images of every RAM write.
+
+        While active, scalar and bulk writes into non-device regions log
+        ``(region, offset, old_bytes)`` so :meth:`journal_rollback` can
+        rewind guest memory to the begin point in O(bytes written) — a
+        lightweight alternative to a full Snapshot for per-input crash
+        isolation.  Device (MMIO) writes are never journalled: they have
+        host-side effects a memory rewind cannot undo.
+        """
+        if self._journal is not None:
+            raise BusError("write journal already active")
+        self._journal = []
+
+    def journal_commit(self) -> int:
+        """Stop journalling, keeping all writes; returns entries dropped."""
+        journal = self._journal
+        if journal is None:
+            raise BusError("no write journal active")
+        self._journal = None
+        return len(journal)
+
+    def journal_rollback(self) -> int:
+        """Stop journalling and rewind every journalled write (LIFO)."""
+        journal = self._journal
+        if journal is None:
+            raise BusError("no write journal active")
+        self._journal = None
+        for region, off, old in reversed(journal):
+            region.data[off : off + len(old)] = old
+        return len(journal)
+
+    @property
+    def journal_active(self) -> bool:
+        """True while a write journal is recording."""
+        return self._journal is not None
+
+    # ------------------------------------------------------------------
     # scalar access
     # ------------------------------------------------------------------
     def load(
@@ -157,7 +201,12 @@ class MemoryBus:
         region = self._resolve(addr, size, Perm.R)
         if self._observers:
             self._notify(Access(addr, size, False, pc, task, atomic=atomic))
-        return int.from_bytes(region.read(addr, size), "little")
+        value = int.from_bytes(region.read(addr, size), "little")
+        # fault injection applies to guest traffic only; untraced host
+        # reads (report generators, the Prober) see pristine memory
+        if self.fault_plan is not None and not self._silent_depth:
+            value = self.fault_plan.mutate_load(addr, size, value)
+        return value
 
     def store(
         self,
@@ -174,6 +223,9 @@ class MemoryBus:
         region = self._resolve(addr, size, Perm.W)
         if self._observers:
             self._notify(Access(addr, size, True, pc, task, atomic=atomic))
+        if self._journal is not None and region.kind != "device":
+            off = addr - region.base
+            self._journal.append((region, off, bytes(region.data[off : off + size])))
         region.write(addr, int(value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
 
     def load_silent(self, addr: int, size: int) -> int:
@@ -185,11 +237,18 @@ class MemoryBus:
         guard (instruction decoding fixes the size to 1/2/4).
         """
         region = self._resolve(addr, size, Perm.R)
-        return int.from_bytes(region.read(addr, size), "little")
+        value = int.from_bytes(region.read(addr, size), "little")
+        if self.fault_plan is not None:
+            # this path carries only guest (EVM32 template) loads
+            value = self.fault_plan.mutate_load(addr, size, value)
+        return value
 
     def store_silent(self, addr: int, size: int, value: int) -> None:
         """Scalar store with no observer notification (see load_silent)."""
         region = self._resolve(addr, size, Perm.W)
+        if self._journal is not None and region.kind != "device":
+            off = addr - region.base
+            self._journal.append((region, off, bytes(region.data[off : off + size])))
         region.write(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
 
     # ------------------------------------------------------------------
@@ -225,6 +284,11 @@ class MemoryBus:
         region = self._resolve(addr, len(payload), Perm.W)
         if self._observers:
             self._notify(Access(addr, len(payload), True, pc, task, kind=kind))
+        if self._journal is not None and region.kind != "device":
+            off = addr - region.base
+            self._journal.append(
+                (region, off, bytes(region.data[off : off + len(payload)]))
+            )
         region.write(addr, bytes(payload))
         for watcher in self._write_watchers:
             watcher(addr, len(payload))

@@ -95,6 +95,8 @@ class SlabAllocator(GuestModule):
         """
         if size <= 0:
             return 0
+        if ctx.alloc_fault(size):
+            return 0
         cache = self.cache_for(size)
         if cache is None:
             return self._kmalloc_large(ctx, size)

@@ -52,6 +52,8 @@ class Heap4Allocator(GuestModule):
         """Allocate ``wanted`` bytes; returns 0 when the heap is exhausted."""
         if wanted <= 0:
             return 0
+        if ctx.alloc_fault(wanted):
+            return 0
         need = _align_up(wanted + _HEADER_BYTES)
         prev = 0
         block = self._free_head

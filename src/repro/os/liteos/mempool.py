@@ -44,6 +44,8 @@ class LosMemPool(GuestModule):
         """Best-fit allocate ``size`` bytes from the pool."""
         if size <= 0:
             return 0
+        if ctx.alloc_fault(size):
+            return 0
         need = _align_up(size + _HEADER_BYTES)
         best = None
         best_size = 1 << 62

@@ -42,6 +42,8 @@ class MemPartLib(GuestModule):
         """First-fit allocate ``size`` bytes from the partition."""
         if size <= 0:
             return 0
+        if ctx.alloc_fault(size):
+            return 0
         need = _align_up(size + _HEADER_BYTES)
         prev = 0
         block = self._free_head

@@ -57,5 +57,13 @@ class QuarantineLog:
         """True when ``addr`` is the base of a recorded freed object."""
         return addr in self._entries
 
+    def save_state(self) -> "OrderedDict[int, FreedObject]":
+        """Copy the log contents (Snapshot provider protocol)."""
+        return OrderedDict(self._entries)
+
+    def load_state(self, saved: "OrderedDict[int, FreedObject]") -> None:
+        """Restore contents captured by :meth:`save_state`."""
+        self._entries = OrderedDict(saved)
+
     def __len__(self) -> int:
         return len(self._entries)

@@ -27,6 +27,7 @@ class BugType(enum.Enum):
     NULL_DEREF = "null-ptr-deref"
     DATA_RACE = "data-race"
     UNINIT_READ = "uninit-value"  #: KMSAN-functionality extension
+    HANG = "guest-hang"  #: watchdog-detected wedge (crash oracle, not a sanitizer)
 
     @property
     def census_class(self) -> str:
@@ -40,6 +41,8 @@ class BugType(enum.Enum):
             return "Double Free"
         if self is BugType.UNINIT_READ:
             return "Uninit Value"
+        if self is BugType.HANG:
+            return "Hang"
         return "Race"
 
 

@@ -174,6 +174,9 @@ class CommonSanitizerRuntime:
             for engine in self.machine.engines:
                 self._inject_probe(engine)
             self.machine.engine_listeners.append(self._inject_probe)
+        # register as a snapshot state provider so Snapshot.restore keeps
+        # shadow memory and allocator maps coherent with guest memory
+        self.machine.state_providers.append(self)
         self.attached = True
         return self
 
@@ -243,8 +246,61 @@ class CommonSanitizerRuntime:
                 remove_probe(self._probe_cb)
         if self._inject_probe in self.machine.engine_listeners:
             self.machine.engine_listeners.remove(self._inject_probe)
+        if self in self.machine.state_providers:
+            self.machine.state_providers.remove(self)
         self._handlers.clear()
         self.attached = False
+
+    # ------------------------------------------------------------------
+    # snapshot provider protocol
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """Capture semantic sanitizer state for a machine Snapshot.
+
+        Diagnostic counters (checks, events_handled, cycle breakdown) are
+        deliberately excluded: they are monotonic telemetry, not guest
+        state, and restoring them would hide work the machine really did.
+        """
+        state = {
+            "enabled": self.enabled,
+            "shadow": self.shadow.save_state(),
+            "suppress": self._suppress,
+            "pending": {task: list(stack) for task, stack in self._pending.items()},
+            "console_tail": self._console_tail,
+        }
+        if self.kasan is not None:
+            state["kasan_live"] = dict(self.kasan.live)
+            state["kasan_freed"] = self.kasan.freed.save_state()
+            state["kasan_suppress"] = self.kasan.suppress_depth
+        if self.kcsan is not None:
+            state["kcsan_seq"] = self.kcsan._seq
+            state["kcsan_watches"] = {
+                addr: list(watches)
+                for addr, watches in self.kcsan._watches.items()
+            }
+            state["kcsan_suppress"] = self.kcsan.suppress_depth
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`save_state`."""
+        self.enabled = state["enabled"]
+        self.shadow.load_state(state["shadow"])
+        self._suppress = state["suppress"]
+        self._pending = {
+            task: list(stack) for task, stack in state["pending"].items()
+        }
+        self._console_tail = state["console_tail"]
+        if self.kasan is not None and "kasan_live" in state:
+            self.kasan.live = dict(state["kasan_live"])
+            self.kasan.freed.load_state(state["kasan_freed"])
+            self.kasan.suppress_depth = state["kasan_suppress"]
+        if self.kcsan is not None and "kcsan_seq" in state:
+            self.kcsan._seq = state["kcsan_seq"]
+            self.kcsan._watches = {
+                addr: list(watches)
+                for addr, watches in state["kcsan_watches"].items()
+            }
+            self.kcsan.suppress_depth = state["kcsan_suppress"]
 
     def _subscribe(self, hooks, kind: EventKind, handler: Callable) -> None:
         hooks.add(kind, handler)

@@ -70,6 +70,18 @@ class ShadowMemory:
         self.check_ops = 0
 
     # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+    def save_state(self) -> List[bytes]:
+        """Copy every region's shadow bytes (Snapshot provider protocol)."""
+        return [bytes(shadow.bytes) for shadow in self._shadows]
+
+    def load_state(self, saved: List[bytes]) -> None:
+        """Restore shadow bytes captured by :meth:`save_state` in place."""
+        for shadow, data in zip(self._shadows, saved):
+            shadow.bytes[:] = data
+
+    # ------------------------------------------------------------------
     def _find(self, addr: int) -> Optional[_RegionShadow]:
         # linear scan: machines map < 8 RAM regions
         for shadow in self._shadows:

@@ -149,3 +149,31 @@ class TestSnapshot:
         assert core.state.regs is regs
         assert core.state.read(3) == 0
         assert core.tb_flush_count == flushes + 1
+
+    def test_restore_state_providers(self, machine):
+        """Snapshots capture registered host-side state (shadow memory,
+        quarantine, ...) alongside guest RAM, so a restore rewinds the
+        sanitizer's view of the heap together with the heap itself."""
+
+        class Provider:
+            def __init__(self):
+                self.value = {"x": 1}
+
+            def save_state(self):
+                return dict(self.value)
+
+            def load_state(self, saved):
+                self.value = dict(saved)
+
+        provider = Provider()
+        machine.state_providers.append(provider)
+        snap = take(machine)
+        provider.value["x"] = 99
+        snap.restore(machine)
+        assert provider.value == {"x": 1}
+
+    def test_runtime_registers_as_state_provider(self, linux_c):
+        image, runtime = linux_c
+        assert runtime in image.ctx.machine.state_providers
+        runtime.detach()
+        assert runtime not in image.ctx.machine.state_providers

@@ -58,3 +58,10 @@ def test_fuzz_campaign():
 def test_overhead_study():
     out = run_example("overhead_study.py")
     assert "hypercall fast path" in out
+
+
+def test_fault_injection():
+    out = run_example("fault_injection.py")
+    assert "campaign survived full budget: yes" in out
+    assert "alloc_failures" in out
+    assert "reproducible finding(s)" in out

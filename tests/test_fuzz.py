@@ -160,3 +160,66 @@ class TestCampaign:
         assert result.found_count() + len(result.missed) == 3
         census = result.census()
         assert sum(census.values()) == result.found_count()
+
+    def test_result_records_replay_identity(self):
+        result = run_campaign("InfiniTime", budget=200, seed=9)
+        assert (result.seed, result.budget) == (9, 200)
+        assert all(f.seed == 9 for f in result.findings)
+
+
+class TestMidCampaignSnapshot:
+    """Snapshot.restore mid-campaign must leave every layer coherent:
+    guest RAM, TB caches (both TCG modes), shadow memory and the
+    sanitizer runtime, so that fuzzing can continue and replaying the
+    same programs reproduces the pre-restore outcomes exactly."""
+
+    @staticmethod
+    def _outcome(fuzzer, program):
+        fuzzer._current_reports.clear()
+        fault = fuzzer.target.execute(program.clone(), fuzzer.spec.style)
+        return (
+            type(fault).__name__ if fault is not None else None,
+            sorted(r.dedup_key() for r in fuzzer._current_reports),
+        )
+
+    @pytest.mark.parametrize("engine", ["tcg", "tcg-interp"])
+    def test_restore_then_continue_fuzzing(self, monkeypatch, engine):
+        from repro.emulator.snapshot import take
+        from repro.isa.tcg import TcgEngine
+
+        monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE",
+                            engine == "tcg")
+        fuzzer = TardisFuzzer("InfiniTime", seed=4)
+        machine = fuzzer.target.image.ctx.machine
+        programs = [p.clone() for p in fuzzer.corpus[:6]]
+        for program in programs[:2]:
+            fuzzer.target.execute(program.clone(), fuzzer.spec.style)
+
+        snap = take(machine)
+        runtime_state = fuzzer.target.runtime.save_state()
+        first = [self._outcome(fuzzer, p) for p in programs[2:]]
+
+        snap.restore(machine)
+        # the runtime rewound with the machine (shadow, quarantine,
+        # pending stacks, console tail)
+        assert fuzzer.target.runtime.save_state() == runtime_state
+        # and the same programs replay to identical faults and reports
+        second = [self._outcome(fuzzer, p) for p in programs[2:]]
+        assert second == first
+
+    @pytest.mark.parametrize("engine", ["tcg", "tcg-interp"])
+    def test_restore_keeps_coverage_listener_live(self, monkeypatch, engine):
+        from repro.emulator.snapshot import take
+        from repro.isa.tcg import TcgEngine
+
+        monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE",
+                            engine == "tcg")
+        fuzzer = TardisFuzzer("InfiniTime", seed=4)
+        machine = fuzzer.target.image.ctx.machine
+        snap = take(machine)
+        fuzzer.run(10)
+        snap.restore(machine)
+        before = len(fuzzer.target.coverage)
+        fuzzer.step(fuzzer.corpus[0].clone())
+        assert len(fuzzer.target.coverage) >= before
+        assert fuzzer.execs == 11
