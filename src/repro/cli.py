@@ -6,8 +6,14 @@ Subcommands mirror the paper's workflow:
 * ``probe``    — run the Prober on one firmware and print the DSL specs
 * ``replay``   — replay a catalog bug's reproducer under a deployment
 * ``fuzz``     — run a fuzzing campaign with EMBSAN attached
+* ``fuzz-all`` — the full Table-3 sweep, optionally as a supervised
+  multi-process fleet (``--workers N``)
 * ``overhead`` — measure Figure-2 slowdowns for one or all firmware
 * ``table2``   — the known-bug detection matrix
+
+Exit codes: 0 success, 1 replay miss, 2 usage error, 3 degraded — a
+campaign exhausted its crash budget, or a fleet job exhausted its
+retry budget and was abandoned.
 """
 
 from __future__ import annotations
@@ -96,13 +102,97 @@ def _cmd_fuzz(args) -> int:
     if result.missed:
         print(f"catalog rows missed: {[r.bug_id for r in result.missed]}")
     diagnostics = result.diagnostics
+    degraded = False
     if diagnostics is not None:
         print(f"diagnostics: {diagnostics.summary()}")
+        if diagnostics.checkpoint_discarded:
+            print(f"checkpoint discarded as corrupt: "
+                  f"{diagnostics.checkpoint_discarded}")
         if args.diagnostics:
             with open(args.diagnostics, "w", encoding="utf-8") as fh:
                 json.dump(diagnostics.to_json(), fh, indent=2)
             print(f"diagnostics written to {args.diagnostics}")
-    return 0
+        degraded = diagnostics.degraded
+    return 3 if degraded else 0
+
+
+def _cmd_fuzz_all(args) -> int:
+    import json
+
+    from repro.fuzz.checkpoint import result_to_json
+    from repro.fuzz.supervisor import make_jobs, run_fleet
+
+    jobs = make_jobs(
+        budget=args.budget,
+        seed=args.seed,
+        firmware=args.firmware or None,
+        checkpoint_dir=args.checkpoint_dir,
+        faults=args.faults,
+        crash_budget=args.crash_budget,
+    )
+    fleet = None
+    if args.workers <= 1:
+        # sequential reference path: same jobs, no worker processes —
+        # the fleet's determinism contract is that --workers N output
+        # is byte-identical to this
+        from repro.emulator.faults import plan_for
+        from repro.fuzz.campaign import run_campaign
+
+        results = []
+        for job in jobs:
+            kwargs = {}
+            if job.faults:
+                kwargs["fault_plan"] = plan_for(job.faults, seed=job.seed)
+            if job.crash_budget is not None:
+                kwargs["crash_budget"] = job.crash_budget
+            results.append(run_campaign(
+                job.firmware, budget=job.budget, seed=job.seed,
+                checkpoint_path=job.checkpoint_path,
+                checkpoint_every=job.checkpoint_every, **kwargs))
+    else:
+        fleet = run_fleet(
+            jobs,
+            workers=args.workers,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff,
+            events_path=args.events_log,
+        )
+        results = fleet.results
+
+    degraded = False
+    print(f"{'Firmware':24s} {'Execs':>6s} {'Crashes':>8s} {'Found':>6s}")
+    for job, result in zip(jobs, results):
+        if result is None:
+            degraded = True
+            print(f"{job.firmware:24s} {'-':>6s} {'-':>8s} {'-':>6s}  "
+                  f"DEGRADED (abandoned after retries)")
+            continue
+        total = result.found_count() + len(result.missed)
+        print(f"{result.firmware:24s} {result.execs:6d} "
+              f"{result.crashes:8d} {result.found_count():3d}/{total:d}")
+        if result.diagnostics is not None:
+            if result.diagnostics.checkpoint_discarded:
+                print(f"  checkpoint discarded as corrupt: "
+                      f"{result.diagnostics.checkpoint_discarded}")
+            degraded = degraded or result.diagnostics.degraded
+    if fleet is not None:
+        print(f"fleet: {fleet.diagnostics.summary()}")
+        if args.events_log:
+            print(f"events written to {args.events_log}")
+    if args.diagnostics and fleet is not None:
+        with open(args.diagnostics, "w", encoding="utf-8") as fh:
+            json.dump(fleet.diagnostics.to_json(), fh, indent=2)
+        print(f"fleet diagnostics written to {args.diagnostics}")
+    if args.results:
+        payload = [
+            None if result is None else result_to_json(result)
+            for result in results
+        ]
+        with open(args.results, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        print(f"results written to {args.results}")
+    return 3 if degraded else 0
 
 
 def _cmd_overhead(args) -> int:
@@ -174,6 +264,40 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--diagnostics", default=None, metavar="PATH",
                       help="write campaign diagnostics JSON here")
 
+    fuzz_all = sub.add_parser(
+        "fuzz-all",
+        help="run every firmware's campaign, optionally as a worker fleet",
+    )
+    fuzz_all.add_argument("--workers", type=int, default=1,
+                          help="worker processes (1 = in-process sequential)")
+    fuzz_all.add_argument("--budget", type=int, default=2000)
+    fuzz_all.add_argument("--seed", type=int, default=1)
+    fuzz_all.add_argument("--firmware", action="append", default=None,
+                          metavar="NAME",
+                          help="restrict the sweep (repeatable); "
+                               "default is the whole Table-1 catalog")
+    fuzz_all.add_argument("--faults", default=None, metavar="SPEC",
+                          help="fault plan DSL, compiled per-firmware")
+    fuzz_all.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                          help="per-firmware checkpoint files; fleet "
+                               "workers resume from these after a crash")
+    fuzz_all.add_argument("--crash-budget", type=int, default=None,
+                          help="host crashes tolerated before degradation")
+    fuzz_all.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                          help="seconds of worker silence before it is "
+                               "declared hung and killed")
+    fuzz_all.add_argument("--max-retries", type=int, default=3,
+                          help="restarts per job before it is abandoned")
+    fuzz_all.add_argument("--backoff", type=float, default=0.5,
+                          help="first retry delay; doubles per retry")
+    fuzz_all.add_argument("--events-log", default=None, metavar="PATH",
+                          help="append structured fleet events as JSONL")
+    fuzz_all.add_argument("--diagnostics", default=None, metavar="PATH",
+                          help="write FleetDiagnostics JSON here")
+    fuzz_all.add_argument("--results", default=None, metavar="PATH",
+                          help="write per-firmware campaign results JSON "
+                               "(the byte-identity artifact)")
+
     overhead = sub.add_parser("overhead", help="measure Figure-2 slowdowns")
     overhead.add_argument("firmware", nargs="?", default=None)
     overhead.add_argument("--sanitizers", nargs="+", default=["kasan"])
@@ -187,6 +311,7 @@ _COMMANDS = {
     "probe": _cmd_probe,
     "replay": _cmd_replay,
     "fuzz": _cmd_fuzz,
+    "fuzz-all": _cmd_fuzz_all,
     "overhead": _cmd_overhead,
     "table2": _cmd_table2,
 }

@@ -106,3 +106,22 @@ class SanitizerViolation(ReproError):
 
 class FuzzerError(ReproError):
     """A fuzzing campaign was misconfigured or its target misbehaved."""
+
+
+class CheckpointError(FuzzerError):
+    """A campaign checkpoint file is unreadable or unusable.
+
+    Raised for truncated or invalid-JSON files, unsupported format
+    versions, and structurally broken payloads.  Distinct from the
+    plain :class:`FuzzerError` identity mismatches (wrong firmware or
+    seed), which indicate operator error rather than corruption: a
+    corrupt checkpoint is recoverable by discarding it and starting the
+    job from scratch, which is exactly what the campaign runner and the
+    fleet supervisor do.  ``path`` names the offending file when known.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+        self.path = path

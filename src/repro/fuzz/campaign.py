@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bugs.catalog import BugRecord, record_by_id, table4_bugs_for
+from repro.errors import CheckpointError, FuzzerError
 from repro.firmware.registry import firmware_spec
 from repro.fuzz.checkpoint import (
     load_checkpoint,
@@ -122,11 +123,26 @@ def run_campaign(
     fuzzer = fuzzer_cls(firmware, **kwargs)
 
     on_checkpoint = None
+    checkpoint_discarded = None
     if checkpoint_path is not None:
         checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
-        state = load_checkpoint(checkpoint_path)
-        if state is not None:
-            restore_engine(fuzzer, state, firmware)
+        try:
+            state = load_checkpoint(checkpoint_path)
+            if state is not None:
+                restore_engine(fuzzer, state, firmware)
+        except CheckpointError as exc:
+            # corrupt/truncated/unsupported checkpoint: discard it and
+            # start from scratch.  restore_engine may have partially
+            # mutated the fuzzer (or its fault plan's RNG), so rebuild
+            # both from their recipes — the recovered run is then
+            # byte-identical to one that never saw the bad file.
+            checkpoint_discarded = str(exc)
+            if fault_plan is not None:
+                from repro.emulator.faults import FaultPlan
+
+                fault_plan = FaultPlan.parse(fault_plan.describe())
+                kwargs["fault_plan"] = fault_plan
+            fuzzer = fuzzer_cls(firmware, **kwargs)
 
         def on_checkpoint(engine):
             save_checkpoint(checkpoint_path, engine, firmware, budget)
@@ -148,6 +164,7 @@ def run_campaign(
         degraded=fuzzer.degraded,
         watchdog_trips=fuzzer.watchdog_trips(),
         fault_stats=fault_plan.stats() if fault_plan is not None else {},
+        checkpoint_discarded=checkpoint_discarded,
     )
     return CampaignResult(
         firmware=firmware,
@@ -177,6 +194,11 @@ def run_campaign_repeated(
     repetitions.  Stops early once every seeded defect is matched.
     Extra keyword arguments (fault plans, watchdog budgets, ...) are
     forwarded to :func:`run_campaign`.
+
+    Diagnostics merge too: the returned record's ``seeds`` lists every
+    repetition that ran, counters sum, and every seed's quarantined
+    crash records are preserved — a crash in repetition 3 is triagable
+    from the merged result, not silently dropped.
     """
     merged: Optional[CampaignResult] = None
     for seed in seeds:
@@ -194,6 +216,9 @@ def run_campaign_repeated(
                 record for record in merged.missed
                 if record.bug_id not in merged.matched
             ]
+            if merged.diagnostics is not None and \
+                    result.diagnostics is not None:
+                merged.diagnostics.merge(result.diagnostics)
         if not merged.missed:
             break
     return merged
@@ -204,6 +229,9 @@ def run_all_campaigns(
     seed: int = 0,
     seeds: Optional[Sequence[int]] = None,
     checkpoint_dir: Optional[str] = None,
+    workers: int = 1,
+    faults: Optional[str] = None,
+    fleet_options: Optional[dict] = None,
     **kwargs,
 ) -> List[CampaignResult]:
     """Run every Table-1 firmware's campaign (the full Table-3 sweep).
@@ -212,10 +240,48 @@ def run_all_campaigns(
     (``campaign_<firmware>.json``), making a multi-firmware sweep
     interruption-safe: re-running the sweep resumes each firmware from
     its last checkpoint instead of starting over.
+
+    With ``workers > 1`` the sweep is delegated to the
+    :mod:`repro.fuzz.supervisor` fleet: one job per firmware across
+    ``workers`` supervised processes, with heartbeat liveness checks and
+    checkpoint-driven restart of killed or hung workers.  Results come
+    back in catalog order and are byte-identical to the sequential sweep
+    (per-job RNG isolation is the determinism contract); a job that
+    exhausts its retry budget yields ``None`` in its slot instead of
+    aborting the sweep.  ``faults`` is a fault-plan DSL string, compiled
+    to a fresh per-firmware plan in either mode so worker count never
+    changes which faults fire; ``fleet_options`` passes supervisor
+    knobs (``heartbeat_timeout``, ``max_retries``, ``events_path``...).
     """
     import os
 
+    from repro.emulator.faults import plan_for
     from repro.firmware.registry import all_firmware
+
+    if faults and kwargs.get("fault_plan") is not None:
+        raise FuzzerError("pass either faults= (DSL) or fault_plan=, not both")
+
+    if workers > 1:
+        if kwargs.pop("fault_plan", None) is not None:
+            raise FuzzerError(
+                "a live fault_plan cannot cross process boundaries; "
+                "pass faults=<DSL spec> so each worker builds its own plan"
+            )
+        from repro.fuzz.supervisor import make_jobs, run_fleet
+
+        jobs = make_jobs(
+            budget=budget, seed=seed, seeds=seeds,
+            checkpoint_dir=checkpoint_dir, faults=faults,
+            crash_budget=kwargs.pop("crash_budget", None),
+            watchdog_insns=kwargs.pop("watchdog_insns", None),
+            watchdog_cycles=kwargs.pop("watchdog_cycles", None),
+        )
+        if kwargs:
+            raise FuzzerError(
+                f"options not supported with workers>1: {sorted(kwargs)}"
+            )
+        return run_fleet(jobs, workers=workers,
+                         **(fleet_options or {})).results
 
     def _path(name: str) -> Optional[str]:
         if checkpoint_dir is None:
@@ -224,14 +290,21 @@ def run_all_campaigns(
         safe = name.replace("/", "_")
         return os.path.join(checkpoint_dir, f"campaign_{safe}.json")
 
+    def _kwargs() -> dict:
+        # per-firmware fault plan, rebuilt from the spec exactly as a
+        # fleet worker would, so sequential and fleet sweeps match
+        if not faults:
+            return kwargs
+        return dict(kwargs, fault_plan=plan_for(faults, seed=seed))
+
     if seeds is not None:
         return [
             run_campaign_repeated(spec.name, budget=budget, seeds=seeds,
-                                  **kwargs)
+                                  **_kwargs())
             for spec in all_firmware()
         ]
     return [
         run_campaign(spec.name, budget=budget, seed=seed,
-                     checkpoint_path=_path(spec.name), **kwargs)
+                     checkpoint_path=_path(spec.name), **_kwargs())
         for spec in all_firmware()
     ]

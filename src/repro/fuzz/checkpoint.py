@@ -26,8 +26,8 @@ import json
 import os
 from typing import List, Optional
 
-from repro.errors import FuzzerError
-from repro.fuzz.diagnostics import CrashRecord
+from repro.errors import CheckpointError, FuzzerError
+from repro.fuzz.diagnostics import CampaignDiagnostics, CrashRecord
 from repro.fuzz.engine import Finding, FuzzerEngine
 from repro.fuzz.program import Program
 from repro.sanitizers.runtime.reports import BugType, SanitizerReport
@@ -160,9 +160,12 @@ def restore_engine(fuzzer: FuzzerEngine, state: dict, firmware: str) -> None:
     rather than silently producing a different campaign.
     """
     if state.get("version") != FORMAT_VERSION:
-        raise FuzzerError(
-            f"checkpoint format {state.get('version')!r} not supported"
+        raise CheckpointError(
+            f"checkpoint format {state.get('version')!r} not supported "
+            f"(engine speaks version {FORMAT_VERSION})"
         )
+    if "firmware" not in state or "seed" not in state:
+        raise CheckpointError("checkpoint is missing its identity fields")
     if state["firmware"] != firmware:
         raise FuzzerError(
             f"checkpoint is for firmware {state['firmware']!r}, "
@@ -173,29 +176,101 @@ def restore_engine(fuzzer: FuzzerEngine, state: dict, firmware: str) -> None:
             f"checkpoint was taken with seed {state['seed']}, "
             f"engine has seed {fuzzer.seed}"
         )
-    fuzzer.execs = state["execs"]
-    fuzzer.crashes = state["crashes"]
-    fuzzer.host_crashes = state["host_crashes"]
-    fuzzer.degraded = state["degraded"]
-    fuzzer._watchdog_trips_retired = state.get("watchdog_trips", 0)
-    fuzzer.rng.setstate(_rng_state_from_json(state["rng_state"]))
-    fuzzer.corpus = [Program.from_json(p) for p in state["corpus"]]
-    fuzzer._triage = [Program.from_json(p) for p in state["triage"]]
-    fuzzer.findings = {}
-    for entry in state["findings"]:
-        finding = _finding_from_json(entry)
-        fuzzer.findings[finding.key] = finding
-    fuzzer.quarantined = [
-        CrashRecord.from_json(entry) for entry in state["quarantined"]
-    ]
-    if fuzzer.fault_plan is not None and "fault_rng_state" in state:
-        fuzzer.fault_plan.load_rng_state(
-            _rng_state_from_json(state["fault_rng_state"])
-        )
+    try:
+        fuzzer.execs = state["execs"]
+        fuzzer.crashes = state["crashes"]
+        fuzzer.host_crashes = state["host_crashes"]
+        fuzzer.degraded = state["degraded"]
+        fuzzer._watchdog_trips_retired = state.get("watchdog_trips", 0)
+        fuzzer.rng.setstate(_rng_state_from_json(state["rng_state"]))
+        fuzzer.corpus = [Program.from_json(p) for p in state["corpus"]]
+        fuzzer._triage = [Program.from_json(p) for p in state["triage"]]
+        fuzzer.findings = {}
+        for entry in state["findings"]:
+            finding = _finding_from_json(entry)
+            fuzzer.findings[finding.key] = finding
+        fuzzer.quarantined = [
+            CrashRecord.from_json(entry) for entry in state["quarantined"]
+        ]
+        if fuzzer.fault_plan is not None and "fault_rng_state" in state:
+            fuzzer.fault_plan.load_rng_state(
+                _rng_state_from_json(state["fault_rng_state"])
+            )
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        # the engine may be partially mutated at this point; callers
+        # recover by constructing a fresh one (see run_campaign)
+        raise CheckpointError(
+            f"checkpoint payload is structurally broken: {exc!r}"
+        ) from exc
     # checkpoints are written at refresh boundaries: the engine starts
     # from a fresh target with an empty session, matching that state
     fuzzer._session.clear()
     fuzzer._execs_since_refresh = 0
+
+
+# ----------------------------------------------------------------------
+# campaign results (cross-process transport + byte-identity checks)
+# ----------------------------------------------------------------------
+def result_to_json(result) -> dict:
+    """Serialize a :class:`~repro.fuzz.campaign.CampaignResult`.
+
+    Used by fleet workers to ship results over the supervisor's queue
+    and by the determinism tests: two campaign runs are byte-identical
+    iff their ``json.dumps(result_to_json(r), sort_keys=True)`` agree.
+    """
+    return {
+        "firmware": result.firmware,
+        "fuzzer": result.fuzzer,
+        "execs": result.execs,
+        "coverage": result.coverage,
+        "crashes": result.crashes,
+        "seed": result.seed,
+        "budget": result.budget,
+        "findings": [_finding_to_json(f) for f in result.findings],
+        "matched": {
+            bug_id: _key_to_json(finding.key)
+            for bug_id, finding in result.matched.items()
+        },
+        "missed": [record.bug_id for record in result.missed],
+        "diagnostics": (
+            None if result.diagnostics is None
+            else result.diagnostics.to_json()
+        ),
+    }
+
+
+def result_from_json(data: dict):
+    """Rebuild a :class:`~repro.fuzz.campaign.CampaignResult`."""
+    from repro.bugs.catalog import record_by_id
+    from repro.fuzz.campaign import CampaignResult
+
+    findings = [_finding_from_json(entry) for entry in data["findings"]]
+    by_key = {finding.key: finding for finding in findings}
+    matched = {}
+    for bug_id, key in data["matched"].items():
+        try:
+            matched[bug_id] = by_key[_key_from_json(key)]
+        except KeyError:
+            raise CheckpointError(
+                f"matched bug {bug_id!r} references a finding key "
+                f"absent from the findings list"
+            ) from None
+    return CampaignResult(
+        firmware=data["firmware"],
+        fuzzer=data["fuzzer"],
+        execs=data["execs"],
+        coverage=data["coverage"],
+        crashes=data["crashes"],
+        findings=findings,
+        matched=matched,
+        missed=[record_by_id(bug_id) for bug_id in data["missed"]],
+        seed=data["seed"],
+        budget=data["budget"],
+        diagnostics=(
+            None if data["diagnostics"] is None
+            else CampaignDiagnostics.from_json(data["diagnostics"])
+        ),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -213,8 +288,28 @@ def save_checkpoint(
 
 
 def load_checkpoint(path: str) -> Optional[dict]:
-    """Read a checkpoint file; None when it does not exist."""
+    """Read a checkpoint file; None when it does not exist.
+
+    A file that exists but cannot be parsed — truncated by a hard kill
+    of a pre-atomic-write tool, hand-edited, disk corruption — raises
+    :class:`CheckpointError` instead of a raw traceback, so callers can
+    uniformly treat the job as "start from scratch".
+    """
     if not os.path.exists(path):
         return None
-    with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            state = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"not a valid checkpoint (truncated or corrupt): {exc}",
+            path=path,
+        ) from exc
+    except OSError as exc:
+        raise CheckpointError(f"unreadable: {exc}", path=path) from exc
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"expected a checkpoint object, found {type(state).__name__}",
+            path=path,
+        )
+    return state

@@ -105,7 +105,13 @@ def capture_crash(engine, program: Program, exc: BaseException) -> CrashRecord:
 
 @dataclass
 class CampaignDiagnostics:
-    """Robustness telemetry for one campaign."""
+    """Robustness telemetry for one campaign.
+
+    A repeated campaign (:func:`repro.fuzz.campaign.run_campaign_repeated`)
+    merges each seed's diagnostics into one record via :meth:`merge`:
+    counters sum, quarantine lists concatenate, ``seeds`` lists every
+    contributing seed, so no seed's crash records are silently dropped.
+    """
 
     firmware: str
     seed: int
@@ -115,6 +121,27 @@ class CampaignDiagnostics:
     degraded: bool = False
     watchdog_trips: int = 0
     fault_stats: Dict[str, int] = field(default_factory=dict)
+    #: set when a corrupt checkpoint was discarded at resume time
+    #: (holds the one-line diagnosis; the job restarted from scratch)
+    checkpoint_discarded: Optional[str] = None
+    #: every seed merged into this record (None for a single-seed run)
+    seeds: Optional[List[int]] = None
+
+    def merge(self, other: "CampaignDiagnostics") -> "CampaignDiagnostics":
+        """Fold another seed's diagnostics into this record (in place)."""
+        if self.seeds is None:
+            self.seeds = [self.seed]
+        self.seeds.append(other.seed)
+        self.budget += other.budget
+        self.quarantined.extend(other.quarantined)
+        self.host_crashes += other.host_crashes
+        self.degraded = self.degraded or other.degraded
+        self.watchdog_trips += other.watchdog_trips
+        for key, value in other.fault_stats.items():
+            self.fault_stats[key] = self.fault_stats.get(key, 0) + value
+        if self.checkpoint_discarded is None:
+            self.checkpoint_discarded = other.checkpoint_discarded
+        return self
 
     def to_json(self) -> dict:
         """JSON-encodable form for the CI artifact."""
@@ -127,6 +154,8 @@ class CampaignDiagnostics:
             "watchdog_trips": self.watchdog_trips,
             "fault_stats": dict(self.fault_stats),
             "quarantined": [record.to_json() for record in self.quarantined],
+            "checkpoint_discarded": self.checkpoint_discarded,
+            "seeds": None if self.seeds is None else list(self.seeds),
         }
 
     @staticmethod
@@ -144,6 +173,9 @@ class CampaignDiagnostics:
             degraded=data.get("degraded", False),
             watchdog_trips=data.get("watchdog_trips", 0),
             fault_stats=dict(data.get("fault_stats", {})),
+            checkpoint_discarded=data.get("checkpoint_discarded"),
+            seeds=(None if data.get("seeds") is None
+                   else list(data["seeds"])),
         )
 
     def summary(self) -> str:
@@ -153,6 +185,125 @@ class CampaignDiagnostics:
             bits.append(f"{self.watchdog_trips} watchdog trip(s)")
         if self.fault_stats.get("alloc_failures"):
             bits.append(f"{self.fault_stats['alloc_failures']} alloc fault(s)")
+        if self.checkpoint_discarded:
+            bits.append(f"checkpoint discarded ({self.checkpoint_discarded})")
         if self.degraded:
             bits.append("DEGRADED: crash budget exhausted")
+        return ", ".join(bits)
+
+
+@dataclass
+class JobDiagnostics:
+    """Supervision history for one fleet job across all its attempts."""
+
+    job_id: str
+    firmware: str
+    seed: int
+    attempts: int = 0
+    #: one entry per worker death: {attempt, cause, backoff, resumed}
+    restarts: List[Dict] = field(default_factory=list)
+    heartbeats: int = 0
+    #: largest observed gap between consecutive liveness signals (s)
+    max_heartbeat_gap: float = 0.0
+    #: the retry budget ran out (or the job was unstartable)
+    degraded: bool = False
+    #: why the job was declared degraded, when it was
+    degraded_cause: Optional[str] = None
+    #: the completed campaign's own diagnostics (None until done)
+    campaign: Optional[CampaignDiagnostics] = None
+
+    def to_json(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "firmware": self.firmware,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "restarts": [dict(entry) for entry in self.restarts],
+            "heartbeats": self.heartbeats,
+            "max_heartbeat_gap": round(self.max_heartbeat_gap, 3),
+            "degraded": self.degraded,
+            "degraded_cause": self.degraded_cause,
+            "campaign": (None if self.campaign is None
+                         else self.campaign.to_json()),
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "JobDiagnostics":
+        return JobDiagnostics(
+            job_id=data["job_id"],
+            firmware=data["firmware"],
+            seed=data["seed"],
+            attempts=data.get("attempts", 0),
+            restarts=[dict(entry) for entry in data.get("restarts", [])],
+            heartbeats=data.get("heartbeats", 0),
+            max_heartbeat_gap=data.get("max_heartbeat_gap", 0.0),
+            degraded=data.get("degraded", False),
+            degraded_cause=data.get("degraded_cause"),
+            campaign=(None if data.get("campaign") is None
+                      else CampaignDiagnostics.from_json(data["campaign"])),
+        )
+
+
+@dataclass
+class FleetDiagnostics:
+    """Fleet-level supervision record aggregating every job's history."""
+
+    workers: int
+    heartbeat_timeout: float
+    max_retries: int
+    backoff_base: float
+    jobs: List[JobDiagnostics] = field(default_factory=list)
+    wall_time: float = 0.0
+    events_logged: int = 0
+
+    def job(self, job_id: str) -> Optional[JobDiagnostics]:
+        """Look up one job's record by id."""
+        for record in self.jobs:
+            if record.job_id == job_id:
+                return record
+        return None
+
+    def degraded_jobs(self) -> List[JobDiagnostics]:
+        """Jobs that exhausted their retry budget."""
+        return [record for record in self.jobs if record.degraded]
+
+    def total_restarts(self) -> int:
+        """Worker deaths recovered across the whole fleet."""
+        return sum(len(record.restarts) for record in self.jobs)
+
+    def to_json(self) -> dict:
+        return {
+            "workers": self.workers,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "wall_time": round(self.wall_time, 3),
+            "events_logged": self.events_logged,
+            "jobs": [record.to_json() for record in self.jobs],
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "FleetDiagnostics":
+        return FleetDiagnostics(
+            workers=data["workers"],
+            heartbeat_timeout=data["heartbeat_timeout"],
+            max_retries=data["max_retries"],
+            backoff_base=data["backoff_base"],
+            jobs=[JobDiagnostics.from_json(entry)
+                  for entry in data.get("jobs", [])],
+            wall_time=data.get("wall_time", 0.0),
+            events_logged=data.get("events_logged", 0),
+        )
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        done = sum(1 for record in self.jobs if not record.degraded)
+        bits = [f"{done}/{len(self.jobs)} job(s) completed"]
+        restarts = self.total_restarts()
+        if restarts:
+            bits.append(f"{restarts} worker death(s) recovered")
+        degraded = self.degraded_jobs()
+        if degraded:
+            names = ", ".join(record.job_id for record in degraded)
+            bits.append(f"DEGRADED: {names}")
         return ", ".join(bits)

@@ -1,0 +1,528 @@
+"""Supervised multi-process campaign fleet.
+
+``run_all_campaigns`` sweeps the Table-1 catalog; this module makes
+that sweep survivable and parallel.  A :class:`FleetSupervisor` shards
+``(firmware, seed)`` campaign jobs across up to ``workers`` spawned
+processes (``spawn`` context, so a wedged worker can be SIGKILLed
+outright without corrupting shared state), watches per-worker
+heartbeats on a result queue, and treats worker death — crash, OOM
+kill, operator SIGKILL, heartbeat silence — as a routine, recoverable
+event: the job restarts with exponential backoff and resumes from its
+last checkpoint file.  After ``max_retries`` restarts the job is
+marked *degraded* and the fleet moves on, so one pathological firmware
+can never stall the sweep.
+
+Determinism contract (CI-enforced): because every job re-runs
+``run_campaign`` with identical arguments and owns its RNG stream, the
+fleet's merged result list — ordered by job submission, never by
+completion — is byte-identical to a sequential sweep with the same
+seeds, regardless of worker count, interleaving, or how many times
+workers were killed and resumed mid-job.
+
+Observability: every supervision decision is appended to a structured
+JSONL event log (``job_started``, ``heartbeat``, ``worker_died``,
+``job_resumed``, ``checkpoint_discarded``, ``job_degraded``,
+``job_done``, ``fleet_done``) and aggregated into a
+:class:`~repro.fuzz.diagnostics.FleetDiagnostics` record that nests
+each completed campaign's own ``CampaignDiagnostics``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import FuzzerError
+from repro.fuzz.diagnostics import FleetDiagnostics, JobDiagnostics
+
+#: seconds between worker heartbeats
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+#: liveness timeout: a silent worker is declared hung after this long
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+#: restarts granted per job before it is marked degraded
+DEFAULT_MAX_RETRIES = 3
+#: first retry delay; doubles per subsequent retry of the same job
+DEFAULT_BACKOFF_BASE = 0.5
+DEFAULT_BACKOFF_FACTOR = 2.0
+#: supervisor event-queue poll granularity (also bounds loop latency)
+_POLL = 0.05
+#: grace period for a cleanly exited worker's terminal message to
+#: drain from the queue before its silence is ruled a death
+_DRAIN_GRACE = 1.0
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One unit of fleet work: a single firmware campaign.
+
+    ``seeds`` switches the job to a repeated (multi-seed, merged)
+    campaign; otherwise ``seed`` runs a single campaign that
+    checkpoints into ``checkpoint_path`` and resumes from it after a
+    worker death.  ``faults`` is the fault-plan DSL string (plans are
+    rebuilt per job from ``fault_seed`` so RNG streams never cross job
+    boundaries).
+    """
+
+    job_id: str
+    firmware: str
+    budget: int
+    seed: int = 0
+    seeds: Optional[Tuple[int, ...]] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0
+    faults: Optional[str] = None
+    fault_seed: Optional[int] = None
+    crash_budget: Optional[int] = None
+    watchdog_insns: Optional[int] = None
+    watchdog_cycles: Optional[float] = None
+    sanitizers: Optional[Tuple[str, ...]] = None
+
+    def payload(self, attempt: int, heartbeat_interval: float) -> dict:
+        """The JSON-encodable dict handed to ``worker_main``."""
+        return {
+            "job_id": self.job_id,
+            "attempt": attempt,
+            "heartbeat_interval": heartbeat_interval,
+            "firmware": self.firmware,
+            "budget": self.budget,
+            "seed": self.seed,
+            "seeds": None if self.seeds is None else list(self.seeds),
+            "checkpoint_path": self.checkpoint_path,
+            "checkpoint_every": self.checkpoint_every,
+            "faults": self.faults,
+            "fault_seed": (self.seed if self.fault_seed is None
+                           else self.fault_seed),
+            "crash_budget": self.crash_budget,
+            "watchdog_insns": self.watchdog_insns,
+            "watchdog_cycles": self.watchdog_cycles,
+            "sanitizers": (None if self.sanitizers is None
+                           else list(self.sanitizers)),
+        }
+
+
+@dataclass
+class FleetResult:
+    """Everything a finished fleet produced."""
+
+    #: per-job campaign results in job *submission* order (the merge is
+    #: deterministic by construction); ``None`` where a job degraded
+    results: List[Optional[object]]
+    diagnostics: FleetDiagnostics
+    #: the full structured event stream (also on disk when
+    #: ``events_path`` was configured)
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any job exhausted its retry budget."""
+        return any(result is None for result in self.results)
+
+    def completed(self) -> List[object]:
+        """The successful results, submission order preserved."""
+        return [result for result in self.results if result is not None]
+
+
+class _JobState:
+    """Supervisor-side bookkeeping for one job."""
+
+    __slots__ = ("job", "status", "process", "queue", "attempt",
+                 "last_signal", "not_before", "dead_since", "death_cause",
+                 "diag", "result", "discard_logged")
+
+    def __init__(self, job: CampaignJob):
+        self.job = job
+        self.status = "waiting"  # waiting | running | done | degraded
+        self.process = None
+        #: per-attempt event queue.  Each attempt gets a FRESH queue on
+        #: purpose: SIGKILLing a worker mid-``put`` can leave the
+        #: queue's shared write-lock held forever, and a shared queue
+        #: would wedge every other worker's messages with it.  With one
+        #: queue per attempt, a kill can only poison the dying worker's
+        #: own channel, which dies with it.
+        self.queue = None
+        self.attempt = 0
+        self.last_signal = 0.0
+        self.not_before = 0.0  # backoff deadline (monotonic)
+        self.dead_since = None  # first time the process was seen dead
+        self.death_cause = None
+        self.diag = JobDiagnostics(
+            job_id=job.job_id, firmware=job.firmware, seed=job.seed,
+        )
+        self.result = None
+        self.discard_logged = False
+
+    def drop_queue(self) -> None:
+        """Discard the current attempt's queue (worker is gone)."""
+        if self.queue is not None:
+            self.queue.cancel_join_thread()
+            self.queue.close()
+            self.queue = None
+
+
+class FleetSupervisor:
+    """Shard campaign jobs across supervised worker processes."""
+
+    def __init__(
+        self,
+        jobs: Sequence[CampaignJob],
+        workers: int = 2,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_factor: float = DEFAULT_BACKOFF_FACTOR,
+        events_path: Optional[str] = None,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ):
+        if workers < 1:
+            raise FuzzerError(f"fleet needs >= 1 worker, got {workers}")
+        if not jobs:
+            raise FuzzerError("fleet needs at least one job")
+        seen = set()
+        for job in jobs:
+            if job.job_id in seen:
+                raise FuzzerError(f"duplicate job id {job.job_id!r}")
+            seen.add(job.job_id)
+        self.jobs = list(jobs)
+        self.workers = workers
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.events_path = events_path
+        #: observation hook, called with every event record as it is
+        #: logged — the test suite and the CI chaos job use it to
+        #: inject failures (SIGKILL/SIGSTOP) at precise fleet states;
+        #: exceptions it raises abort the fleet
+        self.on_event = on_event
+        self._events: List[dict] = []
+        self._events_fh = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetResult:
+        """Run every job to completion (or degradation); block until done."""
+        ctx = multiprocessing.get_context("spawn")
+        states = [_JobState(job) for job in self.jobs]
+        started_wall = time.time()
+        started = time.monotonic()
+        if self.events_path:
+            self._events_fh = open(self.events_path, "w", encoding="utf-8")
+        try:
+            self._emit("fleet_started", jobs=len(states),
+                       workers=self.workers,
+                       heartbeat_timeout=self.heartbeat_timeout,
+                       max_retries=self.max_retries)
+            while any(s.status in ("waiting", "running") for s in states):
+                self._fill_slots(ctx, states)
+                self._pump(states)
+                self._check_liveness(states)
+            self._emit(
+                "fleet_done",
+                jobs=len(states),
+                completed=sum(1 for s in states if s.status == "done"),
+                degraded=[s.job.job_id for s in states
+                          if s.status == "degraded"],
+                restarts=sum(len(s.diag.restarts) for s in states),
+                wall_time=round(time.monotonic() - started, 3),
+            )
+        finally:
+            for state in states:
+                process = state.process
+                if process is not None and process.is_alive():
+                    process.kill()
+                    process.join(timeout=5)
+                state.drop_queue()
+            if self._events_fh is not None:
+                self._events_fh.close()
+                self._events_fh = None
+        diagnostics = FleetDiagnostics(
+            workers=self.workers,
+            heartbeat_timeout=self.heartbeat_timeout,
+            max_retries=self.max_retries,
+            backoff_base=self.backoff_base,
+            jobs=[state.diag for state in states],
+            wall_time=time.time() - started_wall,
+            events_logged=len(self._events),
+        )
+        return FleetResult(
+            results=[state.result for state in states],
+            diagnostics=diagnostics,
+            events=list(self._events),
+        )
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _fill_slots(self, ctx, states: List[_JobState]) -> None:
+        now = time.monotonic()
+        running = sum(1 for s in states if s.status == "running")
+        for state in states:
+            if running >= self.workers:
+                return
+            if state.status != "waiting" or state.not_before > now:
+                continue
+            self._start(ctx, state)
+            running += 1
+
+    def _start(self, ctx, state: _JobState) -> None:
+        from repro.fuzz.worker import worker_main
+
+        state.attempt += 1
+        state.diag.attempts += 1
+        state.dead_since = None
+        state.death_cause = None
+        state.queue = ctx.Queue()
+        payload = state.job.payload(state.attempt, self.heartbeat_interval)
+        process = ctx.Process(
+            target=worker_main,
+            args=(payload, state.queue),
+            name=f"fleet-{state.job.job_id}-a{state.attempt}",
+            daemon=True,
+        )
+        process.start()
+        state.process = process
+        state.status = "running"
+        state.last_signal = time.monotonic()
+        path = state.job.checkpoint_path
+        if state.attempt == 1:
+            self._emit("job_started", job=state.job.job_id,
+                       firmware=state.job.firmware, seed=state.job.seed,
+                       budget=state.job.budget, pid=process.pid)
+        else:
+            self._emit("job_resumed", job=state.job.job_id,
+                       attempt=state.attempt, pid=process.pid,
+                       from_checkpoint=bool(path and os.path.exists(path)))
+
+    # ------------------------------------------------------------------
+    # event-queue pump
+    # ------------------------------------------------------------------
+    def _pump(self, states: List[_JobState]) -> None:
+        by_id = {state.job.job_id: state for state in states}
+        drained_any = False
+        for state in states:
+            queue = state.queue
+            if queue is None:
+                continue
+            while True:
+                try:
+                    message = queue.get_nowait()
+                except Empty:
+                    break
+                except Exception:
+                    # a killed worker can leave its (private) queue
+                    # holding a truncated pickle; the liveness check
+                    # will rule on the death, nothing to drain here
+                    break
+                drained_any = True
+                self._handle(by_id, message)
+        if not drained_any:
+            time.sleep(_POLL)
+
+    def _handle(self, by_id, message) -> None:
+        kind, job_id, attempt, payload = message
+        state = by_id.get(job_id)
+        if state is None:
+            return
+        now = time.monotonic()
+        if kind == "heartbeat":
+            if state.status == "running" and attempt == state.attempt:
+                gap = now - state.last_signal
+                state.diag.max_heartbeat_gap = max(
+                    state.diag.max_heartbeat_gap, gap)
+                state.last_signal = now
+                state.diag.heartbeats += 1
+                self._emit("heartbeat", job=job_id, attempt=attempt,
+                           elapsed=payload.get("elapsed"),
+                           gap=round(gap, 3))
+        elif kind == "started":
+            if state.status == "running" and attempt == state.attempt:
+                state.last_signal = now
+                if payload.get("checkpoint_corrupt") and \
+                        not state.discard_logged:
+                    state.discard_logged = True
+                    self._emit("checkpoint_discarded", job=job_id,
+                               attempt=attempt,
+                               reason=payload["checkpoint_corrupt"])
+        elif kind == "result":
+            if state.status in ("done", "degraded"):
+                return  # duplicate from a stale attempt: same bytes
+            from repro.fuzz.checkpoint import result_from_json
+
+            result = result_from_json(payload)
+            state.result = result
+            state.status = "done"
+            state.diag.campaign = result.diagnostics
+            diagnostics = result.diagnostics
+            if diagnostics is not None and \
+                    diagnostics.checkpoint_discarded and \
+                    not state.discard_logged:
+                state.discard_logged = True
+                self._emit("checkpoint_discarded", job=job_id,
+                           attempt=attempt,
+                           reason=diagnostics.checkpoint_discarded)
+            self._emit(
+                "job_done", job=job_id, attempt=attempt,
+                execs=result.execs, crashes=result.crashes,
+                found=result.found_count(),
+                census=result.census(),
+                campaign_degraded=bool(diagnostics is not None
+                                       and diagnostics.degraded),
+            )
+        elif kind == "failed":
+            if state.status == "running" and attempt == state.attempt:
+                # remember the structured cause; the exit-code path in
+                # _check_liveness turns it into a death ruling
+                state.death_cause = (
+                    f"worker-error:{payload['exc_type']}: "
+                    f"{payload['message']}"
+                )
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def _check_liveness(self, states: List[_JobState]) -> None:
+        now = time.monotonic()
+        for state in states:
+            process = state.process
+            if process is None:
+                continue
+            if state.status in ("done", "degraded"):
+                if not process.is_alive() or state.status == "degraded":
+                    process.join(timeout=5)
+                    state.process = None
+                    state.drop_queue()
+                continue
+            if not process.is_alive():
+                # dead process: grant a short grace for its terminal
+                # message (result/failed) still draining the queue —
+                # except signal deaths, which can never have sent one
+                exitcode = process.exitcode
+                if state.dead_since is None:
+                    state.dead_since = now
+                terminal_known = state.death_cause is not None
+                signal_death = exitcode is not None and exitcode < 0
+                grace_over = now - state.dead_since > _DRAIN_GRACE
+                if terminal_known or signal_death or grace_over:
+                    process.join(timeout=5)
+                    state.process = None
+                    state.drop_queue()
+                    self._on_death(state, state.death_cause
+                                   or _exit_cause(exitcode))
+            elif now - state.last_signal > self.heartbeat_timeout:
+                # heartbeat silence: the process is schedulable-dead
+                # (SIGSTOP, swap thrash, runaway C loop); kill it hard
+                process.kill()
+                process.join(timeout=5)
+                state.process = None
+                state.drop_queue()
+                self._on_death(
+                    state,
+                    f"heartbeat-timeout:{self.heartbeat_timeout}s",
+                )
+
+    def _on_death(self, state: _JobState, cause: str) -> None:
+        state.dead_since = None
+        state.death_cause = None
+        if state.attempt > self.max_retries:
+            state.status = "degraded"
+            state.diag.degraded = True
+            state.diag.degraded_cause = cause
+            self._emit("job_degraded", job=state.job.job_id,
+                       attempts=state.attempt, cause=cause)
+            return
+        backoff = self.backoff_base * (
+            self.backoff_factor ** (state.attempt - 1)
+        )
+        state.status = "waiting"
+        state.not_before = time.monotonic() + backoff
+        state.diag.restarts.append({
+            "attempt": state.attempt,
+            "cause": cause,
+            "backoff": round(backoff, 3),
+        })
+        self._emit("worker_died", job=state.job.job_id,
+                   attempt=state.attempt, cause=cause,
+                   backoff=round(backoff, 3))
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, **fields) -> None:
+        record = {"ts": round(time.time(), 6), "event": event, **fields}
+        self._events.append(record)
+        if self._events_fh is not None:
+            self._events_fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._events_fh.flush()
+        if self.on_event is not None:
+            self.on_event(record)
+
+
+def _exit_cause(exitcode: Optional[int]) -> str:
+    """Human-readable worker exit classification."""
+    if exitcode is None:
+        return "exit:unknown"
+    if exitcode < 0:
+        try:
+            return f"signal:{signal.Signals(-exitcode).name}"
+        except ValueError:
+            return f"signal:{-exitcode}"
+    return f"exit:{exitcode}"
+
+
+# ----------------------------------------------------------------------
+# catalog-level conveniences
+# ----------------------------------------------------------------------
+def make_jobs(
+    budget: int,
+    seed: int = 0,
+    seeds: Optional[Sequence[int]] = None,
+    firmware: Optional[Sequence[str]] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+    faults: Optional[str] = None,
+    crash_budget: Optional[int] = None,
+    watchdog_insns: Optional[int] = None,
+    watchdog_cycles: Optional[float] = None,
+) -> List[CampaignJob]:
+    """One job per Table-1 firmware (or per ``firmware`` subset)."""
+    from repro.firmware.registry import all_firmware, firmware_spec
+
+    if firmware is None:
+        names = [spec.name for spec in all_firmware()]
+    else:
+        names = [firmware_spec(name).name for name in firmware]
+
+    def _path(name: str) -> Optional[str]:
+        if checkpoint_dir is None:
+            return None
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        safe = name.replace("/", "_")
+        return os.path.join(checkpoint_dir, f"campaign_{safe}.json")
+
+    return [
+        CampaignJob(
+            job_id=name,
+            firmware=name,
+            budget=budget,
+            seed=seed,
+            seeds=None if seeds is None else tuple(seeds),
+            checkpoint_path=None if seeds is not None else _path(name),
+            checkpoint_every=checkpoint_every,
+            faults=faults,
+            crash_budget=crash_budget,
+            watchdog_insns=watchdog_insns,
+            watchdog_cycles=watchdog_cycles,
+        )
+        for name in names
+    ]
+
+
+def run_fleet(jobs: Sequence[CampaignJob], workers: int = 2,
+              **supervisor_kwargs) -> FleetResult:
+    """Run ``jobs`` under a :class:`FleetSupervisor` and return its result."""
+    return FleetSupervisor(jobs, workers=workers, **supervisor_kwargs).run()

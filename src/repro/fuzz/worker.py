@@ -1,0 +1,152 @@
+"""Fleet worker: one campaign job inside an expendable process.
+
+:func:`worker_main` is the ``spawn``-context entry point the
+:mod:`repro.fuzz.supervisor` launches one process per job attempt.  The
+worker's only side channel is the supervisor's event queue; everything
+it sends is a plain JSON-encodable tuple
+
+    (kind, job_id, attempt, payload)
+
+so a message from a stale attempt (a worker the supervisor already
+declared dead but whose queue writes were still in flight) can be
+recognized and discarded.  Message kinds:
+
+``started``
+    Posted before fuzzing begins; carries the pid, the exec count the
+    job resumed from (``None`` for a fresh start) and a diagnosis
+    string when an existing checkpoint had to be discarded as corrupt.
+``heartbeat``
+    Posted immediately and then every ``heartbeat_interval`` seconds by
+    a daemon thread.  Its absence past the supervisor's liveness
+    timeout is what declares this process hung.
+``result``
+    The completed campaign, serialized with
+    :func:`repro.fuzz.checkpoint.result_to_json`.
+``failed``
+    An exception escaped the campaign; carries the type, message and a
+    trimmed traceback.  The worker then exits nonzero.
+
+The worker never retries anything itself: retry policy, backoff and
+checkpoint-driven resume all belong to the supervisor, which simply
+starts a fresh attempt — ``run_campaign`` finds the last checkpoint on
+disk and continues from it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+import traceback
+
+
+def _liveness_loop(events, job_id: str, attempt: int, interval: float,
+                   stop: threading.Event) -> None:
+    """Post a heartbeat every ``interval`` seconds until stopped.
+
+    Runs on a daemon thread, so a SIGSTOP/SIGKILL of the process (or a
+    wedged interpreter) silences it — which is the point: heartbeats
+    prove the *process* is schedulable, while in-guest hangs are the
+    watchdog's job (see ``docs/robustness.md``).
+    """
+    start = time.monotonic()
+    while not stop.wait(interval):
+        events.put(("heartbeat", job_id, attempt, {
+            "pid": os.getpid(),
+            "elapsed": round(time.monotonic() - start, 3),
+        }))
+
+
+def _run_job(job: dict):
+    """Execute the campaign a job payload describes."""
+    from repro.emulator.faults import plan_for
+    from repro.fuzz.campaign import run_campaign, run_campaign_repeated
+
+    kwargs = {}
+    if job.get("faults"):
+        # per-job fault plan: each job owns its RNG stream, so a fleet
+        # member's faults never depend on sibling scheduling
+        kwargs["fault_plan"] = plan_for(
+            job["faults"],
+            seed=job.get("fault_seed", job.get("seed", 0)),
+        )
+    for key in ("crash_budget", "watchdog_insns", "watchdog_cycles"):
+        if job.get(key) is not None:
+            kwargs[key] = job[key]
+    if job.get("sanitizers") is not None:
+        kwargs["sanitizers"] = tuple(job["sanitizers"])
+    if job.get("seeds"):
+        # repeated campaigns restart from scratch on retry: their
+        # early-stop logic is inherently sequential across seeds
+        return run_campaign_repeated(
+            job["firmware"],
+            budget=job["budget"],
+            seeds=tuple(job["seeds"]),
+            **kwargs,
+        )
+    return run_campaign(
+        job["firmware"],
+        budget=job["budget"],
+        seed=job.get("seed", 0),
+        checkpoint_path=job.get("checkpoint_path"),
+        checkpoint_every=job.get("checkpoint_every", 0),
+        **kwargs,
+    )
+
+
+def worker_main(job: dict, events) -> None:
+    """Process entry point: run one job attempt, report, exit."""
+    job_id = job["job_id"]
+    attempt = job.get("attempt", 1)
+    stop = threading.Event()
+    failed = False
+    try:
+        from repro.errors import CheckpointError
+        from repro.fuzz.checkpoint import load_checkpoint, result_to_json
+
+        resumed_execs = None
+        checkpoint_corrupt = None
+        path = job.get("checkpoint_path")
+        if path is not None:
+            try:
+                state = load_checkpoint(path)
+                if state is not None:
+                    resumed_execs = state.get("execs")
+            except CheckpointError as exc:
+                # run_campaign will discard it the same way; surfacing
+                # the diagnosis early lets the supervisor log the event
+                # before the (budget-long) fresh run completes
+                checkpoint_corrupt = str(exc)
+        events.put(("started", job_id, attempt, {
+            "pid": os.getpid(),
+            "resumed_execs": resumed_execs,
+            "checkpoint_corrupt": checkpoint_corrupt,
+        }))
+        beats = threading.Thread(
+            target=_liveness_loop,
+            args=(events, job_id, attempt,
+                  job.get("heartbeat_interval", 1.0), stop),
+            name=f"heartbeat-{job_id}",
+            daemon=True,
+        )
+        beats.start()
+        result = _run_job(job)
+        stop.set()
+        events.put(("result", job_id, attempt, result_to_json(result)))
+    except BaseException as exc:  # report, then die loudly
+        stop.set()
+        failed = True
+        events.put(("failed", job_id, attempt, {
+            "pid": os.getpid(),
+            "exc_type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(limit=20),
+        }))
+    finally:
+        # flush the queue's feeder thread before the process exits so
+        # the terminal message is never lost to a fast shutdown
+        events.close()
+        events.join_thread()
+    if failed:
+        sys.exit(1)

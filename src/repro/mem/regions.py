@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 import enum
+import mmap
 from typing import Callable, Optional
 
 from repro.errors import BusError
+
+#: zero-filled regions at least this large use anonymous-mmap backing
+#: (lazily faulted zero pages) instead of an eagerly memset bytearray
+_MMAP_MIN = 1 << 20
 
 
 class Perm(enum.IntFlag):
@@ -46,7 +51,16 @@ class MemoryRegion:
         self.size = size
         self.perm = perm
         self.kind = kind
-        self.data = bytearray([fill & 0xFF]) * size
+        fill &= 0xFF
+        # Large zero-filled regions are backed by an anonymous mmap:
+        # the kernel hands out lazily faulted zero pages, so a 64 MiB
+        # DRAM region costs only the pages the guest actually touches.
+        # Rebuild-heavy fuzzing constructs regions thousands of times,
+        # and bytearray(size) memsets the whole span every time.
+        if fill == 0 and size >= _MMAP_MIN:
+            self.data = mmap.mmap(-1, size)
+        else:
+            self.data = bytearray([fill]) * size
 
     @property
     def end(self) -> int:

@@ -45,7 +45,10 @@ class _RegionShadow:
     def __init__(self, base: int, size: int, fill: int):
         self.base = base
         self.size = size
-        self.bytes = bytearray([fill]) * ((size + GRANULE - 1) // GRANULE)
+        granules = (size + GRANULE - 1) // GRANULE
+        # calloc-backed zero fill avoids touching every page up front
+        self.bytes = (bytearray(granules) if fill == 0
+                      else bytearray([fill]) * granules)
 
 
 class ShadowMemory:

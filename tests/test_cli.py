@@ -1,5 +1,7 @@
 """Tests: the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -14,6 +16,10 @@ class TestParser:
             ["probe", "InfiniTime", "--sanitizers", "kasan", "kcsan"],
             ["replay", "t2_01", "--deployment", "embsan-d"],
             ["fuzz", "InfiniTime", "--budget", "50", "--seed", "2"],
+            ["fuzz-all", "--workers", "2", "--budget", "100",
+             "--firmware", "InfiniTime", "--heartbeat-timeout", "10",
+             "--max-retries", "2", "--backoff", "0.1",
+             "--events-log", "events.jsonl"],
             ["overhead", "InfiniTime"],
             ["table2"],
         ):
@@ -58,3 +64,88 @@ class TestCommands:
         assert main(["overhead", "InfiniTime"]) == 0
         out = capsys.readouterr().out
         assert "embsan-d" in out and "x" in out
+
+
+class TestExitCodes:
+    def test_fuzz_exits_3_when_crash_budget_exhausted(self, capsys,
+                                                      monkeypatch):
+        monkeypatch.setattr(
+            "repro.fuzz.engine.FuzzTarget.execute",
+            lambda self, program, style: (_ for _ in ()).throw(
+                RuntimeError("boom")),
+        )
+        assert main(["fuzz", "InfiniTime", "--budget", "50", "--seed", "1",
+                     "--crash-budget", "3"]) == 3
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+
+    def test_fuzz_prints_corrupt_checkpoint_diagnosis(self, capsys,
+                                                      tmp_path):
+        path = str(tmp_path / "cp.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("}{ definitely not json")
+        assert main(["fuzz", "InfiniTime", "--budget", "60", "--seed", "1",
+                     "--checkpoint", path]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint discarded as corrupt" in out
+        assert "cp.json" in out
+
+    def test_fuzz_all_sequential_and_fleet_agree(self, capsys, tmp_path):
+        seq = str(tmp_path / "seq.json")
+        par = str(tmp_path / "par.json")
+        base = ["fuzz-all", "--budget", "150", "--seed", "1",
+                "--firmware", "InfiniTime",
+                "--firmware", "OpenHarmony-stm32f407"]
+        assert main(base + ["--results", seq]) == 0
+        assert main(base + ["--workers", "2", "--results", par,
+                            "--diagnostics", str(tmp_path / "fleet.json"),
+                            "--events-log",
+                            str(tmp_path / "events.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2/2 job(s) completed" in out
+        with open(seq, "rb") as a, open(par, "rb") as b:
+            assert a.read() == b.read()  # the byte-identity contract
+        diag = json.load(open(tmp_path / "fleet.json", encoding="utf-8"))
+        assert diag["workers"] == 2 and len(diag["jobs"]) == 2
+        events = [json.loads(line)
+                  for line in open(tmp_path / "events.jsonl",
+                                   encoding="utf-8")]
+        assert events[-1]["event"] == "fleet_done"
+
+    def test_fuzz_all_exits_3_when_a_campaign_degrades(self, capsys,
+                                                       monkeypatch):
+        monkeypatch.setattr(
+            "repro.fuzz.engine.FuzzTarget.execute",
+            lambda self, program, style: (_ for _ in ()).throw(
+                RuntimeError("boom")),
+        )
+        assert main(["fuzz-all", "--budget", "50", "--seed", "1",
+                     "--firmware", "InfiniTime", "--crash-budget", "3"]) == 3
+
+    def test_fuzz_all_exits_3_when_a_fleet_job_is_abandoned(self, capsys,
+                                                            monkeypatch):
+        # jobs built directly (bypassing catalog validation) can name a
+        # firmware the worker cannot build: every attempt fails, the
+        # retry budget runs out, and the fleet reports exit code 3
+        from repro.fuzz.supervisor import CampaignJob
+
+        monkeypatch.setattr(
+            "repro.fuzz.supervisor.make_jobs",
+            lambda **kw: [
+                CampaignJob(job_id="ok", firmware="InfiniTime",
+                            budget=50, seed=1),
+                CampaignJob(job_id="doomed", firmware="NoSuchFirmware",
+                            budget=50, seed=1),
+            ],
+        )
+        assert main(["fuzz-all", "--workers", "2", "--budget", "50",
+                     "--max-retries", "1", "--backoff", "0.01"]) == 3
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out and "NoSuchFirmware" in out
+
+    def test_fuzz_all_unknown_firmware_rejected(self):
+        from repro.errors import FirmwareBuildError
+
+        with pytest.raises(FirmwareBuildError):
+            main(["fuzz-all", "--budget", "10",
+                  "--firmware", "NoSuchFirmware"])

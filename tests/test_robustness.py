@@ -15,8 +15,14 @@ import pytest
 from repro.emulator.faults import FaultPlan, FaultPlanError, FlipRegion, plan_for
 from repro.emulator.snapshot import Checkpoint
 from repro.emulator.watchdog import Watchdog
-from repro.errors import BusError, FuzzerError, GuestFault, GuestHang
-from repro.fuzz.campaign import run_campaign
+from repro.errors import (
+    BusError,
+    CheckpointError,
+    FuzzerError,
+    GuestFault,
+    GuestHang,
+)
+from repro.fuzz.campaign import run_campaign, run_campaign_repeated
 from repro.fuzz.checkpoint import (
     engine_state,
     load_checkpoint,
@@ -429,6 +435,56 @@ class TestCheckpointResume:
             p.to_json() for p in fuzzer.corpus
         ]
 
+    def test_truncated_checkpoint_raises_checkpoint_error(self, tmp_path):
+        path = str(tmp_path / "cp.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"version": 1, "execs": 12')  # killed mid-write
+        with pytest.raises(CheckpointError) as info:
+            load_checkpoint(path)
+        assert "corrupt" in str(info.value)
+        # CheckpointError is a FuzzerError, so existing boundaries hold
+        assert isinstance(info.value, FuzzerError)
+
+    def test_non_object_checkpoint_rejected(self, tmp_path):
+        path = str(tmp_path / "cp.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('[1, 2, 3]')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_version_mismatch_is_checkpoint_error(self):
+        fuzzer = TardisFuzzer("InfiniTime", seed=1)
+        state = engine_state(fuzzer, "InfiniTime", 100)
+        state["version"] = 99
+        with pytest.raises(CheckpointError):
+            restore_engine(TardisFuzzer("InfiniTime", seed=1),
+                           state, "InfiniTime")
+
+    def test_structurally_broken_payload_is_checkpoint_error(self):
+        fuzzer = TardisFuzzer("InfiniTime", seed=1)
+        fuzzer.run(20)
+        state = json.loads(json.dumps(engine_state(fuzzer, "InfiniTime", 40)))
+        state["rng_state"] = ["bogus"]
+        with pytest.raises(CheckpointError):
+            restore_engine(TardisFuzzer("InfiniTime", seed=1),
+                           state, "InfiniTime")
+
+    def test_campaign_discards_corrupt_checkpoint_and_recovers(
+            self, tmp_path):
+        reference = run_campaign(
+            "InfiniTime", budget=200, seed=1,
+            checkpoint_path=str(tmp_path / "ref.json"))
+        path = str(tmp_path / "cp.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("garbage, not a checkpoint")
+        result = run_campaign("InfiniTime", budget=200, seed=1,
+                              checkpoint_path=path)
+        assert result.census() == reference.census()
+        assert result.execs == reference.execs
+        assert "corrupt" in result.diagnostics.checkpoint_discarded
+        # the campaign re-checkpointed over the corrupt file
+        assert load_checkpoint(path)["execs"] == 200
+
     def test_crash_records_survive_checkpoint(self, monkeypatch):
         fuzzer = TardisFuzzer("InfiniTime", seed=1, crash_budget=25)
         _hostile(monkeypatch, fuzzer, crashes_left=2)
@@ -457,6 +513,49 @@ class TestCampaignHardening:
         assert result.execs == 150
         assert not result.diagnostics.degraded
         assert result.diagnostics.fault_stats["alloc_failures"] > 0
+
+    def test_repeated_campaign_merges_diagnostics(self):
+        # a multi-seed run must aggregate every repetition's telemetry,
+        # not report only the first seed's
+        seeds = (1, 2)
+        singles = [
+            run_campaign("InfiniTime", budget=100, seed=seed,
+                         watchdog_insns=200, watchdog_cycles=50.0)
+            for seed in seeds
+        ]
+        # every seed misses at least one catalog row at this budget, so
+        # the repeated run cannot stop early
+        assert all(result.missed for result in singles)
+        merged = run_campaign_repeated("InfiniTime", budget=100, seeds=seeds,
+                                       watchdog_insns=200,
+                                       watchdog_cycles=50.0)
+        diag = merged.diagnostics
+        assert diag.seeds == list(seeds)
+        assert diag.budget == sum(r.diagnostics.budget for r in singles)
+        assert diag.watchdog_trips == sum(
+            r.diagnostics.watchdog_trips for r in singles)
+        assert diag.watchdog_trips > 0
+
+    def test_repeated_campaign_merges_quarantine_records(self, monkeypatch):
+        calls = {"n": 0}
+
+        def sometimes_bomb(self, program, style):
+            calls["n"] += 1
+            if calls["n"] % 37 == 0:
+                raise RuntimeError("intermittent host explosion")
+            return original(self, program, style)
+
+        from repro.fuzz.engine import FuzzTarget
+
+        original = FuzzTarget.execute
+        monkeypatch.setattr(FuzzTarget, "execute", sometimes_bomb)
+        # budget 40 leaves rows missed after seed 1, so both seeds run
+        merged = run_campaign_repeated("InfiniTime", budget=40,
+                                       seeds=(1, 2), crash_budget=50)
+        diag = merged.diagnostics
+        assert diag.seeds == [1, 2]
+        assert diag.host_crashes == len(diag.quarantined)
+        assert diag.host_crashes >= 2  # crashes from both repetitions kept
 
     def test_tight_watchdog_reports_hangs(self):
         result = run_campaign("InfiniTime", budget=100, seed=3,
