@@ -1,0 +1,98 @@
+"""CI perf-regression gate for the TCG specialization benchmark.
+
+Compares a freshly measured ``BENCH_tcg.json`` against the committed
+baseline and fails (exit 1) when any gated throughput metric dropped by
+more than ``--max-drop`` (default 25%).  The gated metrics are the two
+specialized-engine rates the paper's speedup claims rest on:
+
+* ``spec_bare.insn_per_sec``        — bare specialized TCG throughput
+* ``spec_kasan_kcsan.insn_per_sec`` — fully sanitized throughput
+
+Improvements and small fluctuations pass; CI runners are noisy, which
+is why the threshold is generous and why only *relative* drops gate.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE CURRENT \
+        [--max-drop 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (json key, metric) pairs whose regression fails the gate
+GATED = (
+    ("spec_bare", "insn_per_sec"),
+    ("spec_kasan_kcsan", "insn_per_sec"),
+)
+
+
+def load(path: str) -> dict:
+    """Read one benchmark JSON document."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read benchmark file {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def check(baseline: dict, current: dict, max_drop: float) -> list:
+    """Return [(name, base, cur, drop)] for every gated regression."""
+    failures = []
+    for key, metric in GATED:
+        name = f"{key}.{metric}"
+        try:
+            base = float(baseline[key][metric])
+            cur = float(current[key][metric])
+        except (KeyError, TypeError, ValueError):
+            failures.append((name, None, None, None))
+            continue
+        if base <= 0:
+            continue
+        drop = (base - cur) / base
+        status = "FAIL" if drop > max_drop else "ok"
+        row = f"baseline {base:14,.0f}  current {cur:14,.0f}  change {-drop:+7.1%}"
+        print(f"{status:4s} {name:32s} {row}")
+        if drop > max_drop:
+            failures.append((name, base, cur, drop))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_tcg.json")
+    parser.add_argument("current", help="freshly measured BENCH_tcg.json")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.25,
+        help="relative throughput drop tolerated (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures = check(baseline, current, args.max_drop)
+    if failures:
+        print()
+        for name, base, cur, drop in failures:
+            if drop is None:
+                print(f"error: metric {name} missing from a file", file=sys.stderr)
+            else:
+                arrow = f"{base:,.0f} -> {cur:,.0f}"
+                allowed = f"> {args.max_drop:.0%} allowed"
+                print(
+                    f"error: {name} regressed {drop:.1%} ({allowed}): {arrow}",
+                    file=sys.stderr,
+                )
+        return 1
+    limit = f"{args.max_drop:.0%}"
+    print(f"perf gate passed: no gated metric dropped more than {limit}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

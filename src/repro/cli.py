@@ -8,6 +8,7 @@ Subcommands mirror the paper's workflow:
 * ``fuzz``     — run a fuzzing campaign with EMBSAN attached
 * ``fuzz-all`` — the full Table-3 sweep, optionally as a supervised
   multi-process fleet (``--workers N``)
+* ``stats``    — render a ``--metrics`` JSON file as a readable table
 * ``overhead`` — measure Figure-2 slowdowns for one or all firmware
 * ``table2``   — the known-bug detection matrix
 
@@ -70,13 +71,36 @@ def _cmd_replay(args) -> int:
     return 0 if result.detected else 1
 
 
+def _make_observer(args):
+    """Build an Observer when ``--metrics``/``--trace`` asked for one."""
+    if not (getattr(args, "metrics", None) or getattr(args, "trace", None)):
+        return None
+    from repro.obs import Observer
+
+    return Observer(metrics=bool(args.metrics), trace=bool(args.trace))
+
+
+def _write_observer(observer, args) -> None:
+    """Flush an Observer's sinks to the paths the CLI was given."""
+    if observer is None:
+        return
+    if args.metrics:
+        observer.write_metrics(args.metrics)
+        print(f"metrics written to {args.metrics}")
+    if args.trace:
+        observer.write_trace(args.trace)
+        print(f"trace written to {args.trace}")
+
+
 def _cmd_fuzz(args) -> int:
     import json
 
     from repro.emulator.faults import plan_for
     from repro.fuzz.campaign import run_campaign
+    from repro.obs.observer import ensure_parent
 
     fault_plan = plan_for(args.faults, seed=args.seed) if args.faults else None
+    observer = _make_observer(args)
     result = run_campaign(
         args.firmware,
         budget=args.budget,
@@ -87,6 +111,7 @@ def _cmd_fuzz(args) -> int:
         crash_budget=args.crash_budget,
         watchdog_insns=args.watchdog_insns,
         watchdog_cycles=args.watchdog_cycles,
+        observer=observer,
     )
     print(f"fuzzer: {result.fuzzer}, seed: {result.seed}, "
           f"budget: {result.budget}, execs: {result.execs}, "
@@ -109,10 +134,12 @@ def _cmd_fuzz(args) -> int:
             print(f"checkpoint discarded as corrupt: "
                   f"{diagnostics.checkpoint_discarded}")
         if args.diagnostics:
-            with open(args.diagnostics, "w", encoding="utf-8") as fh:
+            with open(ensure_parent(args.diagnostics), "w",
+                      encoding="utf-8") as fh:
                 json.dump(diagnostics.to_json(), fh, indent=2)
             print(f"diagnostics written to {args.diagnostics}")
         degraded = diagnostics.degraded
+    _write_observer(observer, args)
     return 3 if degraded else 0
 
 
@@ -121,7 +148,9 @@ def _cmd_fuzz_all(args) -> int:
 
     from repro.fuzz.checkpoint import result_to_json
     from repro.fuzz.supervisor import make_jobs, run_fleet
+    from repro.obs.observer import ensure_parent
 
+    observer = _make_observer(args)
     jobs = make_jobs(
         budget=args.budget,
         seed=args.seed,
@@ -148,7 +177,8 @@ def _cmd_fuzz_all(args) -> int:
             results.append(run_campaign(
                 job.firmware, budget=job.budget, seed=job.seed,
                 checkpoint_path=job.checkpoint_path,
-                checkpoint_every=job.checkpoint_every, **kwargs))
+                checkpoint_every=job.checkpoint_every,
+                observer=observer, **kwargs))
     else:
         fleet = run_fleet(
             jobs,
@@ -157,6 +187,7 @@ def _cmd_fuzz_all(args) -> int:
             max_retries=args.max_retries,
             backoff_base=args.backoff,
             events_path=args.events_log,
+            observer=observer,
         )
         results = fleet.results
 
@@ -181,7 +212,8 @@ def _cmd_fuzz_all(args) -> int:
         if args.events_log:
             print(f"events written to {args.events_log}")
     if args.diagnostics and fleet is not None:
-        with open(args.diagnostics, "w", encoding="utf-8") as fh:
+        with open(ensure_parent(args.diagnostics), "w",
+                  encoding="utf-8") as fh:
             json.dump(fleet.diagnostics.to_json(), fh, indent=2)
         print(f"fleet diagnostics written to {args.diagnostics}")
     if args.results:
@@ -189,10 +221,32 @@ def _cmd_fuzz_all(args) -> int:
             None if result is None else result_to_json(result)
             for result in results
         ]
-        with open(args.results, "w", encoding="utf-8") as fh:
+        with open(ensure_parent(args.results), "w", encoding="utf-8") as fh:
             json.dump(payload, fh, sort_keys=True)
         print(f"results written to {args.results}")
+    _write_observer(observer, args)
     return 3 if degraded else 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from repro.obs import format_metrics
+    from repro.obs.metrics import SCHEMA
+
+    try:
+        with open(args.metrics_file, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics file {args.metrics_file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if data.get("schema") != SCHEMA:
+        print(f"{args.metrics_file!r} is not a {SCHEMA} document "
+              f"(schema: {data.get('schema')!r})", file=sys.stderr)
+        return 2
+    print(format_metrics(data))
+    return 0
 
 
 def _cmd_overhead(args) -> int:
@@ -263,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-program cycle budget before GuestHang")
     fuzz.add_argument("--diagnostics", default=None, metavar="PATH",
                       help="write campaign diagnostics JSON here")
+    fuzz.add_argument("--metrics", default=None, metavar="PATH",
+                      help="write the campaign metrics JSON here "
+                           "(render with 'repro stats PATH')")
+    fuzz.add_argument("--trace", default=None, metavar="PATH",
+                      help="write a Perfetto-loadable Chrome trace here")
 
     fuzz_all = sub.add_parser(
         "fuzz-all",
@@ -297,6 +356,16 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_all.add_argument("--results", default=None, metavar="PATH",
                           help="write per-firmware campaign results JSON "
                                "(the byte-identity artifact)")
+    fuzz_all.add_argument("--metrics", default=None, metavar="PATH",
+                          help="write fleet-merged metrics JSON here")
+    fuzz_all.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a Perfetto-loadable Chrome trace "
+                               "merging supervisor and worker timelines")
+
+    stats = sub.add_parser(
+        "stats", help="render a --metrics JSON file as a readable table"
+    )
+    stats.add_argument("metrics_file", help="path written by --metrics")
 
     overhead = sub.add_parser("overhead", help="measure Figure-2 slowdowns")
     overhead.add_argument("firmware", nargs="?", default=None)
@@ -312,6 +381,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "fuzz": _cmd_fuzz,
     "fuzz-all": _cmd_fuzz_all,
+    "stats": _cmd_stats,
     "overhead": _cmd_overhead,
     "table2": _cmd_table2,
 }

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-from repro.firmware.builder import attach_runtime
 from repro.firmware.image import FirmwareImage
 from repro.firmware.instrument import InstrumentationMode
 from repro.firmware.registry import build_firmware, firmware_spec

@@ -9,7 +9,7 @@ stream the sanitizer acted on.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 from repro.emulator.events import EventKind
 

@@ -9,8 +9,8 @@ benches and examples use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import FirmwareBuildError
 from repro.firmware.builder import KernelFactory, build_image

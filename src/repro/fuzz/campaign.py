@@ -94,6 +94,7 @@ def run_campaign(
     crash_budget: Optional[int] = None,
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
+    observer=None,
 ) -> CampaignResult:
     """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN.
 
@@ -102,8 +103,32 @@ def run_campaign(
     :data:`DEFAULT_CHECKPOINT_EVERY`) and an existing checkpoint at that
     path resumes the campaign mid-budget; the resumed run produces the
     same census and findings as an uninterrupted one.
+
+    ``observer`` (a :class:`repro.obs.Observer`) collects campaign
+    metrics, trace spans and per-phase wall-clock timings; campaign
+    *results* — findings, census, checkpoints — are byte-identical with
+    or without one (only ``diagnostics.phase_timings`` appears).
     """
+    import time
+
     spec = firmware_spec(firmware)
+    phase_timings = None if observer is None else {}
+    phase_started = time.perf_counter() if observer is not None else 0.0
+
+    def _phase_done(name: str) -> None:
+        nonlocal phase_started
+        if observer is None:
+            return
+        now = time.perf_counter()
+        elapsed = now - phase_started
+        phase_timings[name] = round(
+            phase_timings.get(name, 0.0) + elapsed, 6)
+        observer.histogram("campaign.phase_ms").observe(elapsed * 1e3)
+        observer.instant(f"phase:{name}", cat="campaign",
+                         args={"firmware": firmware,
+                               "seconds": round(elapsed, 6)})
+        phase_started = now
+
     records = table4_bugs_for(firmware)
     if sanitizers is None:
         needs_kcsan = any(r.tool == "kcsan" for r in records)
@@ -120,7 +145,10 @@ def run_campaign(
         kwargs["watchdog_insns"] = watchdog_insns
     if watchdog_cycles is not None:
         kwargs["watchdog_cycles"] = watchdog_cycles
+    if observer is not None:
+        kwargs["observer"] = observer
     fuzzer = fuzzer_cls(firmware, **kwargs)
+    _phase_done("build")
 
     on_checkpoint = None
     checkpoint_discarded = None
@@ -137,6 +165,9 @@ def run_campaign(
             # both from their recipes — the recovered run is then
             # byte-identical to one that never saw the bad file.
             checkpoint_discarded = str(exc)
+            if observer is not None:
+                # the half-restored fuzzer's machine is being discarded
+                observer.harvest_target(fuzzer.target)
             if fault_plan is not None:
                 from repro.emulator.faults import FaultPlan
 
@@ -145,16 +176,32 @@ def run_campaign(
             fuzzer = fuzzer_cls(firmware, **kwargs)
 
         def on_checkpoint(engine):
-            save_checkpoint(checkpoint_path, engine, firmware, budget)
+            if observer is not None:
+                observer.counter("campaign.checkpoints").inc()
+                with observer.span("checkpoint:write", cat="campaign",
+                                   args={"execs": engine.execs}):
+                    save_checkpoint(checkpoint_path, engine, firmware,
+                                    budget)
+            else:
+                save_checkpoint(checkpoint_path, engine, firmware, budget)
 
     fuzzer.run(budget, checkpoint_every=checkpoint_every,
                on_checkpoint=on_checkpoint)
+    _phase_done("fuzz")
     findings = fuzzer.reproduce_findings()
     matched, missed = _match_findings(records, findings)
+    _phase_done("reproduce")
     if checkpoint_path is not None:
         # final checkpoint: a later resume of a finished campaign is a
         # no-op instead of re-fuzzing
+        if observer is not None:
+            observer.counter("campaign.checkpoints").inc()
         save_checkpoint(checkpoint_path, fuzzer, firmware, budget)
+        _phase_done("checkpoint")
+    if observer is not None:
+        # the live machine's counters (rebuild-discarded ones were
+        # harvested at each refresh)
+        observer.harvest_target(fuzzer.target)
     diagnostics = CampaignDiagnostics(
         firmware=firmware,
         seed=seed,
@@ -165,6 +212,7 @@ def run_campaign(
         watchdog_trips=fuzzer.watchdog_trips(),
         fault_stats=fault_plan.stats() if fault_plan is not None else {},
         checkpoint_discarded=checkpoint_discarded,
+        phase_timings=phase_timings,
     )
     return CampaignResult(
         firmware=firmware,
@@ -232,6 +280,7 @@ def run_all_campaigns(
     workers: int = 1,
     faults: Optional[str] = None,
     fleet_options: Optional[dict] = None,
+    observer=None,
     **kwargs,
 ) -> List[CampaignResult]:
     """Run every Table-1 firmware's campaign (the full Table-3 sweep).
@@ -280,7 +329,7 @@ def run_all_campaigns(
             raise FuzzerError(
                 f"options not supported with workers>1: {sorted(kwargs)}"
             )
-        return run_fleet(jobs, workers=workers,
+        return run_fleet(jobs, workers=workers, observer=observer,
                          **(fleet_options or {})).results
 
     def _path(name: str) -> Optional[str]:
@@ -300,11 +349,12 @@ def run_all_campaigns(
     if seeds is not None:
         return [
             run_campaign_repeated(spec.name, budget=budget, seeds=seeds,
-                                  **_kwargs())
+                                  observer=observer, **_kwargs())
             for spec in all_firmware()
         ]
     return [
         run_campaign(spec.name, budget=budget, seed=seed,
-                     checkpoint_path=_path(spec.name), **_kwargs())
+                     checkpoint_path=_path(spec.name), observer=observer,
+                     **_kwargs())
         for spec in all_firmware()
     ]

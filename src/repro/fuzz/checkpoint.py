@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List, Optional
+from typing import Optional
 
 from repro.errors import CheckpointError, FuzzerError
 from repro.fuzz.diagnostics import CampaignDiagnostics, CrashRecord

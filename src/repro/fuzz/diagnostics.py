@@ -126,6 +126,11 @@ class CampaignDiagnostics:
     checkpoint_discarded: Optional[str] = None
     #: every seed merged into this record (None for a single-seed run)
     seeds: Optional[List[int]] = None
+    #: wall-clock seconds per campaign phase (build/fuzz/reproduce/
+    #: checkpoint).  None unless an observer was attached: timings are
+    #: nondeterministic, and the sequential-vs-fleet byte-identity
+    #: contract covers unobserved runs
+    phase_timings: Optional[Dict[str, float]] = None
 
     def merge(self, other: "CampaignDiagnostics") -> "CampaignDiagnostics":
         """Fold another seed's diagnostics into this record (in place)."""
@@ -141,6 +146,12 @@ class CampaignDiagnostics:
             self.fault_stats[key] = self.fault_stats.get(key, 0) + value
         if self.checkpoint_discarded is None:
             self.checkpoint_discarded = other.checkpoint_discarded
+        if other.phase_timings:
+            if self.phase_timings is None:
+                self.phase_timings = {}
+            for phase, seconds in other.phase_timings.items():
+                self.phase_timings[phase] = round(
+                    self.phase_timings.get(phase, 0.0) + seconds, 6)
         return self
 
     def to_json(self) -> dict:
@@ -156,6 +167,8 @@ class CampaignDiagnostics:
             "quarantined": [record.to_json() for record in self.quarantined],
             "checkpoint_discarded": self.checkpoint_discarded,
             "seeds": None if self.seeds is None else list(self.seeds),
+            "phase_timings": (None if self.phase_timings is None
+                              else dict(self.phase_timings)),
         }
 
     @staticmethod
@@ -176,6 +189,8 @@ class CampaignDiagnostics:
             checkpoint_discarded=data.get("checkpoint_discarded"),
             seeds=(None if data.get("seeds") is None
                    else list(data["seeds"])),
+            phase_timings=(None if data.get("phase_timings") is None
+                           else dict(data["phase_timings"])),
         )
 
     def summary(self) -> str:
@@ -271,6 +286,19 @@ class FleetDiagnostics:
         """Worker deaths recovered across the whole fleet."""
         return sum(len(record.restarts) for record in self.jobs)
 
+    def phase_totals(self) -> Optional[Dict[str, float]]:
+        """Fleet-wide per-phase wall-clock totals, folded from every
+        job's campaign ``phase_timings``; None when no job carried any
+        (observability was off)."""
+        totals: Dict[str, float] = {}
+        for record in self.jobs:
+            campaign = record.campaign
+            if campaign is None or not campaign.phase_timings:
+                continue
+            for phase, seconds in campaign.phase_timings.items():
+                totals[phase] = round(totals.get(phase, 0.0) + seconds, 6)
+        return totals or None
+
     def to_json(self) -> dict:
         return {
             "workers": self.workers,
@@ -279,6 +307,7 @@ class FleetDiagnostics:
             "backoff_base": self.backoff_base,
             "wall_time": round(self.wall_time, 3),
             "events_logged": self.events_logged,
+            "phase_totals": self.phase_totals(),
             "jobs": [record.to_json() for record in self.jobs],
         }
 

@@ -8,7 +8,8 @@ mutation/corpus/crash-triage loop is the same, so it lives here once.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional
 
 from repro.emulator.snapshot import Checkpoint
 from repro.errors import GuestFault, GuestHang
@@ -16,7 +17,6 @@ from repro.fuzz.coverage import CoverageMap
 from repro.fuzz.diagnostics import CrashRecord, capture_crash
 from repro.fuzz.ifspec import INTERESTING, InterfaceSpec
 from repro.fuzz.program import (
-    Call,
     Mutator,
     Program,
     ResourcePool,
@@ -135,6 +135,7 @@ class FuzzerEngine:
         refresh_interval: int = 500,
         crash_budget: int = DEFAULT_CRASH_BUDGET,
         fault_plan=None,
+        observer=None,
     ):
         self.target = target
         self.spec = spec
@@ -158,6 +159,11 @@ class FuzzerEngine:
         self.fault_plan = fault_plan
         #: watchdog trips harvested from machines discarded by rebuilds
         self._watchdog_trips_retired = 0
+        #: optional :class:`repro.obs.Observer`; None costs one attribute
+        #: test per step and nothing per access
+        self.observer = observer
+        if observer is not None:
+            observer.watch_machine(self._machine())
         #: seed-corpus programs awaiting their unmutated triage pass;
         #: explicit state so checkpoints can resume mid-triage
         self._triage: List[Program] = [p.clone() for p in self.corpus]
@@ -244,8 +250,19 @@ class FuzzerEngine:
         coverage.begin_input()
         self._current_reports.clear()
         before_keys = set(self.findings)
+        observer = self.observer
         try:
-            fault = self.target.execute(program, self.spec.style)
+            if observer is not None:
+                observer.counter("campaign.execs").inc()
+                started = time.perf_counter()
+                with observer.span("program:execute", cat="campaign",
+                                   args={"exec": self.execs,
+                                         "calls": len(program.calls)}):
+                    fault = self.target.execute(program, self.spec.style)
+                observer.histogram("campaign.program_ms").observe(
+                    (time.perf_counter() - started) * 1e3)
+            else:
+                fault = self.target.execute(program, self.spec.style)
         except Exception as exc:
             self._quarantine(program, exc)
             return
@@ -268,6 +285,11 @@ class FuzzerEngine:
         self._session.append(program.clone())
 
         new_findings = set(self.findings) - before_keys
+        if observer is not None:
+            if fault is not None:
+                observer.counter("campaign.guest_crashes").inc()
+            if new_findings:
+                observer.counter("campaign.findings").inc(len(new_findings))
         if fault is not None or new_findings or (
             self.execs % self.refresh_interval == 0
         ):
@@ -280,6 +302,11 @@ class FuzzerEngine:
         """Record a host-level crash and recover (or degrade)."""
         self.host_crashes += 1
         self.quarantined.append(capture_crash(self, program, exc))
+        if self.observer is not None:
+            self.observer.counter("campaign.host_crashes").inc()
+            self.observer.instant("campaign:host_crash", cat="campaign",
+                                  args={"exec": self.execs,
+                                        "exc": type(exc).__name__})
         if self.host_crashes >= self.crash_budget:
             # graceful degradation, stage 2: stop fuzzing this firmware;
             # the campaign completes with what it has plus diagnostics
@@ -294,10 +321,26 @@ class FuzzerEngine:
 
     def _fresh_target(self) -> None:
         self._watchdog_trips_retired += self._live_watchdog_trips()
+        observer = self.observer
+        if observer is not None:
+            # harvest the machine we are about to discard: each machine
+            # is folded into the registry exactly once (the live one is
+            # harvested by the campaign at the end)
+            observer.harvest_target(self.target)
+            observer.counter("campaign.refreshes").inc()
         self.target.reset()
         self._session.clear()
         self._execs_since_refresh = 0
         self._listen()
+        if observer is not None:
+            observer.watch_machine(self._machine())
+
+    def _machine(self):
+        """The current target's machine, or None mid-wreckage."""
+        try:
+            return self.target.image.ctx.machine
+        except Exception:
+            return None
 
     def _live_watchdog_trips(self) -> int:
         try:

@@ -9,7 +9,7 @@ number, argument generators, and the resource kind its result yields.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from repro.fuzz.program import Arg, Call, Program
 from repro.os.embedded_linux.kernel import SOCK_DEV_BASE, EmbeddedLinuxKernel

@@ -83,12 +83,14 @@ class CampaignJob:
     watchdog_cycles: Optional[float] = None
     sanitizers: Optional[Tuple[str, ...]] = None
 
-    def payload(self, attempt: int, heartbeat_interval: float) -> dict:
+    def payload(self, attempt: int, heartbeat_interval: float,
+                observe: bool = False) -> dict:
         """The JSON-encodable dict handed to ``worker_main``."""
         return {
             "job_id": self.job_id,
             "attempt": attempt,
             "heartbeat_interval": heartbeat_interval,
+            "observe": observe,
             "firmware": self.firmware,
             "budget": self.budget,
             "seed": self.seed,
@@ -133,7 +135,7 @@ class _JobState:
 
     __slots__ = ("job", "status", "process", "queue", "attempt",
                  "last_signal", "not_before", "dead_since", "death_cause",
-                 "diag", "result", "discard_logged")
+                 "diag", "result", "discard_logged", "span_start")
 
     def __init__(self, job: CampaignJob):
         self.job = job
@@ -156,6 +158,8 @@ class _JobState:
         )
         self.result = None
         self.discard_logged = False
+        #: tracer timestamp when the current attempt started (observer)
+        self.span_start = 0.0
 
     def drop_queue(self) -> None:
         """Discard the current attempt's queue (worker is gone)."""
@@ -179,6 +183,7 @@ class FleetSupervisor:
         backoff_factor: float = DEFAULT_BACKOFF_FACTOR,
         events_path: Optional[str] = None,
         on_event: Optional[Callable[[dict], None]] = None,
+        observer=None,
     ):
         if workers < 1:
             raise FuzzerError(f"fleet needs >= 1 worker, got {workers}")
@@ -202,6 +207,12 @@ class FleetSupervisor:
         #: inject failures (SIGKILL/SIGSTOP) at precise fleet states;
         #: exceptions it raises abort the fleet
         self.on_event = on_event
+        #: optional :class:`repro.obs.Observer`.  The supervisor feeds
+        #: it fleet-level counters/spans and asks each worker (via the
+        #: job payload's ``observe`` flag) to ship its own metrics and
+        #: trace back over the event queue for merging, so one document
+        #: covers the whole fleet
+        self.observer = observer
         self._events: List[dict] = []
         self._events_fh = None
 
@@ -213,12 +224,18 @@ class FleetSupervisor:
         started_wall = time.time()
         started = time.monotonic()
         if self.events_path:
-            self._events_fh = open(self.events_path, "w", encoding="utf-8")
+            from repro.obs.observer import ensure_parent
+
+            self._events_fh = open(ensure_parent(self.events_path), "w",
+                                   encoding="utf-8")
         try:
             self._emit("fleet_started", jobs=len(states),
                        workers=self.workers,
                        heartbeat_timeout=self.heartbeat_timeout,
                        max_retries=self.max_retries)
+            if self.observer is not None:
+                self.observer.gauge("fleet.workers").set(self.workers)
+                self.observer.gauge("fleet.jobs").set(len(states))
             while any(s.status in ("waiting", "running") for s in states):
                 self._fill_slots(ctx, states)
                 self._pump(states)
@@ -279,7 +296,8 @@ class FleetSupervisor:
         state.dead_since = None
         state.death_cause = None
         state.queue = ctx.Queue()
-        payload = state.job.payload(state.attempt, self.heartbeat_interval)
+        payload = state.job.payload(state.attempt, self.heartbeat_interval,
+                                    observe=self.observer is not None)
         process = ctx.Process(
             target=worker_main,
             args=(payload, state.queue),
@@ -290,6 +308,11 @@ class FleetSupervisor:
         state.process = process
         state.status = "running"
         state.last_signal = time.monotonic()
+        observer = self.observer
+        if observer is not None:
+            observer.counter("fleet.attempts").inc()
+            if observer.tracer is not None:
+                state.span_start = observer.tracer.now()
         path = state.job.checkpoint_path
         if state.attempt == 1:
             self._emit("job_started", job=state.job.job_id,
@@ -338,6 +361,10 @@ class FleetSupervisor:
                     state.diag.max_heartbeat_gap, gap)
                 state.last_signal = now
                 state.diag.heartbeats += 1
+                if self.observer is not None:
+                    self.observer.counter("fleet.heartbeats").inc()
+                    self.observer.histogram(
+                        "fleet.heartbeat_gap_ms").observe(gap * 1e3)
                 self._emit("heartbeat", job=job_id, attempt=attempt,
                            elapsed=payload.get("elapsed"),
                            gap=round(gap, 3))
@@ -350,6 +377,14 @@ class FleetSupervisor:
                     self._emit("checkpoint_discarded", job=job_id,
                                attempt=attempt,
                                reason=payload["checkpoint_corrupt"])
+        elif kind == "metrics":
+            # the worker's observability bundle, shipped just before its
+            # result; stale-attempt bundles are dropped so counters are
+            # never absorbed twice
+            if self.observer is not None and attempt == state.attempt \
+                    and state.status == "running":
+                self.observer.absorb(payload,
+                                     process_name=f"worker:{job_id}")
         elif kind == "result":
             if state.status in ("done", "degraded"):
                 return  # duplicate from a stale attempt: same bytes
@@ -359,6 +394,14 @@ class FleetSupervisor:
             state.result = result
             state.status = "done"
             state.diag.campaign = result.diagnostics
+            if self.observer is not None:
+                self.observer.counter("fleet.jobs_done").inc()
+                tracer = self.observer.tracer
+                if tracer is not None:
+                    tracer.complete(
+                        f"job:{job_id}", state.span_start, cat="fleet",
+                        args={"attempt": attempt, "execs": result.execs},
+                    )
             diagnostics = result.diagnostics
             if diagnostics is not None and \
                     diagnostics.checkpoint_discarded and \
@@ -430,10 +473,21 @@ class FleetSupervisor:
     def _on_death(self, state: _JobState, cause: str) -> None:
         state.dead_since = None
         state.death_cause = None
+        observer = self.observer
+        if observer is not None:
+            observer.counter("fleet.worker_deaths").inc()
+            if observer.tracer is not None:
+                observer.tracer.complete(
+                    f"job:{state.job.job_id}", state.span_start,
+                    cat="fleet",
+                    args={"attempt": state.attempt, "died": cause},
+                )
         if state.attempt > self.max_retries:
             state.status = "degraded"
             state.diag.degraded = True
             state.diag.degraded_cause = cause
+            if observer is not None:
+                observer.counter("fleet.jobs_degraded").inc()
             self._emit("job_degraded", job=state.job.job_id,
                        attempts=state.attempt, cause=cause)
             return

@@ -31,6 +31,7 @@ class SyzkallerFuzzer(FuzzerEngine):
         crash_budget: int = DEFAULT_CRASH_BUDGET,
         watchdog_insns: int = DEFAULT_WATCHDOG_INSNS,
         watchdog_cycles: float = DEFAULT_WATCHDOG_CYCLES,
+        observer=None,
     ):
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
@@ -56,4 +57,4 @@ class SyzkallerFuzzer(FuzzerEngine):
         target = FuzzTarget(make)
         spec = linux_interface(target.image.kernel)
         super().__init__(target, spec, seed=seed, fault_plan=fault_plan,
-                         crash_budget=crash_budget)
+                         crash_budget=crash_budget, observer=observer)

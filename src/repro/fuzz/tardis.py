@@ -39,6 +39,7 @@ class TardisFuzzer(FuzzerEngine):
         crash_budget: int = DEFAULT_CRASH_BUDGET,
         watchdog_insns: int = DEFAULT_WATCHDOG_INSNS,
         watchdog_cycles: float = DEFAULT_WATCHDOG_CYCLES,
+        observer=None,
     ):
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
@@ -61,4 +62,4 @@ class TardisFuzzer(FuzzerEngine):
         target = FuzzTarget(make)
         spec = interface_for(target.image.kernel)
         super().__init__(target, spec, seed=seed, fault_plan=fault_plan,
-                         crash_budget=crash_budget)
+                         crash_budget=crash_budget, observer=observer)

@@ -19,6 +19,11 @@ recognized and discarded.  Message kinds:
     Posted immediately and then every ``heartbeat_interval`` seconds by
     a daemon thread.  Its absence past the supervisor's liveness
     timeout is what declares this process hung.
+``metrics``
+    Sent only when the job payload's ``observe`` flag is set: the
+    worker's :meth:`repro.obs.Observer.export` bundle (metrics
+    document + raw trace events), posted immediately before ``result``
+    so the supervisor merges a completed attempt exactly once.
 ``result``
     The completed campaign, serialized with
     :func:`repro.fuzz.checkpoint.result_to_json`.
@@ -58,12 +63,14 @@ def _liveness_loop(events, job_id: str, attempt: int, interval: float,
         }))
 
 
-def _run_job(job: dict):
+def _run_job(job: dict, observer=None):
     """Execute the campaign a job payload describes."""
     from repro.emulator.faults import plan_for
     from repro.fuzz.campaign import run_campaign, run_campaign_repeated
 
     kwargs = {}
+    if observer is not None:
+        kwargs["observer"] = observer
     if job.get("faults"):
         # per-job fault plan: each job owns its RNG stream, so a fleet
         # member's faults never depend on sibling scheduling
@@ -131,8 +138,18 @@ def worker_main(job: dict, events) -> None:
             daemon=True,
         )
         beats.start()
-        result = _run_job(job)
+        observer = None
+        if job.get("observe"):
+            # the supervisor holds an Observer: collect here and ship
+            # the bundle back just before the result so the supervisor
+            # can merge every worker into one fleet-wide document
+            from repro.obs import Observer
+
+            observer = Observer(process_name=f"worker:{job_id}")
+        result = _run_job(job, observer=observer)
         stop.set()
+        if observer is not None:
+            events.put(("metrics", job_id, attempt, observer.export()))
         events.put(("result", job_id, attempt, result_to_json(result)))
     except BaseException as exc:  # report, then die loudly
         stop.set()

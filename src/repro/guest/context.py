@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.emulator.machine import Machine
 from repro.errors import GuestFault
 from repro.guest.layout import DEFAULT_REDZONE, GuestLayout, STACK_SIZE
-from repro.mem.access import AccessKind
 
 #: pc slots per guest function; accesses cycle through them.
 _PC_SLOTS = 64

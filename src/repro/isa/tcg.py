@@ -148,7 +148,12 @@ class TcgEngine:
         self.tb_generation = 0
         self.tb_evictions = 0
         self.tb_chain_hits = 0
+        self.tb_translations = 0
         self.tb_cache_capacity = tb_cache_capacity
+        #: optional :class:`repro.obs.trace.Tracer`; when set, each
+        #: cache-miss translation records a span.  Only the miss path
+        #: tests it, so cached execution never pays for tracing.
+        self.tracer = None
         self._mem_probes: tuple = ()
         self.call_probes: List[CallProbe] = []
         self.ret_probes: List[RetProbe] = []
@@ -209,6 +214,9 @@ class TcgEngine:
             del cache[pc]
             cache[pc] = cached
             return cached
+        self.tb_translations += 1
+        tracer = self.tracer
+        trace_start = tracer.now() if tracer is not None else 0.0
         insns: List[Instruction] = []
         addr = pc
         while len(insns) < MAX_BLOCK_LEN:
@@ -238,6 +246,12 @@ class TcgEngine:
             # translations, not just the cache dict
             evicted.generation = -1
             self.tb_evictions += 1
+        if tracer is not None:
+            tracer.complete(
+                "tb:translate", trace_start, cat="tcg",
+                args={"pc": pc, "insns": len(insns),
+                      "host_ops": block.host_ops},
+            )
         return block
 
     # ------------------------------------------------------------------
@@ -627,6 +641,19 @@ class TcgEngine:
                     raise
             prev = block
         return executed
+
+    def stats(self) -> Dict[str, int]:
+        """Engine counters (harvested by the observability layer)."""
+        return {
+            "insns": self.insn_count,
+            "cycles": self.cycles,
+            "host_ops": self.host_ops,
+            "tb_translations": self.tb_translations,
+            "tb_flushes": self.tb_flush_count,
+            "tb_evictions": self.tb_evictions,
+            "tb_chain_hits": self.tb_chain_hits,
+            "tb_cache_blocks": len(self.tb_cache),
+        }
 
     def step_block(self) -> int:
         """Execute exactly one translation block; returns instructions run."""

@@ -1,0 +1,40 @@
+"""Unified observability: metrics registry + structured tracing.
+
+Public surface:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` / ``Counter`` / ``Gauge``
+  / ``Histogram`` — named instruments with a shared
+  :data:`~repro.obs.metrics.NULL_METRIC` no-op fast path for the
+  disabled case.
+* :class:`~repro.obs.trace.Tracer` — bounded ring buffer of Chrome
+  trace-event records; ``to_chrome()`` loads directly in Perfetto.
+* :class:`~repro.obs.observer.Observer` — the bundle every layer
+  accepts as ``observer=``; harvests hot-path counters at coarse
+  boundaries so instrumentation charges zero guest cycles and adds no
+  per-access host work.
+
+See ``docs/observability.md`` for the metric catalog and trace schema.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    format_metrics,
+)
+from repro.obs.observer import Observer, ensure_parent
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "Observer",
+    "Tracer",
+    "ensure_parent",
+    "format_metrics",
+]

@@ -1,0 +1,192 @@
+"""Bounded ring-buffer tracer with Chrome trace-event / Perfetto export.
+
+Every span (a named duration) and instant (a point event) is recorded
+as one dict in the Chrome trace-event format, so a dump loads directly
+into Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` and a
+whole fleet run — supervisor plus every worker process — renders as a
+single timeline.  The buffer is a ``deque(maxlen=capacity)``: a
+runaway campaign overwrites its oldest events instead of growing
+without bound, and ``dropped`` says how many were lost.
+
+Timestamps are microseconds from ``time.perf_counter_ns``, which is
+monotonic within one process; cross-process alignment uses the
+``clock_sync`` metadata each process emits at tracer construction
+(wall-clock epoch of its t=0).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional
+
+#: default ring capacity (events); one fuzz exec emits O(1) spans, so
+#: this comfortably holds a full default campaign with headroom.
+DEFAULT_CAPACITY = 65536
+
+
+class Tracer:
+    """Structured span/instant event recorder."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        pid: Optional[int] = None,
+        process_name: str = "repro",
+    ):
+        self.capacity = capacity
+        self.pid = os.getpid() if pid is None else pid
+        self.process_name = process_name
+        self._events: deque = deque(maxlen=capacity)
+        self._emitted = 0
+        #: perf_counter origin; all event timestamps are relative to it
+        self._origin_ns = time.perf_counter_ns()
+        #: wall-clock second matching ``_origin_ns`` (cross-process sync)
+        self._origin_wall = time.time()
+        self._named: Dict[int, str] = {}
+        self.name_process(self.pid, process_name)
+        self._meta("clock_sync", {"wall_epoch": self._origin_wall})
+
+    # ------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter_ns() - self._origin_ns) / 1000.0
+
+    def _emit(self, event: dict) -> None:
+        self._events.append(event)
+        self._emitted += 1
+
+    def _meta(
+        self,
+        name: str,
+        args: dict,
+        pid: Optional[int] = None,
+        tid: int = 0,
+    ) -> None:
+        event = {
+            "name": name,
+            "ph": "M",
+            "ts": 0,
+            "pid": self.pid if pid is None else pid,
+            "tid": tid,
+            "args": args,
+        }
+        self._emit(event)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def name_process(self, pid: int, name: str) -> None:
+        """Label ``pid``'s track (Perfetto shows it as the process name)."""
+        if self._named.get(pid) == name:
+            return
+        self._named[pid] = name
+        self._meta("process_name", {"name": name}, pid=pid)
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "repro",
+        args: Optional[dict] = None,
+        tid: int = 0,
+    ) -> None:
+        """Record a point event."""
+        event = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": self._now_us(),
+            "pid": self.pid,
+            "tid": tid,
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def complete(
+        self,
+        name: str,
+        start_us: float,
+        cat: str = "repro",
+        args: Optional[dict] = None,
+        tid: int = 0,
+    ) -> None:
+        """Record a finished duration that began at ``start_us``
+        (a value previously obtained from :meth:`now`)."""
+        now = self._now_us()
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": start_us,
+            "dur": max(0.0, now - start_us),
+            "pid": self.pid,
+            "tid": tid,
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def now(self) -> float:
+        """Current trace timestamp (microseconds); pair with
+        :meth:`complete` for spans that cannot nest lexically."""
+        return self._now_us()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str = "repro",
+        args: Optional[dict] = None,
+        tid: int = 0,
+    ):
+        """Context manager recording one complete ("X") event."""
+        start = self._now_us()
+        try:
+            yield self
+        finally:
+            self.complete(name, start, cat=cat, args=args, tid=tid)
+
+    def counter(self, name: str, values: Dict[str, float], tid: int = 0) -> None:
+        """Record a Chrome counter ("C") sample (renders as a track)."""
+        event = {
+            "name": name,
+            "ph": "C",
+            "ts": self._now_us(),
+            "pid": self.pid,
+            "tid": tid,
+            "args": dict(values),
+        }
+        self._emit(event)
+
+    # ------------------------------------------------------------------
+    # merge / export
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by the ring bound."""
+        return self._emitted - len(self._events)
+
+    def extend(self, events: Iterable[dict]) -> None:
+        """Merge foreign events (e.g. shipped from a fleet worker).
+
+        Events keep their own ``pid``/``ts``; a worker's ``clock_sync``
+        metadata lets the merged timeline be re-aligned offline if the
+        sub-microsecond skew ever matters.
+        """
+        for event in events:
+            self._emit(dict(event))
+
+    def events(self) -> List[dict]:
+        """The buffered events, oldest first (JSON-encodable)."""
+        return list(self._events)
+
+    def to_chrome(self) -> dict:
+        """The Perfetto/chrome://tracing-loadable document."""
+        return {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro-obs", "dropped_events": self.dropped},
+        }

@@ -8,7 +8,7 @@ seeded data races observable by KCSAN-style detection.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.emulator.devices import UART_DATA
 from repro.emulator.hypercalls import Hypercall

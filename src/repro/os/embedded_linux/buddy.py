@@ -10,7 +10,7 @@ exactly like Linux's ``kasan_alloc_pages``/``kasan_free_pages`` hooks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.guest.context import GuestContext
 from repro.guest.module import GuestModule, guestfn

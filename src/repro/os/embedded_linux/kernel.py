@@ -9,7 +9,7 @@ present and which seeded defects are armed.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.emulator.machine import Machine
 from repro.errors import FirmwareBuildError
@@ -19,7 +19,6 @@ from repro.os.common import BugSwitchboard, KernelBase
 from repro.os.embedded_linux.buddy import BuddyAllocator, PAGE_SIZE
 from repro.os.embedded_linux.slab import SlabAllocator
 from repro.os.embedded_linux.syscalls import (
-    EBADF,
     EINVAL,
     ENOMEM,
     ENOSYS,

@@ -10,7 +10,7 @@ Seeded defects:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.guest.context import GuestContext
 from repro.guest.module import GuestModule, guestfn

@@ -11,7 +11,7 @@ Seeded defects:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.guest.context import GuestContext
 from repro.guest.module import GuestModule, guestfn

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.guest.context import GuestContext
 from repro.guest.module import GuestModule, guestfn
-from repro.os.embedded_linux.syscalls import EINVAL, ENOMEM
+from repro.os.embedded_linux.syscalls import EINVAL
 from repro.os.embedded_linux.vfs import DeviceNode
 
 SCSI_DEV_ID = 0x53

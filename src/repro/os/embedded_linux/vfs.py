@@ -13,7 +13,7 @@ Layout of the 64-byte guest ``struct file``::
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.guest.context import GuestContext
 from repro.guest.module import GuestModule, guestfn

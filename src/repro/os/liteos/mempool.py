@@ -8,7 +8,7 @@ with the following node like the real implementation.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.guest.context import GuestContext
 from repro.guest.module import GuestModule, guestfn

@@ -16,8 +16,8 @@ from importlib import resources as importlib_resources
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DistillerError
-from repro.sanitizers.distiller.headers import ApiDecl, parse_header
-from repro.sanitizers.distiller.sources import SourceInfo, parse_source
+from repro.sanitizers.distiller.headers import parse_header
+from repro.sanitizers.distiller.sources import parse_source
 from repro.sanitizers.dsl.ast import InterceptNode, SanitizerSpec
 
 #: ABI name pattern -> (event, implied extra args)

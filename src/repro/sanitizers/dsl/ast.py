@@ -22,7 +22,7 @@ Node classes mirror the DSL's top-level forms::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import DslError
 from repro.sanitizers.dsl.parser import Symbol, write_sexpr

@@ -12,7 +12,6 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import DslError
 from repro.sanitizers.dsl.ast import (
-    AllocFnNode,
     InterceptNode,
     MergedSpec,
     PlatformSpec,

@@ -19,7 +19,6 @@ domain-specific knowledge — ``hints`` carries exactly that.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProbeError

@@ -58,6 +58,9 @@ class KasanEngine:
         #: directly when the addressable-granule test already proves an
         #: access clean, so the count is fast-path independent
         self.checks = 0
+        #: allocator lifetime events observed (observability counters)
+        self.allocs = 0
+        self.frees = 0
 
     # ------------------------------------------------------------------
     # allocator state transitions
@@ -68,6 +71,7 @@ class KasanEngine:
         """An object of ``size`` bytes was carved out at ``addr``."""
         if addr == 0 or size <= 0:
             return
+        self.allocs += 1
         self.freed.pop(addr)
         self.live[addr] = AllocInfo(size, cache, pc, task)
         self.shadow.unpoison(addr, size)
@@ -90,6 +94,7 @@ class KasanEngine:
         """An object at ``addr`` is being released."""
         if addr == 0:
             return
+        self.frees += 1
         info = self.live.pop(addr, None)
         if info is None:
             bug = (

@@ -30,9 +30,11 @@ class QuarantineLog:
         self.capacity = capacity
         self._entries: "OrderedDict[int, FreedObject]" = OrderedDict()
         self.evictions = 0
+        self.pushes = 0
 
     def push(self, entry: FreedObject) -> None:
         """Record a free, evicting the oldest record when full."""
+        self.pushes += 1
         self._entries.pop(entry.addr, None)
         self._entries[entry.addr] = entry
         if len(self._entries) > self.capacity:

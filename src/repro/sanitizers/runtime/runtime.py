@@ -505,12 +505,20 @@ class CommonSanitizerRuntime:
         out = {
             "events_handled": self.events_handled,
             "shadow_checks": self.shadow.check_ops,
+            "shadow_fastpath_hits": self.shadow.fastpath_hits,
+            "shadow_poisons": self.shadow.poison_ops,
             "reports": self.sink.count(),
             "unique_reports": self.sink.unique_count(),
         }
         if self.kasan is not None:
             out["kasan_checks"] = self.kasan.checks
             out["kasan_live"] = self.kasan.live_count()
+            out["kasan_allocs"] = self.kasan.allocs
+            out["kasan_frees"] = self.kasan.frees
+            out["quarantine_pushes"] = self.kasan.freed.pushes
+            out["quarantine_evictions"] = self.kasan.freed.evictions
+            out["quarantine_len"] = len(self.kasan.freed)
         if self.kcsan is not None:
             out["kcsan_checks"] = self.kcsan.checks
+            out["kcsan_races"] = self.kcsan.races_seen
         return out

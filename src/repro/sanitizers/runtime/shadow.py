@@ -71,6 +71,9 @@ class ShadowMemory:
         self._bases.sort()
         self.poison_ops = 0
         self.check_ops = 0
+        #: clean accesses proven addressable by :meth:`clear_for` alone
+        #: (the inline fast path), a subset of ``check_ops``
+        self.fastpath_hits = 0
 
     # ------------------------------------------------------------------
     # snapshot support
@@ -212,6 +215,7 @@ class ShadowMemory:
         elif any(table[first:last + 1]):
             return False
         self.check_ops += 1
+        self.fastpath_hits += 1
         return True
 
     def code_at(self, addr: int) -> int:
@@ -233,7 +237,11 @@ class ShadowMemory:
 
     def stats(self) -> Dict[str, int]:
         """Operation counters used by overhead analysis."""
-        return {"poison_ops": self.poison_ops, "check_ops": self.check_ops}
+        return {
+            "poison_ops": self.poison_ops,
+            "check_ops": self.check_ops,
+            "fastpath_hits": self.fastpath_hits,
+        }
 
     def dump_around(self, addr: int, rows: int = 2) -> str:
         """Render the shadow bytes around ``addr``, dmesg-KASAN style.

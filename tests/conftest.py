@@ -6,7 +6,7 @@ import pytest
 
 from repro.emulator.arch import arch_by_name
 from repro.emulator.machine import Machine
-from repro.firmware.builder import attach_runtime, build_image, build_with_embsan
+from repro.firmware.builder import build_image, build_with_embsan
 from repro.firmware.instrument import InstrumentationMode
 from repro.guest.context import GuestContext
 from repro.os.embedded_linux.kernel import EmbeddedLinuxKernel

@@ -1,6 +1,5 @@
 """Unit + property tests: the four OS allocators."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.emulator.arch import arch_by_name

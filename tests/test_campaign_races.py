@@ -1,7 +1,5 @@
 """Integration tests: KCSAN-involving campaigns and multi-sanitizer runs."""
 
-import pytest
-
 from repro.firmware.builder import attach_runtime
 from repro.firmware.registry import build_firmware
 from repro.fuzz.campaign import run_campaign, run_campaign_repeated

@@ -16,10 +16,15 @@ class TestParser:
             ["probe", "InfiniTime", "--sanitizers", "kasan", "kcsan"],
             ["replay", "t2_01", "--deployment", "embsan-d"],
             ["fuzz", "InfiniTime", "--budget", "50", "--seed", "2"],
+            ["fuzz", "InfiniTime", "--metrics", "m.json",
+             "--trace", "t.json"],
             ["fuzz-all", "--workers", "2", "--budget", "100",
              "--firmware", "InfiniTime", "--heartbeat-timeout", "10",
              "--max-retries", "2", "--backoff", "0.1",
              "--events-log", "events.jsonl"],
+            ["fuzz-all", "--budget", "100", "--metrics", "m.json",
+             "--trace", "t.json"],
+            ["stats", "m.json"],
             ["overhead", "InfiniTime"],
             ["table2"],
         ):
@@ -149,3 +154,67 @@ class TestExitCodes:
         with pytest.raises(FirmwareBuildError):
             main(["fuzz-all", "--budget", "10",
                   "--firmware", "NoSuchFirmware"])
+
+
+class TestObservability:
+    def test_fuzz_sinks_written_and_census_unchanged(self, capsys,
+                                                     tmp_path):
+        args = ["fuzz", "InfiniTime", "--budget", "120", "--seed", "2"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        # sink paths point into a directory that does not exist yet:
+        # the CLI must create it rather than crash on open()
+        mpath = tmp_path / "deep" / "obs" / "metrics.json"
+        tpath = tmp_path / "deep" / "obs" / "trace.json"
+        assert main(args + ["--metrics", str(mpath),
+                            "--trace", str(tpath)]) == 0
+        observed = capsys.readouterr().out
+        # identical campaign output, plus only the two sink notices
+        assert plain.splitlines() == [
+            line for line in observed.splitlines()
+            if not line.startswith(("metrics written", "trace written"))
+        ]
+        metrics = json.loads(mpath.read_text())
+        assert metrics["schema"] == "repro-metrics/1"
+        counters = metrics["counters"]
+        for family in ("tcg.", "shadow.", "quarantine.", "campaign."):
+            assert any(k.startswith(family) for k in counters), family
+        trace = json.loads(tpath.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+        assert any(e.get("ph") == "M" for e in trace["traceEvents"])
+
+    def test_fuzz_all_sinks_create_parent_dirs(self, capsys, tmp_path):
+        # regression test: --events-log (and every other file sink) in
+        # a not-yet-existing directory used to crash the fleet launch
+        deep = tmp_path / "not" / "yet" / "there"
+        assert main(["fuzz-all", "--workers", "2", "--budget", "60",
+                     "--seed", "1", "--firmware", "InfiniTime",
+                     "--events-log", str(deep / "events.jsonl"),
+                     "--results", str(deep / "results.json"),
+                     "--diagnostics", str(deep / "diag.json"),
+                     "--metrics", str(deep / "metrics.json"),
+                     "--trace", str(deep / "trace.json")]) == 0
+        for name in ("events.jsonl", "results.json", "diag.json",
+                     "metrics.json", "trace.json"):
+            assert (deep / name).exists(), name
+
+    def test_stats_renders_metrics_document(self, capsys, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("campaign.execs").inc(42)
+        registry.gauge("fleet.workers").set(2)
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(registry.to_json()))
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out and "campaign.execs" in out
+        assert "42" in out
+
+    def test_stats_rejects_foreign_json(self, capsys, tmp_path):
+        path = tmp_path / "notmetrics.json"
+        path.write_text(json.dumps({"spec_bare": {}}))
+        assert main(["stats", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "is not a repro-metrics/1 document" in captured.err

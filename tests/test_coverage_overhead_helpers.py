@@ -1,7 +1,5 @@
 """Unit tests: coverage collectors and overhead-harness helpers."""
 
-import pytest
-
 from repro.bench.overhead import OverheadRow, format_rows, summarize
 from repro.emulator.hypercalls import Hypercall
 from repro.firmware.builder import build_image

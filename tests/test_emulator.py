@@ -6,7 +6,7 @@ from repro.emulator.arch import ARCHS, arch_by_name
 from repro.emulator.devices import DMA_CTRL, DMA_DST, DMA_LEN, DMA_SRC, UART_DATA
 from repro.emulator.events import EventKind
 from repro.emulator.hypercalls import Hypercall
-from repro.emulator.machine import GuestPanic, Machine
+from repro.emulator.machine import GuestPanic
 from repro.emulator.snapshot import take
 from repro.mem.access import AccessKind
 

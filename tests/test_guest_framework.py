@@ -3,8 +3,7 @@
 import pytest
 
 from repro.emulator.events import EventKind
-from repro.errors import FirmwareBuildError, GuestFault
-from repro.guest.context import GuestContext
+from repro.errors import FirmwareBuildError
 from repro.guest.layout import FUNC_SLOT_SIZE, GuestLayout
 from repro.guest.module import GuestModule, guestfn
 

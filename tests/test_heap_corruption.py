@@ -7,8 +7,6 @@ walks are hop-capped and range-checked, degrading to allocation
 failure instead of spinning on a corrupted (possibly cyclic) free list.
 """
 
-import pytest
-
 from repro.emulator.arch import arch_by_name
 from repro.emulator.machine import Machine
 from repro.firmware.builder import attach_runtime

@@ -5,9 +5,9 @@ import pytest
 from repro.mem.access import Access, AccessKind
 from repro.mem.bus import MemoryBus
 from repro.mem.regions import MemoryRegion, Perm
-from repro.sanitizers.runtime.kasan import HEAP_REDZONE, KasanEngine
+from repro.sanitizers.runtime.kasan import KasanEngine
 from repro.sanitizers.runtime.reports import BugType, ReportSink
-from repro.sanitizers.runtime.shadow import ShadowCode, ShadowMemory
+from repro.sanitizers.runtime.shadow import ShadowMemory
 
 BASE = 0x10000
 

@@ -6,10 +6,7 @@ recorded initialization routine onto an already-booted snapshot.  Both
 must converge to the same engine state and the same detections.
 """
 
-import pytest
-
 from repro.firmware.builder import attach_runtime
-from repro.firmware.instrument import InstrumentationMode
 from repro.firmware.registry import build_firmware
 from repro.os.embedded_linux.syscalls import Syscall as S
 from repro.sanitizers.prober import probe_firmware

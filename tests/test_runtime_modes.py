@@ -6,14 +6,11 @@ from repro.firmware.builder import (
     attach_runtime,
     build_image,
     build_with_embsan,
-    ground_truth_alloc_specs,
 )
 from repro.firmware.instrument import InstrumentationMode
 from repro.os.embedded_linux.syscalls import Syscall as S
 from repro.sanitizers.runtime.reports import BugType
 from repro.sanitizers.runtime.runtime import (
-    AllocFnSpec,
-    CommonSanitizerRuntime,
     ReadySpec,
     RuntimeConfig,
 )

@@ -1,6 +1,5 @@
 """Unit + property tests: the unified shadow memory."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mem.bus import MemoryBus

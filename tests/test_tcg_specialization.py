@@ -97,7 +97,8 @@ class TestBlockBoundaries:
 class TestFlushSemantics:
     def test_probe_add_remove_flush_counts(self):
         core, _ = make_core(MIXED_PROGRAM)
-        probe = lambda access: None
+        def probe(access):
+            return None
         assert core.tb_flush_count == 0
         core.add_mem_probe(probe)
         assert core.tb_flush_count == 1

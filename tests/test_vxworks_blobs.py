@@ -8,7 +8,6 @@ from repro.isa.disasm import disassemble, memory_footprint
 from repro.isa.insn import Op
 from repro.os.vxworks.netsvc import (
     DHCP_RESP_BYTES,
-    PPPOE_RESP_BYTES,
     assemble_services,
 )
 from repro.os.vxworks.kernel import VxWorksOp

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.costmodel import DEFAULT_COSTS, CostModel, TCG_EXPANSION
+from repro.bench.costmodel import DEFAULT_COSTS, TCG_EXPANSION
 from repro.bench.workload import merged_corpus, replay
 from repro.firmware.instrument import InstrumentationMode
 from repro.firmware.registry import build_firmware
