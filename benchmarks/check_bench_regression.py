@@ -1,15 +1,22 @@
-"""CI perf-regression gate for the TCG specialization benchmark.
+"""CI perf-regression gate for committed benchmark artifacts.
 
-Compares a freshly measured ``BENCH_tcg.json`` against the committed
-baseline and fails (exit 1) when any gated throughput metric dropped by
-more than ``--max-drop`` (default 25%).  The gated metrics are the two
+Compares a freshly measured benchmark JSON against the committed
+baseline and fails (exit 1) on a relative regression beyond
+``--max-drop`` (default 25%).  The document kind is auto-detected:
+
+``BENCH_tcg.json`` (throughput, higher is better) gates the two
 specialized-engine rates the paper's speedup claims rest on:
 
 * ``spec_bare.insn_per_sec``        — bare specialized TCG throughput
 * ``spec_kasan_kcsan.insn_per_sec`` — fully sanitized throughput
 
+``BENCH_fleet.json`` (recognized by its ``workers`` key; wall-clock,
+lower is better) gates the 4-worker sharded-sweep wall time:
+
+* ``workers.4.wall_s`` — a rise beyond the threshold fails the gate
+
 Improvements and small fluctuations pass; CI runners are noisy, which
-is why the threshold is generous and why only *relative* drops gate.
+is why the threshold is generous and why only *relative* changes gate.
 
 Usage::
 
@@ -29,6 +36,9 @@ GATED = (
     ("spec_kasan_kcsan", "insn_per_sec"),
 )
 
+#: (worker count, metric) pairs gated in fleet documents (lower = better)
+FLEET_GATED = (("4", "wall_s"),)
+
 
 def load(path: str) -> dict:
     """Read one benchmark JSON document."""
@@ -40,8 +50,32 @@ def load(path: str) -> dict:
         raise SystemExit(2)
 
 
+def check_fleet(baseline: dict, current: dict, max_drop: float) -> list:
+    """Fleet gate: wall-clock metrics, where a *rise* is a regression."""
+    failures = []
+    for workers, metric in FLEET_GATED:
+        name = f"workers.{workers}.{metric}"
+        try:
+            base = float(baseline["workers"][workers][metric])
+            cur = float(current["workers"][workers][metric])
+        except (KeyError, TypeError, ValueError):
+            failures.append((name, None, None, None))
+            continue
+        if base <= 0:
+            continue
+        rise = (cur - base) / base
+        status = "FAIL" if rise > max_drop else "ok"
+        row = f"baseline {base:10,.2f}s  current {cur:10,.2f}s  change {rise:+7.1%}"
+        print(f"{status:4s} {name:32s} {row}")
+        if rise > max_drop:
+            failures.append((name, base, cur, rise))
+    return failures
+
+
 def check(baseline: dict, current: dict, max_drop: float) -> list:
     """Return [(name, base, cur, drop)] for every gated regression."""
+    if "workers" in baseline or "workers" in current:
+        return check_fleet(baseline, current, max_drop)
     failures = []
     for key, metric in GATED:
         name = f"{key}.{metric}"

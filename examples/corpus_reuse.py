@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Persistent corpus: persist a campaign, distill it, resume cheaply.
+
+A fuzzing campaign's corpus — the programs that earned their place by
+new coverage or by triggering a bug — is knowledge worth keeping.
+This example runs the loop `docs/corpus.md` describes on the
+quickstart firmware:
+
+1. a seed campaign fuzzes with ``corpus_dir`` attached, persisting
+   coverage-novel programs and every reproducible finding's minimized
+   reproducer into a content-addressed on-disk store;
+2. ``distill_store`` shrinks the store to the greedy coverage minset
+   (crash reproducers are kept unconditionally);
+3. a second campaign resumes *from* the distilled corpus at a
+   fraction of the budget — the reproducers replay in its triage pass,
+   so it reaches the same catalog census without re-discovering
+   anything by mutation.
+
+Run:  python examples/corpus_reuse.py
+"""
+
+import tempfile
+
+from repro.corpus import CorpusStore, distill_store
+from repro.fuzz.campaign import run_campaign
+
+FIRMWARE = "OpenWRT-bcm63xx"  # the quickstart target
+SEED_BUDGET = 2000
+RESUME_BUDGET = 100
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-corpus-") as corpus:
+        print(f"== seed campaign: {FIRMWARE}, budget {SEED_BUDGET} ==")
+        seeded = run_campaign(FIRMWARE, budget=SEED_BUDGET, seed=1,
+                              corpus_dir=corpus)
+        stats = seeded.diagnostics.corpus
+        print(f"matched {sorted(seeded.matched)}")
+        print(f"persisted {stats['size']} entr(ies) "
+              f"({stats['inserts']} insert(s), "
+              f"{stats['dedup_hits']} dedup hit(s))")
+
+        print("\n== distilling to the coverage minset ==")
+        store = CorpusStore(corpus)
+        before = len(store)
+        distill_store(store)
+        kinds = {}
+        for entry in store.entries.values():
+            kinds[entry.kind] = kinds.get(entry.kind, 0) + 1
+        print(f"distilled {before} -> {len(store)} entr(ies) "
+              f"({kinds.get('cover', 0)} cover, "
+              f"{kinds.get('crash', 0)} crash reproducer(s))")
+
+        print(f"\n== resuming from the minset, budget {RESUME_BUDGET} ==")
+        resumed = run_campaign(FIRMWARE, budget=RESUME_BUDGET, seed=1,
+                               corpus_dir=corpus)
+        print(f"imported {resumed.diagnostics.corpus['imported']} "
+              f"entr(ies), matched {sorted(resumed.matched)}")
+
+        scratch = run_campaign(FIRMWARE, budget=RESUME_BUDGET, seed=1)
+        print(f"\nfrom scratch at the same budget: "
+              f"matched {sorted(scratch.matched)}")
+        assert set(seeded.matched) == set(resumed.matched)
+        assert len(scratch.matched) < len(resumed.matched)
+        print(f"\nthe distilled corpus reached the seed campaign's full "
+              f"census in {RESUME_BUDGET} execs — "
+              f"{SEED_BUDGET // RESUME_BUDGET}x less than it took to "
+              f"build it")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,10 @@ Subcommands mirror the paper's workflow:
 * ``replay``   — replay a catalog bug's reproducer under a deployment
 * ``fuzz``     — run a fuzzing campaign with EMBSAN attached
 * ``fuzz-all`` — the full Table-3 sweep, optionally as a supervised
-  multi-process fleet (``--workers N``)
+  multi-process fleet (``--workers N``) or a sharded single-firmware
+  fleet (``--shard N``) cooperating through a shared corpus store
+* ``corpus``   — inspect and maintain persistent corpus stores
+  (``ls`` / ``distill`` / ``merge`` / ``export`` / ``import``)
 * ``stats``    — render a ``--metrics`` JSON file as a readable table
 * ``overhead`` — measure Figure-2 slowdowns for one or all firmware
 * ``table2``   — the known-bug detection matrix
@@ -112,6 +115,8 @@ def _cmd_fuzz(args) -> int:
         watchdog_insns=args.watchdog_insns,
         watchdog_cycles=args.watchdog_cycles,
         observer=observer,
+        corpus_dir=args.corpus_dir,
+        seed_schedule=args.seed_schedule,
     )
     print(f"fuzzer: {result.fuzzer}, seed: {result.seed}, "
           f"budget: {result.budget}, execs: {result.execs}, "
@@ -129,6 +134,12 @@ def _cmd_fuzz(args) -> int:
     diagnostics = result.diagnostics
     degraded = False
     if diagnostics is not None:
+        if diagnostics.corpus:
+            stats = diagnostics.corpus
+            print(f"corpus: {stats.get('size', 0)} entr(ies), "
+                  f"{stats.get('inserts', 0)} insert(s), "
+                  f"{stats.get('dedup_hits', 0)} dedup hit(s), "
+                  f"{stats.get('imported', 0)} imported")
         print(f"diagnostics: {diagnostics.summary()}")
         if diagnostics.checkpoint_discarded:
             print(f"checkpoint discarded as corrupt: "
@@ -139,6 +150,12 @@ def _cmd_fuzz(args) -> int:
                 json.dump(diagnostics.to_json(), fh, indent=2)
             print(f"diagnostics written to {args.diagnostics}")
         degraded = diagnostics.degraded
+    if args.results:
+        from repro.fuzz.checkpoint import result_to_json
+
+        with open(ensure_parent(args.results), "w", encoding="utf-8") as fh:
+            json.dump(result_to_json(result), fh, sort_keys=True)
+        print(f"results written to {args.results}")
     _write_observer(observer, args)
     return 3 if degraded else 0
 
@@ -151,6 +168,8 @@ def _cmd_fuzz_all(args) -> int:
     from repro.obs.observer import ensure_parent
 
     observer = _make_observer(args)
+    if args.shard:
+        return _fuzz_sharded(args, observer)
     jobs = make_jobs(
         budget=args.budget,
         seed=args.seed,
@@ -226,6 +245,124 @@ def _cmd_fuzz_all(args) -> int:
         print(f"results written to {args.results}")
     _write_observer(observer, args)
     return 3 if degraded else 0
+
+
+def _fuzz_sharded(args, observer) -> int:
+    """``fuzz-all --shard N``: one firmware, N cooperating shards."""
+    import json
+
+    from repro.fuzz.checkpoint import result_to_json
+    from repro.fuzz.supervisor import run_sharded_fleet
+    from repro.obs.observer import ensure_parent
+
+    if not args.firmware or len(args.firmware) != 1:
+        print("--shard fuzzes ONE firmware with N cooperating workers; "
+              "pass exactly one --firmware NAME", file=sys.stderr)
+        return 2
+    sharded = run_sharded_fleet(
+        args.firmware[0],
+        budget=args.budget,
+        shards=args.shard,
+        workers=args.workers,
+        seed=args.seed,
+        sync_every=args.sync_every,
+        corpus_dir=args.corpus_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        faults=args.faults,
+        crash_budget=args.crash_budget,
+        observer=observer,
+        events_path=args.events_log,
+        fleet_options=dict(
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff,
+        ),
+    )
+    print(f"{'Shard':>5s} {'Execs':>6s} {'Crashes':>8s} {'Found':>6s}")
+    for index, result in enumerate(sharded.shard_results):
+        if result is None:
+            print(f"{index:5d} {'-':>6s} {'-':>8s} {'-':>6s}  "
+                  f"DEGRADED (abandoned after retries)")
+            continue
+        total = result.found_count() + len(result.missed)
+        print(f"{index:5d} {result.execs:6d} {result.crashes:8d} "
+              f"{result.found_count():3d}/{total:d}")
+    merged = sharded.result
+    if merged is not None:
+        total = merged.found_count() + len(merged.missed)
+        syncs = sum(1 for e in sharded.events
+                    if e["event"] == "corpus_synced")
+        print(f"merged: {merged.execs} execs over {sharded.shards} "
+              f"shard(s), {sharded.rounds} round(s), {syncs} corpus "
+              f"sync(s), found {merged.found_count()}/{total}")
+        if merged.matched:
+            print(f"catalog rows matched: {sorted(merged.matched)}")
+    if args.events_log:
+        print(f"events written to {args.events_log}")
+    if args.diagnostics:
+        with open(ensure_parent(args.diagnostics), "w",
+                  encoding="utf-8") as fh:
+            json.dump(sharded.diagnostics.to_json(), fh, indent=2)
+        print(f"fleet diagnostics written to {args.diagnostics}")
+    if args.results:
+        payload = {
+            "merged": None if merged is None else result_to_json(merged),
+            "shards": [
+                None if result is None else result_to_json(result)
+                for result in sharded.shard_results
+            ],
+        }
+        with open(ensure_parent(args.results), "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        print(f"results written to {args.results}")
+    _write_observer(observer, args)
+    return 3 if sharded.degraded or merged is None else 0
+
+
+def _cmd_corpus(args) -> int:
+    """The ``corpus`` maintenance subcommands."""
+    from repro.corpus import CorpusStore, distill_store, merge_stores
+    from repro.errors import CorpusError
+
+    try:
+        if args.corpus_command == "ls":
+            store = CorpusStore(args.dir)
+            by_kind = {}
+            for digest in store.digests():
+                entry = store.entries[digest]
+                by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+                if args.long:
+                    print(f"{digest[:16]} {entry.kind:5s} "
+                          f"execs={entry.execs:<6d} "
+                          f"signature={len(entry.signature)} point(s)")
+            kinds = ", ".join(f"{count} {kind}"
+                              for kind, count in sorted(by_kind.items()))
+            print(f"{len(store)} entr(ies) ({kinds or 'empty'}) "
+                  f"for firmware {store.firmware!r}")
+        elif args.corpus_command == "distill":
+            store = CorpusStore(args.dir)
+            before = len(store)
+            distilled = distill_store(store, out_root=args.out)
+            where = args.out or args.dir
+            print(f"distilled {before} -> {len(distilled)} entr(ies) "
+                  f"into {where}")
+        elif args.corpus_command == "merge":
+            dest = merge_stores(args.dest, args.sources)
+            print(f"merged {len(args.sources)} store(s) -> "
+                  f"{len(dest)} entr(ies) in {args.dest}")
+        elif args.corpus_command == "export":
+            store = CorpusStore(args.dir)
+            count = store.export_bundle(args.bundle)
+            print(f"exported {count} entr(ies) to {args.bundle}")
+        elif args.corpus_command == "import":
+            store = CorpusStore(args.dir)
+            count = store.import_bundle(args.bundle)
+            print(f"imported {count} new entr(ies) from {args.bundle} "
+                  f"({len(store)} total)")
+    except CorpusError as exc:
+        print(f"corpus error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_stats(args) -> int:
@@ -315,8 +452,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="per-program instruction budget before GuestHang")
     fuzz.add_argument("--watchdog-cycles", type=float, default=None,
                       help="per-program cycle budget before GuestHang")
+    fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
+                      help="persistent corpus store: existing entries seed "
+                           "the campaign, discoveries persist back")
+    fuzz.add_argument("--seed-schedule", default="uniform",
+                      choices=["uniform", "rarity"],
+                      help="corpus seed selection; 'rarity' weights "
+                           "programs by how rare their coverage is")
     fuzz.add_argument("--diagnostics", default=None, metavar="PATH",
                       help="write campaign diagnostics JSON here")
+    fuzz.add_argument("--results", default=None, metavar="PATH",
+                      help="write the campaign result JSON here")
     fuzz.add_argument("--metrics", default=None, metavar="PATH",
                       help="write the campaign metrics JSON here "
                            "(render with 'repro stats PATH')")
@@ -342,6 +488,17 @@ def build_parser() -> argparse.ArgumentParser:
                                "workers resume from these after a crash")
     fuzz_all.add_argument("--crash-budget", type=int, default=None,
                           help="host crashes tolerated before degradation")
+    fuzz_all.add_argument("--shard", type=int, default=0, metavar="N",
+                          help="fuzz ONE firmware (exactly one --firmware) "
+                               "with N cooperating shards syncing through "
+                               "a shared corpus store")
+    fuzz_all.add_argument("--sync-every", type=int, default=0,
+                          metavar="EXECS",
+                          help="per-shard execs between corpus syncs "
+                               "(0 = one round, sync only at the end)")
+    fuzz_all.add_argument("--corpus-dir", default=None, metavar="DIR",
+                          help="shared persistent corpus store for "
+                               "--shard mode (temporary if omitted)")
     fuzz_all.add_argument("--heartbeat-timeout", type=float, default=30.0,
                           help="seconds of worker silence before it is "
                                "declared hung and killed")
@@ -362,6 +519,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write a Perfetto-loadable Chrome trace "
                                "merging supervisor and worker timelines")
 
+    corpus = sub.add_parser(
+        "corpus", help="inspect and maintain persistent corpus stores"
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_ls = corpus_sub.add_parser("ls", help="summarize a store")
+    corpus_ls.add_argument("dir", help="corpus store directory")
+    corpus_ls.add_argument("--long", action="store_true",
+                           help="one line per entry")
+    corpus_distill = corpus_sub.add_parser(
+        "distill",
+        help="greedy coverage minset (keeps every crash reproducer)",
+    )
+    corpus_distill.add_argument("dir", help="corpus store directory")
+    corpus_distill.add_argument("--out", default=None, metavar="DIR",
+                                help="write the minset to a fresh store "
+                                     "instead of pruning in place")
+    corpus_merge = corpus_sub.add_parser(
+        "merge", help="union several stores into one"
+    )
+    corpus_merge.add_argument("dest", help="destination store directory")
+    corpus_merge.add_argument("sources", nargs="+",
+                              help="source store directories")
+    corpus_export = corpus_sub.add_parser(
+        "export", help="write a store as one portable JSON bundle"
+    )
+    corpus_export.add_argument("dir", help="corpus store directory")
+    corpus_export.add_argument("bundle", help="bundle file to write")
+    corpus_import = corpus_sub.add_parser(
+        "import", help="load an exported bundle into a store"
+    )
+    corpus_import.add_argument("dir", help="corpus store directory")
+    corpus_import.add_argument("bundle", help="bundle file to read")
+
     stats = sub.add_parser(
         "stats", help="render a --metrics JSON file as a readable table"
     )
@@ -381,6 +571,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "fuzz": _cmd_fuzz,
     "fuzz-all": _cmd_fuzz_all,
+    "corpus": _cmd_corpus,
     "stats": _cmd_stats,
     "overhead": _cmd_overhead,
     "table2": _cmd_table2,

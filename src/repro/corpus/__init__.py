@@ -1,0 +1,30 @@
+"""Persistent corpus subsystem: store, distillation, seed scheduling.
+
+See ``docs/corpus.md`` for the store layout, signature scheme,
+sharding semantics and the determinism contract.
+"""
+
+from repro.corpus.codec import (
+    decode_program,
+    encode_program,
+    program_digest,
+)
+from repro.corpus.distill import distill_entries, distill_store
+from repro.corpus.scheduler import SeedScheduler
+from repro.corpus.store import (
+    CorpusEntry,
+    CorpusStore,
+    merge_stores,
+)
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusStore",
+    "SeedScheduler",
+    "decode_program",
+    "distill_entries",
+    "distill_store",
+    "encode_program",
+    "merge_stores",
+    "program_digest",
+]

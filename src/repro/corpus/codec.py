@@ -1,0 +1,108 @@
+"""Deterministic Program serialization for the persistent corpus.
+
+The corpus store is content-addressed: every :class:`Program` maps to
+exactly one canonical byte string, and its SHA-256 hex digest is the
+entry's identity everywhere — on disk, in checkpoints, across fleet
+shards.  Canonical means: the JSON form from :meth:`Program.to_json`,
+dumped with sorted keys and no whitespace, UTF-8 encoded.  Two
+programs with the same calls therefore always share one digest, no
+matter which process or session serialized them.
+
+Decoding is defensive: the store reads files another process (or a
+disk) may have mangled, so every structural assumption is checked and
+violations raise :class:`~repro.errors.CorpusError` rather than a raw
+``KeyError`` three frames deep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import CorpusError
+from repro.fuzz.program import Call, Program
+
+#: bump when the canonical byte form changes (digests would too)
+CODEC_VERSION = 1
+
+
+def encode_program(program: Program) -> bytes:
+    """The canonical byte form of ``program`` (stable across sessions)."""
+    return json.dumps(
+        program.to_json(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def program_digest(program: Program) -> str:
+    """Content address: SHA-256 hex of the canonical byte form."""
+    return hashlib.sha256(encode_program(program)).hexdigest()
+
+
+def digest_of_bytes(data: bytes) -> str:
+    """Digest of an already-encoded program (integrity verification)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def decode_program(data: bytes, source: str | None = None) -> Program:
+    """Rebuild a program from its canonical bytes, validating structure.
+
+    ``source`` names the file (or other origin) for error messages.
+    """
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CorpusError(
+            f"not a valid corpus entry (truncated or corrupt): {exc}",
+            path=source,
+        ) from exc
+    return program_from_payload(payload, source=source)
+
+
+def program_from_payload(payload, source: str | None = None) -> Program:
+    """Validate and rebuild a program from parsed JSON."""
+    if not isinstance(payload, list):
+        raise CorpusError(
+            f"corpus entry must be a call list, found "
+            f"{type(payload).__name__}",
+            path=source,
+        )
+    calls = []
+    for index, entry in enumerate(payload):
+        calls.append(_call_from_payload(entry, index, source))
+    return Program(calls)
+
+
+def _call_from_payload(entry, index: int, source: str | None) -> Call:
+    def broken(reason: str) -> CorpusError:
+        return CorpusError(
+            f"corpus entry call #{index} is structurally broken: {reason}",
+            path=source,
+        )
+
+    if not isinstance(entry, dict):
+        raise broken(f"expected an object, found {type(entry).__name__}")
+    nr = entry.get("nr")
+    if not isinstance(nr, int):
+        raise broken(f"call number {nr!r} is not an integer")
+    raw_args = entry.get("args")
+    if not isinstance(raw_args, list):
+        raise broken("args is not a list")
+    args = []
+    for arg in raw_args:
+        if isinstance(arg, int):
+            args.append(arg)
+        elif (
+            isinstance(arg, list)
+            and len(arg) == 3
+            and arg[0] == "res"
+            and isinstance(arg[1], str)
+            and isinstance(arg[2], int)
+        ):
+            args.append((arg[0], arg[1], arg[2]))
+        else:
+            raise broken(f"argument {arg!r} is neither an integer nor a "
+                         f"resource reference")
+    produces = entry.get("produces")
+    if produces is not None and not isinstance(produces, str):
+        raise broken(f"produces {produces!r} is not a resource kind")
+    return Call(nr, args, produces)

@@ -1,0 +1,78 @@
+"""Corpus distillation: a greedy minset over coverage signatures.
+
+A long campaign accumulates hundreds of coverage-novel programs whose
+signatures overlap heavily.  Distillation keeps the classic greedy
+set-cover approximation of the smallest subset that preserves the full
+coverage frontier — the afl-cmin / corpus-minimization idea — plus
+every ``crash`` entry unconditionally (reproducers are the census; a
+minset that drops them would forget the bugs).
+
+The selection is deterministic: candidates are ranked by how many
+still-uncovered points they contribute, ties broken by smallest
+digest, so two distillations of the same store always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.corpus.store import CorpusEntry, CorpusStore
+
+
+def distill_entries(entries: Dict[str, CorpusEntry]) -> List[str]:
+    """The digests a minimal-coverage corpus keeps, sorted.
+
+    Crash reproducers are always kept (and their signatures count as
+    covered before the greedy pass, so a cover entry that only repeats
+    a reproducer's trail is dropped).  Entries whose signature adds no
+    new point — including empty-signature ``seed`` bookkeeping rows —
+    do not survive.
+    """
+    kept: List[str] = []
+    covered: Set[int] = set()
+    for digest in sorted(entries):
+        entry = entries[digest]
+        if entry.kind == "crash":
+            kept.append(digest)
+            covered.update(entry.signature)
+    candidates = {
+        digest: set(entry.signature)
+        for digest, entry in entries.items()
+        if entry.kind == "cover" and entry.signature
+    }
+    while candidates:
+        # the candidate adding the most uncovered points; iterating in
+        # digest order with a strict > makes ties — and therefore the
+        # whole minset — deterministic
+        best, best_gain = None, 0
+        for digest in sorted(candidates):
+            gain = len(candidates[digest] - covered)
+            if gain > best_gain:
+                best, best_gain = digest, gain
+        if best is None:
+            break
+        kept.append(best)
+        covered |= candidates.pop(best)
+    return sorted(kept)
+
+
+def distill_store(
+    store: CorpusStore, out_root: Optional[str] = None
+) -> CorpusStore:
+    """Distill a store in place, or into a fresh store at ``out_root``.
+
+    Returns the distilled store; ``store.entries`` minus the returned
+    store's entries is exactly the redundancy the campaign accumulated.
+    """
+    kept = distill_entries(store.entries)
+    if out_root is None:
+        store.prune_to(kept)
+        return store
+    out = CorpusStore(out_root, firmware=store.firmware)
+    for digest in kept:
+        entry = store.entries[digest]
+        # execs rebases to 0, matching prune_to: a distilled corpus is
+        # the next campaign's generation-zero seed set
+        out.add(store.get(digest), signature=entry.signature,
+                kind=entry.kind, execs=0)
+    return out

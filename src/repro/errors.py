@@ -108,6 +108,24 @@ class FuzzerError(ReproError):
     """A fuzzing campaign was misconfigured or its target misbehaved."""
 
 
+class CorpusError(FuzzerError):
+    """A persistent corpus store is unreadable or unusable.
+
+    Raised for truncated or invalid-JSON manifests, unsupported format
+    versions, firmware-identity mismatches, digest-integrity failures
+    and structurally broken entry payloads — the corpus counterpart of
+    :class:`CheckpointError`, and recoverable the same way: discard the
+    broken store (or entry) and rebuild from a campaign.  ``path``
+    names the offending file or directory when known.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+        self.path = path
+
+
 class CheckpointError(FuzzerError):
     """A campaign checkpoint file is unreadable or unusable.
 

@@ -95,6 +95,9 @@ def run_campaign(
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
     observer=None,
+    corpus_dir: Optional[str] = None,
+    seed_schedule: str = "uniform",
+    shard: Optional[Tuple[int, int]] = None,
 ) -> CampaignResult:
     """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN.
 
@@ -103,6 +106,18 @@ def run_campaign(
     :data:`DEFAULT_CHECKPOINT_EVERY`) and an existing checkpoint at that
     path resumes the campaign mid-budget; the resumed run produces the
     same census and findings as an uninterrupted one.
+
+    ``corpus_dir`` attaches a persistent :class:`repro.corpus.CorpusStore`:
+    existing entries seed the campaign (with an unmutated triage pass),
+    coverage-novel programs and crash reproducers persist back, and
+    checkpoints reference corpus programs by digest instead of inlining
+    them.  ``seed_schedule="rarity"`` switches corpus selection from the
+    uniform draw to rarity/energy weighting (a *different* RNG stream —
+    the default census stays byte-identical only at ``"uniform"``).
+    ``shard=(index, count)`` makes this campaign one worker of an
+    intra-firmware fleet: it starts from its disjoint slice of the spec
+    seed corpus and writes its own manifest segment in the shared store
+    (see ``docs/corpus.md``).
 
     ``observer`` (a :class:`repro.obs.Observer`) collects campaign
     metrics, trace spans and per-phase wall-clock timings; campaign
@@ -147,6 +162,19 @@ def run_campaign(
         kwargs["watchdog_cycles"] = watchdog_cycles
     if observer is not None:
         kwargs["observer"] = observer
+    corpus_store = None
+    if corpus_dir is not None:
+        from repro.corpus import CorpusStore
+
+        writer = None if shard is None else f"shard{shard[0]:02d}"
+        corpus_store = CorpusStore(
+            corpus_dir, firmware=firmware, writer=writer
+        )
+        kwargs["corpus_store"] = corpus_store
+    if seed_schedule != "uniform":
+        kwargs["seed_schedule"] = seed_schedule
+    if shard is not None:
+        kwargs["shard"] = (shard[0], shard[1])
     fuzzer = fuzzer_cls(firmware, **kwargs)
     _phase_done("build")
 
@@ -191,6 +219,25 @@ def run_campaign(
     findings = fuzzer.reproduce_findings()
     matched, missed = _match_findings(records, findings)
     _phase_done("reproduce")
+    corpus_stats = None
+    if corpus_store is not None:
+        from repro.fuzz.program import Program
+
+        # persist each reproducible finding's minimized reproducer as a
+        # crash entry: re-running from this corpus replays the bug in
+        # the triage pass instead of re-discovering it by mutation
+        for finding in findings:
+            if finding.reproducible:
+                corpus_store.add(
+                    Program(finding.reproducer_calls()),
+                    kind="crash", execs=fuzzer.execs,
+                )
+        corpus_store.flush()
+        corpus_stats = dict(corpus_store.stats())
+        corpus_stats["imported"] = fuzzer.corpus_imported
+        if observer is not None:
+            observer.gauge("corpus.size").set(len(corpus_store))
+        _phase_done("corpus")
     if checkpoint_path is not None:
         # final checkpoint: a later resume of a finished campaign is a
         # no-op instead of re-fuzzing
@@ -213,6 +260,7 @@ def run_campaign(
         fault_stats=fault_plan.stats() if fault_plan is not None else {},
         checkpoint_discarded=checkpoint_discarded,
         phase_timings=phase_timings,
+        corpus=corpus_stats,
     )
     return CampaignResult(
         firmware=firmware,
@@ -233,6 +281,7 @@ def run_campaign_repeated(
     firmware: str,
     budget: int = DEFAULT_BUDGET,
     seeds: Sequence[int] = (1, 2, 3),
+    carry_corpus: bool = False,
     **kwargs,
 ) -> CampaignResult:
     """Repeat a campaign across seeds, merging findings.
@@ -243,14 +292,41 @@ def run_campaign_repeated(
     Extra keyword arguments (fault plans, watchdog budgets, ...) are
     forwarded to :func:`run_campaign`.
 
+    With ``carry_corpus=True`` every repetition fuzzes through the same
+    persistent corpus store, so seed *n+1* starts from everything seeds
+    *1..n* discovered (coverage programs replay unmutated in its triage
+    pass) instead of from scratch.  Uses the caller's ``corpus_dir`` if
+    one is passed, otherwise a temporary store scoped to this call; the
+    merged diagnostics' ``inherited_corpus`` lists, per seed in order,
+    how many store entries that repetition inherited.
+
     Diagnostics merge too: the returned record's ``seeds`` lists every
     repetition that ran, counters sum, and every seed's quarantined
     crash records are preserved — a crash in repetition 3 is triagable
     from the merged result, not silently dropped.
     """
+    tmp_corpus = None
+    if carry_corpus and not kwargs.get("corpus_dir"):
+        import tempfile
+
+        tmp_corpus = tempfile.TemporaryDirectory(prefix="repro-corpus-")
+        kwargs = dict(kwargs, corpus_dir=tmp_corpus.name)
+    try:
+        return _run_repeated(firmware, budget, seeds, carry_corpus, kwargs)
+    finally:
+        if tmp_corpus is not None:
+            tmp_corpus.cleanup()
+
+
+def _run_repeated(firmware, budget, seeds, carry_corpus, kwargs):
     merged: Optional[CampaignResult] = None
     for seed in seeds:
         result = run_campaign(firmware, budget=budget, seed=seed, **kwargs)
+        if carry_corpus and result.diagnostics is not None:
+            stats = result.diagnostics.corpus or {}
+            result.diagnostics.inherited_corpus = [
+                stats.get("imported", 0)
+            ]
         if merged is None:
             merged = result
         else:

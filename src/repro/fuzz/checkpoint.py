@@ -17,7 +17,11 @@ File format (``version`` 1): one JSON object with
 ``firmware``/``fuzzer``/``seed``/``budget`` identity fields (validated
 on resume), counters, ``rng_state``/``fault_rng_state``, ``corpus`` and
 ``triage`` as program lists, ``findings`` as full report records, and
-``quarantined`` diagnostics records.  See ``docs/robustness.md``.
+``quarantined`` diagnostics records.  When the engine has a persistent
+corpus store attached, the inline ``corpus`` list is replaced by
+``corpus_digests`` — an ordered list of content addresses resolved
+against the store on resume (see ``docs/corpus.md``).
+See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import json
 import os
 from typing import Optional
 
-from repro.errors import CheckpointError, FuzzerError
+from repro.errors import CheckpointError, CorpusError, FuzzerError
 from repro.fuzz.diagnostics import CampaignDiagnostics, CrashRecord
 from repro.fuzz.engine import Finding, FuzzerEngine
 from repro.fuzz.program import Program
@@ -124,6 +128,39 @@ def _finding_from_json(data: dict) -> Finding:
 # ----------------------------------------------------------------------
 # engine <-> checkpoint state
 # ----------------------------------------------------------------------
+def _restore_corpus_from_store(fuzzer: FuzzerEngine, digests) -> None:
+    """Resolve a checkpoint's ``corpus_digests`` against the store."""
+    store = getattr(fuzzer, "corpus_store", None)
+    if store is None:
+        raise CheckpointError(
+            "checkpoint references corpus entries by digest but the "
+            "engine has no corpus store attached (resume with the same "
+            "corpus directory the campaign was started with)"
+        )
+    store.reload()
+    corpus = []
+    for digest in digests:
+        try:
+            corpus.append(store.get(digest))
+        except CorpusError as exc:
+            raise CheckpointError(
+                f"corpus entry referenced by the checkpoint is missing "
+                f"or corrupt: {exc}"
+            ) from exc
+    fuzzer.corpus = corpus
+    fuzzer._known_digests = set(digests)
+    if fuzzer.scheduler is not None:
+        from repro.corpus.scheduler import SeedScheduler
+
+        scheduler = SeedScheduler()
+        for digest, program in zip(digests, corpus):
+            entry = store.entries.get(digest)
+            scheduler.note(
+                program, entry.signature if entry is not None else ()
+            )
+        fuzzer.scheduler = scheduler
+
+
 def engine_state(
     fuzzer: FuzzerEngine, firmware: str, budget: int
 ) -> dict:
@@ -140,11 +177,22 @@ def engine_state(
         "degraded": fuzzer.degraded,
         "watchdog_trips": fuzzer.watchdog_trips(),
         "rng_state": _rng_state_to_json(fuzzer.rng.getstate()),
-        "corpus": [p.to_json() for p in fuzzer.corpus],
         "triage": [p.to_json() for p in fuzzer._triage],
+        "triage_crash": [p.to_json() for p in fuzzer._triage_crash],
         "findings": [_finding_to_json(f) for f in fuzzer.findings.values()],
         "quarantined": [r.to_json() for r in fuzzer.quarantined],
     }
+    store = getattr(fuzzer, "corpus_store", None)
+    if store is not None:
+        # corpus-by-reference: every corpus program lives in the store
+        # (persisted here if it is not yet), and the checkpoint carries
+        # only the ordered digest list — bodies are never inlined twice
+        state["corpus_digests"] = [
+            store.ensure(program, execs=fuzzer.execs)
+            for program in fuzzer.corpus
+        ]
+    else:
+        state["corpus"] = [p.to_json() for p in fuzzer.corpus]
     if fuzzer.fault_plan is not None:
         state["fault_rng_state"] = _rng_state_to_json(
             fuzzer.fault_plan.save_rng_state()
@@ -183,8 +231,14 @@ def restore_engine(fuzzer: FuzzerEngine, state: dict, firmware: str) -> None:
         fuzzer.degraded = state["degraded"]
         fuzzer._watchdog_trips_retired = state.get("watchdog_trips", 0)
         fuzzer.rng.setstate(_rng_state_from_json(state["rng_state"]))
-        fuzzer.corpus = [Program.from_json(p) for p in state["corpus"]]
+        if "corpus_digests" in state:
+            _restore_corpus_from_store(fuzzer, state["corpus_digests"])
+        else:
+            fuzzer.corpus = [Program.from_json(p) for p in state["corpus"]]
         fuzzer._triage = [Program.from_json(p) for p in state["triage"]]
+        fuzzer._triage_crash = [
+            Program.from_json(p) for p in state.get("triage_crash", [])
+        ]
         fuzzer.findings = {}
         for entry in state["findings"]:
             finding = _finding_from_json(entry)
@@ -206,6 +260,17 @@ def restore_engine(fuzzer: FuzzerEngine, state: dict, firmware: str) -> None:
     # from a fresh target with an empty session, matching that state
     fuzzer._session.clear()
     fuzzer._execs_since_refresh = 0
+    # sharded fleets sync here: after every round's resume, adopt the
+    # sibling shards' discoveries (the store was just reloaded above).
+    # Plain single-writer resumes must NOT import — an uninterrupted
+    # run and a resumed one must stay byte-identical, and the store may
+    # hold crash entries that never belonged to the checkpoint corpus.
+    if getattr(fuzzer, "shard", None) is not None and \
+            getattr(fuzzer, "corpus_store", None) is not None:
+        # the watermark makes the import independent of sibling timing:
+        # entries a sibling inserted past this engine's own exec count
+        # (mid-round writes) stay invisible until the next boundary
+        fuzzer.import_store_entries(max_execs=fuzzer.execs)
 
 
 # ----------------------------------------------------------------------

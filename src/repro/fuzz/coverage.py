@@ -24,9 +24,11 @@ class CoverageMap:
     def __init__(self):
         self.points: Set[int] = set()
         self._epoch_new = 0
+        self._epoch_points: Set[int] = set()
 
     def hit(self, point: int) -> None:
         """Record one coverage point."""
+        self._epoch_points.add(point)
         if point not in self.points:
             self.points.add(point)
             self._epoch_new += 1
@@ -34,10 +36,20 @@ class CoverageMap:
     def begin_input(self) -> None:
         """Start tracking novelty for one fuzz input."""
         self._epoch_new = 0
+        self._epoch_points.clear()
 
     def new_coverage(self) -> int:
         """Points first seen during the current input."""
         return self._epoch_new
+
+    def input_points(self) -> Set[int]:
+        """Every point the current input touched (new or not).
+
+        This is the input's coverage *signature* — what the persistent
+        corpus stores per entry and what distillation and rarity
+        scheduling consume (see ``docs/corpus.md``).
+        """
+        return set(self._epoch_points)
 
     def __len__(self) -> int:
         return len(self.points)

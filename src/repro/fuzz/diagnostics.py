@@ -131,6 +131,13 @@ class CampaignDiagnostics:
     #: nondeterministic, and the sequential-vs-fleet byte-identity
     #: contract covers unobserved runs
     phase_timings: Optional[Dict[str, float]] = None
+    #: persistent-corpus session stats (size/inserts/dedup_hits/
+    #: imported); None when the campaign ran without a corpus store
+    corpus: Optional[Dict[str, int]] = None
+    #: corpus entries inherited at the start of each repetition, in
+    #: seed order — how much of the previous seeds' corpus each run
+    #: started from (only set by ``carry_corpus`` repeated campaigns)
+    inherited_corpus: Optional[List[int]] = None
 
     def merge(self, other: "CampaignDiagnostics") -> "CampaignDiagnostics":
         """Fold another seed's diagnostics into this record (in place)."""
@@ -152,6 +159,20 @@ class CampaignDiagnostics:
             for phase, seconds in other.phase_timings.items():
                 self.phase_timings[phase] = round(
                     self.phase_timings.get(phase, 0.0) + seconds, 6)
+        if other.corpus:
+            if self.corpus is None:
+                self.corpus = {}
+            for key, value in other.corpus.items():
+                if key == "size":
+                    # the store is shared: its final size is the
+                    # latest repetition's view, not a sum
+                    self.corpus[key] = value
+                else:
+                    self.corpus[key] = self.corpus.get(key, 0) + value
+        if other.inherited_corpus:
+            if self.inherited_corpus is None:
+                self.inherited_corpus = []
+            self.inherited_corpus.extend(other.inherited_corpus)
         return self
 
     def to_json(self) -> dict:
@@ -169,6 +190,9 @@ class CampaignDiagnostics:
             "seeds": None if self.seeds is None else list(self.seeds),
             "phase_timings": (None if self.phase_timings is None
                               else dict(self.phase_timings)),
+            "corpus": None if self.corpus is None else dict(self.corpus),
+            "inherited_corpus": (None if self.inherited_corpus is None
+                                 else list(self.inherited_corpus)),
         }
 
     @staticmethod
@@ -191,6 +215,10 @@ class CampaignDiagnostics:
                    else list(data["seeds"])),
             phase_timings=(None if data.get("phase_timings") is None
                            else dict(data["phase_timings"])),
+            corpus=(None if data.get("corpus") is None
+                    else dict(data["corpus"])),
+            inherited_corpus=(None if data.get("inherited_corpus") is None
+                              else list(data["inherited_corpus"])),
         )
 
     def summary(self) -> str:

@@ -136,13 +136,60 @@ class FuzzerEngine:
         crash_budget: int = DEFAULT_CRASH_BUDGET,
         fault_plan=None,
         observer=None,
+        corpus_store=None,
+        seed_schedule: str = "uniform",
+        shard=None,
     ):
+        from repro.errors import FuzzerError
+
         self.target = target
         self.spec = spec
         self.seed = seed
         self.rng = random.Random(seed)
         self.mutator = Mutator(self.rng, INTERESTING)
         self.corpus: List[Program] = spec.seed_programs(self.rng)
+        #: optional :class:`repro.corpus.CorpusStore`: coverage-novel
+        #: programs and crash reproducers persist there, and existing
+        #: entries join the corpus (and triage queue) at startup
+        self.corpus_store = corpus_store
+        #: digests of corpus programs already known to the store
+        self._known_digests: set = set()
+        #: store entries adopted from other sessions/shards
+        self.corpus_imported = 0
+        if seed_schedule not in ("uniform", "rarity"):
+            raise FuzzerError(
+                f"unknown seed schedule {seed_schedule!r} "
+                f"(expected 'uniform' or 'rarity')"
+            )
+        self.seed_schedule = seed_schedule
+        self.scheduler = None
+        if seed_schedule == "rarity":
+            from repro.corpus.scheduler import SeedScheduler
+
+            self.scheduler = SeedScheduler()
+        if shard is not None:
+            # disjoint seed shards: worker i of n keeps every n-th
+            # description-derived seed, so an intra-firmware fleet
+            # starts from a partition instead of n identical corpora
+            index, count = shard
+            if not 0 <= index < count:
+                raise FuzzerError(
+                    f"shard index {index} outside 0..{count - 1}"
+                )
+            self.corpus = [
+                program for position, program in enumerate(self.corpus)
+                if position % count == index
+            ]
+        self.shard = shard
+        if self.scheduler is not None:
+            for program in self.corpus:
+                self.scheduler.note(program, ())
+        if corpus_store is not None:
+            from repro.corpus.codec import program_digest
+
+            self._known_digests = {
+                program_digest(program) for program in self.corpus
+            }
         self.findings: Dict[tuple, Finding] = {}
         self.execs = 0
         self.crashes = 0
@@ -167,6 +214,21 @@ class FuzzerEngine:
         #: seed-corpus programs awaiting their unmutated triage pass;
         #: explicit state so checkpoints can resume mid-triage
         self._triage: List[Program] = [p.clone() for p in self.corpus]
+        #: inherited crash reproducers awaiting replay; kept apart from
+        #: the plain triage queue because reproducers were minimized
+        #: against a *fresh* target and only replay reliably from one
+        self._triage_crash: List[Program] = []
+        # adopt what earlier campaigns (or sibling shards) already
+        # persisted; imports queue into the triage lists above, so
+        # inherited entries get their unmutated replay pass too.  A
+        # sharded engine imports only generation-zero entries
+        # (execs == 0, i.e. distilled seeds), never a sibling's
+        # mid-round writes — a fresh restart must see the same store a
+        # fresh start did
+        if corpus_store is not None:
+            self.import_store_entries(
+                max_execs=0 if shard is not None else None
+            )
         self._execs_since_refresh = 0
         self._current_reports: List[SanitizerReport] = []
         #: programs executed on the current target session (for
@@ -187,11 +249,91 @@ class FuzzerEngine:
 
     def _pick_input(self) -> Program:
         if self.corpus and self.rng.random() < 0.75:
-            seed = self.rng.choice(self.corpus)
+            if self.scheduler is not None:
+                seed = self.scheduler.choose(self.rng)
+            else:
+                seed = self.rng.choice(self.corpus)
             return self.mutator.mutate(
                 seed, lambda: self.spec.generate_call(self.rng)
             )
         return self._generate_program()
+
+    # ------------------------------------------------------------------
+    # persistent corpus plumbing (no-ops without a store)
+    # ------------------------------------------------------------------
+    def import_store_entries(self, triage: bool = True,
+                             max_execs: Optional[int] = None) -> int:
+        """Adopt store entries this engine does not have yet.
+
+        Entries are imported in digest order (deterministic) and, when
+        ``triage`` is set, queued for one unmutated replay — this is
+        the receive side of a fleet corpus sync.  ``max_execs`` is the
+        sync watermark: entries a sibling shard inserted later than
+        this exec count are skipped, so a worker restarted mid-round
+        imports exactly what it would have seen at its round boundary
+        (sharded determinism survives worker deaths; see
+        ``docs/corpus.md``).  Returns the number of programs adopted.
+        """
+        store = self.corpus_store
+        if store is None:
+            return 0
+        imported = 0
+        for digest in store.digests():
+            if digest in self._known_digests:
+                continue
+            if max_execs is not None and \
+                    store.entries[digest].execs > max_execs:
+                continue
+            program = store.get(digest)
+            self._known_digests.add(digest)
+            self.corpus.append(program)
+            if self.scheduler is not None:
+                self.scheduler.note(
+                    program, store.entries[digest].signature)
+            if triage:
+                if store.entries[digest].kind == "crash":
+                    self._triage_crash.append(program.clone())
+                else:
+                    self._triage.append(program.clone())
+            imported += 1
+        self.corpus_imported += imported
+        if imported and self.observer is not None:
+            self.observer.counter("corpus.imports").inc(imported)
+        return imported
+
+    def _corpus_append(self, program: Program, signature) -> None:
+        """One new corpus program: list, scheduler, store, metrics."""
+        self.corpus.append(program)
+        if self.scheduler is not None:
+            self.scheduler.note(program, tuple(sorted(signature)))
+        if self.corpus_store is not None:
+            digest, inserted = self.corpus_store.add(
+                program, signature=sorted(signature), kind="cover",
+                execs=self.execs,
+            )
+            self._known_digests.add(digest)
+            self._observe_store(inserted)
+
+    def _store_crash(self, program: Program, signature) -> None:
+        """Persist a bug-triggering program as a ``crash`` entry."""
+        if self.corpus_store is None:
+            return
+        digest, inserted = self.corpus_store.add(
+            program, signature=sorted(signature), kind="crash",
+            execs=self.execs,
+        )
+        self._known_digests.add(digest)
+        self._observe_store(inserted)
+
+    def _observe_store(self, inserted: bool) -> None:
+        observer = self.observer
+        if observer is None:
+            return
+        if inserted:
+            observer.counter("corpus.inserts").inc()
+        else:
+            observer.counter("corpus.dedup_hits").inc()
+        observer.gauge("corpus.size").set(len(self.corpus_store))
 
     # ------------------------------------------------------------------
     def run(
@@ -240,7 +382,14 @@ class FuzzerEngine:
         such crashes, after which the engine degrades and stops.
         """
         if program is None:
-            if self._triage:
+            if self._triage_crash:
+                # replay inherited reproducers the way _replays verified
+                # them: against a fresh target (state-dependent bugs
+                # rarely fire from a polluted heap)
+                program = self._triage_crash.pop(0)
+                if self._execs_since_refresh:
+                    self._fresh_target()
+            elif self._triage:
                 program = self._triage.pop(0)
             else:
                 program = self._pick_input()
@@ -281,10 +430,12 @@ class FuzzerEngine:
                 self.findings[key] = Finding(key, report, program.clone(),
                                              context=context, seed=self.seed)
         elif coverage.new_coverage() > 0:
-            self.corpus.append(program)
+            self._corpus_append(program, coverage.input_points())
         self._session.append(program.clone())
 
         new_findings = set(self.findings) - before_keys
+        if new_findings:
+            self._store_crash(program, coverage.input_points())
         if observer is not None:
             if fault is not None:
                 observer.counter("campaign.guest_crashes").inc()

@@ -82,6 +82,12 @@ class CampaignJob:
     watchdog_insns: Optional[int] = None
     watchdog_cycles: Optional[float] = None
     sanitizers: Optional[Tuple[str, ...]] = None
+    #: persistent corpus store shared with sibling jobs (sharded mode)
+    corpus_dir: Optional[str] = None
+    seed_schedule: str = "uniform"
+    #: set both to make this job one shard of an intra-firmware fleet
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
 
     def payload(self, attempt: int, heartbeat_interval: float,
                 observe: bool = False) -> dict:
@@ -105,6 +111,10 @@ class CampaignJob:
             "watchdog_cycles": self.watchdog_cycles,
             "sanitizers": (None if self.sanitizers is None
                            else list(self.sanitizers)),
+            "corpus_dir": self.corpus_dir,
+            "seed_schedule": self.seed_schedule,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
         }
 
 
@@ -580,3 +590,265 @@ def run_fleet(jobs: Sequence[CampaignJob], workers: int = 2,
               **supervisor_kwargs) -> FleetResult:
     """Run ``jobs`` under a :class:`FleetSupervisor` and return its result."""
     return FleetSupervisor(jobs, workers=workers, **supervisor_kwargs).run()
+
+
+# ----------------------------------------------------------------------
+# sharded intra-firmware fleet (one firmware, N cooperating shards)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedFleetResult:
+    """One firmware fuzzed by ``shards`` cooperating workers."""
+
+    #: the shard results merged into a single campaign-shaped record
+    #: (execs/crashes sum, coverage is the max frontier, findings and
+    #: catalog matches union); ``None`` only if every shard degraded
+    result: Optional[object]
+    #: per-shard final-round results, shard order; ``None`` = degraded
+    shard_results: List[Optional[object]]
+    rounds: int
+    shards: int
+    #: the final round's supervision record
+    diagnostics: FleetDiagnostics
+    #: all rounds' supervision events plus the ``corpus_synced``
+    #: barrier events, in order
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard exhausted its retry budget."""
+        return any(result is None for result in self.shard_results)
+
+
+def make_shard_jobs(
+    firmware: str,
+    budget: int,
+    shards: int,
+    seed: int = 0,
+    corpus_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+    seed_schedule: str = "uniform",
+    faults: Optional[str] = None,
+    crash_budget: Optional[int] = None,
+    watchdog_insns: Optional[int] = None,
+    watchdog_cycles: Optional[float] = None,
+) -> List[CampaignJob]:
+    """One job per shard of a single firmware; ``budget`` is per shard.
+
+    Shard ``i`` of ``n`` seeds its RNG with ``seed + i``, starts from
+    its disjoint slice of the spec seed corpus, checkpoints into its
+    own file and writes its own manifest segment of the shared store
+    at ``corpus_dir`` — both are what lets a shard die and resume
+    without touching its siblings.
+    """
+    from repro.firmware.registry import firmware_spec
+
+    name = firmware_spec(firmware).name
+    if shards < 1:
+        raise FuzzerError(f"need >= 1 shard, got {shards}")
+    if corpus_dir is None or checkpoint_dir is None:
+        raise FuzzerError(
+            "sharded jobs need corpus_dir (the sync medium) and "
+            "checkpoint_dir (the resume medium)"
+        )
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    safe = name.replace("/", "_")
+    return [
+        CampaignJob(
+            job_id=f"{name}#s{index}",
+            firmware=name,
+            budget=budget,
+            seed=seed + index,
+            checkpoint_path=os.path.join(
+                checkpoint_dir, f"shard_{safe}_{index:02d}.json"
+            ),
+            checkpoint_every=checkpoint_every,
+            faults=faults,
+            crash_budget=crash_budget,
+            watchdog_insns=watchdog_insns,
+            watchdog_cycles=watchdog_cycles,
+            corpus_dir=corpus_dir,
+            seed_schedule=seed_schedule,
+            shard_index=index,
+            shard_count=shards,
+        )
+        for index in range(shards)
+    ]
+
+
+def merge_shard_results(results: Sequence[Optional[object]]):
+    """Fold per-shard campaign results into one census record.
+
+    Mirrors :func:`repro.fuzz.campaign.run_campaign_repeated`'s merge:
+    counters sum, coverage takes the widest frontier, catalog matches
+    union, and ``missed`` shrinks to the rows no shard found.  Returns
+    ``None`` when every slot is ``None`` (all shards degraded).
+    """
+    import copy
+
+    merged = None
+    for result in results:
+        if result is None:
+            continue
+        if merged is None:
+            # deep copy: callers keep the per-shard results alongside
+            # the merge, so folding in place would corrupt slot 0
+            merged = copy.deepcopy(result)
+            continue
+        merged.execs += result.execs
+        merged.crashes += result.crashes
+        merged.coverage = max(merged.coverage, result.coverage)
+        merged.budget += result.budget
+        merged.findings.extend(result.findings)
+        for bug_id, finding in result.matched.items():
+            merged.matched.setdefault(bug_id, finding)
+        merged.missed = [
+            record for record in merged.missed
+            if record.bug_id not in merged.matched
+        ]
+        if merged.diagnostics is not None and \
+                result.diagnostics is not None:
+            merged.diagnostics.merge(result.diagnostics)
+    return merged
+
+
+def run_sharded_fleet(
+    firmware: str,
+    budget: int,
+    shards: int = 2,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    sync_every: int = 0,
+    corpus_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    seed_schedule: str = "uniform",
+    faults: Optional[str] = None,
+    crash_budget: Optional[int] = None,
+    watchdog_insns: Optional[int] = None,
+    watchdog_cycles: Optional[float] = None,
+    observer=None,
+    events_path: Optional[str] = None,
+    fleet_options: Optional[dict] = None,
+) -> ShardedFleetResult:
+    """Fuzz ONE firmware with ``shards`` cooperating workers.
+
+    ``budget`` is the *total* execution budget, split evenly across
+    shards — a 2-shard fleet at budget 1500 spends the same 1500 execs
+    a single campaign would, so censuses are comparable.
+
+    ``sync_every`` sets the corpus-sync cadence in per-shard execs.
+    The fleet runs in rounds: each round every shard resumes from its
+    checkpoint, imports what sibling shards persisted up to the round
+    boundary (watermarked by insertion exec count), fuzzes
+    ``sync_every`` more execs through the shared store, and
+    checkpoints.  Rounds are barriers — the supervisor returns between
+    them — so for a fixed ``(seed, shards, sync_every)`` schedule the
+    merged result is deterministic regardless of worker count, OS
+    scheduling, or how many times workers were killed and resumed.
+    ``sync_every=0`` means a single round (shards sync only through
+    their disjoint seed slices and the final merge).
+
+    ``workers`` caps concurrent shard processes (default: one per
+    shard); ``fleet_options`` passes supervisor knobs
+    (``heartbeat_timeout``, ``max_retries``, ``on_event``, ...).
+    """
+    import tempfile
+
+    from repro.firmware.registry import firmware_spec
+
+    fleet_options = dict(fleet_options or {})
+    if "events_path" in fleet_options:
+        # rounds reuse the supervisor, which truncates its events file
+        # per run(); route the stream through the combined writer below
+        events_path = events_path or fleet_options.pop("events_path")
+        fleet_options.pop("events_path", None)
+    name = firmware_spec(firmware).name
+    if shards < 1:
+        raise FuzzerError(f"need >= 1 shard, got {shards}")
+    if budget < shards:
+        raise FuzzerError(
+            f"budget {budget} cannot be split across {shards} shards"
+        )
+    per_shard = budget // shards
+    if sync_every < 0:
+        raise FuzzerError(f"sync_every must be >= 0, got {sync_every}")
+    if sync_every and sync_every < per_shard:
+        rounds = -(-per_shard // sync_every)  # ceil
+    else:
+        rounds = 1
+
+    tmp_dirs = []
+    if corpus_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-shard-corpus-")
+        tmp_dirs.append(tmp)
+        corpus_dir = tmp.name
+    if checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-shard-ckpt-")
+        tmp_dirs.append(tmp)
+        checkpoint_dir = tmp.name
+
+    try:
+        from repro.corpus import CorpusStore
+
+        events: List[dict] = []
+        fleet = None
+        previous_size = 0
+        for round_index in range(rounds):
+            round_budget = per_shard if not sync_every else min(
+                per_shard, (round_index + 1) * sync_every
+            )
+            jobs = make_shard_jobs(
+                name, round_budget, shards, seed=seed,
+                corpus_dir=corpus_dir, checkpoint_dir=checkpoint_dir,
+                # checkpoints only at sync boundaries: a mid-round kill
+                # resumes from the round start (or a fresh start in
+                # single-round mode), where the import watermark sees
+                # the same store every uninterrupted run saw
+                checkpoint_every=sync_every or per_shard,
+                seed_schedule=seed_schedule, faults=faults,
+                crash_budget=crash_budget,
+                watchdog_insns=watchdog_insns,
+                watchdog_cycles=watchdog_cycles,
+            )
+            fleet = run_fleet(
+                jobs, workers=workers or shards, observer=observer,
+                **(fleet_options or {}),
+            )
+            events.extend(fleet.events)
+            # the round barrier IS the sync point: every shard has
+            # flushed its segment and gone idle, so this union is the
+            # exact store the next round's resumes will import from
+            store = CorpusStore(corpus_dir, firmware=name)
+            synced = len(store) - previous_size
+            previous_size = len(store)
+            events.append({
+                "ts": round(time.time(), 6),
+                "event": "corpus_synced",
+                "firmware": name,
+                "round": round_index + 1,
+                "rounds": rounds,
+                "entries": len(store),
+                "new_entries": synced,
+            })
+            if observer is not None:
+                observer.counter("corpus.syncs").inc()
+                observer.counter("corpus.sync_volume").inc(synced)
+                observer.gauge("corpus.size").set(len(store))
+        if events_path:
+            from repro.obs.observer import ensure_parent
+
+            with open(ensure_parent(events_path), "w",
+                      encoding="utf-8") as fh:
+                for record in events:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return ShardedFleetResult(
+            result=merge_shard_results(fleet.results),
+            shard_results=fleet.results,
+            rounds=rounds,
+            shards=shards,
+            diagnostics=fleet.diagnostics,
+            events=events,
+        )
+    finally:
+        for tmp in tmp_dirs:
+            tmp.cleanup()

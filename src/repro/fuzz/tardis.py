@@ -40,6 +40,9 @@ class TardisFuzzer(FuzzerEngine):
         watchdog_insns: int = DEFAULT_WATCHDOG_INSNS,
         watchdog_cycles: float = DEFAULT_WATCHDOG_CYCLES,
         observer=None,
+        corpus_store=None,
+        seed_schedule: str = "uniform",
+        shard=None,
     ):
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
@@ -62,4 +65,6 @@ class TardisFuzzer(FuzzerEngine):
         target = FuzzTarget(make)
         spec = interface_for(target.image.kernel)
         super().__init__(target, spec, seed=seed, fault_plan=fault_plan,
-                         crash_budget=crash_budget, observer=observer)
+                         crash_budget=crash_budget, observer=observer,
+                         corpus_store=corpus_store,
+                         seed_schedule=seed_schedule, shard=shard)

@@ -83,6 +83,12 @@ def _run_job(job: dict, observer=None):
             kwargs[key] = job[key]
     if job.get("sanitizers") is not None:
         kwargs["sanitizers"] = tuple(job["sanitizers"])
+    if job.get("corpus_dir") is not None:
+        kwargs["corpus_dir"] = job["corpus_dir"]
+    if job.get("seed_schedule", "uniform") != "uniform":
+        kwargs["seed_schedule"] = job["seed_schedule"]
+    if job.get("shard_count") is not None:
+        kwargs["shard"] = (job["shard_index"], job["shard_count"])
     if job.get("seeds"):
         # repeated campaigns restart from scratch on retry: their
         # early-stop logic is inherently sequential across seeds

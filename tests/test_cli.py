@@ -24,6 +24,15 @@ class TestParser:
              "--events-log", "events.jsonl"],
             ["fuzz-all", "--budget", "100", "--metrics", "m.json",
              "--trace", "t.json"],
+            ["fuzz", "InfiniTime", "--corpus-dir", "c",
+             "--seed-schedule", "rarity", "--results", "r.json"],
+            ["fuzz-all", "--shard", "2", "--sync-every", "250",
+             "--firmware", "InfiniTime", "--corpus-dir", "c"],
+            ["corpus", "ls", "c", "--long"],
+            ["corpus", "distill", "c", "--out", "min"],
+            ["corpus", "merge", "dest", "a", "b"],
+            ["corpus", "export", "c", "bundle.json"],
+            ["corpus", "import", "c", "bundle.json"],
             ["stats", "m.json"],
             ["overhead", "InfiniTime"],
             ["table2"],
@@ -218,3 +227,45 @@ class TestObservability:
         assert main(["stats", str(path)]) == 2
         captured = capsys.readouterr()
         assert "is not a repro-metrics/1 document" in captured.err
+
+
+class TestCorpusCommands:
+    def test_fuzz_persists_then_corpus_tools_round_trip(self, capsys,
+                                                        tmp_path):
+        store = str(tmp_path / "c")
+        assert main(["fuzz", "InfiniTime", "--budget", "200", "--seed", "1",
+                     "--corpus-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "corpus:" in out and "entr(ies)" in out
+
+        assert main(["corpus", "ls", store]) == 0
+        out = capsys.readouterr().out
+        assert "for firmware 'InfiniTime'" in out
+
+        minset = str(tmp_path / "min")
+        assert main(["corpus", "distill", store, "--out", minset]) == 0
+        out = capsys.readouterr().out
+        assert "distilled" in out
+
+        bundle = str(tmp_path / "corpus.bundle.json")
+        assert main(["corpus", "export", minset, bundle]) == 0
+        fresh = str(tmp_path / "fresh")
+        assert main(["corpus", "import", fresh, bundle]) == 0
+        merged = str(tmp_path / "merged")
+        assert main(["corpus", "merge", merged, store, minset]) == 0
+        capsys.readouterr()
+
+        assert main(["corpus", "ls", merged, "--long"]) == 0
+        out = capsys.readouterr().out
+        assert "cover" in out
+
+    def test_corpus_ls_rejects_broken_store(self, capsys, tmp_path):
+        root = tmp_path / "broken"
+        root.mkdir()
+        (root / "manifest.json").write_text("not json")
+        assert main(["corpus", "ls", str(root)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_shard_requires_exactly_one_firmware(self, capsys):
+        assert main(["fuzz-all", "--shard", "2", "--budget", "100"]) == 2
+        assert "exactly one" in capsys.readouterr().err

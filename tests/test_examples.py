@@ -65,3 +65,9 @@ def test_fault_injection():
     assert "campaign survived full budget: yes" in out
     assert "alloc_failures" in out
     assert "reproducible finding(s)" in out
+
+
+def test_corpus_reuse():
+    out = run_example("corpus_reuse.py")
+    assert "distilled" in out and "crash reproducer(s)" in out
+    assert "full census in 100 execs" in out
