@@ -15,6 +15,13 @@ lower is better) gates the 4-worker sharded-sweep wall time:
 
 * ``workers.4.wall_s`` — a rise beyond the threshold fails the gate
 
+``BENCH_execs.json`` (recognized by its ``cases`` key; throughput,
+higher is better) gates the fork-server headline numbers on the
+large-RAM firmware:
+
+* ``cases.large.forkserver.execs_per_sec`` — delta-restore throughput
+* ``cases.large.speedup``                  — fork-server vs journal ratio
+
 Improvements and small fluctuations pass; CI runners are noisy, which
 is why the threshold is generous and why only *relative* changes gate.
 
@@ -38,6 +45,12 @@ GATED = (
 
 #: (worker count, metric) pairs gated in fleet documents (lower = better)
 FLEET_GATED = (("4", "wall_s"),)
+
+#: dotted paths gated in execs documents (higher = better)
+EXECS_GATED = (
+    "cases.large.forkserver.execs_per_sec",
+    "cases.large.speedup",
+)
 
 
 def load(path: str) -> dict:
@@ -72,10 +85,40 @@ def check_fleet(baseline: dict, current: dict, max_drop: float) -> list:
     return failures
 
 
+def check_execs(baseline: dict, current: dict, max_drop: float) -> list:
+    """Execs gate: throughput metrics, where a *drop* is a regression."""
+
+    def dig(doc, path):
+        value = doc
+        for part in path.split("."):
+            value = value[part]
+        return float(value)
+
+    failures = []
+    for name in EXECS_GATED:
+        try:
+            base = dig(baseline, name)
+            cur = dig(current, name)
+        except (KeyError, TypeError, ValueError):
+            failures.append((name, None, None, None))
+            continue
+        if base <= 0:
+            continue
+        drop = (base - cur) / base
+        status = "FAIL" if drop > max_drop else "ok"
+        row = f"baseline {base:14,.2f}  current {cur:14,.2f}  change {-drop:+7.1%}"
+        print(f"{status:4s} {name:40s} {row}")
+        if drop > max_drop:
+            failures.append((name, base, cur, drop))
+    return failures
+
+
 def check(baseline: dict, current: dict, max_drop: float) -> list:
     """Return [(name, base, cur, drop)] for every gated regression."""
     if "workers" in baseline or "workers" in current:
         return check_fleet(baseline, current, max_drop)
+    if "cases" in baseline or "cases" in current:
+        return check_execs(baseline, current, max_drop)
     failures = []
     for key, metric in GATED:
         name = f"{key}.{metric}"

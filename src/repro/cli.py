@@ -117,6 +117,7 @@ def _cmd_fuzz(args) -> int:
         observer=observer,
         corpus_dir=args.corpus_dir,
         seed_schedule=args.seed_schedule,
+        exec_mode=args.exec_mode,
     )
     print(f"fuzzer: {result.fuzzer}, seed: {result.seed}, "
           f"budget: {result.budget}, execs: {result.execs}, "
@@ -177,6 +178,7 @@ def _cmd_fuzz_all(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         faults=args.faults,
         crash_budget=args.crash_budget,
+        exec_mode=args.exec_mode,
     )
     fleet = None
     if args.workers <= 1:
@@ -193,6 +195,8 @@ def _cmd_fuzz_all(args) -> int:
                 kwargs["fault_plan"] = plan_for(job.faults, seed=job.seed)
             if job.crash_budget is not None:
                 kwargs["crash_budget"] = job.crash_budget
+            if job.exec_mode != "journal":
+                kwargs["exec_mode"] = job.exec_mode
             results.append(run_campaign(
                 job.firmware, budget=job.budget, seed=job.seed,
                 checkpoint_path=job.checkpoint_path,
@@ -270,6 +274,7 @@ def _fuzz_sharded(args, observer) -> int:
         checkpoint_dir=args.checkpoint_dir,
         faults=args.faults,
         crash_budget=args.crash_budget,
+        exec_mode=args.exec_mode,
         observer=observer,
         events_path=args.events_log,
         fleet_options=dict(
@@ -455,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
                       help="persistent corpus store: existing entries seed "
                            "the campaign, discoveries persist back")
+    fuzz.add_argument("--exec-mode", default="journal",
+                      choices=["journal", "forkserver"],
+                      help="target reset strategy: per-program journal + "
+                           "rebuild-per-refresh, or a golden fork-server "
+                           "snapshot with dirty-page delta restores "
+                           "(same census, higher execs/s)")
     fuzz.add_argument("--seed-schedule", default="uniform",
                       choices=["uniform", "rarity"],
                       help="corpus seed selection; 'rarity' weights "
@@ -486,6 +497,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_all.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                           help="per-firmware checkpoint files; fleet "
                                "workers resume from these after a crash")
+    fuzz_all.add_argument("--exec-mode", default="journal",
+                          choices=["journal", "forkserver"],
+                          help="target reset strategy (see `fuzz`)")
     fuzz_all.add_argument("--crash-budget", type=int, default=None,
                           help="host crashes tolerated before degradation")
     fuzz_all.add_argument("--shard", type=int, default=0, metavar="N",

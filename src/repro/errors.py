@@ -104,6 +104,24 @@ class SanitizerViolation(ReproError):
         self.report = report
 
 
+class SnapshotError(ReproError):
+    """A machine snapshot could not be captured or restored faithfully.
+
+    Raised when a restore would silently diverge from the captured
+    state — a mapped region whose size no longer matches the saved
+    image, a region missing from the capture, or a golden fork-server
+    snapshot taken while host-side coroutine state (a half-advanced
+    kernel task body) cannot be reproduced.  ``region`` names the
+    offending memory region when one is involved.
+    """
+
+    def __init__(self, message: str, region: str | None = None):
+        if region is not None:
+            message = f"region {region!r}: {message}"
+        super().__init__(message)
+        self.region = region
+
+
 class FuzzerError(ReproError):
     """A fuzzing campaign was misconfigured or its target misbehaved."""
 

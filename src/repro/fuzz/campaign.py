@@ -98,6 +98,7 @@ def run_campaign(
     corpus_dir: Optional[str] = None,
     seed_schedule: str = "uniform",
     shard: Optional[Tuple[int, int]] = None,
+    exec_mode: str = "journal",
 ) -> CampaignResult:
     """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN.
 
@@ -123,6 +124,12 @@ def run_campaign(
     metrics, trace spans and per-phase wall-clock timings; campaign
     *results* — findings, census, checkpoints — are byte-identical with
     or without one (only ``diagnostics.phase_timings`` appears).
+
+    ``exec_mode`` selects the target reset strategy (see
+    ``docs/forkserver.md``): ``"journal"`` rebuilds the firmware at
+    every refresh and journals each program, ``"forkserver"`` rewinds a
+    golden snapshot by copying back only dirty pages.  The census is
+    byte-identical either way; only throughput differs.
     """
     import time
 
@@ -175,6 +182,8 @@ def run_campaign(
         kwargs["seed_schedule"] = seed_schedule
     if shard is not None:
         kwargs["shard"] = (shard[0], shard[1])
+    if exec_mode != "journal":
+        kwargs["exec_mode"] = exec_mode
     fuzzer = fuzzer_cls(firmware, **kwargs)
     _phase_done("build")
 
@@ -213,8 +222,16 @@ def run_campaign(
             else:
                 save_checkpoint(checkpoint_path, engine, firmware, budget)
 
+    execs_before = fuzzer.execs
+    fuzz_started = time.perf_counter()
     fuzzer.run(budget, checkpoint_every=checkpoint_every,
                on_checkpoint=on_checkpoint)
+    fuzz_elapsed = time.perf_counter() - fuzz_started
+    if observer is not None and fuzz_elapsed > 0:
+        # the headline throughput number (docs/forkserver.md): programs
+        # executed this run over fuzz-phase wall-clock
+        observer.gauge("campaign.execs_per_sec").set(
+            round((fuzzer.execs - execs_before) / fuzz_elapsed, 3))
     _phase_done("fuzz")
     findings = fuzzer.reproduce_findings()
     matched, missed = _match_findings(records, findings)
@@ -400,6 +417,7 @@ def run_all_campaigns(
             crash_budget=kwargs.pop("crash_budget", None),
             watchdog_insns=kwargs.pop("watchdog_insns", None),
             watchdog_cycles=kwargs.pop("watchdog_cycles", None),
+            exec_mode=kwargs.pop("exec_mode", "journal"),
         )
         if kwargs:
             raise FuzzerError(

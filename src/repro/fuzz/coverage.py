@@ -11,7 +11,7 @@ Two collectors mirror the two fuzzers' mechanisms:
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Optional, Set
 
 from repro.emulator.events import CallEvent, EventKind, VmcallEvent
 from repro.emulator.hypercalls import Hypercall
@@ -50,6 +50,23 @@ class CoverageMap:
         scheduling consume (see ``docs/corpus.md``).
         """
         return set(self._epoch_points)
+
+    def reset(self, points: Optional[Set[int]] = None) -> None:
+        """Rewind to ``points`` (empty by default), in place.
+
+        The fork-server refresh path reuses the live map instead of
+        building a new one: the event subscription made at construction
+        must survive (the machine persists across restores), so the map
+        object can never be replaced — only rewound.  ``points`` is the
+        golden capture's point set — a rebuilt map re-collects boot-time
+        coverage on every refresh, so a restored one must hold exactly
+        those points too or the two modes' final frontiers diverge.
+        """
+        self.points.clear()
+        if points:
+            self.points.update(points)
+        self._epoch_new = 0
+        self._epoch_points.clear()
 
     def __len__(self) -> int:
         return len(self.points)

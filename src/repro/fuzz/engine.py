@@ -11,8 +11,8 @@ import random
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.emulator.snapshot import Checkpoint
-from repro.errors import GuestFault, GuestHang
+from repro.emulator.snapshot import Checkpoint, ForkServer
+from repro.errors import FuzzerError, GuestFault, GuestHang
 from repro.fuzz.coverage import CoverageMap
 from repro.fuzz.diagnostics import CrashRecord, capture_crash
 from repro.fuzz.ifspec import INTERESTING, InterfaceSpec
@@ -31,6 +31,10 @@ DEFAULT_CRASH_BUDGET = 25
 #: genuinely wedged guest trips
 DEFAULT_WATCHDOG_INSNS = 2_000_000
 DEFAULT_WATCHDOG_CYCLES = 5_000_000
+
+#: target reset strategies: per-program journal + rebuild-per-refresh,
+#: or a golden fork-server snapshot with dirty-page delta restores
+EXEC_MODES = ("journal", "forkserver")
 
 
 class Finding:
@@ -68,34 +72,94 @@ class Finding:
 class FuzzTarget:
     """One live firmware instance under test.
 
-    ``make`` builds a fresh (image, runtime, coverage) triple; the
-    engine rebuilds through it after crashes and on state-refresh
-    intervals.
+    ``make`` builds a fresh (image, runtime, coverage) triple.
+
+    ``exec_mode`` selects the reset strategy:
+
+    * ``"journal"`` — every program runs behind a journal-backed
+      :class:`Checkpoint`, and each refresh rebuilds the target from
+      scratch through ``make``.
+    * ``"forkserver"`` — a golden :class:`ForkServer` snapshot is
+      captured right after the first build; refreshes rewind to it by
+      copying back only dirty pages, and programs run without any
+      per-write journalling.  Boot is deterministic, so a restore is
+      byte-identical to a rebuild — census results match journal mode
+      exactly (the CI identity matrix enforces this).
     """
 
-    def __init__(self, make: Callable[[], tuple]):
+    def __init__(self, make: Callable[[], tuple], exec_mode: str = "journal"):
+        if exec_mode not in EXEC_MODES:
+            raise FuzzerError(
+                f"unknown exec mode {exec_mode!r} "
+                f"(expected one of {', '.join(EXEC_MODES)})"
+            )
         self.make = make
+        self.exec_mode = exec_mode
         self.image = None
         self.runtime = None
         self.coverage: Optional[CoverageMap] = None
         self.rebuilds = 0
+        #: fork-server delta restores performed (forkserver mode)
+        self.restores = 0
+        self.fork_server: Optional[ForkServer] = None
+        #: cost of the most recent reset (observability)
+        self.last_reset_pages = 0
+        self.last_reset_us = 0.0
         self.reset()
 
     def reset(self) -> None:
-        """Build a pristine target instance."""
+        """Return the target to a pristine ready-to-run state.
+
+        Journal mode rebuilds from scratch.  Fork-server mode rewinds
+        to the golden snapshot in O(dirty pages); if the delta restore
+        ever fails (a region was remapped, a task held a live
+        coroutine), it falls back to a full rebuild and captures a
+        fresh golden snapshot, so a campaign never dies to a restore.
+        """
+        if self.fork_server is not None:
+            try:
+                stats = self.fork_server.restore()
+            except Exception:
+                self.fork_server.detach()
+                self.fork_server = None
+            else:
+                self.coverage.reset(self._golden_points)
+                self.restores += 1
+                self.last_reset_pages = stats.pages
+                self.last_reset_us = stats.us
+                return
+        started = time.perf_counter()
         self.image, self.runtime, self.coverage = self.make()
         self.rebuilds += 1
+        self.last_reset_pages = 0
+        self.last_reset_us = (time.perf_counter() - started) * 1e6
+        if self.exec_mode == "forkserver":
+            self.fork_server = ForkServer(
+                self.image.ctx.machine,
+                host_roots=(self.image.kernel, self.image.ctx),
+            )
+            # boot-time coverage: a rebuild re-collects it, so a restore
+            # must rewind the map to it rather than to empty
+            self._golden_points = frozenset(self.coverage.points)
 
     def execute(self, program: Program, style: str) -> Optional[GuestFault]:
         """Run one program; returns the fault when the guest dies.
 
-        Each program runs behind a journal-backed :class:`Checkpoint`:
-        a :class:`GuestFault` (including watchdog hangs) is part of
-        normal fuzzing and commits — the engine's crash-oracle and
-        refresh logic handle it — but *any other* escaping exception
-        rolls guest memory and engine state back to the pre-program
-        point before re-raising, so the caller can quarantine the input
-        against a machine that is not also corrupted.
+        In journal mode each program runs behind a journal-backed
+        :class:`Checkpoint`: a :class:`GuestFault` (including watchdog
+        hangs) is part of normal fuzzing and commits — the engine's
+        crash-oracle and refresh logic handle it — but *any other*
+        escaping exception rolls guest memory and engine state back to
+        the pre-program point before re-raising, so the caller can
+        quarantine the input against a machine that is not also
+        corrupted.
+
+        In fork-server mode there is no per-program journal — dropping
+        the per-write pre-image log is most of the throughput win — and
+        the dirty-page restore at the next refresh is the isolation
+        boundary instead.  A host-level crash therefore quarantines
+        against the crashed (not rolled-back) state; the engine's
+        recovery path restores the golden snapshot immediately after.
         """
         ctx = self.image.ctx
         kernel = self.image.kernel
@@ -103,7 +167,9 @@ class FuzzTarget:
         watchdog = machine.watchdog
         if watchdog is not None:
             watchdog.reset()  # budgets are per-program
-        checkpoint = Checkpoint(machine)
+        checkpoint = (
+            Checkpoint(machine) if self.exec_mode == "journal" else None
+        )
         pool = ResourcePool()
         try:
             for nr, args, produces in program.resolve():
@@ -115,12 +181,15 @@ class FuzzTarget:
                 if produces and isinstance(result, int):
                     pool.put(produces, result)
         except GuestFault as fault:
-            checkpoint.commit()
+            if checkpoint is not None:
+                checkpoint.commit()
             return fault
         except BaseException:
-            checkpoint.rollback()
+            if checkpoint is not None:
+                checkpoint.rollback()
             raise
-        checkpoint.commit()
+        if checkpoint is not None:
+            checkpoint.commit()
         return None
 
 
@@ -479,7 +548,13 @@ class FuzzerEngine:
             # harvested by the campaign at the end)
             observer.harvest_target(self.target)
             observer.counter("campaign.refreshes").inc()
+        started = time.perf_counter()
         self.target.reset()
+        if observer is not None:
+            observer.histogram("campaign.reset_us").observe(
+                (time.perf_counter() - started) * 1e6)
+            observer.histogram("campaign.reset_pages").observe(
+                self.target.last_reset_pages)
         self._session.clear()
         self._execs_since_refresh = 0
         self._listen()

@@ -88,6 +88,8 @@ class CampaignJob:
     #: set both to make this job one shard of an intra-firmware fleet
     shard_index: Optional[int] = None
     shard_count: Optional[int] = None
+    #: target reset strategy ("journal" | "forkserver")
+    exec_mode: str = "journal"
 
     def payload(self, attempt: int, heartbeat_interval: float,
                 observe: bool = False) -> dict:
@@ -115,6 +117,7 @@ class CampaignJob:
             "seed_schedule": self.seed_schedule,
             "shard_index": self.shard_index,
             "shard_count": self.shard_count,
+            "exec_mode": self.exec_mode,
         }
 
 
@@ -552,6 +555,7 @@ def make_jobs(
     crash_budget: Optional[int] = None,
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
+    exec_mode: str = "journal",
 ) -> List[CampaignJob]:
     """One job per Table-1 firmware (or per ``firmware`` subset)."""
     from repro.firmware.registry import all_firmware, firmware_spec
@@ -581,6 +585,7 @@ def make_jobs(
             crash_budget=crash_budget,
             watchdog_insns=watchdog_insns,
             watchdog_cycles=watchdog_cycles,
+            exec_mode=exec_mode,
         )
         for name in names
     ]
@@ -632,6 +637,7 @@ def make_shard_jobs(
     crash_budget: Optional[int] = None,
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
+    exec_mode: str = "journal",
 ) -> List[CampaignJob]:
     """One job per shard of a single firmware; ``budget`` is per shard.
 
@@ -671,6 +677,7 @@ def make_shard_jobs(
             seed_schedule=seed_schedule,
             shard_index=index,
             shard_count=shards,
+            exec_mode=exec_mode,
         )
         for index in range(shards)
     ]
@@ -726,6 +733,7 @@ def run_sharded_fleet(
     crash_budget: Optional[int] = None,
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
+    exec_mode: str = "journal",
     observer=None,
     events_path: Optional[str] = None,
     fleet_options: Optional[dict] = None,
@@ -809,6 +817,7 @@ def run_sharded_fleet(
                 crash_budget=crash_budget,
                 watchdog_insns=watchdog_insns,
                 watchdog_cycles=watchdog_cycles,
+                exec_mode=exec_mode,
             )
             fleet = run_fleet(
                 jobs, workers=workers or shards, observer=observer,

@@ -35,6 +35,7 @@ class SyzkallerFuzzer(FuzzerEngine):
         corpus_store=None,
         seed_schedule: str = "uniform",
         shard=None,
+        exec_mode: str = "journal",
     ):
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
@@ -57,7 +58,7 @@ class SyzkallerFuzzer(FuzzerEngine):
             )
             return image, runtime, coverage
 
-        target = FuzzTarget(make)
+        target = FuzzTarget(make, exec_mode=exec_mode)
         spec = linux_interface(target.image.kernel)
         super().__init__(target, spec, seed=seed, fault_plan=fault_plan,
                          crash_budget=crash_budget, observer=observer,

@@ -43,6 +43,7 @@ class TardisFuzzer(FuzzerEngine):
         corpus_store=None,
         seed_schedule: str = "uniform",
         shard=None,
+        exec_mode: str = "journal",
     ):
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
@@ -62,7 +63,7 @@ class TardisFuzzer(FuzzerEngine):
             )
             return image, runtime, coverage
 
-        target = FuzzTarget(make)
+        target = FuzzTarget(make, exec_mode=exec_mode)
         spec = interface_for(target.image.kernel)
         super().__init__(target, spec, seed=seed, fault_plan=fault_plan,
                          crash_budget=crash_budget, observer=observer,

@@ -89,6 +89,8 @@ def _run_job(job: dict, observer=None):
         kwargs["seed_schedule"] = job["seed_schedule"]
     if job.get("shard_count") is not None:
         kwargs["shard"] = (job["shard_index"], job["shard_count"])
+    if job.get("exec_mode", "journal") != "journal":
+        kwargs["exec_mode"] = job["exec_mode"]
     if job.get("seeds"):
         # repeated campaigns restart from scratch on retry: their
         # early-stop logic is inherently sequential across seeds

@@ -149,6 +149,7 @@ class TcgEngine:
         self.tb_evictions = 0
         self.tb_chain_hits = 0
         self.tb_translations = 0
+        self.tb_invalidations = 0
         self.tb_cache_capacity = tb_cache_capacity
         #: optional :class:`repro.obs.trace.Tracer`; when set, each
         #: cache-miss translation records a span.  Only the miss path
@@ -202,6 +203,30 @@ class TcgEngine:
         if addr < self._code_hi and addr + size > self._code_lo:
             self.flush_tbs()
 
+    def invalidate_range(self, lo: int, hi: int) -> int:
+        """Drop only the translations overlapping ``[lo, hi)``.
+
+        The surgical alternative to :meth:`flush_tbs` for memory rewinds
+        (journal rollback, dirty-page delta restore) whose written span
+        is known: blocks outside the span — the overwhelming majority —
+        keep their translations *and* their chain links, because the
+        generation counter is left untouched.  Dropped blocks get the
+        eviction treatment (dead generation) so stale links into them
+        miss.  Returns the number of blocks invalidated.
+        """
+        if hi <= lo or hi <= self._code_lo or lo >= self._code_hi:
+            return 0
+        doomed = [
+            pc
+            for pc, block in self.tb_cache.items()
+            if block.pc < hi and block.end_pc > lo
+        ]
+        for pc in doomed:
+            block = self.tb_cache.pop(pc)
+            block.generation = -1
+        self.tb_invalidations += len(doomed)
+        return len(doomed)
+
     # ------------------------------------------------------------------
     # translation
     # ------------------------------------------------------------------
@@ -229,15 +254,18 @@ class TcgEngine:
         end_pc = pc + len(insns) * INSN_SIZE
         if self.specialize:
             block = self._build_spec_block(pc, insns, end_pc)
-            if pc < self._code_lo:
-                self._code_lo = pc
-            if end_pc > self._code_hi:
-                self._code_hi = end_pc
         else:
             ops, host_ops = self._build_ops(pc, insns)
             block = TranslationBlock(pc, insns, ops, host_ops,
                                      end_pc=end_pc,
                                      generation=self.tb_generation)
+        # both template styles extend the live-code span: SMC detection
+        # (bulk-write flush, range invalidation) must stay sound in
+        # interpreter-template mode too
+        if pc < self._code_lo:
+            self._code_lo = pc
+        if end_pc > self._code_hi:
+            self._code_hi = end_pc
         cache[pc] = block
         if len(cache) > self.tb_cache_capacity:
             evicted = cache.pop(next(iter(cache)))
@@ -651,6 +679,7 @@ class TcgEngine:
             "tb_translations": self.tb_translations,
             "tb_flushes": self.tb_flush_count,
             "tb_evictions": self.tb_evictions,
+            "tb_invalidations": self.tb_invalidations,
             "tb_chain_hits": self.tb_chain_hits,
             "tb_cache_blocks": len(self.tb_cache),
         }

@@ -40,6 +40,9 @@ class MemoryBus:
         self.fault_plan = None
         #: active write journal (pre-image log) or None; see journal_begin
         self._journal: Optional[list] = None
+        #: attached DirtySet receiving page marks for every RAM write,
+        #: or None; see attach_dirty
+        self._dirty = None
 
     # ------------------------------------------------------------------
     # region management
@@ -184,6 +187,52 @@ class MemoryBus:
         """True while a write journal is recording."""
         return self._journal is not None
 
+    def journal_write_bounds(self) -> Optional[tuple]:
+        """Absolute ``(lo, hi)`` span covering all journalled writes.
+
+        Returns None when no journal is active or it recorded nothing.
+        Must be read *before* commit/rollback (both clear the journal);
+        the rollback path uses it to invalidate only the translations
+        the rewind can actually have changed instead of flushing whole
+        TB caches.
+        """
+        journal = self._journal
+        if not journal:
+            return None
+        lo = hi = None
+        for region, off, old in journal:
+            start = region.base + off
+            end = start + len(old)
+            if lo is None or start < lo:
+                lo = start
+            if hi is None or end > hi:
+                hi = end
+        return (lo, hi)
+
+    # ------------------------------------------------------------------
+    # dirty-page tracking (fork-server delta restore)
+    # ------------------------------------------------------------------
+    def attach_dirty(self, dirty) -> None:
+        """Attach a :class:`~repro.mem.dirty.DirtySet` to all write paths.
+
+        While attached, every store into a non-device region marks the
+        covered pages dirty — scalar stores, silent stores, and the bulk
+        ``write_bytes``/``fill``/``copy``/DMA family alike.  Unlike the
+        journal this is a persistent accounting channel, not a scoped
+        one: it stays attached across programs and is consumed (and
+        cleared) by whoever owns the delta-restore strategy.
+        """
+        self._dirty = dirty
+
+    def detach_dirty(self) -> None:
+        """Stop marking pages dirty."""
+        self._dirty = None
+
+    @property
+    def dirty(self):
+        """The attached DirtySet, or None."""
+        return self._dirty
+
     # ------------------------------------------------------------------
     # scalar access
     # ------------------------------------------------------------------
@@ -223,9 +272,14 @@ class MemoryBus:
         region = self._resolve(addr, size, Perm.W)
         if self._observers:
             self._notify(Access(addr, size, True, pc, task, atomic=atomic))
-        if self._journal is not None and region.kind != "device":
-            off = addr - region.base
-            self._journal.append((region, off, bytes(region.data[off : off + size])))
+        if region.kind != "device":
+            if self._journal is not None:
+                off = addr - region.base
+                self._journal.append(
+                    (region, off, bytes(region.data[off : off + size]))
+                )
+            if self._dirty is not None:
+                self._dirty.mark(region.name, addr - region.base, size)
         region.write(addr, int(value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
 
     def load_silent(self, addr: int, size: int) -> int:
@@ -246,9 +300,14 @@ class MemoryBus:
     def store_silent(self, addr: int, size: int, value: int) -> None:
         """Scalar store with no observer notification (see load_silent)."""
         region = self._resolve(addr, size, Perm.W)
-        if self._journal is not None and region.kind != "device":
-            off = addr - region.base
-            self._journal.append((region, off, bytes(region.data[off : off + size])))
+        if region.kind != "device":
+            if self._journal is not None:
+                off = addr - region.base
+                self._journal.append(
+                    (region, off, bytes(region.data[off : off + size]))
+                )
+            if self._dirty is not None:
+                self._dirty.mark(region.name, addr - region.base, size)
         region.write(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
 
     # ------------------------------------------------------------------
@@ -284,11 +343,14 @@ class MemoryBus:
         region = self._resolve(addr, len(payload), Perm.W)
         if self._observers:
             self._notify(Access(addr, len(payload), True, pc, task, kind=kind))
-        if self._journal is not None and region.kind != "device":
-            off = addr - region.base
-            self._journal.append(
-                (region, off, bytes(region.data[off : off + len(payload)]))
-            )
+        if region.kind != "device":
+            if self._journal is not None:
+                off = addr - region.base
+                self._journal.append(
+                    (region, off, bytes(region.data[off : off + len(payload)]))
+                )
+            if self._dirty is not None:
+                self._dirty.mark(region.name, addr - region.base, len(payload))
         region.write(addr, bytes(payload))
         for watcher in self._write_watchers:
             watcher(addr, len(payload))

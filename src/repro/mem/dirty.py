@@ -1,0 +1,103 @@
+"""Dirty-page tracking for delta snapshot restore.
+
+A :class:`DirtySet` records, per memory region, which pages have been
+written since the last :meth:`clear`.  The bus marks pages on every
+store path (scalar stores, bulk writes, DMA); a fork-server restore
+then copies back only the dirty pages of a golden snapshot instead of
+every byte of RAM, making reset cost proportional to what the input
+touched rather than to machine size.
+
+The same abstraction underlies all three restore strategies in
+:mod:`repro.emulator.snapshot`:
+
+* ``Snapshot`` (full copy) conservatively marks everything it rewrites;
+* ``Checkpoint`` (journal) needs no page map — its pre-image log *is*
+  a byte-exact dirty record — but re-dirties only pages the journal
+  already marked when it rolls back;
+* ``ForkServer`` owns a DirtySet attached to the bus and consumes it
+  on every delta restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: bytes per tracked page; matches the mmap granularity of large regions
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class DirtySet:
+    """Per-region sets of dirty page indices.
+
+    Keys are region *names* (stable across snapshots); values are sets
+    of page indices within the region.  The hot path is :meth:`mark`,
+    called on every guest store — it special-cases the overwhelmingly
+    common single-page write.
+    """
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: Dict[str, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # marking (hot path)
+    # ------------------------------------------------------------------
+    def mark(self, region_name: str, off: int, size: int) -> None:
+        """Mark the pages covering ``[off, off+size)`` dirty."""
+        first = off >> PAGE_SHIFT
+        pages = self._pages.get(region_name)
+        if pages is None:
+            pages = self._pages[region_name] = set()
+        last = (off + size - 1) >> PAGE_SHIFT
+        if first == last:
+            pages.add(first)
+        else:
+            pages.update(range(first, last + 1))
+
+    def mark_all(self, region_name: str, region_size: int) -> None:
+        """Mark every page of a region dirty (full-rewrite hygiene)."""
+        count = (region_size + PAGE_SIZE - 1) >> PAGE_SHIFT
+        self._pages[region_name] = set(range(count))
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    def pages(self, region_name: str) -> Set[int]:
+        """The dirty page indices of one region (empty set when clean)."""
+        return self._pages.get(region_name, set())
+
+    def spans(self, region_name: str) -> List[Tuple[int, int]]:
+        """Merged ``(lo, hi)`` byte ranges covering the dirty pages.
+
+        Contiguous dirty pages coalesce into one span so the copy-back
+        runs as few (large) slice assignments as possible.
+        """
+        pages = self._pages.get(region_name)
+        if not pages:
+            return []
+        spans: List[Tuple[int, int]] = []
+        start = prev = None
+        for page in sorted(pages):
+            if prev is not None and page == prev + 1:
+                prev = page
+                continue
+            if start is not None:
+                spans.append((start << PAGE_SHIFT, (prev + 1) << PAGE_SHIFT))
+            start = prev = page
+        spans.append((start << PAGE_SHIFT, (prev + 1) << PAGE_SHIFT))
+        return spans
+
+    def page_count(self) -> int:
+        """Total dirty pages across all regions."""
+        return sum(len(pages) for pages in self._pages.values())
+
+    def region_names(self) -> Iterator[str]:
+        """Regions with at least one dirty page."""
+        return (name for name, pages in self._pages.items() if pages)
+
+    def clear(self) -> None:
+        """Forget all dirty pages (after a restore or golden capture)."""
+        for pages in self._pages.values():
+            pages.clear()

@@ -283,8 +283,23 @@ class CommonSanitizerRuntime:
 
     def load_state(self, state: dict) -> None:
         """Restore state captured by :meth:`save_state`."""
-        self.enabled = state["enabled"]
         self.shadow.load_state(state["shadow"])
+        self._load_semantic(state)
+
+    def load_state_delta(self, state: dict) -> None:
+        """Restore :meth:`save_state` output copying only dirty shadow pages.
+
+        The fork server's fast path: shadow pages untouched since the
+        golden capture already hold the golden bytes, so only the pages
+        the session poisoned copy back.  Everything else save_state
+        carries (allocator maps, pending stacks, watchpoints) is small
+        and restores in full.
+        """
+        self.shadow.load_state_delta(state["shadow"])
+        self._load_semantic(state)
+
+    def _load_semantic(self, state: dict) -> None:
+        self.enabled = state["enabled"]
         self._suppress = state["suppress"]
         self._pending = {
             task: list(stack) for task, stack in state["pending"].items()
@@ -301,6 +316,101 @@ class CommonSanitizerRuntime:
                 for addr, watches in state["kcsan_watches"].items()
             }
             self.kcsan.suppress_depth = state["kcsan_suppress"]
+
+    def state_epoch(self) -> tuple:
+        """Cheap fingerprint of the semantic state :meth:`save_state` covers.
+
+        Every mutation of that state moves at least one component:
+        shadow/allocator transitions bump ``shadow.poison_ops`` (each
+        live-map or quarantine change is paired with a poison or
+        unpoison), KCSAN watchpoint recording bumps ``_seq``, and
+        in-flight allocator bookkeeping shows up in the suppress depth
+        and pending stacks.  Equal epochs therefore mean the semantic
+        state is byte-identical, letting a delta restore skip the reload
+        entirely.  Pure telemetry (check counters, the cycle breakdown)
+        deliberately moves nothing here.
+        """
+        pending = tuple(
+            (task, tuple(stack))
+            for task, stack in self._pending.items()
+            if stack
+        )
+        epoch: tuple = (
+            self.enabled,
+            self._suppress,
+            pending,
+            self._console_tail,
+            self.shadow.poison_ops,
+        )
+        if self.kasan is not None:
+            epoch += (
+                self.kasan.allocs,
+                self.kasan.frees,
+                self.kasan.suppress_depth,
+            )
+        if self.kcsan is not None:
+            epoch += (self.kcsan._seq, self.kcsan.suppress_depth)
+        return epoch
+
+    # ------------------------------------------------------------------
+    # telemetry capture (fork-server restore ≡ rebuild contract)
+    # ------------------------------------------------------------------
+    def save_telemetry(self) -> dict:
+        """Capture the diagnostic counters :meth:`save_state` excludes.
+
+        A rebuild-per-refresh run starts each session from the fresh
+        post-boot counter values; a fork-server restore reproduces that
+        by rewinding the counters (and the report sink) to their golden
+        values, so harvested metrics read golden-base + session-delta in
+        both execution modes.
+        """
+        telemetry = {
+            "events_handled": self.events_handled,
+            "breakdown": dict(self.breakdown),
+            "shadow": (
+                self.shadow.poison_ops,
+                self.shadow.check_ops,
+                self.shadow.fastpath_hits,
+            ),
+            "reports": list(self.sink.reports),
+            "unique": dict(self.sink.unique),
+            "listeners": list(self.sink.listeners),
+        }
+        if self.kasan is not None:
+            telemetry["kasan"] = (
+                self.kasan.checks,
+                self.kasan.allocs,
+                self.kasan.frees,
+                self.kasan.freed.pushes,
+                self.kasan.freed.evictions,
+            )
+        if self.kcsan is not None:
+            telemetry["kcsan"] = (self.kcsan.checks, self.kcsan.races_seen)
+        return telemetry
+
+    def load_telemetry(self, telemetry: dict) -> None:
+        """Rewind counters and the report sink to a captured state."""
+        self.events_handled = telemetry["events_handled"]
+        self.breakdown = dict(telemetry["breakdown"])
+        (
+            self.shadow.poison_ops,
+            self.shadow.check_ops,
+            self.shadow.fastpath_hits,
+        ) = telemetry["shadow"]
+        self.sink.reports[:] = telemetry["reports"]
+        self.sink.unique.clear()
+        self.sink.unique.update(telemetry["unique"])
+        self.sink.listeners[:] = telemetry["listeners"]
+        if self.kasan is not None and "kasan" in telemetry:
+            (
+                self.kasan.checks,
+                self.kasan.allocs,
+                self.kasan.frees,
+                self.kasan.freed.pushes,
+                self.kasan.freed.evictions,
+            ) = telemetry["kasan"]
+        if self.kcsan is not None and "kcsan" in telemetry:
+            self.kcsan.checks, self.kcsan.races_seen = telemetry["kcsan"]
 
     def _subscribe(self, hooks, kind: EventKind, handler: Callable) -> None:
         hooks.add(kind, handler)

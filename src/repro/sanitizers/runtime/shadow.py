@@ -37,10 +37,16 @@ class ShadowCode(enum.IntEnum):
     UNALLOCATED = 0xFC  #: slab page space never handed out
 
 
+#: shadow-byte pages tracked for delta restore (4 KiB of shadow bytes
+#: covers 32 KiB of guest memory at GRANULE=8)
+_SHADOW_PAGE_SHIFT = 12
+_SHADOW_PAGE_SIZE = 1 << _SHADOW_PAGE_SHIFT
+
+
 class _RegionShadow:
     """Shadow bytes for one guest memory region."""
 
-    __slots__ = ("base", "size", "bytes")
+    __slots__ = ("base", "size", "bytes", "dirty")
 
     def __init__(self, base: int, size: int, fill: int):
         self.base = base
@@ -49,6 +55,17 @@ class _RegionShadow:
         # calloc-backed zero fill avoids touching every page up front
         self.bytes = (bytearray(granules) if fill == 0
                       else bytearray([fill]) * granules)
+        #: shadow pages written since the last clear (delta restore)
+        self.dirty: set = set()
+
+    def mark_dirty(self, first_granule: int, last_granule: int) -> None:
+        """Record the shadow pages covering ``[first, last]`` granules."""
+        first_page = first_granule >> _SHADOW_PAGE_SHIFT
+        last_page = last_granule >> _SHADOW_PAGE_SHIFT
+        if first_page == last_page:
+            self.dirty.add(first_page)
+        else:
+            self.dirty.update(range(first_page, last_page + 1))
 
 
 class ShadowMemory:
@@ -86,6 +103,34 @@ class ShadowMemory:
         """Restore shadow bytes captured by :meth:`save_state` in place."""
         for shadow, data in zip(self._shadows, saved):
             shadow.bytes[:] = data
+            shadow.dirty.clear()
+
+    def load_state_delta(self, saved: List[bytes]) -> int:
+        """Restore only the shadow pages poisoned since the capture.
+
+        ``saved`` must be the blob :meth:`save_state` returned for the
+        state being restored to (the fork server's golden state): dirty
+        page tracking began at that same point, so copying back just the
+        dirty pages reproduces the full image.  Returns pages copied.
+        """
+        pages = 0
+        for shadow, data in zip(self._shadows, saved):
+            table = shadow.bytes
+            limit = len(table)
+            for page in shadow.dirty:
+                lo = page << _SHADOW_PAGE_SHIFT
+                if lo >= limit:
+                    continue
+                hi = min(lo + _SHADOW_PAGE_SIZE, limit)
+                table[lo:hi] = data[lo:hi]
+                pages += 1
+            shadow.dirty.clear()
+        return pages
+
+    def clear_dirty(self) -> None:
+        """Reset dirty-page accounting (at golden capture time)."""
+        for shadow in self._shadows:
+            shadow.dirty.clear()
 
     # ------------------------------------------------------------------
     def _find(self, addr: int) -> Optional[_RegionShadow]:
@@ -122,6 +167,7 @@ class ShadowMemory:
         last = (end - shadow.base + GRANULE - 1) // GRANULE
         for idx in range(first, last):
             shadow.bytes[idx] = int(code)
+        shadow.mark_dirty(first - (1 if valid_prefix else 0), max(last - 1, first))
 
     def unpoison(self, start: int, size: int) -> None:
         """Mark ``[start, start+size)`` addressable (partial tail encoded)."""
@@ -139,6 +185,7 @@ class ShadowMemory:
         tail = end % GRANULE
         if tail and full_last < len(shadow.bytes):
             shadow.bytes[full_last] = tail
+        shadow.mark_dirty(first, max(full_last, first))
 
     # ------------------------------------------------------------------
     # checking
