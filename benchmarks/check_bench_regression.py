@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 #: (json key, metric) pairs whose regression fails the gate
@@ -65,6 +66,17 @@ def load(path: str) -> dict:
 
 def check_fleet(baseline: dict, current: dict, max_drop: float) -> list:
     """Fleet gate: wall-clock metrics, where a *rise* is a regression."""
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        # the committed BENCH_fleet baseline was recorded on a 1-CPU
+        # host where multi-worker speedup < 1 is expected; wall-clock
+        # comparisons between such hosts measure scheduler noise, not
+        # regressions, so the gate stands down rather than cry wolf
+        print(
+            f"notice: fleet wall-clock gate skipped on a {cpus}-CPU host "
+            f"(multi-worker wall time is not meaningful below 2 CPUs)"
+        )
+        return []
     failures = []
     for workers, metric in FLEET_GATED:
         name = f"workers.{workers}.{metric}"
@@ -78,10 +90,13 @@ def check_fleet(baseline: dict, current: dict, max_drop: float) -> list:
             continue
         rise = (cur - base) / base
         status = "FAIL" if rise > max_drop else "ok"
-        row = f"baseline {base:10,.2f}s  current {cur:10,.2f}s  change {rise:+7.1%}"
+        row = (
+            f"baseline {base:10,.2f}s  current {cur:10,.2f}s  "
+            f"change {rise:+7.1%}  (cpus={cpus})"
+        )
         print(f"{status:4s} {name:32s} {row}")
         if rise > max_drop:
-            failures.append((name, base, cur, rise))
+            failures.append((f"{name} [cpus={cpus}]", base, cur, rise))
     return failures
 
 

@@ -203,15 +203,39 @@ def _cmd_fuzz_all(args) -> int:
                 checkpoint_every=job.checkpoint_every,
                 observer=observer, **kwargs))
     else:
-        fleet = run_fleet(
-            jobs,
-            workers=args.workers,
-            heartbeat_timeout=args.heartbeat_timeout,
-            max_retries=args.max_retries,
-            backoff_base=args.backoff,
-            events_path=args.events_log,
-            observer=observer,
-        )
+        transport = None
+        if args.listen:
+            from repro.fuzz.transport import TcpJsonlTransport
+
+            host, _, port = args.listen.rpartition(":")
+            transport = TcpJsonlTransport(
+                host or "127.0.0.1", int(port), token=args.token,
+                spawn_fallback=not args.no_spawn_fallback,
+            )
+            print(f"listening for remote workers on {transport.address}")
+            if args.wait_remote:
+                if not transport.wait_for_workers(
+                        args.wait_remote,
+                        timeout=args.wait_remote_timeout):
+                    print(f"only some of the {args.wait_remote} remote "
+                          f"worker(s) arrived within "
+                          f"{args.wait_remote_timeout}s", file=sys.stderr)
+                    transport.close()
+                    return 2
+        try:
+            fleet = run_fleet(
+                jobs,
+                workers=args.workers,
+                heartbeat_timeout=args.heartbeat_timeout,
+                max_retries=args.max_retries,
+                backoff_base=args.backoff,
+                events_path=args.events_log,
+                observer=observer,
+                transport=transport,
+            )
+        finally:
+            if transport is not None:
+                transport.close()
         results = fleet.results
 
     degraded = False
@@ -322,6 +346,40 @@ def _fuzz_sharded(args, observer) -> int:
         print(f"results written to {args.results}")
     _write_observer(observer, args)
     return 3 if sharded.degraded or merged is None else 0
+
+
+def _cmd_worker(args) -> int:
+    """``repro worker --connect HOST:PORT``: serve a remote fleet."""
+    from repro.errors import TransportError
+    from repro.fuzz.transport import run_worker
+
+    host, _, port = args.connect.rpartition(":")
+    if not port.isdigit():
+        print(f"--connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        stats = run_worker(
+            host or "127.0.0.1",
+            int(port),
+            token=args.token,
+            name=args.name,
+            max_jobs=args.max_jobs,
+            max_reconnects=args.max_reconnects,
+            seed=args.seed,
+            chaos=args.chaos,
+            log=lambda line: print(f"worker: {line}", flush=True),
+        )
+    except TransportError as exc:
+        # version/auth rejections are permanent: retrying would hammer
+        # a server that already said no
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker: served {stats.jobs_run} job(s), "
+          f"{stats.jobs_failed} failed, {stats.reconnects} reconnect(s), "
+          f"{stats.resends} resend(s), "
+          f"{stats.checkpoints_synced} checkpoint sync(s)")
+    return 1 if stats.jobs_failed else 0
 
 
 def _cmd_corpus(args) -> int:
@@ -532,6 +590,46 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_all.add_argument("--trace", default=None, metavar="PATH",
                           help="write a Perfetto-loadable Chrome trace "
                                "merging supervisor and worker timelines")
+    fuzz_all.add_argument("--listen", default=None, metavar="HOST:PORT",
+                          help="accept remote `repro worker --connect` "
+                               "peers on this address and dispatch fleet "
+                               "jobs to them (port 0 picks a free port); "
+                               "local spawn workers remain the fallback")
+    fuzz_all.add_argument("--token", default=None,
+                          help="shared secret remote workers must present "
+                               "in their hello frame")
+    fuzz_all.add_argument("--wait-remote", type=int, default=0, metavar="N",
+                          help="block until N remote workers are connected "
+                               "before starting the fleet")
+    fuzz_all.add_argument("--wait-remote-timeout", type=float, default=60.0,
+                          help="seconds to wait for --wait-remote peers "
+                               "before giving up")
+    fuzz_all.add_argument("--no-spawn-fallback", action="store_true",
+                          help="with --listen: never fall back to local "
+                               "spawn workers; jobs wait for a remote")
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve fleet jobs from a fuzz-all --listen supervisor",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="supervisor address to dial")
+    worker.add_argument("--token", default=None,
+                        help="shared secret for the hello handshake")
+    worker.add_argument("--name", default=None,
+                        help="stable worker name (reconnects under the "
+                             "same name resume the same fleet identity)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after completing this many jobs")
+    worker.add_argument("--max-reconnects", type=int, default=None,
+                        help="give up after this many failed re-dials "
+                             "(default: keep trying forever)")
+    worker.add_argument("--seed", type=int, default=0,
+                        help="seeds reconnect jitter (and any chaos plan)")
+    worker.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="chaos plan DSL applied to this worker's "
+                             "outbound frames, e.g. "
+                             "'drop:kind=heartbeat,p=1;disconnect:nth=9'")
 
     corpus = sub.add_parser(
         "corpus", help="inspect and maintain persistent corpus stores"
@@ -585,6 +683,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "fuzz": _cmd_fuzz,
     "fuzz-all": _cmd_fuzz_all,
+    "worker": _cmd_worker,
     "corpus": _cmd_corpus,
     "stats": _cmd_stats,
     "overhead": _cmd_overhead,

@@ -422,9 +422,14 @@ class CorpusStore:
             self.flush()
         return copied
 
-    def export_bundle(self, path: str) -> int:
-        """Write the whole store as one portable JSON file."""
-        bundle = {
+    def export_bundle_obj(self) -> dict:
+        """The whole store as one JSON-encodable bundle object.
+
+        The same document :meth:`export_bundle` writes to disk; the
+        fleet transport ships it inline over the wire as the corpus
+        payload of job and ``corpus_sync`` frames.
+        """
+        return {
             "version": MANIFEST_VERSION,
             "firmware": self.firmware,
             "entries": {
@@ -433,51 +438,53 @@ class CorpusStore:
                 for digest in self.digests()
             },
         }
+
+    def export_bundle(self, path: str) -> int:
+        """Write the whole store as one portable JSON file."""
+        bundle = self.export_bundle_obj()
         _atomic_write(
             path, json.dumps(bundle, sort_keys=True, indent=1).encode()
         )
         return len(bundle["entries"])
 
-    def import_bundle(self, path: str) -> int:
-        """Load an :meth:`export_bundle` file; returns entries added."""
+    def import_bundle_obj(self, bundle, source: str = "bundle") -> int:
+        """Load an in-memory bundle object; returns entries added.
+
+        ``source`` labels the provenance in entry records and error
+        messages (a file path for :meth:`import_bundle`, a peer name
+        for network sync).
+        """
         from repro.corpus.codec import program_from_payload
 
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                bundle = json.load(fh)
-        except (OSError, ValueError) as exc:
-            raise CorpusError(
-                f"not a valid corpus bundle: {exc}", path=path
-            ) from exc
         if not isinstance(bundle, dict) or \
                 bundle.get("version") != MANIFEST_VERSION:
-            raise CorpusError("unsupported corpus bundle", path=path)
+            raise CorpusError("unsupported corpus bundle", path=source)
         firmware = bundle.get("firmware")
         if firmware is not None and self.firmware is not None \
                 and firmware != self.firmware:
             raise CorpusError(
                 f"bundle belongs to firmware {firmware!r}, "
                 f"not {self.firmware!r}",
-                path=path,
+                path=source,
             )
         if self.firmware is None:
             self.firmware = firmware
         entries = bundle.get("entries")
         if not isinstance(entries, dict):
-            raise CorpusError("bundle has no entries object", path=path)
+            raise CorpusError("bundle has no entries object", path=source)
         added = 0
         for digest in sorted(entries):
             data = entries[digest]
             if digest in self.entries:
                 continue
-            entry = CorpusEntry.from_json(digest, data, source=path)
+            entry = CorpusEntry.from_json(digest, data, source=source)
             program = program_from_payload(
-                data.get("program"), source=path)
+                data.get("program"), source=source)
             if program_digest(program) != digest:
                 raise CorpusError(
                     f"bundle entry {digest[:12]} failed its integrity "
                     f"check",
-                    path=path,
+                    path=source,
                 )
             _atomic_write(self._program_path(digest),
                           encode_program(program))
@@ -487,6 +494,17 @@ class CorpusStore:
         if added:
             self.flush()
         return added
+
+    def import_bundle(self, path: str) -> int:
+        """Load an :meth:`export_bundle` file; returns entries added."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                bundle = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CorpusError(
+                f"not a valid corpus bundle: {exc}", path=path
+            ) from exc
+        return self.import_bundle_obj(bundle, source=path)
 
     # ------------------------------------------------------------------
     def prune_to(self, keep: Sequence[str]) -> int:

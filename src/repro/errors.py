@@ -144,6 +144,36 @@ class CorpusError(FuzzerError):
         self.path = path
 
 
+class TransportError(FuzzerError):
+    """A fleet worker transport frame or connection is unusable.
+
+    Raised for malformed wire frames (bad magic, oversized or
+    non-hex length prefix, truncated payload), per-frame CRC
+    mismatches, protocol-version rejection, and failed
+    hello/auth handshakes.  ``kind`` classifies the failure so
+    callers can choose a recovery:
+
+    * ``"crc"`` — the frame arrived length-intact but its payload
+      checksum disagrees; framing is still synchronized, so the
+      receiver may skip the frame and keep the connection.
+    * ``"framing"`` — the byte stream itself is broken (bad header,
+      short read); the connection must be dropped and re-established.
+    * ``"version"`` / ``"auth"`` — the handshake was rejected;
+      permanent for this (client, server) pair, so clients must NOT
+      reconnect-retry.
+    * ``"closed"`` — the peer went away mid-conversation.
+
+    Like :class:`CheckpointError` and :class:`CorpusError`, this is a
+    :class:`FuzzerError`: transport failures are routine, diagnosable
+    events the fleet recovers from (reconnect, reassign, fall back to
+    local spawn workers), never raw tracebacks.
+    """
+
+    def __init__(self, message: str, kind: str = "framing"):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
 class CheckpointError(FuzzerError):
     """A campaign checkpoint file is unreadable or unusable.
 

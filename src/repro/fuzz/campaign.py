@@ -9,7 +9,7 @@ each to the bug catalog so the census can be compared row by row.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bugs.catalog import BugRecord, record_by_id, table4_bugs_for
 from repro.errors import CheckpointError, FuzzerError
@@ -99,6 +99,7 @@ def run_campaign(
     seed_schedule: str = "uniform",
     shard: Optional[Tuple[int, int]] = None,
     exec_mode: str = "journal",
+    on_checkpoint_saved: Optional[Callable[[str], None]] = None,
 ) -> CampaignResult:
     """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN.
 
@@ -221,6 +222,11 @@ def run_campaign(
                                     budget)
             else:
                 save_checkpoint(checkpoint_path, engine, firmware, budget)
+            if on_checkpoint_saved is not None:
+                # the fleet's TCP worker ships the fresh checkpoint (and
+                # its corpus store) home from here; failures propagate so
+                # the attempt dies rather than silently losing custody
+                on_checkpoint_saved(checkpoint_path)
 
     execs_before = fuzzer.execs
     fuzz_started = time.perf_counter()
@@ -261,6 +267,8 @@ def run_campaign(
         if observer is not None:
             observer.counter("campaign.checkpoints").inc()
         save_checkpoint(checkpoint_path, fuzzer, firmware, budget)
+        if on_checkpoint_saved is not None:
+            on_checkpoint_saved(checkpoint_path)
         _phase_done("checkpoint")
     if observer is not None:
         # the live machine's counters (rebuild-discarded ones were

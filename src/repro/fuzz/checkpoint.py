@@ -341,15 +341,34 @@ def result_from_json(data: dict):
 # ----------------------------------------------------------------------
 # file I/O
 # ----------------------------------------------------------------------
-def save_checkpoint(
-    path: str, fuzzer: FuzzerEngine, firmware: str, budget: int
-) -> None:
-    """Atomically write a checkpoint file (write-then-rename)."""
-    state = engine_state(fuzzer, firmware, budget)
+def write_checkpoint_state(path: str, state: dict) -> None:
+    """Atomically write an already-built checkpoint state dict.
+
+    Validates the shape before touching disk so a remote peer cannot
+    make a supervisor persist garbage that later masquerades as a
+    checkpoint: the fleet's TCP transport ships checkpoint custody
+    through this function (see ``docs/robustness.md``).
+    """
+    if not isinstance(state, dict) or \
+            state.get("version") != FORMAT_VERSION:
+        found = (state.get("version") if isinstance(state, dict)
+                 else type(state).__name__)
+        raise CheckpointError(
+            f"refusing to persist a non-checkpoint payload "
+            f"(version {found!r}, expected {FORMAT_VERSION})",
+            path=path,
+        )
     tmp = f"{path}.tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(state, fh)
     os.replace(tmp, path)
+
+
+def save_checkpoint(
+    path: str, fuzzer: FuzzerEngine, firmware: str, budget: int
+) -> None:
+    """Atomically write a checkpoint file (write-then-rename)."""
+    write_checkpoint_state(path, engine_state(fuzzer, firmware, budget))
 
 
 def load_checkpoint(path: str) -> Optional[dict]:

@@ -298,6 +298,10 @@ class FleetDiagnostics:
     jobs: List[JobDiagnostics] = field(default_factory=list)
     wall_time: float = 0.0
     events_logged: int = 0
+    #: worker-transport counters (reconnects, frames_dropped, resends,
+    #: bytes, ...); ``None`` for the default spawn transport, which has
+    #: nothing to report
+    transport: Optional[dict] = None
 
     def job(self, job_id: str) -> Optional[JobDiagnostics]:
         """Look up one job's record by id."""
@@ -336,6 +340,7 @@ class FleetDiagnostics:
             "wall_time": round(self.wall_time, 3),
             "events_logged": self.events_logged,
             "phase_totals": self.phase_totals(),
+            "transport": self.transport,
             "jobs": [record.to_json() for record in self.jobs],
         }
 
@@ -350,6 +355,7 @@ class FleetDiagnostics:
                   for entry in data.get("jobs", [])],
             wall_time=data.get("wall_time", 0.0),
             events_logged=data.get("events_logged", 0),
+            transport=data.get("transport"),
         )
 
     def summary(self) -> str:
@@ -359,6 +365,12 @@ class FleetDiagnostics:
         restarts = self.total_restarts()
         if restarts:
             bits.append(f"{restarts} worker death(s) recovered")
+        if self.transport:
+            bits.append(
+                f"{self.transport.get('remote_attempts', 0)} remote "
+                f"attempt(s), {self.transport.get('reconnects', 0)} "
+                f"reconnect(s)"
+            )
         degraded = self.degraded_jobs()
         if degraded:
             names = ", ".join(record.job_id for record in degraded)

@@ -30,16 +30,18 @@ each completed campaign's own ``CampaignDiagnostics``.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
-import signal
 import time
 from dataclasses import dataclass, field
-from queue import Empty
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import FuzzerError
+from repro.errors import CheckpointError, CorpusError, FuzzerError
 from repro.fuzz.diagnostics import FleetDiagnostics, JobDiagnostics
+from repro.fuzz.transport import (
+    SpawnTransport,
+    WorkerTransport,
+    exit_cause_of,
+)
 
 #: seconds between worker heartbeats
 DEFAULT_HEARTBEAT_INTERVAL = 1.0
@@ -146,25 +148,20 @@ class FleetResult:
 class _JobState:
     """Supervisor-side bookkeeping for one job."""
 
-    __slots__ = ("job", "status", "process", "queue", "attempt",
+    __slots__ = ("job", "status", "handle", "attempt",
                  "last_signal", "not_before", "dead_since", "death_cause",
                  "diag", "result", "discard_logged", "span_start")
 
     def __init__(self, job: CampaignJob):
         self.job = job
         self.status = "waiting"  # waiting | running | done | degraded
-        self.process = None
-        #: per-attempt event queue.  Each attempt gets a FRESH queue on
-        #: purpose: SIGKILLing a worker mid-``put`` can leave the
-        #: queue's shared write-lock held forever, and a shared queue
-        #: would wedge every other worker's messages with it.  With one
-        #: queue per attempt, a kill can only poison the dying worker's
-        #: own channel, which dies with it.
-        self.queue = None
+        #: the current attempt's :class:`AttemptHandle` — a spawn
+        #: process + fresh queue, or a job dispatched to a TCP peer
+        self.handle = None
         self.attempt = 0
         self.last_signal = 0.0
         self.not_before = 0.0  # backoff deadline (monotonic)
-        self.dead_since = None  # first time the process was seen dead
+        self.dead_since = None  # first time the worker was seen dead
         self.death_cause = None
         self.diag = JobDiagnostics(
             job_id=job.job_id, firmware=job.firmware, seed=job.seed,
@@ -174,12 +171,11 @@ class _JobState:
         #: tracer timestamp when the current attempt started (observer)
         self.span_start = 0.0
 
-    def drop_queue(self) -> None:
-        """Discard the current attempt's queue (worker is gone)."""
-        if self.queue is not None:
-            self.queue.cancel_join_thread()
-            self.queue.close()
-            self.queue = None
+    def drop_handle(self) -> None:
+        """Reap the current attempt's handle (worker is gone)."""
+        if self.handle is not None:
+            self.handle.close()
+            self.handle = None
 
 
 class FleetSupervisor:
@@ -197,6 +193,7 @@ class FleetSupervisor:
         events_path: Optional[str] = None,
         on_event: Optional[Callable[[dict], None]] = None,
         observer=None,
+        transport: Optional[WorkerTransport] = None,
     ):
         if workers < 1:
             raise FuzzerError(f"fleet needs >= 1 worker, got {workers}")
@@ -226,13 +223,25 @@ class FleetSupervisor:
         #: trace back over the event queue for merging, so one document
         #: covers the whole fleet
         self.observer = observer
+        #: worker channel; ``None`` means a supervisor-owned
+        #: :class:`~repro.fuzz.transport.SpawnTransport` (today's
+        #: byte-identical default).  Pass a
+        #: :class:`~repro.fuzz.transport.TcpJsonlTransport` to dispatch
+        #: jobs to ``repro worker --connect`` peers; the caller keeps
+        #: ownership (and must ``close()``) of transports it passes in.
+        self.transport = transport
+        self._transport: Optional[WorkerTransport] = None
         self._events: List[dict] = []
         self._events_fh = None
 
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
         """Run every job to completion (or degradation); block until done."""
-        ctx = multiprocessing.get_context("spawn")
+        transport = self.transport
+        owned = transport is None
+        if owned:
+            transport = SpawnTransport()
+        self._transport = transport
         states = [_JobState(job) for job in self.jobs]
         started_wall = time.time()
         started = time.monotonic()
@@ -241,6 +250,7 @@ class FleetSupervisor:
 
             self._events_fh = open(ensure_parent(self.events_path), "w",
                                    encoding="utf-8")
+        transport_stats = None
         try:
             self._emit("fleet_started", jobs=len(states),
                        workers=self.workers,
@@ -250,9 +260,10 @@ class FleetSupervisor:
                 self.observer.gauge("fleet.workers").set(self.workers)
                 self.observer.gauge("fleet.jobs").set(len(states))
             while any(s.status in ("waiting", "running") for s in states):
-                self._fill_slots(ctx, states)
+                self._fill_slots(states)
                 self._pump(states)
                 self._check_liveness(states)
+            transport_stats = transport.stats()
             self._emit(
                 "fleet_done",
                 jobs=len(states),
@@ -261,14 +272,17 @@ class FleetSupervisor:
                           if s.status == "degraded"],
                 restarts=sum(len(s.diag.restarts) for s in states),
                 wall_time=round(time.monotonic() - started, 3),
+                transport=transport_stats,
             )
+            self._absorb_transport_stats(transport_stats)
         finally:
             for state in states:
-                process = state.process
-                if process is not None and process.is_alive():
-                    process.kill()
-                    process.join(timeout=5)
-                state.drop_queue()
+                if state.handle is not None:
+                    state.handle.kill()
+                state.drop_handle()
+            if owned:
+                transport.close()
+            self._transport = None
             if self._events_fh is not None:
                 self._events_fh.close()
                 self._events_fh = None
@@ -280,6 +294,7 @@ class FleetSupervisor:
             jobs=[state.diag for state in states],
             wall_time=time.time() - started_wall,
             events_logged=len(self._events),
+            transport=transport_stats,
         )
         return FleetResult(
             results=[state.result for state in states],
@@ -287,10 +302,20 @@ class FleetSupervisor:
             events=list(self._events),
         )
 
+    def _absorb_transport_stats(self, stats: Optional[dict]) -> None:
+        if stats is None or self.observer is None:
+            return
+        for key in ("connects", "reconnects", "frames_dropped",
+                    "resends", "remote_attempts", "spawn_fallbacks",
+                    "bytes_sent", "bytes_received"):
+            if stats.get(key):
+                self.observer.counter(
+                    f"fleet.transport.{key}").inc(stats[key])
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def _fill_slots(self, ctx, states: List[_JobState]) -> None:
+    def _fill_slots(self, states: List[_JobState]) -> None:
         now = time.monotonic()
         running = sum(1 for s in states if s.status == "running")
         for state in states:
@@ -298,27 +323,24 @@ class FleetSupervisor:
                 return
             if state.status != "waiting" or state.not_before > now:
                 continue
-            self._start(ctx, state)
-            running += 1
+            if self._start(state):
+                running += 1
 
-    def _start(self, ctx, state: _JobState) -> None:
-        from repro.fuzz.worker import worker_main
-
+    def _start(self, state: _JobState) -> bool:
         state.attempt += 1
         state.diag.attempts += 1
-        state.dead_since = None
-        state.death_cause = None
-        state.queue = ctx.Queue()
         payload = state.job.payload(state.attempt, self.heartbeat_interval,
                                     observe=self.observer is not None)
-        process = ctx.Process(
-            target=worker_main,
-            args=(payload, state.queue),
-            name=f"fleet-{state.job.job_id}-a{state.attempt}",
-            daemon=True,
-        )
-        process.start()
-        state.process = process
+        handle = self._transport.launch(payload)
+        if handle is None:
+            # no capacity right now (every remote busy, fallback off):
+            # leave the job waiting; the next poll retries
+            state.attempt -= 1
+            state.diag.attempts -= 1
+            return False
+        state.dead_since = None
+        state.death_cause = None
+        state.handle = handle
         state.status = "running"
         state.last_signal = time.monotonic()
         observer = self.observer
@@ -330,11 +352,14 @@ class FleetSupervisor:
         if state.attempt == 1:
             self._emit("job_started", job=state.job.job_id,
                        firmware=state.job.firmware, seed=state.job.seed,
-                       budget=state.job.budget, pid=process.pid)
+                       budget=state.job.budget, pid=handle.pid,
+                       where=handle.where)
         else:
             self._emit("job_resumed", job=state.job.job_id,
-                       attempt=state.attempt, pid=process.pid,
+                       attempt=state.attempt, pid=handle.pid,
+                       where=handle.where,
                        from_checkpoint=bool(path and os.path.exists(path)))
+        return True
 
     # ------------------------------------------------------------------
     # event-queue pump
@@ -343,19 +368,10 @@ class FleetSupervisor:
         by_id = {state.job.job_id: state for state in states}
         drained_any = False
         for state in states:
-            queue = state.queue
-            if queue is None:
+            handle = state.handle
+            if handle is None:
                 continue
-            while True:
-                try:
-                    message = queue.get_nowait()
-                except Empty:
-                    break
-                except Exception:
-                    # a killed worker can leave its (private) queue
-                    # holding a truncated pickle; the liveness check
-                    # will rule on the death, nothing to drain here
-                    break
+            for message in handle.poll():
                 drained_any = True
                 self._handle(by_id, message)
         if not drained_any:
@@ -439,45 +455,107 @@ class FleetSupervisor:
                     f"worker-error:{payload['exc_type']}: "
                     f"{payload['message']}"
                 )
+        elif kind == "checkpoint_sync":
+            # a TCP worker shipping checkpoint custody home; persisting
+            # it is what makes reassignment after a remote death resume
+            # instead of restart.  The corpus bundle lands first so the
+            # checkpoint's corpus_digests resolve against the store.
+            if state.status == "running" and attempt == state.attempt:
+                state.last_signal = now
+                persisted = False
+                rejected = None
+                try:
+                    bundle = payload.get("corpus")
+                    if bundle and state.job.corpus_dir:
+                        self._import_corpus(state, bundle, job_id)
+                    ckpt = payload.get("state")
+                    if ckpt is not None and state.job.checkpoint_path:
+                        from repro.fuzz.checkpoint import (
+                            write_checkpoint_state,
+                        )
+
+                        write_checkpoint_state(
+                            state.job.checkpoint_path, ckpt)
+                        persisted = True
+                except (CheckpointError, CorpusError) as exc:
+                    rejected = str(exc)
+                if self.observer is not None:
+                    self.observer.counter(
+                        "fleet.transport.checkpoints_synced").inc()
+                self._emit("checkpoint_synced", job=job_id,
+                           attempt=attempt,
+                           execs=(payload.get("state") or {}).get("execs"),
+                           persisted=persisted, rejected=rejected)
+        elif kind == "corpus_sync":
+            # final corpus custody return from a TCP worker, sent just
+            # before its result
+            if state.status == "running" and attempt == state.attempt:
+                state.last_signal = now
+                added = None
+                rejected = None
+                try:
+                    bundle = payload.get("bundle")
+                    if bundle and state.job.corpus_dir:
+                        added = self._import_corpus(state, bundle, job_id)
+                except CorpusError as exc:
+                    rejected = str(exc)
+                self._emit("corpus_received", job=job_id, attempt=attempt,
+                           entries=added, rejected=rejected)
+
+    def _import_corpus(self, state: _JobState, bundle: dict,
+                       job_id: str) -> int:
+        from repro.corpus import CorpusStore
+
+        store = CorpusStore(state.job.corpus_dir,
+                            firmware=state.job.firmware)
+        added = store.import_bundle_obj(bundle, source=f"worker:{job_id}")
+        if self.observer is not None and added:
+            self.observer.counter(
+                "fleet.transport.corpus_entries").inc(added)
+        return added
 
     # ------------------------------------------------------------------
     # liveness
     # ------------------------------------------------------------------
     def _check_liveness(self, states: List[_JobState]) -> None:
         now = time.monotonic()
+        by_id = {state.job.job_id: state for state in states}
         for state in states:
-            process = state.process
-            if process is None:
+            handle = state.handle
+            if handle is None:
                 continue
             if state.status in ("done", "degraded"):
-                if not process.is_alive() or state.status == "degraded":
-                    process.join(timeout=5)
-                    state.process = None
-                    state.drop_queue()
+                if not handle.alive() or state.status == "degraded":
+                    state.drop_handle()
                 continue
-            if not process.is_alive():
-                # dead process: grant a short grace for its terminal
-                # message (result/failed) still draining the queue —
-                # except signal deaths, which can never have sent one
-                exitcode = process.exitcode
+            if not handle.alive():
+                # dead worker: grant a short grace for its terminal
+                # message (result/failed) still draining the channel —
+                # except abrupt deaths (signal kills, TCP disconnects),
+                # which can never have sent one
                 if state.dead_since is None:
                     state.dead_since = now
                 terminal_known = state.death_cause is not None
-                signal_death = exitcode is not None and exitcode < 0
                 grace_over = now - state.dead_since > _DRAIN_GRACE
-                if terminal_known or signal_death or grace_over:
-                    process.join(timeout=5)
-                    state.process = None
-                    state.drop_queue()
-                    self._on_death(state, state.death_cause
-                                   or _exit_cause(exitcode))
+                if terminal_known or handle.abrupt() or grace_over:
+                    # final drain before ruling: a message routed in the
+                    # instant the channel died (a checkpoint_sync racing
+                    # its own disconnect) is durable progress that must
+                    # not be dropped with the handle
+                    for message in handle.poll():
+                        self._handle(by_id, message)
+                    if state.status in ("done", "degraded"):
+                        state.drop_handle()
+                        continue
+                    cause = state.death_cause or handle.exit_cause()
+                    state.drop_handle()
+                    self._on_death(state, cause)
             elif now - state.last_signal > self.heartbeat_timeout:
-                # heartbeat silence: the process is schedulable-dead
-                # (SIGSTOP, swap thrash, runaway C loop); kill it hard
-                process.kill()
-                process.join(timeout=5)
-                state.process = None
-                state.drop_queue()
+                # heartbeat silence: the worker is schedulable-dead
+                # (SIGSTOP, swap thrash, runaway C loop) or its frames
+                # are not arriving; kill/disconnect it hard
+                handle.kill()
+                state.drop_handle()
                 self._on_death(
                     state,
                     f"heartbeat-timeout:{self.heartbeat_timeout}s",
@@ -519,26 +597,25 @@ class FleetSupervisor:
                    backoff=round(backoff, 3))
 
     # ------------------------------------------------------------------
+    #: events whose loss would blind a postmortem: fsync the JSONL log
+    #: after these so a supervisor crash cannot truncate the verdicts
+    _DURABLE_EVENTS = frozenset({"job_degraded", "job_done", "fleet_done"})
+
     def _emit(self, event: str, **fields) -> None:
         record = {"ts": round(time.time(), 6), "event": event, **fields}
         self._events.append(record)
         if self._events_fh is not None:
             self._events_fh.write(json.dumps(record, sort_keys=True) + "\n")
             self._events_fh.flush()
+            if event in self._DURABLE_EVENTS:
+                os.fsync(self._events_fh.fileno())
         if self.on_event is not None:
             self.on_event(record)
 
 
-def _exit_cause(exitcode: Optional[int]) -> str:
-    """Human-readable worker exit classification."""
-    if exitcode is None:
-        return "exit:unknown"
-    if exitcode < 0:
-        try:
-            return f"signal:{signal.Signals(-exitcode).name}"
-        except ValueError:
-            return f"signal:{-exitcode}"
-    return f"exit:{exitcode}"
+#: backwards-compatible alias; the classification lives with the
+#: transports now (spawn exit codes are a transport detail)
+_exit_cause = exit_cause_of
 
 
 # ----------------------------------------------------------------------

@@ -63,8 +63,14 @@ def _liveness_loop(events, job_id: str, attempt: int, interval: float,
         }))
 
 
-def _run_job(job: dict, observer=None):
-    """Execute the campaign a job payload describes."""
+def _run_job(job: dict, observer=None, on_checkpoint_saved=None):
+    """Execute the campaign a job payload describes.
+
+    Shared by the spawn-context entry point below and the TCP worker
+    client (:func:`repro.fuzz.transport.run_worker`), which passes
+    ``on_checkpoint_saved`` to ship each fresh checkpoint back to the
+    supervisor the moment it lands on the worker's local disk.
+    """
     from repro.emulator.faults import plan_for
     from repro.fuzz.campaign import run_campaign, run_campaign_repeated
 
@@ -100,6 +106,8 @@ def _run_job(job: dict, observer=None):
             seeds=tuple(job["seeds"]),
             **kwargs,
         )
+    if on_checkpoint_saved is not None:
+        kwargs["on_checkpoint_saved"] = on_checkpoint_saved
     return run_campaign(
         job["firmware"],
         budget=job["budget"],
