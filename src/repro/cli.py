@@ -14,10 +14,16 @@ Subcommands mirror the paper's workflow:
 * ``stats``    — render a ``--metrics`` JSON file as a readable table
 * ``overhead`` — measure Figure-2 slowdowns for one or all firmware
 * ``table2``   — the known-bug detection matrix
+* ``serve``    — the always-on fuzzing daemon: a crash-safe WAL-backed
+  job queue plus a JSONL control API (see ``docs/serve.md``)
+* ``submit`` / ``jobs`` / ``drain`` — thin clients for a running
+  ``serve`` daemon
 
 Exit codes: 0 success, 1 replay miss, 2 usage error, 3 degraded — a
 campaign exhausted its crash budget, or a fleet job exhausted its
-retry budget and was abandoned.
+retry budget and was abandoned; 4 interrupted — SIGTERM/SIGINT drained
+a sweep cleanly and its checkpoints resume it; 5 rejected — the serve
+daemon applied backpressure (retry after the advertised delay).
 """
 
 from __future__ import annotations
@@ -161,11 +167,46 @@ def _cmd_fuzz(args) -> int:
     return 3 if degraded else 0
 
 
+def _install_drain_handlers(state):
+    """SIGTERM/SIGINT -> graceful drain for long sweeps.
+
+    While a fleet supervisor is registered in ``state["sup"]`` the
+    signal interrupts it (running attempts are killed, checkpoints
+    stay, ``run()`` returns with ``interrupted=True``); otherwise the
+    sequential path's ``KeyboardInterrupt`` handling takes over.
+    Returns the previous handlers for restoration.
+    """
+    import signal
+
+    def _graceful(_signum, _frame):
+        state["hit"] = True
+        sup = state.get("sup")
+        if sup is not None:
+            sup.interrupt()
+        else:
+            raise KeyboardInterrupt
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _graceful)
+        except ValueError:  # not the main thread (tests)
+            pass
+    return previous
+
+
+def _restore_handlers(previous) -> None:
+    import signal
+
+    for sig, handler in previous.items():
+        signal.signal(sig, handler)
+
+
 def _cmd_fuzz_all(args) -> int:
     import json
 
     from repro.fuzz.checkpoint import result_to_json
-    from repro.fuzz.supervisor import make_jobs, run_fleet
+    from repro.fuzz.supervisor import FleetSupervisor, make_jobs
     from repro.obs.observer import ensure_parent
 
     observer = _make_observer(args)
@@ -181,67 +222,94 @@ def _cmd_fuzz_all(args) -> int:
         exec_mode=args.exec_mode,
     )
     fleet = None
-    if args.workers <= 1:
-        # sequential reference path: same jobs, no worker processes —
-        # the fleet's determinism contract is that --workers N output
-        # is byte-identical to this
-        from repro.emulator.faults import plan_for
-        from repro.fuzz.campaign import run_campaign
+    interrupted = False
+    unfinished = []
+    drain_state = {"sup": None, "hit": False}
+    previous_handlers = _install_drain_handlers(drain_state)
+    try:
+        if args.workers <= 1:
+            # sequential reference path: same jobs, no worker processes —
+            # the fleet's determinism contract is that --workers N output
+            # is byte-identical to this
+            from repro.emulator.faults import plan_for
+            from repro.fuzz.campaign import run_campaign
 
-        results = []
-        for job in jobs:
-            kwargs = {}
-            if job.faults:
-                kwargs["fault_plan"] = plan_for(job.faults, seed=job.seed)
-            if job.crash_budget is not None:
-                kwargs["crash_budget"] = job.crash_budget
-            if job.exec_mode != "journal":
-                kwargs["exec_mode"] = job.exec_mode
-            results.append(run_campaign(
-                job.firmware, budget=job.budget, seed=job.seed,
-                checkpoint_path=job.checkpoint_path,
-                checkpoint_every=job.checkpoint_every,
-                observer=observer, **kwargs))
-    else:
-        transport = None
-        if args.listen:
-            from repro.fuzz.transport import TcpJsonlTransport
+            results = []
+            try:
+                for job in jobs:
+                    kwargs = {}
+                    if job.faults:
+                        kwargs["fault_plan"] = plan_for(job.faults,
+                                                        seed=job.seed)
+                    if job.crash_budget is not None:
+                        kwargs["crash_budget"] = job.crash_budget
+                    if job.exec_mode != "journal":
+                        kwargs["exec_mode"] = job.exec_mode
+                    results.append(run_campaign(
+                        job.firmware, budget=job.budget, seed=job.seed,
+                        checkpoint_path=job.checkpoint_path,
+                        checkpoint_every=job.checkpoint_every,
+                        observer=observer, **kwargs))
+            except KeyboardInterrupt:
+                # the drain contract: the last full checkpoint of the
+                # in-flight campaign is already on disk; a rerun with
+                # the same flags resumes it mid-budget
+                interrupted = True
+            unfinished = [job.job_id for job in jobs[len(results):]]
+            results = results + [None] * len(unfinished)
+        else:
+            transport = None
+            if args.listen:
+                from repro.fuzz.transport import TcpJsonlTransport
 
-            host, _, port = args.listen.rpartition(":")
-            transport = TcpJsonlTransport(
-                host or "127.0.0.1", int(port), token=args.token,
-                spawn_fallback=not args.no_spawn_fallback,
-            )
-            print(f"listening for remote workers on {transport.address}")
-            if args.wait_remote:
-                if not transport.wait_for_workers(
-                        args.wait_remote,
-                        timeout=args.wait_remote_timeout):
-                    print(f"only some of the {args.wait_remote} remote "
-                          f"worker(s) arrived within "
-                          f"{args.wait_remote_timeout}s", file=sys.stderr)
+                host, _, port = args.listen.rpartition(":")
+                transport = TcpJsonlTransport(
+                    host or "127.0.0.1", int(port), token=args.token,
+                    spawn_fallback=not args.no_spawn_fallback,
+                )
+                print(f"listening for remote workers on {transport.address}")
+                if args.wait_remote:
+                    if not transport.wait_for_workers(
+                            args.wait_remote,
+                            timeout=args.wait_remote_timeout):
+                        print(f"only some of the {args.wait_remote} remote "
+                              f"worker(s) arrived within "
+                              f"{args.wait_remote_timeout}s", file=sys.stderr)
+                        transport.close()
+                        return 2
+            try:
+                supervisor = FleetSupervisor(
+                    jobs,
+                    workers=args.workers,
+                    heartbeat_timeout=args.heartbeat_timeout,
+                    max_retries=args.max_retries,
+                    backoff_base=args.backoff,
+                    events_path=args.events_log,
+                    observer=observer,
+                    transport=transport,
+                )
+                drain_state["sup"] = supervisor
+                if drain_state["hit"]:  # signal raced the registration
+                    supervisor.interrupt()
+                fleet = supervisor.run()
+            finally:
+                drain_state["sup"] = None
+                if transport is not None:
                     transport.close()
-                    return 2
-        try:
-            fleet = run_fleet(
-                jobs,
-                workers=args.workers,
-                heartbeat_timeout=args.heartbeat_timeout,
-                max_retries=args.max_retries,
-                backoff_base=args.backoff,
-                events_path=args.events_log,
-                observer=observer,
-                transport=transport,
-            )
-        finally:
-            if transport is not None:
-                transport.close()
-        results = fleet.results
+            results = fleet.results
+            interrupted = fleet.interrupted
+            unfinished = fleet.unfinished
+    finally:
+        _restore_handlers(previous_handlers)
 
     degraded = False
     print(f"{'Firmware':24s} {'Execs':>6s} {'Crashes':>8s} {'Found':>6s}")
     for job, result in zip(jobs, results):
         if result is None:
+            if interrupted and job.job_id in unfinished:
+                print(f"{job.firmware:24s} {'-':>6s} {'-':>8s} {'-':>6s}  "
+                      f"INTERRUPTED (checkpoint resumes it)")
+                continue
             degraded = True
             print(f"{job.firmware:24s} {'-':>6s} {'-':>8s} {'-':>6s}  "
                   f"DEGRADED (abandoned after retries)")
@@ -272,6 +340,10 @@ def _cmd_fuzz_all(args) -> int:
             json.dump(payload, fh, sort_keys=True)
         print(f"results written to {args.results}")
     _write_observer(observer, args)
+    if interrupted:
+        print(f"interrupted: {len(unfinished)} campaign(s) unfinished; "
+              f"re-run with the same flags to resume from checkpoints")
+        return 4
     return 3 if degraded else 0
 
 
@@ -366,6 +438,8 @@ def _cmd_worker(args) -> int:
             name=args.name,
             max_jobs=args.max_jobs,
             max_reconnects=args.max_reconnects,
+            reconnect_base=args.reconnect_base,
+            reconnect_max=args.reconnect_max,
             seed=args.seed,
             chaos=args.chaos,
             log=lambda line: print(f"worker: {line}", flush=True),
@@ -380,6 +454,179 @@ def _cmd_worker(args) -> int:
           f"{stats.resends} resend(s), "
           f"{stats.checkpoints_synced} checkpoint sync(s)")
     return 1 if stats.jobs_failed else 0
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: run the always-on fuzzing daemon."""
+    import signal
+
+    from repro.errors import FuzzerError
+    from repro.fuzz.serve import FuzzService, parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except FuzzerError as exc:
+        print(f"--listen: {exc}", file=sys.stderr)
+        return 2
+    observer = _make_observer(args)
+    service = FuzzService(
+        args.state_dir,
+        host=host,
+        port=port,
+        token=args.token,
+        max_running=args.max_running,
+        max_pending=args.max_pending,
+        max_attempts=args.max_attempts,
+        retry_after=args.retry_after,
+        snapshot_every=args.snapshot_every,
+        workers_per_job=args.workers_per_job,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.max_retries,
+        backoff_base=args.backoff,
+        observer=observer,
+        log=lambda line: print(f"serve: {line}", flush=True),
+    )
+
+    def _drain(signum, _frame):
+        service.drain(cause=signal.Signals(signum).name)
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _drain)
+        except ValueError:  # not the main thread (tests)
+            pass
+    service.start()
+    service.serve_forever()
+    _write_observer(observer, args)
+    return 0
+
+
+def _serve_client(args):
+    from repro.fuzz.serve import ServeClient, parse_address
+
+    host, port = parse_address(args.connect)
+    return ServeClient(host, port, token=args.token)
+
+
+def _cmd_submit(args) -> int:
+    """``repro submit``: enqueue a campaign on a serve daemon."""
+    import json
+
+    from repro.errors import FuzzerError, TransportError
+    from repro.obs.observer import ensure_parent
+
+    spec = {"firmware": args.firmware, "budget": args.budget,
+            "seed": args.seed}
+    for key in ("faults", "crash_budget", "watchdog_insns",
+                "watchdog_cycles"):
+        value = getattr(args, key)
+        if value is not None:
+            spec[key] = value
+    if args.exec_mode != "journal":
+        spec["exec_mode"] = args.exec_mode
+    if args.checkpoint_every:
+        spec["checkpoint_every"] = args.checkpoint_every
+    try:
+        with _serve_client(args) as client:
+            reply = client.submit(spec, dedup_key=args.dedup_key)
+            if reply.get("type") == "rejected":
+                print(f"rejected ({reply['reason']}): retry after "
+                      f"{reply['retry_after']:g}s", file=sys.stderr)
+                return 5
+            if reply.get("type") != "submitted":
+                print(f"submit failed: {reply.get('reason', reply)}",
+                      file=sys.stderr)
+                return 2
+            job_id = reply["job"]
+            print(f"job {job_id} "
+                  f"{'deduplicated' if reply['deduped'] else 'submitted'} "
+                  f"({reply['state']})")
+            if not args.wait:
+                return 0
+            final = client.wait(job_id, timeout=args.wait_timeout)
+    except (FuzzerError, TransportError, OSError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    print(f"job {job_id} finished: {final['state']}")
+    if final["state"] != "done":
+        if final.get("error"):
+            print(f"  {final['error']}", file=sys.stderr)
+        return 3
+    result = final["result"]
+    print(f"  execs: {result['execs']}, coverage: {result['coverage']}, "
+          f"crashes: {result['crashes']}, "
+          f"findings: {len(final['findings'])}")
+    for record in final["findings"]:
+        bug = record["bug_id"] or "unmatched"
+        print(f"  {bug}: {record['tool']} {record['bug_type']} "
+              f"at {record['location']}")
+    if args.results:
+        with open(ensure_parent(args.results), "w", encoding="utf-8") as fh:
+            json.dump(result, fh, sort_keys=True)
+        print(f"results written to {args.results}")
+    if args.findings:
+        with open(ensure_parent(args.findings), "w",
+                  encoding="utf-8") as fh:
+            json.dump(final["findings"], fh, sort_keys=True)
+        print(f"findings written to {args.findings}")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    """``repro jobs``: list or watch a serve daemon's job table."""
+    from repro.errors import FuzzerError, TransportError
+
+    try:
+        with _serve_client(args) as client:
+            if args.watch:
+                client.watch(
+                    args.job,
+                    on_event=lambda ev: print(
+                        f"{ev.get('seq', '-'):>6} {ev.get('job') or '-':12s} "
+                        f"{ev['event']}", flush=True),
+                    timeout=args.watch_timeout,
+                )
+                return 0
+            reply = client.status(args.job)
+            if reply.get("type") == "error":
+                print(f"jobs: {reply['reason']}", file=sys.stderr)
+                return 2
+            rows = [reply["job"]] if args.job else reply["jobs"]
+            print(f"{'Job':12s} {'Firmware':24s} {'State':12s} "
+                  f"{'Att':>3s} Requeues")
+            for row in rows:
+                print(f"{row['job_id']:12s} "
+                      f"{row['firmware'] or '?':24s} "
+                      f"{row['state']:12s} {row['attempts']:3d} "
+                      f"{len(row['requeues'])}")
+            if not args.job:
+                counts = ", ".join(
+                    f"{n} {state}"
+                    for state, n in sorted(reply["counts"].items()))
+                drain = " (draining)" if reply["draining"] else ""
+                print(f"{len(rows)} job(s): {counts or 'none'}{drain}")
+    except (FuzzerError, TransportError, OSError) as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_drain(args) -> int:
+    """``repro drain``: gracefully drain a serve daemon."""
+    from repro.errors import FuzzerError, TransportError
+
+    try:
+        with _serve_client(args) as client:
+            reply = client.drain()
+    except (FuzzerError, TransportError, OSError) as exc:
+        print(f"drain: {exc}", file=sys.stderr)
+        return 2
+    if reply.get("type") != "draining":
+        print(f"drain refused: {reply}", file=sys.stderr)
+        return 2
+    print("draining: daemon stops admitting, requeues running jobs, "
+          "flushes its WAL and exits")
+    return 0
 
 
 def _cmd_corpus(args) -> int:
@@ -624,12 +871,104 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--max-reconnects", type=int, default=None,
                         help="give up after this many failed re-dials "
                              "(default: keep trying forever)")
+    worker.add_argument("--reconnect-base", type=float, default=0.5,
+                        help="first reconnect delay in seconds; doubles "
+                             "per consecutive failure")
+    worker.add_argument("--reconnect-max", type=float, default=15.0,
+                        help="ceiling on the reconnect backoff delay")
     worker.add_argument("--seed", type=int, default=0,
                         help="seeds reconnect jitter (and any chaos plan)")
     worker.add_argument("--chaos", default=None, metavar="SPEC",
                         help="chaos plan DSL applied to this worker's "
                              "outbound frames, e.g. "
                              "'drop:kind=heartbeat,p=1;disconnect:nth=9'")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on fuzzing daemon (crash-safe job queue + "
+             "JSONL control API; see docs/serve.md)",
+    )
+    serve.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="durable state: WAL, snapshots, checkpoints")
+    serve.add_argument("--listen", default="127.0.0.1:7400",
+                       metavar="HOST:PORT",
+                       help="control API address (port 0 picks a free one)")
+    serve.add_argument("--token", default=None,
+                       help="shared secret clients must present")
+    serve.add_argument("--max-running", type=int, default=2,
+                       help="jobs run concurrently")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="live (non-terminal) jobs admitted before "
+                            "submissions are rejected with retry_after")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="lease attempts per job before quarantine")
+    serve.add_argument("--retry-after", type=float, default=2.0,
+                       help="seconds clients are told to back off")
+    serve.add_argument("--snapshot-every", type=int, default=256,
+                       help="WAL records between compacted snapshots")
+    serve.add_argument("--workers-per-job", type=int, default=1,
+                       help="fleet workers per running job")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       help="seconds of worker silence before restart")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       help="supervisor restarts per job attempt")
+    serve.add_argument("--backoff", type=float, default=0.5,
+                       help="first supervisor retry delay")
+    serve.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write serve.* metrics JSON on drain")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace on drain")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign job to a serve daemon"
+    )
+    submit.add_argument("firmware")
+    submit.add_argument("--connect", required=True, metavar="HOST:PORT")
+    submit.add_argument("--token", default=None)
+    submit.add_argument("--budget", type=int, default=2000)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--faults", default=None, metavar="SPEC")
+    submit.add_argument("--crash-budget", type=int, default=None)
+    submit.add_argument("--watchdog-insns", type=int, default=None)
+    submit.add_argument("--watchdog-cycles", type=float, default=None)
+    submit.add_argument("--exec-mode", default="journal",
+                        choices=["journal", "forkserver"])
+    submit.add_argument("--checkpoint-every", type=int, default=0,
+                        help="execs between checkpoints (0 = default "
+                             "cadence); results are deterministic per "
+                             "(seed, cadence) pair")
+    submit.add_argument("--dedup-key", default=None,
+                        help="idempotency key: resubmitting the same key "
+                             "returns the original job, never a duplicate")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal and print "
+                             "its results")
+    submit.add_argument("--wait-timeout", type=float, default=600.0)
+    submit.add_argument("--results", default=None, metavar="PATH",
+                        help="with --wait: write the campaign result JSON "
+                             "(byte-identical to `repro fuzz --results` "
+                             "at the same seed and cadence)")
+    submit.add_argument("--findings", default=None, metavar="PATH",
+                        help="with --wait: write the normalized findings "
+                             "records JSON")
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list jobs on a serve daemon (or stream events)"
+    )
+    jobs_cmd.add_argument("--connect", required=True, metavar="HOST:PORT")
+    jobs_cmd.add_argument("--token", default=None)
+    jobs_cmd.add_argument("--job", default=None, metavar="ID",
+                          help="show one job instead of the table")
+    jobs_cmd.add_argument("--watch", action="store_true",
+                          help="stream job events until the watched job "
+                               "is terminal (or the daemon drains)")
+    jobs_cmd.add_argument("--watch-timeout", type=float, default=300.0)
+
+    drain_cmd = sub.add_parser(
+        "drain", help="gracefully drain a serve daemon"
+    )
+    drain_cmd.add_argument("--connect", required=True, metavar="HOST:PORT")
+    drain_cmd.add_argument("--token", default=None)
 
     corpus = sub.add_parser(
         "corpus", help="inspect and maintain persistent corpus stores"
@@ -684,6 +1023,10 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "fuzz-all": _cmd_fuzz_all,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "drain": _cmd_drain,
     "corpus": _cmd_corpus,
     "stats": _cmd_stats,
     "overhead": _cmd_overhead,

@@ -94,11 +94,38 @@ class CorpusEntry:
 
 
 def _atomic_write(path: str, data: bytes) -> None:
-    """Write-then-rename, the same durability story checkpoints use."""
+    """Write-then-rename, the same durability story checkpoints use.
+
+    Both the temp file and the parent directory are fsync'd: rename
+    alone only orders the swap against other metadata, it does not
+    force either the new data blocks or the directory entry to disk,
+    so a host crash could otherwise surface an empty or stale file."""
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "wb") as fh:
         fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    _fsync_parent_dir(path)
+
+
+def _fsync_parent_dir(path: str) -> None:
+    """Make the rename durable by syncing the containing directory.
+
+    Platforms that refuse fsync on a directory fd are tolerated — the
+    write-then-rename above already bounds the damage to "old file".
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _prefer(a: CorpusEntry, b: CorpusEntry) -> CorpusEntry:

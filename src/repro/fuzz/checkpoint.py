@@ -361,7 +361,28 @@ def write_checkpoint_state(path: str, state: dict) -> None:
     tmp = f"{path}.tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(state, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_parent_dir(path)
+
+
+def fsync_parent_dir(path: str) -> None:
+    """fsync the directory holding ``path`` so the rename itself is
+    durable — without it a host crash can roll the directory entry back
+    to the old (or no) file even though the data blocks were synced.
+    Platforms that refuse fsync on a directory fd are tolerated."""
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def save_checkpoint(

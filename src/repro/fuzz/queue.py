@@ -1,0 +1,566 @@
+"""Crash-safe, WAL-backed job queue for the always-on fuzzing service.
+
+The serve daemon (:mod:`repro.fuzz.serve`) must survive a ``kill -9``
+with jobs queued *and* running, then pick up exactly where it left off.
+This module provides the durability half of that promise:
+
+* **Write-ahead log.**  Every state transition is appended to
+  ``wal.jsonl`` as one JSON record in the same locked step that mutates
+  the in-memory view (memory first, so a compaction triggered by the
+  append snapshots a state that already includes it).
+  Submissions and terminal records (done/failed/cancelled/quarantined)
+  are fsync'd, matching the fleet event log's durability policy: once
+  ``submit`` returns, a power cut cannot lose the job, and once a
+  result is acknowledged it cannot un-happen.  Lease records are
+  flushed but not fsync'd — losing one merely makes the job look queued
+  again on replay, which is the same recovery the lease would demand.
+* **Compacted snapshots.**  Every ``snapshot_every`` records the full
+  job table is written to ``snapshot.json`` with the fsync'd
+  write-then-rename from :mod:`repro.fuzz.checkpoint`, and the WAL is
+  restarted.  Replay cost is therefore bounded by the snapshot cadence,
+  not by service lifetime.
+* **Replay.**  On startup the snapshot (if any) is loaded and WAL
+  records with a later sequence number are applied on top.  A torn
+  final record — the classic half-written-line crash artifact — is
+  tolerated and dropped; corruption anywhere else raises
+  :class:`~repro.errors.QueueError`.  Jobs that were *running* at crash
+  time hold a lease with no terminal record: replay requeues them
+  (``recovered_leases``), and their campaign checkpoints on disk let
+  the rerun resume mid-budget.
+* **Leases + crash budget.**  ``lease`` hands a queued job to an owner
+  and counts the attempt; ``requeue`` returns it (worker death, drain,
+  daemon crash).  Attempts that count against the budget (everything
+  except a graceful drain) eventually trip ``max_attempts`` and the job
+  is **quarantined** — the poisoned-job analogue of the engine layer's
+  crash budget, so one wedged campaign degrades instead of wedging the
+  service.
+* **Admission control.**  ``max_pending`` bounds the queue;
+  over-admission raises :class:`~repro.errors.AdmissionError` with an
+  explicit ``retry_after``.  Resubmitting an accepted job with the same
+  client-supplied ``dedup_key`` is idempotent at any point in the job's
+  life, including after completion — the key maps to the original job
+  and its result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AdmissionError, QueueError
+from repro.fuzz.checkpoint import fsync_parent_dir
+
+QUEUE_FORMAT_VERSION = 1
+
+#: States a job moves through.  ``queued -> running`` via lease,
+#: ``running -> queued`` via requeue, and the terminal set is
+#: ``{done, failed, cancelled, quarantined}``.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+QUARANTINED = "quarantined"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, QUARANTINED)
+
+#: WAL record kinds that must hit the platter before the call returns.
+_DURABLE_RECORDS = ("submitted", "done", "failed", "cancelled", "quarantined")
+
+
+@dataclass
+class QueueJob:
+    """One tenanted campaign job and its full durable history."""
+
+    job_id: str
+    spec: dict
+    dedup_key: Optional[str] = None
+    state: str = QUEUED
+    attempts: int = 0
+    owner: Optional[str] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    requeues: List[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec,
+            "dedup_key": self.dedup_key,
+            "state": self.state,
+            "attempts": self.attempts,
+            "owner": self.owner,
+            "result": self.result,
+            "error": self.error,
+            "requeues": list(self.requeues),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "QueueJob":
+        return cls(
+            job_id=data["job_id"],
+            spec=data["spec"],
+            dedup_key=data.get("dedup_key"),
+            state=data.get("state", QUEUED),
+            attempts=data.get("attempts", 0),
+            owner=data.get("owner"),
+            result=data.get("result"),
+            error=data.get("error"),
+            requeues=list(data.get("requeues", ())),
+        )
+
+    def summary(self) -> dict:
+        """The status-API view: everything but the bulky result."""
+        return {
+            "job_id": self.job_id,
+            "firmware": self.spec.get("firmware"),
+            "state": self.state,
+            "attempts": self.attempts,
+            "owner": self.owner,
+            "dedup_key": self.dedup_key,
+            "error": self.error,
+            "requeues": list(self.requeues),
+        }
+
+
+class JobQueue:
+    """Durable job table backed by ``<root>/wal.jsonl`` + ``snapshot.json``.
+
+    Thread-safe: the serve daemon's API handler threads and scheduler
+    loop share one instance.  All mutating operations write the WAL
+    record first, then update memory, so the on-disk log is never
+    behind what a caller has observed.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        max_pending: int = 64,
+        max_attempts: int = 3,
+        retry_after: float = 2.0,
+        snapshot_every: int = 256,
+        on_record=None,
+    ):
+        self.root = root
+        #: optional callback invoked with every WAL entry as it is
+        #: appended (never during replay) — the serve daemon's event
+        #: stream is exactly the durable log, so watchers can never see
+        #: a transition the WAL would forget
+        self.on_record = on_record
+        self.max_pending = max_pending
+        self.max_attempts = max_attempts
+        self.retry_after = retry_after
+        self.snapshot_every = snapshot_every
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, QueueJob] = {}
+        self._dedup: Dict[str, str] = {}
+        self._order: List[str] = []  # FIFO of queued job ids
+        self._seq = 0
+        self._next_job = 1
+        self._wal_records = 0
+        self.recovered_leases: List[str] = []
+        self.replayed_records = 0
+        os.makedirs(root, exist_ok=True)
+        self._wal_path = os.path.join(root, "wal.jsonl")
+        self._snap_path = os.path.join(root, "snapshot.json")
+        self._replay()
+        self._wal = open(self._wal_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _append(self, record: str, **fields) -> None:
+        self._seq += 1
+        entry = {"seq": self._seq, "record": record}
+        entry.update(fields)
+        self._wal.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._wal.flush()
+        if record in _DURABLE_RECORDS:
+            os.fsync(self._wal.fileno())
+        self._wal_records += 1
+        if self._wal_records >= self.snapshot_every:
+            self._compact()
+        if self.on_record is not None:
+            self.on_record(dict(entry))
+
+    def _snapshot_payload(self) -> dict:
+        return {
+            "version": QUEUE_FORMAT_VERSION,
+            "seq": self._seq,
+            "next_job": self._next_job,
+            "jobs": [self._jobs[j].to_json() for j in sorted(self._jobs)],
+            "order": list(self._order),
+        }
+
+    def _compact(self) -> None:
+        """Fold the WAL into ``snapshot.json`` and restart the log.
+
+        The snapshot is written with the fsync'd atomic rename, *then*
+        the WAL is truncated: a crash between the two replays a WAL
+        whose records are all <= the snapshot seq, which replay skips.
+        """
+        _atomic_json(self._snap_path, self._snapshot_payload())
+        self._wal.close()
+        self._wal = open(self._wal_path, "w", encoding="utf-8")
+        self._wal.flush()
+        os.fsync(self._wal.fileno())
+        fsync_parent_dir(self._wal_path)
+        self._wal_records = 0
+
+    def _replay(self) -> None:
+        snap_seq = 0
+        if os.path.exists(self._snap_path):
+            try:
+                with open(self._snap_path, "r", encoding="utf-8") as fh:
+                    snap = json.load(fh)
+            except (json.JSONDecodeError, OSError) as exc:
+                raise QueueError(
+                    f"snapshot unreadable: {exc}", path=self._snap_path
+                ) from exc
+            if snap.get("version") != QUEUE_FORMAT_VERSION:
+                raise QueueError(
+                    f"snapshot format {snap.get('version')!r} unsupported "
+                    f"(expected {QUEUE_FORMAT_VERSION})",
+                    path=self._snap_path,
+                )
+            snap_seq = snap["seq"]
+            self._seq = snap_seq
+            self._next_job = snap["next_job"]
+            for payload in snap["jobs"]:
+                job = QueueJob.from_json(payload)
+                self._jobs[job.job_id] = job
+                if job.dedup_key is not None:
+                    self._dedup[job.dedup_key] = job.job_id
+            self._order = [
+                j for j in snap["order"]
+                if j in self._jobs and self._jobs[j].state == QUEUED
+            ]
+        if os.path.exists(self._wal_path):
+            self._replay_wal(snap_seq)
+        # Leases open at crash time: the daemon died owning these jobs.
+        # Requeue them -- their checkpoints let the rerun resume.
+        for job in self._jobs.values():
+            if job.state == RUNNING:
+                job.state = QUEUED
+                job.owner = None
+                job.requeues.append("daemon-crash")
+                if job.job_id not in self._order:
+                    self._order.append(job.job_id)
+                self.recovered_leases.append(job.job_id)
+
+    def _replay_wal(self, snap_seq: int) -> None:
+        with open(self._wal_path, "rb") as fh:
+            blob = fh.read()
+        chunks = blob.split(b"\n")
+        # A record is only complete once its newline landed: anything
+        # after the final newline is a torn tail from a mid-append
+        # crash.  Torn records never reached a caller (durable records
+        # are fsync'd whole), so dropping one is correct, not lossy --
+        # but it must also be *truncated* so the reopened append-mode
+        # log does not splice the next record onto the fragment.
+        torn = chunks.pop() if chunks and chunks[-1] else None
+        offset = 0
+        for idx, chunk in enumerate(chunks):
+            line_len = len(chunk) + 1
+            line = chunk.strip()
+            if not line:
+                offset += line_len
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if idx == len(chunks) - 1:
+                    torn = chunk  # torn newline-terminated tail
+                    break
+                raise QueueError(
+                    f"WAL record {idx + 1} is corrupt mid-log: {exc}",
+                    path=self._wal_path,
+                ) from exc
+            offset += line_len
+            if entry.get("seq", 0) <= snap_seq:
+                continue  # already folded into the snapshot
+            self._apply(entry)
+            self._seq = entry["seq"]
+            self.replayed_records += 1
+            self._wal_records += 1
+        if torn is not None:
+            with open(self._wal_path, "r+b") as fh:
+                fh.truncate(offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def _apply(self, entry: dict) -> None:
+        record = entry.get("record")
+        if record == "submitted":
+            job = QueueJob(
+                job_id=entry["job"],
+                spec=entry["spec"],
+                dedup_key=entry.get("dedup_key"),
+            )
+            self._jobs[job.job_id] = job
+            if job.dedup_key is not None:
+                self._dedup[job.dedup_key] = job.job_id
+            self._order.append(job.job_id)
+            num = _job_number(job.job_id)
+            if num is not None and num >= self._next_job:
+                self._next_job = num + 1
+            return
+        job = self._jobs.get(entry.get("job"))
+        if job is None:
+            raise QueueError(
+                f"WAL record {record!r} names unknown job "
+                f"{entry.get('job')!r}",
+                path=self._wal_path,
+            )
+        if record == "leased":
+            job.state = RUNNING
+            job.owner = entry.get("owner")
+            job.attempts = entry.get("attempts", job.attempts + 1)
+            if job.job_id in self._order:
+                self._order.remove(job.job_id)
+        elif record == "requeued":
+            job.state = QUEUED
+            job.owner = None
+            job.requeues.append(entry.get("cause", "unknown"))
+            job.attempts = entry.get("attempts", job.attempts)
+            if job.job_id not in self._order:
+                self._order.append(job.job_id)
+        elif record == "done":
+            job.state = DONE
+            job.owner = None
+            job.result = entry.get("result")
+            if job.job_id in self._order:
+                self._order.remove(job.job_id)
+        elif record in ("failed", "cancelled", "quarantined"):
+            job.state = record
+            job.owner = None
+            job.error = entry.get("error")
+            if job.job_id in self._order:
+                self._order.remove(job.job_id)
+        else:
+            raise QueueError(
+                f"WAL record kind {record!r} unknown", path=self._wal_path
+            )
+
+    # ------------------------------------------------------------------
+    # client-facing operations
+    # ------------------------------------------------------------------
+    def submit(
+        self, spec: dict, dedup_key: Optional[str] = None
+    ) -> Tuple[QueueJob, bool]:
+        """Admit a job; returns ``(job, deduped)``.
+
+        Raises :class:`AdmissionError` with ``reason="queue-full"``
+        when ``max_pending`` non-terminal jobs already exist.  A hit on
+        ``dedup_key`` bypasses admission control — the job is already
+        in (or through) the queue, so there is nothing to admit.
+        """
+        with self._lock:
+            if dedup_key is not None and dedup_key in self._dedup:
+                return self._jobs[self._dedup[dedup_key]], True
+            pending = sum(
+                1 for j in self._jobs.values()
+                if j.state not in TERMINAL_STATES
+            )
+            if pending >= self.max_pending:
+                raise AdmissionError(
+                    f"queue holds {pending} live jobs (cap "
+                    f"{self.max_pending})",
+                    reason="queue-full",
+                    retry_after=self.retry_after,
+                )
+            job = QueueJob(
+                job_id=f"job-{self._next_job:06d}",
+                spec=dict(spec),
+                dedup_key=dedup_key,
+            )
+            self._next_job += 1
+            self._jobs[job.job_id] = job
+            if dedup_key is not None:
+                self._dedup[dedup_key] = job.job_id
+            self._order.append(job.job_id)
+            self._append(
+                "submitted",
+                job=job.job_id,
+                spec=job.spec,
+                dedup_key=dedup_key,
+            )
+            return job, False
+
+    def lease(self, owner: str) -> Optional[QueueJob]:
+        """Claim the oldest queued job for ``owner``; None when empty.
+
+        Counting happens here: a job leased ``max_attempts`` times
+        without reaching a terminal state is quarantined instead of
+        handed out again.
+        """
+        with self._lock:
+            while self._order:
+                job = self._jobs[self._order[0]]
+                if job.attempts >= self.max_attempts:
+                    self._order.pop(0)
+                    self._terminal(
+                        job,
+                        QUARANTINED,
+                        error=(
+                            f"crash budget exhausted after "
+                            f"{job.attempts} attempts"
+                            + (f": {job.error}" if job.error else "")
+                        ),
+                    )
+                    continue
+                self._order.pop(0)
+                job.attempts += 1
+                job.state = RUNNING
+                job.owner = owner
+                self._append(
+                    "leased",
+                    job=job.job_id,
+                    owner=owner,
+                    attempts=job.attempts,
+                )
+                return job
+            return None
+
+    def requeue(self, job_id: str, cause: str, *, counted: bool = True) -> None:
+        """Return a leased job to the queue (worker death, drain).
+
+        ``counted=False`` (graceful drain) refunds the attempt — an
+        operator-initiated stop must not eat the job's crash budget.
+        """
+        with self._lock:
+            job = self._require(job_id, RUNNING, "requeue")
+            if not counted and job.attempts > 0:
+                job.attempts -= 1
+            job.state = QUEUED
+            job.owner = None
+            job.requeues.append(cause)
+            self._order.append(job_id)
+            self._append(
+                "requeued",
+                job=job_id,
+                cause=cause,
+                counted=counted,
+                attempts=job.attempts,
+            )
+
+    def complete(self, job_id: str, result: dict) -> None:
+        with self._lock:
+            job = self._require(job_id, RUNNING, "complete")
+            self._terminal(job, DONE, result=result)
+
+    def fail(self, job_id: str, error: str) -> None:
+        """Record a failed attempt.
+
+        The job goes back to the queue while its crash budget lasts
+        (the next ``lease`` retries it) and is quarantined once the
+        budget is gone, so a poisoned job degrades instead of looping.
+        """
+        with self._lock:
+            job = self._require(job_id, RUNNING, "fail")
+            job.error = error
+            if job.attempts >= self.max_attempts:
+                self._terminal(
+                    job,
+                    QUARANTINED,
+                    error=(
+                        f"crash budget exhausted after {job.attempts} "
+                        f"attempts: {error}"
+                    ),
+                )
+            else:
+                job.state = QUEUED
+                job.owner = None
+                job.requeues.append(f"failed: {error}")
+                self._order.append(job_id)
+                self._append(
+                    "requeued",
+                    job=job_id,
+                    cause=f"failed: {error}",
+                    counted=True,
+                    attempts=job.attempts,
+                )
+
+    def cancel(self, job_id: str) -> QueueJob:
+        """Cancel a queued or running job; terminal states are final."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise QueueError(f"no such job {job_id!r}")
+            if job.state in TERMINAL_STATES:
+                raise QueueError(
+                    f"job {job_id} is already {job.state}; cancel refused"
+                )
+            if job.job_id in self._order:
+                self._order.remove(job.job_id)
+            self._terminal(job, CANCELLED, error="cancelled by operator")
+            return job
+
+    def get(self, job_id: str) -> Optional[QueueJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[QueueJob]:
+        with self._lock:
+            return [self._jobs[j] for j in sorted(self._jobs)]
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out: Dict[str, int] = {}
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+            return out
+
+    def flush(self) -> None:
+        """Force the WAL to disk — the drain path's final durability act."""
+        with self._lock:
+            self._wal.flush()
+            os.fsync(self._wal.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self.flush()
+            except (OSError, ValueError):
+                pass
+            self._wal.close()
+
+    # ------------------------------------------------------------------
+    def _require(self, job_id: str, state: str, op: str) -> QueueJob:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise QueueError(f"cannot {op}: no such job {job_id!r}")
+        if job.state != state:
+            raise QueueError(
+                f"cannot {op} job {job_id}: state is {job.state!r}, "
+                f"need {state!r}"
+            )
+        return job
+
+    def _terminal(self, job: QueueJob, state: str, **fields) -> None:
+        job.state = state
+        job.owner = None
+        job.result = fields.get("result", job.result)
+        job.error = fields.get("error", job.error)
+        self._append(state, job=job.job_id, **fields)
+
+
+def _job_number(job_id: str) -> Optional[int]:
+    try:
+        return int(job_id.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return None
+
+
+def _atomic_json(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_parent_dir(path)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -134,11 +135,31 @@ class FleetResult:
     #: the full structured event stream (also on disk when
     #: ``events_path`` was configured)
     events: List[dict] = field(default_factory=list)
+    #: True when :meth:`FleetSupervisor.interrupt` stopped the fleet
+    #: before every job finished — unfinished jobs keep their
+    #: checkpoints and a rerun resumes them; they are *not* degraded
+    interrupted: bool = False
+    #: job ids that were still waiting or running at interrupt time
+    unfinished: List[str] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
-        """True when any job exhausted its retry budget."""
+        """True when any job exhausted its retry budget.
+
+        An interrupted fleet's unfinished jobs do not count: they were
+        stopped by the operator mid-flight, not abandoned by the
+        supervisor, and their checkpoints make them resumable.
+        """
+        if self.interrupted:
+            return any(
+                result is None
+                for result, job_id in zip(self.results, self._job_ids())
+                if job_id not in self.unfinished
+            )
         return any(result is None for result in self.results)
+
+    def _job_ids(self) -> List[str]:
+        return [diag.job_id for diag in self.diagnostics.jobs]
 
     def completed(self) -> List[object]:
         """The successful results, submission order preserved."""
@@ -233,6 +254,19 @@ class FleetSupervisor:
         self._transport: Optional[WorkerTransport] = None
         self._events: List[dict] = []
         self._events_fh = None
+        self._interrupted = threading.Event()
+
+    def interrupt(self) -> None:
+        """Ask a running fleet to stop at the next scheduling round.
+
+        Safe to call from any thread (a signal handler, the serve
+        daemon's drain path).  Running attempts are killed, waiting
+        jobs stay waiting, and :meth:`run` returns a
+        :class:`FleetResult` with ``interrupted=True`` listing the
+        unfinished job ids.  Checkpoints written so far stay on disk,
+        so a rerun of the same jobs resumes rather than restarts.
+        """
+        self._interrupted.set()
 
     # ------------------------------------------------------------------
     def run(self) -> FleetResult:
@@ -259,17 +293,22 @@ class FleetSupervisor:
             if self.observer is not None:
                 self.observer.gauge("fleet.workers").set(self.workers)
                 self.observer.gauge("fleet.jobs").set(len(states))
-            while any(s.status in ("waiting", "running") for s in states):
+            while (not self._interrupted.is_set()
+                   and any(s.status in ("waiting", "running")
+                           for s in states)):
                 self._fill_slots(states)
                 self._pump(states)
                 self._check_liveness(states)
+            unfinished = [s.job.job_id for s in states
+                          if s.status in ("waiting", "running")]
             transport_stats = transport.stats()
             self._emit(
-                "fleet_done",
+                "fleet_interrupted" if unfinished else "fleet_done",
                 jobs=len(states),
                 completed=sum(1 for s in states if s.status == "done"),
                 degraded=[s.job.job_id for s in states
                           if s.status == "degraded"],
+                unfinished=unfinished,
                 restarts=sum(len(s.diag.restarts) for s in states),
                 wall_time=round(time.monotonic() - started, 3),
                 transport=transport_stats,
@@ -300,6 +339,9 @@ class FleetSupervisor:
             results=[state.result for state in states],
             diagnostics=diagnostics,
             events=list(self._events),
+            interrupted=self._interrupted.is_set(),
+            unfinished=[s.job.job_id for s in states
+                        if s.status in ("waiting", "running")],
         )
 
     def _absorb_transport_stats(self, stats: Optional[dict]) -> None:
@@ -599,7 +641,8 @@ class FleetSupervisor:
     # ------------------------------------------------------------------
     #: events whose loss would blind a postmortem: fsync the JSONL log
     #: after these so a supervisor crash cannot truncate the verdicts
-    _DURABLE_EVENTS = frozenset({"job_degraded", "job_done", "fleet_done"})
+    _DURABLE_EVENTS = frozenset({"job_degraded", "job_done", "fleet_done",
+                                 "fleet_interrupted"})
 
     def _emit(self, event: str, **fields) -> None:
         record = {"ts": round(time.time(), 6), "event": event, **fields}

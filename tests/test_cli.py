@@ -1,10 +1,14 @@
 """Tests: the ``python -m repro`` command-line interface."""
 
 import json
+import os
+import sys
 
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 class TestParser:
@@ -36,6 +40,17 @@ class TestParser:
             ["stats", "m.json"],
             ["overhead", "InfiniTime"],
             ["table2"],
+            ["worker", "--connect", "127.0.0.1:7400", "--max-jobs", "3",
+             "--max-reconnects", "5", "--reconnect-base", "0.1",
+             "--reconnect-max", "2.0"],
+            ["serve", "--state-dir", "s", "--listen", "127.0.0.1:0",
+             "--max-running", "2", "--max-pending", "8",
+             "--max-attempts", "2", "--snapshot-every", "64"],
+            ["submit", "InfiniTime", "--connect", "127.0.0.1:7400",
+             "--budget", "100", "--dedup-key", "k", "--wait",
+             "--results", "r.json", "--findings", "f.json"],
+            ["jobs", "--connect", "127.0.0.1:7400", "--watch"],
+            ["drain", "--connect", "127.0.0.1:7400"],
         ):
             assert parser.parse_args(argv) is not None
 
@@ -163,6 +178,93 @@ class TestExitCodes:
         with pytest.raises(FirmwareBuildError):
             main(["fuzz-all", "--budget", "10",
                   "--firmware", "NoSuchFirmware"])
+
+    def test_worker_plumbs_reconnect_and_job_knobs(self, monkeypatch):
+        seen = {}
+
+        def fake_run_worker(host, port, **kwargs):
+            seen.update(kwargs, host=host, port=port)
+            from repro.fuzz.transport import WorkerStats
+            return WorkerStats()
+
+        monkeypatch.setattr("repro.fuzz.transport.run_worker",
+                            fake_run_worker)
+        assert main(["worker", "--connect", "127.0.0.1:7999",
+                     "--max-jobs", "3", "--max-reconnects", "7",
+                     "--reconnect-base", "0.25",
+                     "--reconnect-max", "4.5"]) == 0
+        assert seen["host"] == "127.0.0.1" and seen["port"] == 7999
+        assert seen["max_jobs"] == 3
+        assert seen["max_reconnects"] == 7
+        assert seen["reconnect_base"] == 0.25
+        assert seen["reconnect_max"] == 4.5
+
+
+class TestDrainSignals:
+    """Satellite: SIGTERM during fuzz-all checkpoints and resumes."""
+
+    def _spawn_fuzz_all(self, tmp_path, results):
+        import subprocess
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        argv = [sys.executable, "-m", "repro", "fuzz-all",
+                "--workers", "2", "--budget", "1500", "--seed", "1",
+                "--firmware", "InfiniTime",
+                "--firmware", "OpenHarmony-stm32f407",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--results", str(results)]
+        return subprocess.Popen(argv, env=env,
+                                stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT)
+
+    def test_sigterm_drains_then_resume_is_byte_identical(self, tmp_path):
+        import glob
+        import signal as signal_mod
+        import subprocess
+        import time
+
+        interrupted = tmp_path / "out.json"
+        proc = self._spawn_fuzz_all(tmp_path, interrupted)
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if glob.glob(str(tmp_path / "ck" / "*.json")):
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("no checkpoint appeared within 60s")
+            assert proc.poll() is None, proc.stdout.read().decode()
+            proc.send_signal(signal_mod.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 4, out.decode()
+        assert b"INTERRUPTED" in out
+
+        # same flags again: resumes from the checkpoints and finishes
+        resume = self._spawn_fuzz_all(tmp_path, interrupted)
+        out, _ = resume.communicate(timeout=180)
+        assert resume.returncode == 0, out.decode()
+
+        # an uninterrupted run at the same cadence produces the same bytes
+        reference = tmp_path / "ref.json"
+        ref_dir = tmp_path / "ref-ck"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        subprocess.run(
+            [sys.executable, "-m", "repro", "fuzz-all",
+             "--workers", "2", "--budget", "1500", "--seed", "1",
+             "--firmware", "InfiniTime",
+             "--firmware", "OpenHarmony-stm32f407",
+             "--checkpoint-dir", str(ref_dir),
+             "--results", str(reference)],
+            env=env, check=True, timeout=180,
+            stdout=subprocess.DEVNULL)
+        assert interrupted.read_bytes() == reference.read_bytes()
 
 
 class TestObservability:

@@ -104,6 +104,26 @@ class TestStore:
         _, inserted = store.add(other, signature=[1, 2], kind="crash")
         assert inserted
 
+    def test_atomic_write_fsyncs_file_and_directory(
+            self, tmp_path, monkeypatch):
+        """The store's write-then-rename must fsync both the data and
+        the directory entry, or a host crash can roll a manifest back
+        to an empty/old file after the rename appeared to succeed."""
+        from repro.corpus.store import _atomic_write
+
+        synced = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced.append(os.fstat(fd).st_ino)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        path = str(tmp_path / "manifest.json")
+        _atomic_write(path, b'{"entries": []}')
+        assert os.stat(path).st_ino in synced
+        assert os.stat(tmp_path).st_ino in synced
+
     def test_no_temp_files_survive(self, tmp_path):
         store = CorpusStore(str(tmp_path), firmware=FW)
         for nr in range(5):

@@ -445,6 +445,31 @@ class TestCheckpointResume:
         # CheckpointError is a FuzzerError, so existing boundaries hold
         assert isinstance(info.value, FuzzerError)
 
+    def test_checkpoint_write_fsyncs_file_and_directory(
+            self, tmp_path, monkeypatch):
+        """Write-then-rename alone is not durable: a host crash can
+        surface an empty or stale file unless both the data and the
+        directory entry are fsync'd before/after the rename."""
+        from repro.fuzz.checkpoint import (
+            FORMAT_VERSION,
+            write_checkpoint_state,
+        )
+
+        synced = []
+        real_fsync = os.fsync
+
+        def spy(fd):
+            synced.append(os.fstat(fd).st_ino)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", spy)
+        path = str(tmp_path / "cp.json")
+        write_checkpoint_state(path, {"version": FORMAT_VERSION})
+        # the temp file synced before the rename has the same inode as
+        # the final path after it; the parent directory synced after
+        assert os.stat(path).st_ino in synced
+        assert os.stat(tmp_path).st_ino in synced
+
     def test_non_object_checkpoint_rejected(self, tmp_path):
         path = str(tmp_path / "cp.json")
         with open(path, "w", encoding="utf-8") as fh:
