@@ -262,7 +262,15 @@ class JobQueue:
         # are fsync'd whole), so dropping one is correct, not lossy --
         # but it must also be *truncated* so the reopened append-mode
         # log does not splice the next record onto the fragment.
-        torn = chunks.pop() if chunks and chunks[-1] else None
+        torn = None
+        if chunks:
+            if chunks[-1]:
+                torn = chunks.pop()
+            else:
+                # newline-terminated blob: drop split()'s empty sentinel
+                # so the final *real* record sits at len(chunks) - 1 and
+                # the corrupt-tail tolerance below can actually match it
+                chunks.pop()
         offset = 0
         for idx, chunk in enumerate(chunks):
             line_len = len(chunk) + 1

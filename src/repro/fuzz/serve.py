@@ -209,9 +209,19 @@ class FuzzService:
         )
         self._lock = threading.Lock()
         self._running: Dict[str, FleetSupervisor] = {}
+        #: jobs leased by the scheduler whose runner has not yet settled;
+        #: this — not len(_running) — gates max_running, because a lease
+        #: is in flight before its supervisor registers in _running
+        self._inflight = 0
         self._runner_threads: List[threading.Thread] = []
         self._cancelling: set = set()
-        self._watchers: List[tuple] = []  # (queue.Queue-ish, job filter)
+        # Watchers get their own lock: _publish runs inside the queue's
+        # on_record callback, i.e. on whatever thread performed the WAL
+        # append — possibly one already holding self._lock.  Keeping the
+        # publish path off self._lock makes queue mutations safe to call
+        # from anywhere.
+        self._watch_lock = threading.Lock()
+        self._watchers: List[tuple] = []  # (sink, job filter)
         self._draining = threading.Event()
         self._stopped = threading.Event()
         self._drain_thread: Optional[threading.Thread] = None
@@ -327,10 +337,21 @@ class FuzzService:
                 time.sleep(0.1)
 
     def _schedule_once(self) -> bool:
+        # Reserve the concurrency slot *before* leasing: a runner only
+        # registers in _running after building its supervisor, so
+        # gating on len(_running) lets back-to-back leases overshoot
+        # max_running.  The slot is released in the runner's finally.
         with self._lock:
-            if len(self._running) >= self.max_running:
+            if self._inflight >= self.max_running:
                 return False
-        job = self.queue.lease(f"serve:{os.getpid()}")
+            self._inflight += 1
+        job = None
+        try:
+            job = self.queue.lease(f"serve:{os.getpid()}")
+        finally:
+            if job is None:
+                with self._lock:
+                    self._inflight -= 1
         if job is None:
             return False
         thread = threading.Thread(
@@ -339,7 +360,13 @@ class FuzzService:
         )
         with self._lock:
             self._runner_threads.append(thread)
-        thread.start()
+        try:
+            thread.start()
+        except Exception:
+            with self._lock:
+                self._inflight -= 1
+                self._runner_threads.remove(thread)
+            raise
         return True
 
     def _runner(self, job: QueueJob) -> None:
@@ -365,11 +392,16 @@ class FuzzService:
                 backoff_base=self.backoff_base,
             )
             with self._lock:
-                if self._draining.is_set():
-                    # drain won the race: hand the lease straight back
-                    self.queue.requeue(job.job_id, "drain", counted=False)
-                    return
-                self._running[job.job_id] = supervisor
+                drain_won = self._draining.is_set()
+                if not drain_won:
+                    self._running[job.job_id] = supervisor
+            if drain_won:
+                # drain won the race: hand the lease straight back.
+                # Requeue outside self._lock — the WAL append publishes
+                # to watchers, and no queue mutation may run under the
+                # service lock.
+                self.queue.requeue(job.job_id, "drain", counted=False)
+                return
             fleet = supervisor.run()
             with self._lock:
                 self._running.pop(job.job_id, None)
@@ -383,6 +415,7 @@ class FuzzService:
             )
         finally:
             with self._lock:
+                self._inflight -= 1
                 if threading.current_thread() in self._runner_threads:
                     self._runner_threads.remove(threading.current_thread())
                 running = len(self._running)
@@ -433,7 +466,7 @@ class FuzzService:
         })
 
     def _publish(self, event: dict) -> None:
-        with self._lock:
+        with self._watch_lock:
             watchers = list(self._watchers)
         for sink, job_filter in watchers:
             if job_filter is not None and event.get("job") != job_filter:
@@ -635,7 +668,7 @@ class FuzzService:
                 done.set()
 
         entry = (sink, job_id)
-        with self._lock:
+        with self._watch_lock:
             self._watchers.append(entry)
         stream.send({"type": "watching", "job": job_id})
         # a job already terminal will never emit again: close out now
@@ -646,7 +679,7 @@ class FuzzService:
         while not done.wait(0.5):
             if self._stopped.is_set():
                 break
-        with self._lock:
+        with self._watch_lock:
             if entry in self._watchers:
                 self._watchers.remove(entry)
         try:
@@ -735,6 +768,7 @@ class ServeClient:
     def wait(self, job: str, poll: float = 0.5,
              timeout: float = 600.0) -> dict:
         """Poll until ``job`` reaches a terminal state; final results."""
+        reply = None
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             reply = self.results(job)
@@ -743,7 +777,8 @@ class ServeClient:
             if reply["state"] in TERMINAL_STATES:
                 return reply
             time.sleep(poll)
-        raise FuzzerError(f"job {job} still {reply['state']!r} after "
+        state = reply.get("state") if reply else None
+        raise FuzzerError(f"job {job} still {state!r} after "
                           f"{timeout:g}s")
 
     def close(self) -> None:

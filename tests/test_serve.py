@@ -130,6 +130,31 @@ class TestJobQueue:
         assert q3.get("job-000002").state == QUEUED
         q3.close()
 
+    def test_corrupt_newline_terminated_tail_is_torn(self, tmp_path):
+        """A garbage *final* line is tolerated even with its newline.
+
+        Size-before-data journaling can land a complete line of
+        garbage at the tail; like the newline-less fragment above it
+        is dropped and physically truncated, not a startup refusal.
+        """
+        root = str(tmp_path / "q")
+        q = JobQueue(root)
+        q.submit(_spec(), dedup_key="a")
+        q.close()
+        wal = os.path.join(root, "wal.jsonl")
+        with open(wal, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 99, "record": "done", "garba\n')
+        q2 = JobQueue(root)
+        assert q2.get("job-000001").state == QUEUED
+        # the corrupt line was truncated away, not merely skipped
+        with open(wal, "rb") as fh:
+            assert b"garba" not in fh.read()
+        q2.submit(_spec(firmware=FW2), dedup_key="b")
+        q2.close()
+        q3 = JobQueue(root)
+        assert q3.get("job-000002").state == QUEUED
+        q3.close()
+
     def test_mid_log_corruption_is_a_queue_error(self, tmp_path):
         root = str(tmp_path / "q")
         q = JobQueue(root)
@@ -397,6 +422,119 @@ class TestFuzzService:
             assert _result_bytes(final["result"]) == _result_bytes(ref)
         finally:
             svc2.close()
+
+    def test_max_running_bounds_inflight_leases(self, tmp_path, monkeypatch):
+        """max_running must gate *leases*, not registered supervisors.
+
+        A runner registers in ``_running`` only after constructing its
+        supervisor; gating on that map let back-to-back leases start
+        arbitrarily many concurrent jobs.  With runners parked on a
+        gate, a max_running=1 service must hold the other jobs queued.
+        """
+        import repro.fuzz.serve as serve_mod
+
+        release = threading.Event()
+        state = {"live": 0, "peak": 0}
+        mx = threading.Lock()
+
+        class _GatedSupervisor:
+            def __init__(self, jobs, **kw):
+                pass
+
+            def interrupt(self):
+                release.set()
+
+            def run(self):
+                with mx:
+                    state["live"] += 1
+                    state["peak"] = max(state["peak"], state["live"])
+                release.wait(30.0)
+                with mx:
+                    state["live"] -= 1
+
+                class _Fleet:
+                    results = [{"sentinel": True}]
+                    interrupted = False
+
+                return _Fleet()
+
+        monkeypatch.setattr(serve_mod, "FleetSupervisor", _GatedSupervisor)
+        monkeypatch.setattr(serve_mod, "result_to_json", lambda r: r)
+        svc = FuzzService(str(tmp_path / "s"), port=0, max_running=1)
+        svc.start()
+        try:
+            for i in range(3):
+                svc.queue.submit(_spec(), dedup_key=f"k{i}")
+            deadline = time.monotonic() + 10
+            while state["peak"] == 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            time.sleep(0.5)  # give a buggy scheduler room to over-lease
+            counts = svc.queue.counts()
+            assert counts.get(RUNNING, 0) == 1
+            assert counts.get(QUEUED, 0) == 2
+            release.set()
+            deadline = time.monotonic() + 30
+            while svc.queue.counts().get(DONE, 0) < 3:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert state["peak"] == 1
+        finally:
+            release.set()
+            svc.close()
+
+    def test_drain_racing_runner_start_requeues_without_deadlock(
+            self, tmp_path, monkeypatch):
+        """Drain arriving while a supervisor is being built must not wedge.
+
+        The runner requeues the lease when drain wins the race; that
+        WAL append publishes to watchers, which once re-acquired the
+        service lock the runner was still holding — a self-deadlock
+        that turned graceful drain into a hang.
+        """
+        import repro.fuzz.serve as serve_mod
+
+        building = threading.Event()
+        release = threading.Event()
+
+        class _SlowBuildSupervisor:
+            def __init__(self, jobs, **kw):
+                building.set()
+                release.wait(30.0)
+
+            def interrupt(self):
+                pass
+
+            def run(self):
+                raise AssertionError("drain won the race: must requeue")
+
+        monkeypatch.setattr(serve_mod, "FleetSupervisor",
+                            _SlowBuildSupervisor)
+        svc = FuzzService(str(tmp_path / "s"), port=0, max_running=1)
+        svc.start()
+        try:
+            job, _ = svc.queue.submit(_spec(), dedup_key="race")
+            assert building.wait(10.0)
+            svc.drain(cause="test")  # admissions close mid-construction
+            release.set()            # runner now observes the drain
+            assert svc._stopped.wait(15.0), "drain deadlocked"
+            requeued = svc.queue.get(job.job_id)
+            assert requeued.state == QUEUED
+            assert "drain" in requeued.requeues
+            assert requeued.attempts == 0  # lease handed back uncounted
+        finally:
+            release.set()
+            # a deadlocked runner holds the queue lock; close() would
+            # hang on it, so only tear down after a clean stop — the
+            # daemon threads die with the process otherwise
+            if svc._stopped.is_set():
+                svc.close()
+
+    def test_wait_timeout_raises_fuzzer_error(self, service):
+        # an already-elapsed deadline must not NameError on `reply`
+        with self._client(service) as client:
+            with pytest.raises(FuzzerError, match="still"):
+                client.wait("job-000001", timeout=0.0)
 
     def test_draining_service_rejects_new_submissions(self, tmp_path):
         svc = FuzzService(str(tmp_path / "s"), port=0)
