@@ -1,0 +1,88 @@
+"""Tiered-JIT microbenchmark: compiled traces vs the specialized TCG.
+
+Measures guest instructions per host second on the figure-2-style hot
+loop (``repro.bench.tcg_profile``) for the trace-compiling jit tier vs
+the specialized closure engine it sits on top of, bare and with
+KASAN+KCSAN attached in EMBSAN-D mode, and asserts the PR's acceptance
+floor: >= 3x over ``spec_bare`` on the hot loop.  The sanitized pair is
+recorded for the trajectory but has no floor — probed accesses keep the
+full shadow/bus fast path and gain less from compilation.
+
+Run as a script to (re)generate the committed artifact::
+
+    PYTHONPATH=src python benchmarks/bench_jit.py [out.json]
+
+writes ``BENCH_jit.json`` (default) stamped with the tier counters
+(``tb_compiled``, ``jit_deopts``, ``jit_hotness_threshold``) so a
+future regression that stops compiling traces (or deopt-storms) is
+visible in the artifact, not just in the timing.
+"""
+
+import json
+import sys
+
+from repro.bench.tcg_profile import profile_jit_all
+
+#: acceptance floor (ISSUE 9): jit vs spec on the bare hot loop
+MIN_SPEEDUP_BARE = 3.0
+
+#: outer iterations; ~150 guest instructions each
+ITERATIONS = 1200
+
+
+def _format(results) -> str:
+    lines = ["Tiered JIT: hot-loop instructions/second"]
+    for key in ("spec_bare", "jit_bare", "spec_kasan_kcsan",
+                "jit_kasan_kcsan"):
+        row = results[key]
+        lines.append(
+            f"  {key:20s} {row['insn_per_sec']:>12,.0f} insn/s  "
+            f"({row['instructions']} insns, compiled="
+            f"{row.get('tb_compiled', 0)}, deopts="
+            f"{row.get('jit_deopts', 0)})"
+        )
+    lines.append(f"  speedup bare      : {results['speedup_bare']:.2f}x "
+                 f"(floor {MIN_SPEEDUP_BARE}x)")
+    lines.append(f"  speedup sanitized : "
+                 f"{results['speedup_sanitized']:.2f}x (no floor)")
+    lines.append(f"  hotness threshold : "
+                 f"{results['jit_hotness_threshold']} execs")
+    return "\n".join(lines)
+
+
+def _check(results) -> None:
+    assert results["speedup_bare"] >= MIN_SPEEDUP_BARE, (
+        f"jit bare speedup {results['speedup_bare']:.2f}x "
+        f"below the {MIN_SPEEDUP_BARE}x floor"
+    )
+    # the tier must actually engage: traces compiled, none torn down
+    assert results["tb_compiled"] > 0, "jit compiled no traces"
+    assert results["jit_deopts"] == 0, (
+        f"hot loop deopted {results['jit_deopts']} trace(s); "
+        f"the workload has no SMC or invalidation"
+    )
+    # both tiers must retire the identical instruction stream
+    assert (results["jit_bare"]["instructions"]
+            == results["spec_bare"]["instructions"])
+    assert (results["jit_kasan_kcsan"]["guest_cycles"]
+            == results["spec_kasan_kcsan"]["guest_cycles"])
+
+
+def test_jit_speedup(once):
+    results = once(profile_jit_all, ITERATIONS)
+    print("\n" + _format(results))
+    _check(results)
+
+
+def main(path: str = "BENCH_jit.json") -> None:
+    results = profile_jit_all(ITERATIONS)
+    print(_format(results))
+    _check(results)
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

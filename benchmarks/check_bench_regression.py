@@ -22,6 +22,14 @@ large-RAM firmware:
 * ``cases.large.forkserver.execs_per_sec`` — delta-restore throughput
 * ``cases.large.speedup``                  — fork-server vs journal ratio
 
+``BENCH_jit.json`` (recognized by its ``jit_hotness_threshold`` key;
+throughput, higher is better) gates the tiered-JIT rates plus the
+absolute floor the tier was accepted with:
+
+* ``jit_bare.insn_per_sec``        — compiled-trace bare throughput
+* ``jit_kasan_kcsan.insn_per_sec`` — compiled-trace sanitized throughput
+* ``speedup_bare``                 — must stay >= the 3x floor
+
 Improvements and small fluctuations pass; CI runners are noisy, which
 is why the threshold is generous and why only *relative* changes gate.
 
@@ -52,6 +60,15 @@ EXECS_GATED = (
     "cases.large.forkserver.execs_per_sec",
     "cases.large.speedup",
 )
+
+#: (json key, metric) pairs gated in jit documents (higher = better)
+JIT_GATED = (
+    ("jit_bare", "insn_per_sec"),
+    ("jit_kasan_kcsan", "insn_per_sec"),
+)
+
+#: absolute floor: the jit tier's reason to exist (ISSUE 9)
+JIT_MIN_SPEEDUP_BARE = 3.0
 
 
 def load(path: str) -> dict:
@@ -128,12 +145,53 @@ def check_execs(baseline: dict, current: dict, max_drop: float) -> list:
     return failures
 
 
+def check_jit(baseline: dict, current: dict, max_drop: float) -> list:
+    """JIT gate: relative throughput drops plus the absolute speedup
+    floor — a tier that stops compiling is a regression even when the
+    baseline recording was slow enough to hide it."""
+    failures = []
+    for key, metric in JIT_GATED:
+        name = f"{key}.{metric}"
+        try:
+            base = float(baseline[key][metric])
+            cur = float(current[key][metric])
+        except (KeyError, TypeError, ValueError):
+            failures.append((name, None, None, None))
+            continue
+        if base <= 0:
+            continue
+        drop = (base - cur) / base
+        status = "FAIL" if drop > max_drop else "ok"
+        row = f"baseline {base:14,.0f}  current {cur:14,.0f}  change {-drop:+7.1%}"
+        print(f"{status:4s} {name:32s} {row}")
+        if drop > max_drop:
+            failures.append((name, base, cur, drop))
+    try:
+        speedup = float(current["speedup_bare"])
+    except (KeyError, TypeError, ValueError):
+        failures.append(("speedup_bare", None, None, None))
+        return failures
+    floor = JIT_MIN_SPEEDUP_BARE
+    status = "FAIL" if speedup < floor else "ok"
+    print(
+        f"{status:4s} {'speedup_bare':32s} floor    {floor:14,.2f}  "
+        f"current {speedup:14,.2f}"
+    )
+    if speedup < floor:
+        failures.append(
+            ("speedup_bare [floor]", floor, speedup, (floor - speedup) / floor)
+        )
+    return failures
+
+
 def check(baseline: dict, current: dict, max_drop: float) -> list:
     """Return [(name, base, cur, drop)] for every gated regression."""
     if "workers" in baseline or "workers" in current:
         return check_fleet(baseline, current, max_drop)
     if "cases" in baseline or "cases" in current:
         return check_execs(baseline, current, max_drop)
+    if "jit_hotness_threshold" in baseline or "jit_hotness_threshold" in current:
+        return check_jit(baseline, current, max_drop)
     failures = []
     for key, metric in GATED:
         name = f"{key}.{metric}"

@@ -1,0 +1,39 @@
+"""Corpus-smoke census assertions.
+
+Two subcommands, invoked by the ``corpus-smoke`` CI job (and runnable
+locally) after the corresponding campaigns have written their result
+files::
+
+    python benchmarks/ci/check_corpus_census.py resume
+    python benchmarks/ci/check_corpus_census.py sharded
+
+``resume`` checks that a campaign resumed from the distilled minset
+still matched catalog rows; ``sharded`` checks the merged 2-shard
+census is a superset of the single-worker census.
+"""
+
+import json
+import sys
+
+
+def check_resume():
+    resumed = json.load(open("corpus_resume.json"))
+    assert resumed["matched"], "distilled resume matched no catalog rows"
+    print("distilled resume matched:", sorted(resumed["matched"]))
+
+
+def check_sharded():
+    single = json.load(open("single.json"))
+    merged = json.load(open("sharded.json"))["merged"]
+    assert set(single["matched"]) <= set(merged["matched"]), (
+        single["matched"], merged["matched"])
+    print("sharded census >= single-worker census:",
+          sorted(merged["matched"]))
+
+
+def main(which):
+    {"resume": check_resume, "sharded": check_sharded}[which]()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Serve-daemon crash-recovery drill: kill -9 mid-campaign, restart,
+# and require byte-identical results against uninterrupted references.
+#
+# Invoked by the serve-smoke CI job (and runnable locally) after
+# reference campaigns have written ref_a.json / ref_b.json with the
+# same checkpoint cadence the daemon's jobs use (docs/serve.md):
+#
+#     PYTHONPATH=src bash benchmarks/ci/serve_kill_recovery.sh
+set -eu
+
+ADDR=127.0.0.1:7411
+TOKEN=ci-secret
+
+wait_for_daemon() {
+  for _ in $(seq 1 100); do
+    if PYTHONPATH=src python -m repro jobs \
+        --connect "$ADDR" --token "$TOKEN" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "daemon never came up" >&2
+  return 1
+}
+
+PYTHONPATH=src python -m repro serve --state-dir state \
+  --listen "$ADDR" --token "$TOKEN" --max-running 2 &
+SERVE_PID=$!
+wait_for_daemon
+PYTHONPATH=src python -m repro submit InfiniTime \
+  --connect "$ADDR" --token "$TOKEN" \
+  --budget 1200 --seed 1 --checkpoint-every 200 \
+  --dedup-key ci-a
+PYTHONPATH=src python -m repro submit OpenHarmony-stm32f407 \
+  --connect "$ADDR" --token "$TOKEN" \
+  --budget 1200 --seed 1 --checkpoint-every 200 \
+  --dedup-key ci-b
+
+# wait until both campaigns have checkpointed, then murder the daemon
+# with no chance to flush or requeue anything
+n=0
+for _ in $(seq 1 300); do
+  n=$(ls state/checkpoints/*.json 2>/dev/null | wc -l)
+  [ "$n" -ge 2 ] && break
+  sleep 0.2
+done
+[ "$n" -ge 2 ] || { echo "no checkpoints appeared" >&2; exit 1; }
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" || true
+
+PYTHONPATH=src python -m repro serve --state-dir state \
+  --listen "$ADDR" --token "$TOKEN" --max-running 2 &
+SERVE_PID=$!
+wait_for_daemon
+# same dedup keys: idempotent resubmission returns handles on the
+# recovered jobs, and --wait polls them to completion
+PYTHONPATH=src python -m repro submit InfiniTime \
+  --connect "$ADDR" --token "$TOKEN" \
+  --budget 1200 --seed 1 --checkpoint-every 200 \
+  --dedup-key ci-a --wait --wait-timeout 300 \
+  --results got_a.json
+PYTHONPATH=src python -m repro submit OpenHarmony-stm32f407 \
+  --connect "$ADDR" --token "$TOKEN" \
+  --budget 1200 --seed 1 --checkpoint-every 200 \
+  --dedup-key ci-b --wait --wait-timeout 300 \
+  --results got_b.json
+cmp ref_a.json got_a.json
+cmp ref_b.json got_b.json
+echo "kill -9 recovery byte-identical to uninterrupted runs"
+
+PYTHONPATH=src python -m repro drain --connect "$ADDR" --token "$TOKEN"
+wait "$SERVE_PID"
+echo "graceful drain exited 0"

@@ -104,7 +104,8 @@ def profile_mode(engine: str, sanitized: bool, iterations: int = 2000,
         "insn_per_sec": executed / elapsed if elapsed else 0.0,
         "guest_cycles": core.cycles,
     }
-    for counter in ("tb_chain_hits", "tb_flush_count", "tb_evictions"):
+    for counter in ("tb_chain_hits", "tb_flush_count", "tb_evictions",
+                    "tb_compiled", "jit_deopts", "jit_trace_execs"):
         if hasattr(core, counter):
             out[counter] = getattr(core, counter)
     return out
@@ -130,5 +131,41 @@ def profile_all(iterations: int = 2000) -> Dict[str, Dict[str, float]]:
     results["speedup_sanitized"] = (
         results["spec_kasan_kcsan"]["insn_per_sec"]
         / results["interp_kasan_kcsan"]["insn_per_sec"]
+    )
+    return results
+
+
+def profile_jit_all(iterations: int = 2000) -> Dict[str, Dict[str, float]]:
+    """Profile the jit tier against the specialized baseline.
+
+    Returns a dict keyed ``spec_bare`` / ``jit_bare`` /
+    ``spec_kasan_kcsan`` / ``jit_kasan_kcsan`` plus the derived
+    ``speedup_bare`` / ``speedup_sanitized`` ratios and the tier
+    counters the BENCH_jit document stamps.
+    """
+    from repro.isa.tcg import TcgEngine
+
+    results = {
+        "spec_bare": profile_mode("tcg", False, iterations),
+        "jit_bare": profile_mode("jit", False, iterations),
+        "spec_kasan_kcsan": profile_mode("tcg", True, iterations),
+        "jit_kasan_kcsan": profile_mode("jit", True, iterations),
+    }
+    results["speedup_bare"] = (
+        results["jit_bare"]["insn_per_sec"]
+        / results["spec_bare"]["insn_per_sec"]
+    )
+    results["speedup_sanitized"] = (
+        results["jit_kasan_kcsan"]["insn_per_sec"]
+        / results["spec_kasan_kcsan"]["insn_per_sec"]
+    )
+    results["jit_hotness_threshold"] = TcgEngine.DEFAULT_JIT_THRESHOLD
+    results["tb_compiled"] = int(
+        results["jit_bare"].get("tb_compiled", 0)
+        + results["jit_kasan_kcsan"].get("tb_compiled", 0)
+    )
+    results["jit_deopts"] = int(
+        results["jit_bare"].get("jit_deopts", 0)
+        + results["jit_kasan_kcsan"].get("jit_deopts", 0)
     )
     return results

@@ -124,6 +124,8 @@ def _cmd_fuzz(args) -> int:
         corpus_dir=args.corpus_dir,
         seed_schedule=args.seed_schedule,
         exec_mode=args.exec_mode,
+        engine=args.engine,
+        jit_threshold=args.jit_threshold,
     )
     print(f"fuzzer: {result.fuzzer}, seed: {result.seed}, "
           f"budget: {result.budget}, execs: {result.execs}, "
@@ -220,6 +222,8 @@ def _cmd_fuzz_all(args) -> int:
         faults=args.faults,
         crash_budget=args.crash_budget,
         exec_mode=args.exec_mode,
+        engine=args.engine,
+        jit_threshold=args.jit_threshold,
     )
     fleet = None
     interrupted = False
@@ -245,6 +249,10 @@ def _cmd_fuzz_all(args) -> int:
                         kwargs["crash_budget"] = job.crash_budget
                     if job.exec_mode != "journal":
                         kwargs["exec_mode"] = job.exec_mode
+                    if job.engine != "tcg":
+                        kwargs["engine"] = job.engine
+                    if job.jit_threshold is not None:
+                        kwargs["jit_threshold"] = job.jit_threshold
                     results.append(run_campaign(
                         job.firmware, budget=job.budget, seed=job.seed,
                         checkpoint_path=job.checkpoint_path,
@@ -371,6 +379,8 @@ def _fuzz_sharded(args, observer) -> int:
         faults=args.faults,
         crash_budget=args.crash_budget,
         exec_mode=args.exec_mode,
+        engine=args.engine,
+        jit_threshold=args.jit_threshold,
         observer=observer,
         events_path=args.events_log,
         fleet_options=dict(
@@ -524,6 +534,10 @@ def _cmd_submit(args) -> int:
             spec[key] = value
     if args.exec_mode != "journal":
         spec["exec_mode"] = args.exec_mode
+    if args.engine != "tcg":
+        spec["engine"] = args.engine
+    if args.jit_threshold is not None:
+        spec["jit_threshold"] = args.jit_threshold
     if args.checkpoint_every:
         spec["checkpoint_every"] = args.checkpoint_every
     try:
@@ -765,6 +779,15 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
                       help="persistent corpus store: existing entries seed "
                            "the campaign, discoveries persist back")
+    fuzz.add_argument("--engine", default="tcg",
+                      choices=["tcg", "tcg-interp", "jit"],
+                      help="ISA execution tier: specialized TCG "
+                           "(default), the reference interpreter, or "
+                           "the tiered JIT (see docs/jit.md)")
+    fuzz.add_argument("--jit-threshold", type=int, default=None,
+                      metavar="N",
+                      help="block executions before a hot trace is "
+                           "compiled (engine=jit only)")
     fuzz.add_argument("--exec-mode", default="journal",
                       choices=["journal", "forkserver"],
                       help="target reset strategy: per-program journal + "
@@ -802,6 +825,13 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_all.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                           help="per-firmware checkpoint files; fleet "
                                "workers resume from these after a crash")
+    fuzz_all.add_argument("--engine", default="tcg",
+                          choices=["tcg", "tcg-interp", "jit"],
+                          help="ISA execution tier (see `fuzz`)")
+    fuzz_all.add_argument("--jit-threshold", type=int, default=None,
+                          metavar="N",
+                          help="hot-trace compile threshold "
+                               "(engine=jit only)")
     fuzz_all.add_argument("--exec-mode", default="journal",
                           choices=["journal", "forkserver"],
                           help="target reset strategy (see `fuzz`)")
@@ -933,6 +963,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--watchdog-cycles", type=float, default=None)
     submit.add_argument("--exec-mode", default="journal",
                         choices=["journal", "forkserver"])
+    submit.add_argument("--engine", default="tcg",
+                        choices=["tcg", "tcg-interp", "jit"])
+    submit.add_argument("--jit-threshold", type=int, default=None,
+                        metavar="N")
     submit.add_argument("--checkpoint-every", type=int, default=0,
                         help="execs between checkpoints (0 = default "
                              "cadence); results are deterministic per "

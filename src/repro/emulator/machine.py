@@ -58,6 +58,14 @@ class Machine:
         self._charged_guest_cycles = 0
         self.overhead_cycles = 0
 
+        #: engine kind used when ``add_cpu`` is called without an explicit
+        #: ``engine`` (OS boot paths go through this, so campaigns can
+        #: select the jit tier before ``image.boot()`` attaches CPUs)
+        self.isa_engine = "tcg"
+        #: hotness threshold handed to jit-tier engines; None keeps
+        #: :attr:`TcgEngine.DEFAULT_JIT_THRESHOLD`
+        self.jit_threshold: Optional[int] = None
+
         #: optional hang guard shared by every engine and charge_guest
         self.watchdog = None
         #: optional deterministic fault-injection plan (see emulator/faults.py)
@@ -102,6 +110,17 @@ class Machine:
 
     def _on_bus_access(self, access) -> None:
         self.hooks.emit(EventKind.MEM_ACCESS, access)
+
+    def _scalar_unobserved(self) -> bool:
+        """True while skipping scalar-access notification is unobservable.
+
+        The jit tier inlines region reads/writes when the bus's only
+        observer is this machine's hook fan-out and nothing subscribes to
+        MEM_ACCESS — then the skipped ``Access`` would have been
+        constructed only to be dropped.
+        """
+        return (self.bus._observers == (self._on_bus_access,)
+                and not self.hooks._handlers.get(EventKind.MEM_ACCESS))
 
     def _on_console_byte(self, byte: int) -> None:
         self.hooks.emit(EventKind.CONSOLE, ConsoleEvent(byte))
@@ -195,17 +214,25 @@ class Machine:
     # ------------------------------------------------------------------
     # execution engines
     # ------------------------------------------------------------------
-    def add_cpu(self, pc: int = 0, sp: int = 0, engine: str = "tcg"):
+    def add_cpu(self, pc: int = 0, sp: int = 0,
+                engine: Optional[str] = None):
         """Attach an execution engine for EVM32 code.
 
         ``engine`` selects the implementation: ``"tcg"`` (translation
-        blocks, specialized closures — the default), ``"tcg-interp"``
+        blocks, specialized closures — the default), ``"jit"`` (the tcg
+        engine with the hot-trace compiled tier enabled), ``"tcg-interp"``
         (translation blocks, per-opcode re-dispatch; the pre-specialization
         behaviour kept for A/B benchmarking) or ``"interp"`` (the
-        reference single-step interpreter).
+        reference single-step interpreter).  ``None`` falls back to the
+        machine-wide :attr:`isa_engine` default.
         """
+        if engine is None:
+            engine = self.isa_engine
         if engine == "tcg":
             core = TcgEngine(self.bus, pc=pc, sp=sp, hypercall=self._hypercall)
+        elif engine == "jit":
+            core = TcgEngine(self.bus, pc=pc, sp=sp, hypercall=self._hypercall,
+                             jit=True, jit_threshold=self.jit_threshold)
         elif engine == "tcg-interp":
             core = TcgEngine(self.bus, pc=pc, sp=sp, hypercall=self._hypercall,
                              specialize=False)
@@ -213,6 +240,8 @@ class Machine:
             core = Cpu(self.bus, pc=pc, sp=sp, hypercall=self._hypercall)
         else:
             raise ValueError(f"unknown engine kind {engine!r}")
+        if isinstance(core, TcgEngine):
+            core.mem_fast_check = self._scalar_unobserved
         core.call_probes.append(self._on_isa_call)
         core.ret_probes.append(self._on_isa_ret)
         core.watchdog = self.watchdog

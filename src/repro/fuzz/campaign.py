@@ -99,6 +99,8 @@ def run_campaign(
     seed_schedule: str = "uniform",
     shard: Optional[Tuple[int, int]] = None,
     exec_mode: str = "journal",
+    engine: str = "tcg",
+    jit_threshold: Optional[int] = None,
     on_checkpoint_saved: Optional[Callable[[str], None]] = None,
 ) -> CampaignResult:
     """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN.
@@ -131,6 +133,11 @@ def run_campaign(
     every refresh and journals each program, ``"forkserver"`` rewinds a
     golden snapshot by copying back only dirty pages.  The census is
     byte-identical either way; only throughput differs.
+
+    ``engine`` selects the ISA execution tier (``"tcg"``, ``"tcg-interp"``
+    or ``"jit"`` — see ``docs/jit.md``) and ``jit_threshold`` overrides
+    the hot-trace compile threshold; census output is engine-invariant,
+    only throughput differs.
     """
     import time
 
@@ -185,6 +192,10 @@ def run_campaign(
         kwargs["shard"] = (shard[0], shard[1])
     if exec_mode != "journal":
         kwargs["exec_mode"] = exec_mode
+    if engine != "tcg":
+        kwargs["engine"] = engine
+    if jit_threshold is not None:
+        kwargs["jit_threshold"] = jit_threshold
     fuzzer = fuzzer_cls(firmware, **kwargs)
     _phase_done("build")
 

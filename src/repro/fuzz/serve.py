@@ -69,6 +69,7 @@ SPEC_FIELDS = frozenset({
     "firmware", "budget", "seed", "seeds", "faults", "fault_seed",
     "crash_budget", "watchdog_insns", "watchdog_cycles", "sanitizers",
     "seed_schedule", "exec_mode", "checkpoint_every",
+    "engine", "jit_threshold",
 })
 
 
@@ -130,6 +131,8 @@ def build_campaign_job(job: QueueJob, checkpoint_dir: str) -> CampaignJob:
         ),
         seed_schedule=spec.get("seed_schedule", "uniform"),
         exec_mode=spec.get("exec_mode", "journal"),
+        engine=spec.get("engine", "tcg"),
+        jit_threshold=spec.get("jit_threshold"),
     )
 
 

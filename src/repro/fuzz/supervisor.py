@@ -93,6 +93,9 @@ class CampaignJob:
     shard_count: Optional[int] = None
     #: target reset strategy ("journal" | "forkserver")
     exec_mode: str = "journal"
+    #: ISA execution tier ("tcg" | "tcg-interp" | "jit")
+    engine: str = "tcg"
+    jit_threshold: Optional[int] = None
 
     def payload(self, attempt: int, heartbeat_interval: float,
                 observe: bool = False) -> dict:
@@ -121,6 +124,8 @@ class CampaignJob:
             "shard_index": self.shard_index,
             "shard_count": self.shard_count,
             "exec_mode": self.exec_mode,
+            "engine": self.engine,
+            "jit_threshold": self.jit_threshold,
         }
 
 
@@ -676,6 +681,8 @@ def make_jobs(
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
     exec_mode: str = "journal",
+    engine: str = "tcg",
+    jit_threshold: Optional[int] = None,
 ) -> List[CampaignJob]:
     """One job per Table-1 firmware (or per ``firmware`` subset)."""
     from repro.firmware.registry import all_firmware, firmware_spec
@@ -706,6 +713,8 @@ def make_jobs(
             watchdog_insns=watchdog_insns,
             watchdog_cycles=watchdog_cycles,
             exec_mode=exec_mode,
+            engine=engine,
+            jit_threshold=jit_threshold,
         )
         for name in names
     ]
@@ -758,6 +767,8 @@ def make_shard_jobs(
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
     exec_mode: str = "journal",
+    engine: str = "tcg",
+    jit_threshold: Optional[int] = None,
 ) -> List[CampaignJob]:
     """One job per shard of a single firmware; ``budget`` is per shard.
 
@@ -798,6 +809,8 @@ def make_shard_jobs(
             shard_index=index,
             shard_count=shards,
             exec_mode=exec_mode,
+            engine=engine,
+            jit_threshold=jit_threshold,
         )
         for index in range(shards)
     ]
@@ -854,6 +867,8 @@ def run_sharded_fleet(
     watchdog_insns: Optional[int] = None,
     watchdog_cycles: Optional[float] = None,
     exec_mode: str = "journal",
+    engine: str = "tcg",
+    jit_threshold: Optional[int] = None,
     observer=None,
     events_path: Optional[str] = None,
     fleet_options: Optional[dict] = None,
@@ -938,6 +953,8 @@ def run_sharded_fleet(
                 watchdog_insns=watchdog_insns,
                 watchdog_cycles=watchdog_cycles,
                 exec_mode=exec_mode,
+                engine=engine,
+                jit_threshold=jit_threshold,
             )
             fleet = run_fleet(
                 jobs, workers=workers or shards, observer=observer,

@@ -44,6 +44,8 @@ class TardisFuzzer(FuzzerEngine):
         seed_schedule: str = "uniform",
         shard=None,
         exec_mode: str = "journal",
+        engine: str = "tcg",
+        jit_threshold=None,
     ):
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
@@ -52,6 +54,8 @@ class TardisFuzzer(FuzzerEngine):
             image = build_firmware(firmware, boot=False)
             runtime = attach_runtime(image, sanitizers=self.sanitizers)
             coverage = EmulatorCoverage(image.machine)
+            image.machine.isa_engine = engine
+            image.machine.jit_threshold = jit_threshold
             image.boot()
             # arm hardening after boot so boot-time work never trips the
             # per-program watchdog; the shared fault plan keeps one RNG

@@ -97,6 +97,10 @@ def _run_job(job: dict, observer=None, on_checkpoint_saved=None):
         kwargs["shard"] = (job["shard_index"], job["shard_count"])
     if job.get("exec_mode", "journal") != "journal":
         kwargs["exec_mode"] = job["exec_mode"]
+    if job.get("engine", "tcg") != "tcg":
+        kwargs["engine"] = job["engine"]
+    if job.get("jit_threshold") is not None:
+        kwargs["jit_threshold"] = job["jit_threshold"]
     if job.get("seeds"):
         # repeated campaigns restart from scratch on retry: their
         # early-stop logic is inherently sequential across seeds

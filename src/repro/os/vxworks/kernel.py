@@ -81,7 +81,7 @@ class VxWorksKernel(KernelBase):
         self._halt_pad = self.blobs["halt_pad"][2]
         sram = self.machine.arch.region("sram")
         self.cpu = self.machine.add_cpu(
-            pc=self._halt_pad, sp=sram.base + sram.size // 4, engine="tcg"
+            pc=self._halt_pad, sp=sram.base + sram.size // 4
         )
 
     def probe_workload(self, ctx: GuestContext) -> None:

@@ -273,9 +273,12 @@ class TestFuzzTargetModes:
 # the identity matrix: journal vs forkserver, engines, resume, shards
 # ----------------------------------------------------------------------
 class TestExecModeIdentity:
-    @pytest.mark.parametrize("engine", ["tcg", "tcg-interp"])
+    @pytest.mark.parametrize("engine", ["tcg", "tcg-interp", "jit"])
     def test_census_identity_small_firmware(self, engine, monkeypatch):
-        monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE", engine == "tcg")
+        monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE",
+                            engine != "tcg-interp")
+        monkeypatch.setattr(TcgEngine, "DEFAULT_JIT", engine == "jit")
+        monkeypatch.setattr(TcgEngine, "DEFAULT_JIT_THRESHOLD", 4)
         journal = run_campaign("InfiniTime", budget=200, seed=1)
         fork = run_campaign("InfiniTime", budget=200, seed=1,
                             exec_mode="forkserver")

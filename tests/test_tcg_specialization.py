@@ -33,6 +33,10 @@ def make_core(source, engine="tcg", text_perm=Perm.RX, hypercall=None, **kw):
         bus.region_named("text").write(0, program.image)
     if engine == "interp":
         core = Cpu(bus, pc=0, sp=RAM_BASE + 0x4000, hypercall=hypercall)
+    elif engine == "jit":
+        kw.setdefault("jit_threshold", 2)
+        core = TcgEngine(bus, pc=0, sp=RAM_BASE + 0x4000, hypercall=hypercall,
+                         specialize=True, jit=True, **kw)
     else:
         core = TcgEngine(bus, pc=0, sp=RAM_BASE + 0x4000, hypercall=hypercall,
                          specialize=(engine == "tcg"), **kw)
@@ -272,20 +276,27 @@ class TestCacheCapacity:
 
 class TestModeEquivalence:
     @pytest.mark.parametrize("source", [STRAIGHT_LINE, MIXED_PROGRAM])
-    def test_spec_interp_cpu_identical(self, source):
+    def test_spec_interp_jit_cpu_identical(self, source):
         spec, _ = make_core(source, "tcg")
         interp, _ = make_core(source, "tcg-interp")
+        jit, _ = make_core(source, "jit")
         ref, _ = make_core(source, "interp")
         spec.run()
         interp.run()
+        jit.run()
         ref.run()
-        assert spec.state.regs == interp.state.regs == ref.state.regs
-        assert spec.state.pc == interp.state.pc == ref.state.pc
-        assert spec.state.halted and interp.state.halted and ref.state.halted
-        assert ram_bytes(spec) == ram_bytes(interp) == ram_bytes(ref)
+        cores = (spec, interp, jit)
+        assert all(c.state.regs == ref.state.regs for c in cores)
+        assert all(c.state.pc == ref.state.pc for c in cores)
+        assert ref.state.halted and all(c.state.halted for c in cores)
+        assert all(ram_bytes(c) == ram_bytes(ref) for c in cores)
         # accounting parity: the calibrated figure-2 bands depend on it
-        assert spec.cycles == interp.cycles == ref.cycles
-        assert spec.insn_count == interp.insn_count == ref.insn_count
+        assert all(c.cycles == ref.cycles for c in cores)
+        assert all(c.insn_count == ref.insn_count for c in cores)
+        if "loop" in source:
+            # the looping program has hot blocks; the tier must engage
+            assert jit.tb_compiled > 0
+            assert jit.jit_trace_execs > 0
 
     def test_probed_equals_unprobed_state(self):
         plain, _ = make_core(MIXED_PROGRAM)
@@ -303,7 +314,7 @@ class TestModeEquivalence:
 
     def test_probed_modes_see_identical_accesses(self):
         streams = {}
-        for mode in ("tcg", "tcg-interp"):
+        for mode in ("tcg", "tcg-interp", "jit"):
             core, _ = make_core(MIXED_PROGRAM, mode)
             seen = []
             core.add_mem_probe(
@@ -313,7 +324,7 @@ class TestModeEquivalence:
             )
             core.run()
             streams[mode] = seen
-        assert streams["tcg"] == streams["tcg-interp"]
+        assert streams["tcg"] == streams["tcg-interp"] == streams["jit"]
 
     def test_chain_hit_counter(self):
         core, _ = make_core(MIXED_PROGRAM)
@@ -332,22 +343,30 @@ class TestReplaySuiteEquivalence:
     template flavours and require identical detection and machine state.
     """
 
+    ENGINES = {
+        "spec": {"DEFAULT_SPECIALIZE": True, "DEFAULT_JIT": False},
+        "interp": {"DEFAULT_SPECIALIZE": False, "DEFAULT_JIT": False},
+        "jit": {"DEFAULT_SPECIALIZE": True, "DEFAULT_JIT": True,
+                "DEFAULT_JIT_THRESHOLD": 4},
+    }
+
+    def _patched(self, monkeypatch, name):
+        for attr, value in self.ENGINES[name].items():
+            monkeypatch.setattr(TcgEngine, attr, value)
+
     @pytest.mark.parametrize(
         "record", table4_bugs_for("TP-Link WDR-7660"), ids=lambda r: r.bug_id
     )
     def test_vxworks_replay_identical(self, record, monkeypatch):
         outcomes = {}
-        for specialize in (True, False):
-            monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE", specialize)
+        for name in self.ENGINES:
+            self._patched(monkeypatch, name)
             result = replay_on_embsan(record, InstrumentationMode.EMBSAN_D)
-            outcomes[specialize] = result
-        spec, interp = outcomes[True], outcomes[False]
-        assert spec.detected == interp.detected
-        assert spec.crashed == interp.crashed
-        assert (
-            [(r.bug_type, r.addr, r.pc) for r in spec.reports]
-            == [(r.bug_type, r.addr, r.pc) for r in interp.reports]
-        )
+            outcomes[name] = (
+                result.detected, result.crashed,
+                [(r.bug_type, r.addr, r.pc) for r in result.reports],
+            )
+        assert outcomes["spec"] == outcomes["interp"] == outcomes["jit"]
 
     @pytest.mark.parametrize(
         "record", table4_bugs_for("TP-Link WDR-7660"), ids=lambda r: r.bug_id
@@ -357,19 +376,139 @@ class TestReplaySuiteEquivalence:
         from repro.firmware.builder import attach_runtime
 
         states = {}
-        for specialize in (True, False):
-            monkeypatch.setattr(TcgEngine, "DEFAULT_SPECIALIZE", specialize)
+        for name in self.ENGINES:
+            self._patched(monkeypatch, name)
             image = _build_for_record(record, InstrumentationMode.EMBSAN_D)
             runtime = attach_runtime(image, sanitizers=("kasan",))
             image.boot()
             fault = run_program(image, record.reproducer, record.interface)
             cpu = image.kernel.cpu
-            states[specialize] = (
+            states[name] = (
                 tuple(cpu.state.regs), cpu.state.pc, cpu.state.halted,
                 cpu.cycles, cpu.insn_count, fault is None,
                 runtime.sink.unique_count(),
             )
-        assert states[True] == states[False]
+        assert states["spec"] == states["interp"] == states["jit"]
+
+
+SMC_IN_TRACE = """
+    movi t1, 6
+    movi s0, 136        ; address of patch_target
+    movi a2, 3          ; iterations that warm up against ram
+    lui  s2, 1          ; ram scratch (RAM_BASE)
+loop:
+    slt  a3, t0, a2     ; 1 while warming, 0 once hot
+    sub  s3, s2, s0
+    mul  s3, s3, a3
+    add  s3, s3, s0     ; target: ram early, patch_target late
+    movi t2, 0x0226     ; MOVI encoding low half: op=0x26 rd=2
+    st32 t2, [s3]       ; rewrite patch_target's opcode word (same bytes)
+    addi t3, t0, 40
+    st32 t3, [s3 + 4]   ; new immediate: 40 + i
+    call patch_target
+    add  s1, s1, a1
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    hlt
+patch_target:
+    movi a1, 7
+    ret
+"""
+
+
+class TestJitDeopts:
+    """The jit tier's deopt contract: every invalidation event that
+    flushes chained TBs must tear down (or side-exit) compiled traces,
+    leaving architectural state bit-identical to the uncompiled engine.
+    """
+
+    def test_smc_store_into_compiled_trace(self):
+        spec, _ = make_core(SMC_IN_TRACE, "tcg", text_perm=Perm.RWX)
+        ref, _ = make_core(SMC_IN_TRACE, "interp", text_perm=Perm.RWX)
+        jit, _ = make_core(SMC_IN_TRACE, "jit", text_perm=Perm.RWX)
+        for core in (jit, spec, ref):
+            core.run()
+        # the hot loop compiled, then its own store deoptimized it
+        assert jit.tb_compiled > 0
+        assert jit.jit_deopts > 0
+        assert jit.state.regs == spec.state.regs == ref.state.regs
+        assert jit.state.pc == spec.state.pc == ref.state.pc
+        assert jit.cycles == spec.cycles == ref.cycles
+        assert jit.insn_count == spec.insn_count == ref.insn_count
+        # a1 took the patched immediate, not the stale 7
+        assert jit.state.read(2) == 45
+        # 3 warm-up calls at 7, then the patched 43 + 44 + 45
+        assert jit.state.read(10) == 7 * 3 + 43 + 44 + 45
+
+    def test_invalidate_range_over_compiled_page(self):
+        core, _ = make_core(MIXED_PROGRAM, "jit")
+        core.run()
+        assert core.tb_compiled > 0 and core._jit_traces
+        entries = [trace.entry for trace in core._jit_traces.values()]
+        deopts = core.jit_deopts
+        # a range beyond the code leaves every trace installed
+        core.invalidate_range(0x2000, 0x3000)
+        assert core.jit_deopts == deopts
+        assert core._jit_traces
+        # one covering the code kills them all and detaches executors
+        core.invalidate_range(0, 0x2000)
+        assert core.jit_deopts > deopts
+        assert not core._jit_traces
+        assert all(block.jit_fn is None for block in entries)
+
+    def test_watchdog_trip_mid_trace(self):
+        from repro.bench.tcg_profile import _make_machine
+        from repro.errors import GuestHang
+
+        states = {}
+        for engine in ("tcg", "jit"):
+            machine, core = _make_machine(engine, False, iterations=50)
+            machine.set_watchdog(insn_budget=2000)
+            with pytest.raises(GuestHang):
+                core.run(max_steps=1_000_000)
+            states[engine] = (
+                tuple(core.state.regs), core.state.pc, core.state.halted,
+                core.cycles, core.insn_count, machine.watchdog.trips,
+            )
+        assert states["jit"][5] == 1  # it actually tripped
+        assert states["tcg"] == states["jit"]
+
+    def test_forkserver_restore_after_compilation(self):
+        from repro.bench.tcg_profile import _make_machine
+        from repro.emulator.snapshot import ForkServer
+
+        def run_out(core):
+            core.run(max_steps=5_000_000)
+            assert core.state.halted
+            return (tuple(core.state.regs), core.cycles, core.insn_count)
+
+        machine, core = _make_machine("jit", False, iterations=30)
+        fork = ForkServer(machine)
+        first = run_out(core)
+        assert core.tb_compiled > 0
+        fork.restore()
+        # the golden rewind must leave installed traces coherent: their
+        # cached region buffers were restored in place, not reassigned
+        second = run_out(core)
+        assert second == first
+        ref_machine, ref = _make_machine("tcg", False, iterations=30)
+        assert run_out(ref) == first
+
+    def test_fault_plan_identity(self):
+        from repro.emulator.faults import plan_for
+
+        states = {}
+        for engine in ("tcg", "tcg-interp", "jit"):
+            core, _ = make_core(MIXED_PROGRAM, engine)
+            core.bus.fault_plan = plan_for(
+                "bitflip:0x10000-0x14000:p=0.2", seed=7
+            )
+            core.run()
+            states[engine] = (
+                tuple(core.state.regs), core.state.pc, core.cycles,
+                core.insn_count, ram_bytes(core),
+            )
+        assert states["tcg"] == states["tcg-interp"] == states["jit"]
 
 
 class TestSignExtensionHelper:
