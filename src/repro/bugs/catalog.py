@@ -402,20 +402,70 @@ TABLE4_BUGS: Tuple[BugRecord, ...] = (
 )
 
 
+# ----------------------------------------------------------------------
+# Driver-surface bugs — seeded in the netdma guest driver (ISR + ring
+# refill), reachable only through ``--surface driver`` builds.  Kept
+# out of TABLE4_BUGS so the paper's census tables and every default
+# syscall-surface campaign stay byte-identical.
+# ----------------------------------------------------------------------
+def _drv(bug_id, arm_id, firmware, bug_class, expect_type, reproducer,
+         report_match, tool="kasan"):
+    return BugRecord(
+        bug_id, 4, arm_id, "drivers/net/netdma", bug_class, expect_type,
+        tuple(tuple(step) for step in reproducer), tuple(report_match),
+        tool=tool, firmware=firmware, interface="driver",
+    )
+
+
+# driver-op reproducers: (op, a0, a1, a2) — see repro.os.drivers.netdma.
+# The OOB needs five retired descriptors (the unmasked free-running
+# completion index first leaves the 4-slot ring on completion #5), the
+# UAF fires on the first retirement, and the uninit read needs one
+# spurious (forced) interrupt after init.
+DRIVER_BUGS: Tuple[BugRecord, ...] = (
+    _drv("drv_av_01", "drv_armvirt_netdma_ring_oob", "OpenWRT-armvirt",
+         "OOB Access", BugType.SLAB_OOB,
+         ((1, 0, 0, 0), (3, 3, 8, 0), (3, 0, 8, 0)), ("netdma_isr",)),
+    _drv("drv_av_02", "drv_armvirt_netdma_desc_uaf", "OpenWRT-armvirt",
+         "UAF", BugType.UAF,
+         ((1, 0, 0, 0), (3, 0, 8, 0)), ("netdma_isr",)),
+    _drv("drv_av_03", "drv_armvirt_netdma_status_uninit", "OpenWRT-armvirt",
+         "Uninit Read", BugType.UNINIT_READ,
+         ((1, 0, 0, 0), (4, 0, 0, 0)), ("netdma_isr",), tool="kmsan"),
+    _drv("drv_rk_01", "drv_rk3566_netdma_ring_oob", "OpenHarmony-rk3566",
+         "OOB Access", BugType.SLAB_OOB,
+         ((1, 0, 0, 0), (3, 3, 8, 0), (3, 0, 8, 0)), ("netdma_isr",)),
+    _drv("drv_rk_02", "drv_rk3566_netdma_desc_uaf", "OpenHarmony-rk3566",
+         "UAF", BugType.UAF,
+         ((1, 0, 0, 0), (3, 0, 8, 0)), ("netdma_isr",)),
+    _drv("drv_rk_03", "drv_rk3566_netdma_status_uninit", "OpenHarmony-rk3566",
+         "Uninit Read", BugType.UNINIT_READ,
+         ((1, 0, 0, 0), (4, 0, 0, 0)), ("netdma_isr",), tool="kmsan"),
+)
+
+
 #: id -> record index over both tables, built once at import; campaign
 #: census/matching code resolves ids through this instead of scanning
 TABLE4_BY_ID: dict = {bug.bug_id: bug for bug in TABLE4_BUGS}
 TABLE2_BY_ID: dict = {bug.bug_id: bug for bug in TABLE2_BUGS}
+DRIVER_BY_ID: dict = {bug.bug_id: bug for bug in DRIVER_BUGS}
 
 
 def record_by_id(bug_id: str) -> BugRecord:
-    """Resolve a catalog row by id (Table 4 first, then Table 2)."""
+    """Resolve a catalog row by id (Table 4, then Table 2, then driver)."""
     record = TABLE4_BY_ID.get(bug_id)
     if record is None:
         record = TABLE2_BY_ID.get(bug_id)
     if record is None:
+        record = DRIVER_BY_ID.get(bug_id)
+    if record is None:
         raise KeyError(bug_id)
     return record
+
+
+def driver_bugs_for(firmware: str) -> Tuple[BugRecord, ...]:
+    """The driver-surface rows seeded in one firmware."""
+    return tuple(bug for bug in DRIVER_BUGS if bug.firmware == firmware)
 
 
 def table4_bugs_for(firmware: str) -> Tuple[BugRecord, ...]:

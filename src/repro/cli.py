@@ -126,6 +126,7 @@ def _cmd_fuzz(args) -> int:
         exec_mode=args.exec_mode,
         engine=args.engine,
         jit_threshold=args.jit_threshold,
+        surface=args.surface,
     )
     print(f"fuzzer: {result.fuzzer}, seed: {result.seed}, "
           f"budget: {result.budget}, execs: {result.execs}, "
@@ -224,6 +225,7 @@ def _cmd_fuzz_all(args) -> int:
         exec_mode=args.exec_mode,
         engine=args.engine,
         jit_threshold=args.jit_threshold,
+        surface=args.surface,
     )
     fleet = None
     interrupted = False
@@ -253,6 +255,8 @@ def _cmd_fuzz_all(args) -> int:
                         kwargs["engine"] = job.engine
                     if job.jit_threshold is not None:
                         kwargs["jit_threshold"] = job.jit_threshold
+                    if job.surface != "syscall":
+                        kwargs["surface"] = job.surface
                     results.append(run_campaign(
                         job.firmware, budget=job.budget, seed=job.seed,
                         checkpoint_path=job.checkpoint_path,
@@ -381,6 +385,7 @@ def _fuzz_sharded(args, observer) -> int:
         exec_mode=args.exec_mode,
         engine=args.engine,
         jit_threshold=args.jit_threshold,
+        surface=args.surface,
         observer=observer,
         events_path=args.events_log,
         fleet_options=dict(
@@ -538,6 +543,8 @@ def _cmd_submit(args) -> int:
         spec["engine"] = args.engine
     if args.jit_threshold is not None:
         spec["jit_threshold"] = args.jit_threshold
+    if args.surface != "syscall":
+        spec["surface"] = args.surface
     if args.checkpoint_every:
         spec["checkpoint_every"] = args.checkpoint_every
     try:
@@ -798,6 +805,11 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["uniform", "rarity"],
                       help="corpus seed selection; 'rarity' weights "
                            "programs by how rare their coverage is")
+    fuzz.add_argument("--surface", default="syscall",
+                      choices=["syscall", "driver"],
+                      help="fuzz surface: the syscall/task API (default) "
+                           "or the driver-op surface of a build with "
+                           "modeled peripherals (docs/peripherals.md)")
     fuzz.add_argument("--diagnostics", default=None, metavar="PATH",
                       help="write campaign diagnostics JSON here")
     fuzz.add_argument("--results", default=None, metavar="PATH",
@@ -835,6 +847,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_all.add_argument("--exec-mode", default="journal",
                           choices=["journal", "forkserver"],
                           help="target reset strategy (see `fuzz`)")
+    fuzz_all.add_argument("--surface", default="syscall",
+                          choices=["syscall", "driver"],
+                          help="fuzz surface (see `fuzz`); 'driver' "
+                               "sweeps only firmware modeling peripherals")
     fuzz_all.add_argument("--crash-budget", type=int, default=None,
                           help="host crashes tolerated before degradation")
     fuzz_all.add_argument("--shard", type=int, default=0, metavar="N",
@@ -967,6 +983,8 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["tcg", "tcg-interp", "jit"])
     submit.add_argument("--jit-threshold", type=int, default=None,
                         metavar="N")
+    submit.add_argument("--surface", default="syscall",
+                        choices=["syscall", "driver"])
     submit.add_argument("--checkpoint-every", type=int, default=0,
                         help="execs between checkpoints (0 = default "
                              "cadence); results are deterministic per "

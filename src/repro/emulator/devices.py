@@ -6,6 +6,15 @@ banner is the behavioural signal it uses to find the ready-to-run point
 of firmware it cannot instrument.  Second, the DMA engine produces
 memory traffic that does not originate from any CPU instruction, which
 sanitizers must still validate (KASAN checks DMA'd buffers).
+
+All three are built on the declarative peripheral layer
+(:mod:`repro.periph`): each device is a :class:`RegisterMap` compiled by
+:class:`DeviceModel` into the same :class:`~repro.mem.regions.MmioRegion`
+handlers the hand-rolled versions installed.  Default behaviour —
+offsets, read values, side effects, even reads of unmapped offsets
+returning 0 — is byte-identical to the original models; the fork-server
+keeps capturing the same attribute names (``output``, ``ticks``,
+``enabled``, ``src``/``dst``/``length``/``transfers``).
 """
 
 from __future__ import annotations
@@ -14,7 +23,12 @@ from typing import Callable, List, Optional
 
 from repro.mem.access import AccessKind
 from repro.mem.bus import MemoryBus
-from repro.mem.regions import MmioRegion
+from repro.periph.device import DeviceModel
+from repro.periph.regmap import Reg, RegisterMap
+from repro.periph.ring import (
+    check_dma_overlap,
+    check_dma_window,
+)
 
 # UART register offsets
 UART_DATA = 0x00
@@ -31,28 +45,27 @@ DMA_CTRL = 0x0C
 DMA_IRQ = 1
 
 
-class Uart:
+def _uart_data_write(dev, reg, value, old):
+    byte = value & 0xFF
+    dev.output.append(byte)
+    if dev.on_byte is not None:
+        dev.on_byte(byte)
+
+
+class Uart(DeviceModel):
     """A write-only console UART capturing guest output on the host."""
 
+    NAME = "uart"
+    REGISTERS = RegisterMap(
+        Reg("data", UART_DATA, mode="wo", on_write=_uart_data_write),
+        # always ready to transmit
+        Reg("status", UART_STATUS, mode="ro", reset=0x1),
+    )
+
     def __init__(self, base: int, on_byte: Optional[Callable[[int], None]] = None):
-        self.base = base
         self.output = bytearray()
         self.on_byte = on_byte
-        self.region = MmioRegion(
-            "uart", base, 0x1000, on_read=self._read, on_write=self._write
-        )
-
-    def _read(self, offset: int, size: int) -> int:
-        if offset == UART_STATUS:
-            return 0x1  # always ready to transmit
-        return 0
-
-    def _write(self, offset: int, size: int, value: int) -> None:
-        if offset == UART_DATA:
-            byte = value & 0xFF
-            self.output.append(byte)
-            if self.on_byte is not None:
-                self.on_byte(byte)
+        super().__init__(base)
 
     def text(self) -> str:
         """Console output decoded as best-effort UTF-8."""
@@ -62,42 +75,110 @@ class Uart:
         """Console output split into lines."""
         return self.text().splitlines()
 
+    def extra_state(self):
+        return bytes(self.output)
 
-class Timer:
+    def load_extra_state(self, extra) -> None:
+        self.output[:] = extra
+
+
+def _timer_count_read(dev, reg, value):
+    if dev.enabled:
+        dev.ticks += 1
+        dev.touch()
+    return dev.ticks & 0xFFFFFFFF
+
+
+def _timer_count_write(dev, reg, value, old):
+    dev.ticks = value
+    dev.touch()
+
+
+def _timer_ctrl_read(dev, reg, value):
+    return 1 if dev.enabled else 0
+
+
+def _timer_ctrl_write(dev, reg, value, old):
+    dev.enabled = bool(value & 1)
+    dev.touch()
+
+
+class Timer(DeviceModel):
     """A free-running timer the guest can read for timestamps."""
 
+    NAME = "timer"
+    REGISTERS = RegisterMap(
+        Reg("count", TIMER_COUNT,
+            on_read=_timer_count_read, on_write=_timer_count_write),
+        Reg("ctrl", TIMER_CTRL,
+            on_read=_timer_ctrl_read, on_write=_timer_ctrl_write),
+    )
+
     def __init__(self, base: int):
-        self.base = base
         self.ticks = 0
         self.enabled = True
-        self.region = MmioRegion(
-            "timer", base, 0x1000, on_read=self._read, on_write=self._write
-        )
+        super().__init__(base)
 
-    def _read(self, offset: int, size: int) -> int:
-        if offset == TIMER_COUNT:
-            if self.enabled:
-                self.ticks += 1
-            return self.ticks & 0xFFFFFFFF
-        if offset == TIMER_CTRL:
-            return 1 if self.enabled else 0
-        return 0
+    def extra_state(self):
+        return (self.ticks, self.enabled)
 
-    def _write(self, offset: int, size: int, value: int) -> None:
-        if offset == TIMER_CTRL:
-            self.enabled = bool(value & 1)
-        elif offset == TIMER_COUNT:
-            self.ticks = value
+    def load_extra_state(self, extra) -> None:
+        self.ticks, self.enabled = extra
 
 
-class DmaEngine:
+def _dma_src_read(dev, reg, value):
+    return dev.src
+
+
+def _dma_dst_read(dev, reg, value):
+    return dev.dst
+
+
+def _dma_len_read(dev, reg, value):
+    return dev.length
+
+
+def _dma_src_write(dev, reg, value, old):
+    dev.src = value
+    dev.touch()
+
+
+def _dma_dst_write(dev, reg, value, old):
+    dev.dst = value
+    dev.touch()
+
+
+def _dma_len_write(dev, reg, value, old):
+    dev.length = value
+    dev.touch()
+
+
+def _dma_ctrl_write(dev, reg, value, old):
+    if value:
+        dev._kick()
+
+
+class DmaEngine(DeviceModel):
     """A one-channel DMA engine.
 
     Writing a nonzero value to ``DMA_CTRL`` copies ``DMA_LEN`` bytes from
     ``DMA_SRC`` to ``DMA_DST``.  The copy is issued on the system bus with
     :class:`~repro.mem.access.AccessKind.DMA`, so sanitizers observe it
     even though no CPU instruction performed it.
+
+    Hostile programming — a window into MMIO space, a length crossing
+    the end of a region, or overlapping src/dst — raises a structured
+    :class:`~repro.errors.DmaFault` before any byte moves, so the
+    guest's control-register store aborts instead of the host throwing.
     """
+
+    NAME = "dma"
+    REGISTERS = RegisterMap(
+        Reg("src", DMA_SRC, on_read=_dma_src_read, on_write=_dma_src_write),
+        Reg("dst", DMA_DST, on_read=_dma_dst_read, on_write=_dma_dst_write),
+        Reg("len", DMA_LEN, on_read=_dma_len_read, on_write=_dma_len_write),
+        Reg("ctrl", DMA_CTRL, mode="wo", on_write=_dma_ctrl_write),
+    )
 
     def __init__(
         self,
@@ -105,39 +186,33 @@ class DmaEngine:
         bus: MemoryBus,
         on_complete: Optional[Callable[[], None]] = None,
     ):
-        self.base = base
         self.bus = bus
         self.on_complete = on_complete
         self.src = 0
         self.dst = 0
         self.length = 0
         self.transfers = 0
-        self.region = MmioRegion(
-            "dma", base, 0x1000, on_read=self._read, on_write=self._write
-        )
-
-    def _read(self, offset: int, size: int) -> int:
-        return {DMA_SRC: self.src, DMA_DST: self.dst, DMA_LEN: self.length}.get(
-            offset, 0
-        )
-
-    def _write(self, offset: int, size: int, value: int) -> None:
-        if offset == DMA_SRC:
-            self.src = value
-        elif offset == DMA_DST:
-            self.dst = value
-        elif offset == DMA_LEN:
-            self.length = value
-        elif offset == DMA_CTRL and value:
-            self._kick()
+        super().__init__(base)
 
     def _kick(self) -> None:
         if self.length == 0:
             return
+        check_dma_window(self.bus, self.src, self.length, writing=False,
+                         device=self.name)
+        check_dma_window(self.bus, self.dst, self.length, writing=True,
+                         device=self.name)
+        check_dma_overlap(self.src, self.dst, self.length, device=self.name)
         payload = self.bus.read_bytes(self.src, self.length, kind=AccessKind.DMA)
         self.bus.write_bytes(self.dst, payload, kind=AccessKind.DMA)
         self.transfers += 1
+        self.touch()
         # completion interrupt: routed through Machine.raise_irq so the
         # fault plan can drop or delay it like real flaky hardware
         if self.on_complete is not None:
             self.on_complete()
+
+    def extra_state(self):
+        return (self.src, self.dst, self.length, self.transfers)
+
+    def load_extra_state(self, extra) -> None:
+        self.src, self.dst, self.length, self.transfers = extra

@@ -32,6 +32,9 @@ A compact text DSL (:meth:`FaultPlan.parse`) exposes plans on the CLI::
                                   flip a bit in 1% of loads in the range
     irq:drop=0.5                  drop half the interrupts
     irq:delay=3,p=0.25            delay a quarter of them by 3 ticks
+    irq-storm:line=9,count=8,p=0.01
+                                  at 1% of hypercall points, burst-raise
+                                  IRQ line 9 eight times back-to-back
     seed=7                        reseed the plan's RNG
 
 Clauses are ``;``-separated: ``alloc:every=10;irq:drop=0.5;seed=7``.
@@ -75,6 +78,9 @@ class FaultPlan:
         irq_drop_rate: float = 0.0,
         irq_delay: int = 0,
         irq_delay_rate: float = 0.0,
+        irq_storm_line: int = 0,
+        irq_storm_count: int = 0,
+        irq_storm_rate: float = 0.0,
     ):
         self.seed = seed
         self.rng = random.Random(seed)
@@ -84,12 +90,16 @@ class FaultPlan:
         self.irq_drop_rate = irq_drop_rate
         self.irq_delay = irq_delay
         self.irq_delay_rate = irq_delay_rate
+        self.irq_storm_line = irq_storm_line
+        self.irq_storm_count = irq_storm_count
+        self.irq_storm_rate = irq_storm_rate
         # counters (diagnostics; never consulted for decisions)
         self.allocs_seen = 0
         self.alloc_failures = 0
         self.bit_flips = 0
         self.irqs_dropped = 0
         self.irqs_delayed = 0
+        self.irq_storms = 0
 
     # ------------------------------------------------------------------
     # injection points
@@ -131,6 +141,22 @@ class FaultPlan:
             return "delay", self.irq_delay
         return "deliver", 0
 
+    def irq_storm(self) -> Optional[Tuple[int, int]]:
+        """Decide whether to burst-raise an IRQ line at this point.
+
+        Consulted by ``Machine.vmcall`` after delayed interrupts drain;
+        returns ``(line, count)`` to storm or None.  Like every other
+        injection point, the RNG is consumed only when the fault kind
+        is configured, so plans without a storm clause leave the stream
+        untouched (byte-identity for existing seeded plans).
+        """
+        if not (self.irq_storm_count and self.irq_storm_rate):
+            return None
+        if self.rng.random() < self.irq_storm_rate:
+            self.irq_storms += 1
+            return self.irq_storm_line, self.irq_storm_count
+        return None
+
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
@@ -143,6 +169,7 @@ class FaultPlan:
             or self.flip_regions
             or self.irq_drop_rate
             or (self.irq_delay and self.irq_delay_rate)
+            or (self.irq_storm_count and self.irq_storm_rate)
         )
 
     def stats(self) -> dict:
@@ -153,6 +180,7 @@ class FaultPlan:
             "bit_flips": self.bit_flips,
             "irqs_dropped": self.irqs_dropped,
             "irqs_delayed": self.irqs_delayed,
+            "irq_storms": self.irq_storms,
         }
 
     def save_rng_state(self):
@@ -177,6 +205,9 @@ class FaultPlan:
             "irq_drop_rate": 0.0,
             "irq_delay": 0,
             "irq_delay_rate": 0.0,
+            "irq_storm_line": 0,
+            "irq_storm_count": 0,
+            "irq_storm_rate": 0.0,
         }
         regions: List[FlipRegion] = []
         for raw in spec.split(";"):
@@ -213,6 +244,18 @@ class FaultPlan:
                                 f"unknown bitflip option {key!r} in {clause!r}"
                             )
                     regions.append(FlipRegion(lo, hi, rate))
+                elif head == "irq-storm":
+                    for key, val in _parse_kv(rest):
+                        if key == "line":
+                            kwargs["irq_storm_line"] = int(val, 0)
+                        elif key == "count":
+                            kwargs["irq_storm_count"] = int(val, 0)
+                        elif key == "p":
+                            kwargs["irq_storm_rate"] = float(val)
+                        else:
+                            raise FaultPlanError(
+                                f"unknown irq-storm option {key!r} in {clause!r}"
+                            )
                 elif head == "irq":
                     for key, val in _parse_kv(rest):
                         if key == "drop":
@@ -232,6 +275,9 @@ class FaultPlan:
         # delay without an explicit probability means "always delay"
         if kwargs["irq_delay"] and not kwargs["irq_delay_rate"]:
             kwargs["irq_delay_rate"] = 1.0
+        # same convention for storms: a count without p storms always
+        if kwargs["irq_storm_count"] and not kwargs["irq_storm_rate"]:
+            kwargs["irq_storm_rate"] = 1.0
         return cls(flip_regions=tuple(regions), **kwargs)
 
     def describe(self) -> str:
@@ -257,6 +303,11 @@ class FaultPlan:
             irq_opts.append(f"p={self.irq_delay_rate:g}")
         if irq_opts:
             parts.append("irq:" + ",".join(irq_opts))
+        if self.irq_storm_count and self.irq_storm_rate:
+            parts.append(
+                f"irq-storm:line={self.irq_storm_line},"
+                f"count={self.irq_storm_count},p={self.irq_storm_rate:g}"
+            )
         parts.append(f"seed={self.seed}")
         return ";".join(parts)
 

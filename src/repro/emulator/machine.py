@@ -77,6 +77,9 @@ class Machine:
         #: host-side runtime state (shadow memory, allocator maps) stays
         #: coherent with guest memory across restores
         self.state_providers: List[object] = []
+        #: modeled peripherals (repro.periph.DeviceModel) attached via
+        #: :meth:`attach_periph`; harvested as the periph.* counters
+        self.periphs: List[object] = []
 
         self._build_board()
 
@@ -107,6 +110,25 @@ class Machine:
                 )
         # route every bus access into the hook registry
         self.bus.add_observer(self._on_bus_access)
+
+    def attach_periph(self, device):
+        """Map a modeled peripheral (:mod:`repro.periph`) onto the bus.
+
+        The device picks up three integrations for free: its MMIO
+        region joins the address space, its functional state joins the
+        snapshot/fork-server provider list (register files, ring
+        indices and pending work restore coherently), and it is listed
+        for ``periph.*`` observability harvesting.  The default board
+        never calls this, so device-less firmware is untouched.
+        """
+        self.bus.map(device.region)
+        self.periphs.append(device)
+        self.state_providers.append(device)
+        return device
+
+    def free_mmio_base(self) -> int:
+        """The lowest address above every mapped region (periph homes)."""
+        return max(region.end for region in self.bus.regions)
 
     def _on_bus_access(self, access) -> None:
         self.hooks.emit(EventKind.MEM_ACCESS, access)
@@ -274,6 +296,13 @@ class Machine:
             task = self.current_task
         self.hooks.emit(EventKind.VMCALL, VmcallEvent(number, list(args), pc, task))
         self.tick_irqs()
+        plan = self.fault_plan
+        if plan is not None:
+            storm = plan.irq_storm()
+            if storm is not None:
+                irq, count = storm
+                for _ in range(count):
+                    self._deliver_irq(irq, device="irq-storm")
         if number == Hypercall.READY:
             self.mark_ready()
         elif number == Hypercall.PANIC:

@@ -31,6 +31,24 @@ class BusError(GuestFault):
     """Access to an unmapped or permission-violating guest address."""
 
 
+class DmaFault(GuestFault):
+    """A DMA engine was programmed with a hostile or impossible transfer.
+
+    Raised by :mod:`repro.periph.ring` validation (and the legacy
+    ``DmaEngine._kick``) for transfers that target device/MMIO space,
+    cross a region boundary, fall in unmapped space, or overlap
+    source and destination.  Modelled as a bus abort the device raises
+    instead of corrupting memory: the guest store that rang the
+    doorbell faults, the host never sees a raw ``IndexError``.
+    ``device`` names the offending engine.
+    """
+
+    def __init__(self, message: str, addr: int | None = None,
+                 device: str = "dma"):
+        super().__init__(f"{device}: {message}", addr=addr)
+        self.device = device
+
+
 class GuestHang(GuestFault):
     """The guest exceeded its watchdog budget and is presumed wedged.
 

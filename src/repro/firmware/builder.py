@@ -29,6 +29,12 @@ from repro.sanitizers.runtime.runtime import (
 
 #: factory signature: (machine, bugs) -> kernel (modules attached, unbooted)
 KernelFactory = Callable[[Machine, BugSwitchboard], KernelBase]
+#: driver-surface extension: (kernel, machine) -> None; attaches the
+#: modeled peripheral(s) to the machine and the driver module(s) to the
+#: kernel.  Runs only on ``driver=True`` builds: installing a module
+#: allocates guest text, so adding one unconditionally would shift the
+#: default build's addresses and break census byte identity.
+DriverFactory = Callable[[KernelBase, Machine], None]
 
 
 def build_image(
@@ -40,6 +46,7 @@ def build_image(
     native_sanitizers: Sequence[str] = (),
     kcov: bool = True,
     boot: bool = True,
+    driver_factory: Optional[DriverFactory] = None,
 ) -> FirmwareImage:
     """Build (and by default boot) one firmware image.
 
@@ -50,10 +57,13 @@ def build_image(
         native_sanitizers = ("kasan",)
 
     def rebuild() -> FirmwareImage:
-        # clones always boot: they exist to reproduce crashes or dry-run
+        # clones always boot: they exist to reproduce crashes or dry-run;
+        # the driver surface survives cloning so crash reproduction and
+        # EMBSAN-D dry runs see the same address layout
         return build_image(
             name, arch, kernel_factory, mode=mode, bug_ids=bug_ids,
             native_sanitizers=native_sanitizers, kcov=kcov, boot=True,
+            driver_factory=driver_factory,
         )
 
     machine = Machine(arch_by_name(arch), name=name)
@@ -61,6 +71,8 @@ def build_image(
     ctx.kcov_enabled = kcov
     bugs = BugSwitchboard(set(bug_ids))
     kernel = kernel_factory(machine, bugs)
+    if driver_factory is not None:
+        driver_factory(kernel, machine)
 
     native_hooks = []
     if mode is InstrumentationMode.EMBSAN_C:

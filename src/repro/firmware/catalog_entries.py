@@ -38,6 +38,25 @@ from repro.os.liteos.fat import LiteOsFat
 from repro.os.liteos.kernel import LiteOsKernel
 from repro.os.liteos.vfs import LiteOsVfs
 from repro.os.vxworks.kernel import VxWorksKernel
+from repro.periph.netdma import NetDmaModel
+
+
+def _netdma(bug_ids):
+    """Driver-surface factory: attach one modeled ring-DMA NIC.
+
+    Runs only on ``driver=True`` builds (see builder.DriverFactory); the
+    peripheral lands at the first free MMIO address so board devices are
+    untouched, and the driver module's seeded defects are armed through
+    the firmware's ``driver_bug_ids``.
+    """
+    def factory(kernel, machine: Machine) -> None:
+        from repro.os.drivers.netdma import NetDmaDriver
+
+        dev = NetDmaModel(machine.free_mmio_base(), machine)
+        machine.attach_periph(dev)
+        kernel.add_module(NetDmaDriver(kernel, dev, bug_ids=bug_ids))
+
+    return factory
 
 
 def _linux(version: str, module_makers):
@@ -88,6 +107,15 @@ register(FirmwareSpec(
         "t4_nfs_common_oob", "t4_armvirt_netfilter_oob",
         "t4_armvirt_net_wireless_oob", "t4_marvell_eth_oob",
         "t4_realtek_eth_oob", "t4_atheros_eth_double_free",
+    ),
+    driver_factory=_netdma({
+        "oob": "drv_armvirt_netdma_ring_oob",
+        "uaf": "drv_armvirt_netdma_desc_uaf",
+        "uninit": "drv_armvirt_netdma_status_uninit",
+    }),
+    driver_bug_ids=(
+        "drv_armvirt_netdma_ring_oob", "drv_armvirt_netdma_desc_uaf",
+        "drv_armvirt_netdma_status_uninit",
     ),
 ))
 
@@ -180,6 +208,15 @@ register(FirmwareSpec(
     inst_mode=InstrumentationMode.EMBSAN_C, source="open", fuzzer="tardis",
     kernel_factory=_linux("5.10", (NfsModule, NetSchedModule)),
     bug_ids=("t4_nfs_oob", "t4_nfs_common_oob", "t4_rk3566_net_sched_uaf"),
+    driver_factory=_netdma({
+        "oob": "drv_rk3566_netdma_ring_oob",
+        "uaf": "drv_rk3566_netdma_desc_uaf",
+        "uninit": "drv_rk3566_netdma_status_uninit",
+    }),
+    driver_bug_ids=(
+        "drv_rk3566_netdma_ring_oob", "drv_rk3566_netdma_desc_uaf",
+        "drv_rk3566_netdma_status_uninit",
+    ),
 ))
 
 register(FirmwareSpec(

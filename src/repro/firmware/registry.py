@@ -32,6 +32,12 @@ class FirmwareSpec:
     #: Table-4 defects seeded in this firmware
     bug_ids: Tuple[str, ...] = ()
     kcov: bool = True
+    #: optional ``--surface driver`` extension: attaches modeled
+    #: peripherals + guest driver modules (see builder.DriverFactory);
+    #: None means the firmware has no driver surface
+    driver_factory: object = None
+    #: driver-surface defects, armed only on ``driver=True`` builds
+    driver_bug_ids: Tuple[str, ...] = ()
 
 
 #: populated by repro.firmware.catalog at import time
@@ -69,24 +75,39 @@ def build_firmware(
     native_sanitizers: Sequence[str] = (),
     with_bugs: bool = True,
     boot: bool = True,
+    driver: bool = False,
 ) -> FirmwareImage:
     """Build one registered firmware.
 
     ``mode`` defaults to the instrumentation mode the paper used for
     that firmware; pass :attr:`InstrumentationMode.NONE` for an overhead
     baseline or :attr:`InstrumentationMode.NATIVE` for the native
-    sanitizer comparison build.
+    sanitizer comparison build.  ``driver=True`` additionally attaches
+    the firmware's modeled peripherals + guest driver modules and arms
+    its driver-surface defects (the ``--surface driver`` build).
     """
     spec = firmware_spec(name)
+    bug_ids = spec.bug_ids if with_bugs else ()
+    driver_factory = None
+    if driver:
+        if spec.driver_factory is None:
+            raise FirmwareBuildError(
+                f"firmware {name!r} has no driver surface (no modeled "
+                "peripherals registered)"
+            )
+        driver_factory = spec.driver_factory
+        if with_bugs:
+            bug_ids = tuple(bug_ids) + tuple(spec.driver_bug_ids)
     return build_image(
         spec.name,
         spec.arch,
         spec.kernel_factory,
         mode=mode if mode is not None else spec.inst_mode,
-        bug_ids=spec.bug_ids if with_bugs else (),
+        bug_ids=bug_ids,
         native_sanitizers=native_sanitizers,
         kcov=spec.kcov,
         boot=boot,
+        driver_factory=driver_factory,
     )
 
 

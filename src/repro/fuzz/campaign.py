@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.bugs.catalog import BugRecord, record_by_id, table4_bugs_for
+from repro.bugs.catalog import (
+    BugRecord,
+    driver_bugs_for,
+    record_by_id,
+    table4_bugs_for,
+)
 from repro.errors import CheckpointError, FuzzerError
 from repro.firmware.registry import firmware_spec
 from repro.fuzz.checkpoint import (
@@ -101,6 +106,7 @@ def run_campaign(
     exec_mode: str = "journal",
     engine: str = "tcg",
     jit_threshold: Optional[int] = None,
+    surface: str = "syscall",
     on_checkpoint_saved: Optional[Callable[[str], None]] = None,
 ) -> CampaignResult:
     """Fuzz one Table-1 firmware with its designated fuzzer + EMBSAN.
@@ -138,6 +144,13 @@ def run_campaign(
     or ``"jit"`` — see ``docs/jit.md``) and ``jit_threshold`` overrides
     the hot-trace compile threshold; census output is engine-invariant,
     only throughput differs.
+
+    ``surface="driver"`` fuzzes the firmware's driver-op surface instead
+    of its syscall/task API: the build attaches the modeled peripherals
+    (``build_firmware(driver=True)``), the interface spec comes from the
+    registered driver ops, and the census is measured against the
+    driver-surface rows of the bug catalog (``driver_bugs_for``) — see
+    ``docs/peripherals.md``.
     """
     import time
 
@@ -159,10 +172,15 @@ def run_campaign(
                                "seconds": round(elapsed, 6)})
         phase_started = now
 
-    records = table4_bugs_for(firmware)
+    if surface == "driver":
+        records = driver_bugs_for(firmware)
+    else:
+        records = table4_bugs_for(firmware)
     if sanitizers is None:
-        needs_kcsan = any(r.tool == "kcsan" for r in records)
-        sanitizers = ("kasan", "kcsan") if needs_kcsan else ("kasan",)
+        needed = {r.tool for r in records}
+        sanitizers = tuple(
+            ["kasan"] + [t for t in ("kcsan", "kmsan") if t in needed]
+        )
     fuzzer_cls = SyzkallerFuzzer if spec.fuzzer == "syzkaller" else TardisFuzzer
     kwargs = dict(
         sanitizers=sanitizers,
@@ -196,6 +214,8 @@ def run_campaign(
         kwargs["engine"] = engine
     if jit_threshold is not None:
         kwargs["jit_threshold"] = jit_threshold
+    if surface != "syscall":
+        kwargs["surface"] = surface
     fuzzer = fuzzer_cls(firmware, **kwargs)
     _phase_done("build")
 
@@ -437,6 +457,7 @@ def run_all_campaigns(
             watchdog_insns=kwargs.pop("watchdog_insns", None),
             watchdog_cycles=kwargs.pop("watchdog_cycles", None),
             exec_mode=kwargs.pop("exec_mode", "journal"),
+            surface=kwargs.pop("surface", "syscall"),
         )
         if kwargs:
             raise FuzzerError(
@@ -459,15 +480,22 @@ def run_all_campaigns(
             return kwargs
         return dict(kwargs, fault_plan=plan_for(faults, seed=seed))
 
+    # a driver-surface sweep covers only the firmware that model
+    # peripherals, matching supervisor.make_jobs' default job list
+    specs = [
+        spec for spec in all_firmware()
+        if kwargs.get("surface", "syscall") != "driver"
+        or spec.driver_factory is not None
+    ]
     if seeds is not None:
         return [
             run_campaign_repeated(spec.name, budget=budget, seeds=seeds,
                                   observer=observer, **_kwargs())
-            for spec in all_firmware()
+            for spec in specs
         ]
     return [
         run_campaign(spec.name, budget=budget, seed=seed,
                      checkpoint_path=_path(spec.name), observer=observer,
                      **_kwargs())
-        for spec in all_firmware()
+        for spec in specs
     ]

@@ -36,6 +36,10 @@ DEFAULT_WATCHDOG_CYCLES = 5_000_000
 #: or a golden fork-server snapshot with dirty-page delta restores
 EXEC_MODES = ("journal", "forkserver")
 
+#: fuzz surfaces a frontend can target: the default syscall/task API,
+#: or the driver-op surface of a driver=True build (modeled peripherals)
+SURFACES = ("syscall", "driver")
+
 
 class Finding:
     """One deduplicated bug found during a campaign.
@@ -176,6 +180,8 @@ class FuzzTarget:
                 concrete = resolve_args(args, pool)
                 if style == "syscall":
                     result = kernel.do_syscall(ctx, nr, *concrete)
+                elif style == "driver":
+                    result = kernel.driver_invoke(ctx, nr, *concrete[:3])
                 else:
                     result = kernel.invoke(ctx, nr, *concrete[:3])
                 if produces and isinstance(result, int):

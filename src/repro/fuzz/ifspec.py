@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional, Sequence
 
+from repro.errors import FuzzerError
 from repro.fuzz.program import Arg, Call, Program
 from repro.os.embedded_linux.kernel import SOCK_DEV_BASE, EmbeddedLinuxKernel
 from repro.os.embedded_linux.syscalls import Syscall as S
@@ -322,6 +323,54 @@ def vxworks_interface(kernel) -> InterfaceSpec:
         CallTemplate(VxWorksOp.FREE, "memPartFree", [res("mem")], weight=0.6),
     ]
     return InterfaceSpec(templates, style="rtos")
+
+
+def driver_interface(kernel) -> InterfaceSpec:
+    """Templates for the ``driver`` surface: the kernel's driver ops.
+
+    Built from :attr:`repro.os.common.KernelBase.driver_templates`, the
+    per-op argument hints the driver modules registered at install time
+    (a non-empty hint tuple becomes a literal generator, an empty one a
+    generic interesting-value generator).  Only ``driver=True`` builds
+    register any ops; asking for this spec on a default build is a
+    configuration error, not an empty surface.
+    """
+    if not kernel.driver_templates:
+        raise FuzzerError(
+            "kernel registered no driver ops — build the firmware with "
+            "driver=True (--surface driver) to attach its peripherals"
+        )
+    templates = []
+    for nr in sorted(kernel.driver_templates):
+        name, arg_hints = kernel.driver_templates[nr]
+        arggens = [
+            lit(*hint) if hint else interesting() for hint in arg_hints
+        ]
+        templates.append(CallTemplate(nr, name, arggens))
+    # description-derived chains: init-then-operate sequences, the same
+    # way syzkaller seeds resource-dependent syscall chains.  These are
+    # generic (first op + each other op swept), not bug reproducers.
+    init_nr = min(kernel.driver_templates)
+    extra = []
+    for nr, template in zip(sorted(kernel.driver_templates), templates):
+        if nr == init_nr:
+            continue
+        chain = [Call(init_nr, [0, 0, 0])]
+        swept = False
+        for slot, gen in enumerate(template.arggens):
+            choices = getattr(gen, "choices", None)
+            if choices and 1 < len(choices) <= 8:
+                for value in choices:
+                    call = template.instantiate(random.Random(nr))
+                    call.args[slot] = value
+                    chain.append(call)
+                swept = True
+                break
+        if not swept:
+            rng = random.Random(nr)
+            chain += [template.instantiate(rng) for _ in range(3)]
+        extra.append(Program(chain))
+    return InterfaceSpec(templates, style="driver", extra_seeds=extra)
 
 
 def interface_for(kernel) -> InterfaceSpec:

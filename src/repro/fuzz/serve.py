@@ -69,7 +69,7 @@ SPEC_FIELDS = frozenset({
     "firmware", "budget", "seed", "seeds", "faults", "fault_seed",
     "crash_budget", "watchdog_insns", "watchdog_cycles", "sanitizers",
     "seed_schedule", "exec_mode", "checkpoint_every",
-    "engine", "jit_threshold",
+    "engine", "jit_threshold", "surface",
 })
 
 
@@ -133,6 +133,7 @@ def build_campaign_job(job: QueueJob, checkpoint_dir: str) -> CampaignJob:
         exec_mode=spec.get("exec_mode", "journal"),
         engine=spec.get("engine", "tcg"),
         jit_threshold=spec.get("jit_threshold"),
+        surface=spec.get("surface", "syscall"),
     )
 
 

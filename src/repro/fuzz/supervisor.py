@@ -96,6 +96,8 @@ class CampaignJob:
     #: ISA execution tier ("tcg" | "tcg-interp" | "jit")
     engine: str = "tcg"
     jit_threshold: Optional[int] = None
+    #: fuzz surface ("syscall" | "driver")
+    surface: str = "syscall"
 
     def payload(self, attempt: int, heartbeat_interval: float,
                 observe: bool = False) -> dict:
@@ -126,6 +128,7 @@ class CampaignJob:
             "exec_mode": self.exec_mode,
             "engine": self.engine,
             "jit_threshold": self.jit_threshold,
+            "surface": self.surface,
         }
 
 
@@ -683,12 +686,22 @@ def make_jobs(
     exec_mode: str = "journal",
     engine: str = "tcg",
     jit_threshold: Optional[int] = None,
+    surface: str = "syscall",
 ) -> List[CampaignJob]:
-    """One job per Table-1 firmware (or per ``firmware`` subset)."""
+    """One job per Table-1 firmware (or per ``firmware`` subset).
+
+    With ``surface="driver"`` the default firmware set shrinks to the
+    entries that model peripherals (have a ``driver_factory``); an
+    explicit ``firmware`` list is taken as-is and a member without a
+    driver surface fails in its worker at build time.
+    """
     from repro.firmware.registry import all_firmware, firmware_spec
 
     if firmware is None:
-        names = [spec.name for spec in all_firmware()]
+        names = [
+            spec.name for spec in all_firmware()
+            if surface != "driver" or spec.driver_factory is not None
+        ]
     else:
         names = [firmware_spec(name).name for name in firmware]
 
@@ -715,6 +728,7 @@ def make_jobs(
             exec_mode=exec_mode,
             engine=engine,
             jit_threshold=jit_threshold,
+            surface=surface,
         )
         for name in names
     ]
@@ -769,6 +783,7 @@ def make_shard_jobs(
     exec_mode: str = "journal",
     engine: str = "tcg",
     jit_threshold: Optional[int] = None,
+    surface: str = "syscall",
 ) -> List[CampaignJob]:
     """One job per shard of a single firmware; ``budget`` is per shard.
 
@@ -811,6 +826,7 @@ def make_shard_jobs(
             exec_mode=exec_mode,
             engine=engine,
             jit_threshold=jit_threshold,
+            surface=surface,
         )
         for index in range(shards)
     ]
@@ -869,6 +885,7 @@ def run_sharded_fleet(
     exec_mode: str = "journal",
     engine: str = "tcg",
     jit_threshold: Optional[int] = None,
+    surface: str = "syscall",
     observer=None,
     events_path: Optional[str] = None,
     fleet_options: Optional[dict] = None,
@@ -955,6 +972,7 @@ def run_sharded_fleet(
                 exec_mode=exec_mode,
                 engine=engine,
                 jit_threshold=jit_threshold,
+                surface=surface,
             )
             fleet = run_fleet(
                 jobs, workers=workers or shards, observer=observer,

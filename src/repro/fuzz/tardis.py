@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.errors import FuzzerError
 from repro.firmware.builder import attach_runtime
 from repro.firmware.registry import build_firmware
 from repro.fuzz.coverage import EmulatorCoverage
@@ -19,10 +20,11 @@ from repro.fuzz.engine import (
     DEFAULT_CRASH_BUDGET,
     DEFAULT_WATCHDOG_CYCLES,
     DEFAULT_WATCHDOG_INSNS,
+    SURFACES,
     FuzzerEngine,
     FuzzTarget,
 )
-from repro.fuzz.ifspec import interface_for
+from repro.fuzz.ifspec import driver_interface, interface_for
 
 
 class TardisFuzzer(FuzzerEngine):
@@ -46,12 +48,21 @@ class TardisFuzzer(FuzzerEngine):
         exec_mode: str = "journal",
         engine: str = "tcg",
         jit_threshold=None,
+        surface: str = "syscall",
     ):
+        if surface not in SURFACES:
+            raise FuzzerError(
+                f"unknown fuzz surface {surface!r} "
+                f"(expected one of {', '.join(SURFACES)})"
+            )
         self.firmware = firmware
         self.sanitizers = tuple(sanitizers)
+        self.surface = surface
 
         def make():
-            image = build_firmware(firmware, boot=False)
+            image = build_firmware(
+                firmware, boot=False, driver=(surface == "driver")
+            )
             runtime = attach_runtime(image, sanitizers=self.sanitizers)
             coverage = EmulatorCoverage(image.machine)
             image.machine.isa_engine = engine
@@ -68,7 +79,10 @@ class TardisFuzzer(FuzzerEngine):
             return image, runtime, coverage
 
         target = FuzzTarget(make, exec_mode=exec_mode)
-        spec = interface_for(target.image.kernel)
+        if surface == "driver":
+            spec = driver_interface(target.image.kernel)
+        else:
+            spec = interface_for(target.image.kernel)
         super().__init__(target, spec, seed=seed, fault_plan=fault_plan,
                          crash_budget=crash_budget, observer=observer,
                          corpus_store=corpus_store,

@@ -101,6 +101,8 @@ def _run_job(job: dict, observer=None, on_checkpoint_saved=None):
         kwargs["engine"] = job["engine"]
     if job.get("jit_threshold") is not None:
         kwargs["jit_threshold"] = job["jit_threshold"]
+    if job.get("surface", "syscall") != "syscall":
+        kwargs["surface"] = job["surface"]
     if job.get("seeds"):
         # repeated campaigns restart from scratch on retry: their
         # early-stop logic is inherently sequential across seeds

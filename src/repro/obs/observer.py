@@ -180,6 +180,27 @@ class Observer:
         watchdog = getattr(machine, "watchdog", None)
         if watchdog is not None:
             counter("machine.watchdog_trips").inc(getattr(watchdog, "trips", 0))
+        # periph.* family materialized the same way as tcg.*: a build
+        # without modeled peripherals still reports the catalog at 0
+        mmio_reads = counter("periph.mmio_reads")
+        mmio_writes = counter("periph.mmio_writes")
+        dma_descriptors = counter("periph.dma_descriptors")
+        dma_bytes = counter("periph.dma_bytes")
+        dma_faults = counter("periph.dma_faults")
+        irqs_raised = counter("periph.irqs_raised")
+        irqs_delivered = counter("periph.irqs_delivered")
+        for device in getattr(machine, "periphs", ()):
+            mmio_reads.inc(getattr(device, "mmio_reads", 0))
+            mmio_writes.inc(getattr(device, "mmio_writes", 0))
+            ring = getattr(device, "ring", None)
+            if ring is not None:
+                dma_descriptors.inc(getattr(ring, "descriptors_done", 0))
+                dma_bytes.inc(getattr(ring, "bytes_copied", 0))
+                dma_faults.inc(getattr(ring, "dma_faults", 0))
+            irq = getattr(device, "irq", None)
+            if irq is not None:
+                irqs_raised.inc(getattr(irq, "raised", 0))
+                irqs_delivered.inc(getattr(irq, "delivered", 0))
 
     def harvest_runtime(self, runtime) -> None:
         """Accumulate sanitizer-runtime counters (shadow, KASAN, KCSAN,

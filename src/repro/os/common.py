@@ -156,6 +156,13 @@ class KernelBase(GuestModule):
         #: the build decides whether READY is signalled by hypercall
         #: (instrumented builds) or only by the console banner.
         self.ready_hypercall = True
+        #: the ``driver`` fuzz surface: op number -> handler(ctx, a0, a1, a2),
+        #: populated by driver modules at install time (empty on default
+        #: builds, so the syscall surface and census are untouched)
+        self.driver_ops: dict = {}
+        #: op number -> (name, arg choice hints) used by the interface
+        #: spec builder; parallel to :attr:`driver_ops`
+        self.driver_templates: dict = {}
 
     # ------------------------------------------------------------------
     def add_module(self, module: GuestModule) -> GuestModule:
@@ -187,6 +194,30 @@ class KernelBase(GuestModule):
 
     def do_boot(self, ctx: GuestContext) -> None:
         """Subclass hook: initialize allocators and subsystems."""
+
+    # ------------------------------------------------------------------
+    def register_driver_op(self, nr: int, handler, name: str,
+                           arg_hints=()) -> None:
+        """Expose one driver entry point on the ``driver`` fuzz surface.
+
+        ``handler(ctx, a0, a1, a2) -> int`` is typically a bound
+        guest function, so calls emit CALL/RET events and symbolize.
+        ``arg_hints`` is a per-argument tuple of interesting concrete
+        choices the interface spec turns into generators.
+        """
+        if nr in self.driver_ops:
+            raise GuestFault(f"driver op {nr} registered twice")
+        self.driver_ops[nr] = handler
+        self.driver_templates[nr] = (name, tuple(arg_hints))
+
+    def driver_invoke(self, ctx: GuestContext, nr: int,
+                      a0: int = 0, a1: int = 0, a2: int = 0) -> int:
+        """Dispatch one ``driver``-surface call (ioctl-style)."""
+        handler = self.driver_ops.get(nr)
+        ctx.machine.charge_guest(4)
+        if handler is None:
+            return -1
+        return handler(ctx, a0, a1, a2)
 
     def probe_workload(self, ctx: GuestContext) -> None:
         """Benign post-boot self-test exercising the allocators.

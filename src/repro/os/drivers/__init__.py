@@ -1,0 +1,7 @@
+"""Guest-side device drivers for modeled peripherals (repro.periph).
+
+These modules are installed only on ``driver``-surface builds
+(``build_firmware(..., driver=True)``): installing a module allocates
+guest text addresses, so adding one to the default build would shift
+every later address and break default-census byte identity.
+"""

@@ -1,0 +1,289 @@
+"""drivers/net/netdma: the guest driver for the ring-DMA peripheral.
+
+The driver half of the ``driver`` fuzz surface: it owns a descriptor
+ring in heap memory, a pool of rx buffers, and an ISR subscribed to the
+device's interrupt line through the machine hook registry.  Fuzz
+programs are sequences of its ops (init / raw register poke / submit /
+spurious IRQ / teardown), so campaigns exercise exactly the paths
+syscall fuzzing never reaches: ISR completion handling, ring refill,
+and MMIO register programming.
+
+Seeded defects (armed per firmware through the driver bug catalog):
+
+* ``*_ring_oob`` — the ISR trusts the device's free-running completion
+  count as a slot index without masking it by the ring size, so the
+  fifth completion ever reads one descriptor past the ring allocation.
+* ``*_desc_uaf`` — the ISR reads back a completed buffer's header
+  *after* handing it to ``kfree`` (touch-after-free on the rx path).
+* ``*_status_uninit`` — a spurious interrupt makes the ISR read the
+  never-written ``seqno`` field of the status block instead of the
+  initialized ``magic`` word (KMSAN-only; needs an EMBSAN-C build).
+
+All three live behind ``bugs.enabled``, are reachable only through the
+driver surface, and are detected via normal CPU loads in ISR context —
+the DMA traffic itself is clean.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.events import EventKind
+from repro.guest.context import GuestContext
+from repro.guest.module import GuestModule, guestfn
+from repro.periph.netdma import (
+    NETDMA_CTRL,
+    NETDMA_DOORBELL,
+    NETDMA_IRQ_COMPLETE,
+    NETDMA_IRQ_FORCE,
+    NETDMA_IRQ_STATUS,
+    NETDMA_RING_BASE,
+    NETDMA_RING_COUNT,
+    NETDMA_RING_HEAD,
+    NETDMA_STATUS,
+)
+from repro.periph.ring import DESC_BYTES, DESC_OWNED
+
+# driver-surface op numbers
+OP_INIT = 1
+OP_REG_WRITE = 2
+OP_SUBMIT = 3
+OP_FIRE_IRQ = 4
+OP_TEARDOWN = 5
+
+#: OP_REG_WRITE's selector -> register offset table (the raw-poke op
+#: fuzzes the device's register state machine directly)
+REG_SELECTORS = (
+    NETDMA_RING_BASE,
+    NETDMA_RING_COUNT,
+    NETDMA_RING_HEAD,
+    NETDMA_CTRL,
+    NETDMA_STATUS,
+    NETDMA_IRQ_STATUS,
+    NETDMA_DOORBELL,
+    NETDMA_IRQ_FORCE,
+)
+
+RING_SLOTS = 4
+BUF_BYTES = 64
+STATUS_BYTES = 16
+#: status-block fields: word 0 is written at init, word 2 never is
+STATUS_MAGIC_OFF = 0
+STATUS_SEQNO_OFF = 8
+
+ENOMEM = -12
+EINVAL = -22
+
+
+class NetDmaDriver(GuestModule):
+    """Ring refill + ISR for :class:`repro.periph.netdma.NetDmaModel`."""
+
+    def __init__(self, kernel, dev, bug_ids=None):
+        super().__init__(name="netdma")
+        self.location = "drivers/net/netdma"
+        self.kernel = kernel
+        self.dev = dev
+        bug_ids = bug_ids or {}
+        self.bug_oob = bug_ids.get("oob", "")
+        self.bug_uaf = bug_ids.get("uaf", "")
+        self.bug_uninit = bug_ids.get("uninit", "")
+        # driver state (host attrs; the fork-server's repro.os walk
+        # captures and restores them with the rest of the kernel)
+        self.ring = 0
+        self.scratch = 0
+        self.status_blk = 0
+        self.bufs = []
+        self.head = 0
+        self.completed = 0
+        self.in_isr = False
+
+    def on_install(self, ctx: GuestContext) -> None:
+        reg = self.kernel.register_driver_op
+        reg(OP_INIT, self.op_init, "netdma_init", ((0,), (0,), (0,)))
+        reg(OP_REG_WRITE, self.op_reg_write, "netdma_reg_write",
+            (tuple(range(len(REG_SELECTORS))), (), (0,)))
+        reg(OP_SUBMIT, self.op_submit, "netdma_submit",
+            ((0, 1, 2, 3), (0, 8, 60, 255), (0,)))
+        reg(OP_FIRE_IRQ, self.op_fire_irq, "netdma_fire_irq",
+            ((0,), (0,), (0,)))
+        reg(OP_TEARDOWN, self.op_teardown, "netdma_teardown",
+            ((0,), (0,), (0,)))
+        ctx.machine.hooks.add(EventKind.INTERRUPT, self._on_irq)
+
+    # ------------------------------------------------------------------
+    # MMIO + buffer helpers
+    # ------------------------------------------------------------------
+    def _poke(self, ctx: GuestContext, offset: int, value: int) -> None:
+        ctx.st32(self.dev.base + offset, value)
+
+    def _peek(self, ctx: GuestContext, offset: int) -> int:
+        return ctx.ld32(self.dev.base + offset)
+
+    def _fill_buf(self, ctx: GuestContext, buf: int, tag: int) -> None:
+        # fully initialize the rx buffer: the device DMA-reads all of
+        # it, and KMSAN now watches DMA, so a partial fill would report
+        for word in range(BUF_BYTES // 4):
+            ctx.st32(buf + word * 4, (tag << 8) | word)
+
+    # ------------------------------------------------------------------
+    # driver ops (the fuzz surface)
+    # ------------------------------------------------------------------
+    @guestfn(name="netdma_init")
+    def op_init(self, ctx: GuestContext, a0: int, a1: int, a2: int) -> int:
+        """Allocate ring + buffers + status block, program the device."""
+        if self.ring:
+            self.op_teardown(ctx, 0, 0, 0)
+        mm = self.kernel.mm
+        ctx.cov(1)
+        ring = mm.kmalloc(ctx, RING_SLOTS * DESC_BYTES)
+        scratch = mm.kmalloc(ctx, RING_SLOTS * BUF_BYTES)
+        status_blk = mm.kmalloc(ctx, STATUS_BYTES)
+        if not (ring and scratch and status_blk):
+            for addr in (ring, scratch, status_blk):
+                if addr:
+                    mm.kfree(ctx, addr)
+            return ENOMEM
+        ctx.memset(ring, 0, RING_SLOTS * DESC_BYTES)
+        ctx.memset(scratch, 0, RING_SLOTS * BUF_BYTES)
+        # only the magic word: the seqno field stays uninitialized,
+        # which is exactly what the seeded spurious-IRQ bug reads
+        ctx.st32(status_blk + STATUS_MAGIC_OFF, 0x4E444D41)
+        bufs = []
+        for slot in range(RING_SLOTS):
+            buf = mm.kmalloc(ctx, BUF_BYTES)
+            if not buf:
+                for other in bufs:
+                    mm.kfree(ctx, other)
+                for addr in (ring, scratch, status_blk):
+                    mm.kfree(ctx, addr)
+                return ENOMEM
+            self._fill_buf(ctx, buf, slot)
+            bufs.append(buf)
+        self.ring = ring
+        self.scratch = scratch
+        self.status_blk = status_blk
+        self.bufs = bufs
+        self.head = 0
+        self.completed = 0
+        self._poke(ctx, NETDMA_RING_BASE, ring)
+        self._poke(ctx, NETDMA_RING_COUNT, RING_SLOTS)
+        self._poke(ctx, NETDMA_RING_HEAD, 0)
+        self._poke(ctx, NETDMA_CTRL, 1)
+        return 0
+
+    @guestfn(name="netdma_reg_write")
+    def op_reg_write(self, ctx: GuestContext, sel: int, value: int,
+                     a2: int) -> int:
+        """Raw register poke: fuzz the device's register state machine."""
+        offset = REG_SELECTORS[sel % len(REG_SELECTORS)]
+        ctx.cov(2)
+        self._poke(ctx, offset, value & 0xFFFFFFFF)
+        return 0
+
+    @guestfn(name="netdma_submit")
+    def op_submit(self, ctx: GuestContext, n: int, length: int,
+                  a2: int) -> int:
+        """Fill descriptors, bump HEAD, ring the doorbell."""
+        if not self.ring:
+            return EINVAL
+        n = 1 + (n % RING_SLOTS)
+        length = 4 + (length % (BUF_BYTES - 3))
+        ctx.cov(3)
+        for _ in range(n):
+            slot = self.head % RING_SLOTS
+            desc = self.ring + slot * DESC_BYTES
+            ctx.st32(desc + 0, self.bufs[slot])
+            ctx.st32(desc + 4, self.scratch + slot * BUF_BYTES)
+            ctx.st32(desc + 8, length)
+            ctx.st32(desc + 12, DESC_OWNED)
+            self.head += 1
+        self._poke(ctx, NETDMA_RING_HEAD, self.head & 0xFFFFFFFF)
+        # the doorbell store re-enters the ISR synchronously when the
+        # completion interrupt is delivered un-dropped and un-delayed
+        self._poke(ctx, NETDMA_DOORBELL, 1)
+        return n
+
+    @guestfn(name="netdma_fire_irq")
+    def op_fire_irq(self, ctx: GuestContext, a0: int, a1: int,
+                    a2: int) -> int:
+        """Force a spurious interrupt (no completion behind it)."""
+        if not self.ring:
+            return EINVAL
+        ctx.cov(4)
+        self._poke(ctx, NETDMA_IRQ_FORCE, 1)
+        return 0
+
+    @guestfn(name="netdma_teardown")
+    def op_teardown(self, ctx: GuestContext, a0: int, a1: int,
+                    a2: int) -> int:
+        """Quiesce the device and release every driver allocation."""
+        if not self.ring:
+            return EINVAL
+        ctx.cov(5)
+        self._poke(ctx, NETDMA_CTRL, 0)
+        mm = self.kernel.mm
+        for buf in self.bufs:
+            if buf:
+                mm.kfree(ctx, buf)
+        mm.kfree(ctx, self.ring)
+        mm.kfree(ctx, self.scratch)
+        mm.kfree(ctx, self.status_blk)
+        self.ring = self.scratch = self.status_blk = 0
+        self.bufs = []
+        self.head = 0
+        self.completed = 0
+        return 0
+
+    # ------------------------------------------------------------------
+    # interrupt path
+    # ------------------------------------------------------------------
+    def _on_irq(self, event) -> None:
+        if event.irq != self.dev.irq.irq:
+            return
+        if self.ctx is None or not self.ring or self.in_isr:
+            return
+        self.in_isr = True
+        try:
+            self.isr(self.ctx)
+        finally:
+            self.in_isr = False
+
+    @guestfn(name="netdma_isr")
+    def isr(self, ctx: GuestContext) -> int:
+        """Completion handler: ack, retire descriptors, refill buffers."""
+        irq_status = self._peek(ctx, NETDMA_IRQ_STATUS)
+        if not irq_status & NETDMA_IRQ_COMPLETE:
+            ctx.cov(6)
+            # spurious interrupt: sanity-check the status block — the
+            # seeded bug reads the seqno field no path ever wrote
+            if self.kernel.bugs.enabled(self.bug_uninit):
+                offset = STATUS_SEQNO_OFF
+            else:
+                offset = STATUS_MAGIC_OFF
+            ctx.ld32(self.status_blk + offset)
+            return 0
+        self._poke(ctx, NETDMA_IRQ_STATUS, NETDMA_IRQ_COMPLETE)
+        count = self._peek(ctx, NETDMA_STATUS)
+        ctx.cov(7)
+        retired = 0
+        mm = self.kernel.mm
+        for _ in range(count):
+            raw = self.completed
+            if self.kernel.bugs.enabled(self.bug_oob):
+                # trusts the device's free-running completion count as
+                # a slot index: the fifth completion walks off the ring
+                slot = raw
+            else:
+                slot = raw % RING_SLOTS
+            ctx.ld32(self.ring + slot * DESC_BYTES + 12)
+            slot = raw % RING_SLOTS
+            old = self.bufs[slot]
+            replacement = mm.kmalloc(ctx, BUF_BYTES)
+            if replacement:
+                mm.kfree(ctx, old)
+                if self.kernel.bugs.enabled(self.bug_uaf):
+                    # reads the retired buffer's header after kfree
+                    ctx.ld32(old)
+                self._fill_buf(ctx, replacement, slot)
+                self.bufs[slot] = replacement
+            self.completed = raw + 1
+            retired += 1
+        return retired

@@ -1,0 +1,31 @@
+"""Modeled peripherals: register maps, DMA rings, IRQ sources.
+
+See ``docs/peripherals.md`` for the RegisterMap DSL, the descriptor
+ring format, IRQ routing through the fault plan, and the determinism
+contract device models must honour.
+"""
+
+from repro.periph.device import DeviceModel
+from repro.periph.irq import IrqSource
+from repro.periph.regmap import Reg, RegisterMap
+from repro.periph.ring import (
+    DESC_BYTES,
+    DESC_DONE,
+    DESC_OWNED,
+    DescriptorRing,
+    check_dma_overlap,
+    check_dma_window,
+)
+
+__all__ = [
+    "DeviceModel",
+    "IrqSource",
+    "Reg",
+    "RegisterMap",
+    "DescriptorRing",
+    "DESC_BYTES",
+    "DESC_DONE",
+    "DESC_OWNED",
+    "check_dma_overlap",
+    "check_dma_window",
+]

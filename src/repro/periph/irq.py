@@ -1,0 +1,41 @@
+"""IrqSource: a named device interrupt line.
+
+Thin on purpose: every assertion goes through
+:meth:`~repro.emulator.machine.Machine.raise_irq`, which is where the
+fault plan's ``irq:drop``/``irq:delay``/``irq-storm`` clauses hook in —
+so modeled peripherals automatically inherit flaky-interrupt injection
+without knowing the fault plan exists.
+"""
+
+from __future__ import annotations
+
+
+class IrqSource:
+    """One interrupt line owned by a peripheral."""
+
+    def __init__(self, machine, irq: int, device: str = "periph"):
+        self.machine = machine
+        self.irq = irq
+        self.device = device
+        # telemetry: asserted vs actually delivered (fault plans drop
+        # or delay; delayed IRQs count as delivered when they drain)
+        self.raised = 0
+        self.delivered = 0
+
+    def fire(self) -> bool:
+        """Assert the line; returns True when delivered immediately."""
+        self.raised += 1
+        delivered = self.machine.raise_irq(self.irq, device=self.device)
+        if delivered:
+            self.delivered += 1
+        return delivered
+
+    def counters(self):
+        return {"raised": self.raised, "delivered": self.delivered}
+
+    def load_counters(self, counters) -> None:
+        for attr, value in counters.items():
+            setattr(self, attr, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IrqSource(irq={self.irq}, device={self.device!r})"

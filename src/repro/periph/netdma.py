@@ -1,0 +1,134 @@
+"""netdma: a ring-based DMA copy engine (NIC-style programming model).
+
+The canonical consumer of the peripheral subsystem, and the device the
+``driver`` fuzz surface programs.  A driver gives it a guest-memory
+descriptor ring (:mod:`repro.periph.ring` format), hands slots over by
+bumping ``RING_HEAD``, and rings ``DOORBELL``; the engine copies each
+owned descriptor's payload as ``AccessKind.DMA`` traffic, writes the
+slot back ``DESC_DONE``, advances ``RING_TAIL``, accumulates the
+read-to-clear ``STATUS`` completion count, latches ``IRQ_STATUS`` bit 0
+and fires its completion interrupt through ``Machine.raise_irq``.
+
+Register map (all 32-bit)::
+
+    0x00 RING_BASE   rw   guest address of the descriptor ring
+    0x04 RING_COUNT  rw   slots in the ring
+    0x08 RING_HEAD   rw   driver's free-running producer index
+    0x0C RING_TAIL   ro   device's free-running consumer index
+    0x10 CTRL        rw   bit0 enables the engine
+    0x14 STATUS      rc   completions since last read (read-to-clear)
+    0x18 IRQ_STATUS  w1c  bit0 completion, bit1 DMA fault
+    0x1C DOORBELL    wo   any write: process the ring
+    0x20 IRQ_FORCE   wo   any write: assert the IRQ line (spurious)
+
+Hostile programming (ring or payload windows in MMIO space, crossing a
+region end, src/dst overlap) raises a structured
+:class:`~repro.errors.DmaFault` with ``IRQ_STATUS`` bit 1 latched, so
+the guest's doorbell store faults like a bus abort.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DmaFault
+from repro.periph.device import DeviceModel
+from repro.periph.irq import IrqSource
+from repro.periph.regmap import Reg, RegisterMap
+from repro.periph.ring import DescriptorRing
+
+# register offsets (guest-visible ABI; the driver module imports these)
+NETDMA_RING_BASE = 0x00
+NETDMA_RING_COUNT = 0x04
+NETDMA_RING_HEAD = 0x08
+NETDMA_RING_TAIL = 0x0C
+NETDMA_CTRL = 0x10
+NETDMA_STATUS = 0x14
+NETDMA_IRQ_STATUS = 0x18
+NETDMA_DOORBELL = 0x1C
+NETDMA_IRQ_FORCE = 0x20
+
+#: IRQ_STATUS bits
+NETDMA_IRQ_COMPLETE = 0x1
+NETDMA_IRQ_FAULT = 0x2
+
+#: interrupt line (the board's legacy DMA engine owns line 1)
+NETDMA_IRQ = 9
+
+
+def _head_write(dev, reg, value, old):
+    dev.ring.head = value
+
+
+def _doorbell(dev, reg, value, old):
+    dev.process()
+
+
+def _irq_force(dev, reg, value, old):
+    dev.irq.fire()
+
+
+class NetDmaModel(DeviceModel):
+    """The modeled ring-DMA peripheral."""
+
+    NAME = "netdma"
+    REGISTERS = RegisterMap(
+        Reg("ring_base", NETDMA_RING_BASE),
+        Reg("ring_count", NETDMA_RING_COUNT),
+        Reg("ring_head", NETDMA_RING_HEAD, on_write=_head_write),
+        Reg("ring_tail", NETDMA_RING_TAIL, mode="ro"),
+        Reg("ctrl", NETDMA_CTRL),
+        Reg("status", NETDMA_STATUS, mode="rc"),
+        Reg("irq_status", NETDMA_IRQ_STATUS, mode="w1c"),
+        Reg("doorbell", NETDMA_DOORBELL, mode="wo", on_write=_doorbell),
+        Reg("irq_force", NETDMA_IRQ_FORCE, mode="wo", on_write=_irq_force),
+    )
+
+    def __init__(self, base: int, machine, irq: int = NETDMA_IRQ,
+                 name: str = None):
+        super().__init__(base, machine=machine, name=name)
+        self.ring = DescriptorRing(machine.bus, device=self.name)
+        self.irq = IrqSource(machine, irq, device=self.name)
+
+    # ------------------------------------------------------------------
+    def process(self) -> int:
+        """Doorbell: consume owned descriptors, then signal completion."""
+        if not self.reg_get("ctrl") & 0x1:
+            return 0
+        ring = self.ring
+        ring.configure(self.reg_get("ring_base"), self.reg_get("ring_count"))
+        try:
+            completed = ring.process(self.machine)
+        except DmaFault:
+            # latch the fault before the bus abort reaches the guest
+            self.reg_set("irq_status",
+                         self.reg_get("irq_status") | NETDMA_IRQ_FAULT)
+            self.reg_set("ring_tail", ring.tail)
+            raise
+        self.reg_set("ring_tail", ring.tail)
+        if completed:
+            self.reg_set("status", self.reg_get("status") + completed)
+            self.reg_set("irq_status",
+                         self.reg_get("irq_status") | NETDMA_IRQ_COMPLETE)
+            self.irq.fire()
+        return completed
+
+    # ------------------------------------------------------------------
+    # provider/telemetry plumbing
+    # ------------------------------------------------------------------
+    def extra_state(self):
+        return self.ring.save_state()
+
+    def load_extra_state(self, extra) -> None:
+        self.ring.load_state(extra)
+
+    def save_telemetry(self):
+        return (
+            super().save_telemetry(),
+            self.ring.counters(),
+            self.irq.counters(),
+        )
+
+    def load_telemetry(self, telemetry) -> None:
+        dev_counters, ring_counters, irq_counters = telemetry
+        super().load_telemetry(dev_counters)
+        self.ring.load_counters(ring_counters)
+        self.irq.load_counters(irq_counters)

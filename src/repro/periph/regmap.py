@@ -1,0 +1,128 @@
+"""Declarative MMIO register maps.
+
+A peripheral's programming model is a small table: named registers at
+fixed offsets, each with a width, a reset value, and one of a handful of
+hardware access semantics.  :class:`RegisterMap` captures that table
+declaratively so a :class:`~repro.periph.device.DeviceModel` can compile
+it into bus handlers instead of every device hand-rolling an
+``offset == 0x04`` ladder.
+
+Supported semantics (``Reg.mode``):
+
+``rw``
+    Plain read/write storage (the default).
+``ro``
+    Read-only: guest writes are ignored; the device updates the value
+    through :meth:`~repro.periph.device.DeviceModel.reg_set`.
+``wo``
+    Write-only: reads return 0 (matching the historical devices, whose
+    unmatched read offsets returned 0).
+``rc``
+    Read-to-clear: a guest read returns the value and atomically clears
+    it — the classic "completion count since last read" register.
+``w1c``
+    Write-1-to-clear: writing a bit mask clears those bits, writing 0
+    is a no-op — the classic interrupt-status register.
+
+Side effects attach per register: ``on_read(dev, reg, value)`` may
+override the returned value; ``on_write(dev, reg, value, old)`` runs
+after the semantic update (doorbells, control toggles).  Hooks receive
+the device instance, so one map class serves many device instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import FirmwareBuildError
+
+#: valid Reg.mode values
+REG_MODES = ("rw", "ro", "wo", "rc", "w1c")
+
+
+class Reg:
+    """One named register in a peripheral's programming model."""
+
+    __slots__ = ("name", "offset", "width", "reset", "mode",
+                 "on_read", "on_write", "mask")
+
+    def __init__(
+        self,
+        name: str,
+        offset: int,
+        width: int = 4,
+        reset: int = 0,
+        mode: str = "rw",
+        on_read: Optional[Callable] = None,
+        on_write: Optional[Callable] = None,
+    ):
+        if mode not in REG_MODES:
+            raise FirmwareBuildError(
+                f"register {name!r}: unknown mode {mode!r} "
+                f"(expected one of {', '.join(REG_MODES)})"
+            )
+        if width not in (1, 2, 4, 8):
+            raise FirmwareBuildError(
+                f"register {name!r}: unsupported width {width}"
+            )
+        self.name = name
+        self.offset = offset
+        self.width = width
+        self.reset = reset
+        self.mode = mode
+        self.on_read = on_read
+        self.on_write = on_write
+        self.mask = (1 << (8 * width)) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Reg({self.name!r}, offset={self.offset:#x}, "
+            f"mode={self.mode!r})"
+        )
+
+
+class RegisterMap:
+    """An ordered, offset-indexed collection of :class:`Reg` entries.
+
+    Accesses are matched on the exact register offset (the historical
+    devices compared ``offset ==`` too); straddling or unknown offsets
+    fall through to the device's ``unmapped_read``/``unmapped_write``,
+    which default to the read-as-zero / ignore-writes behaviour of the
+    original hand-rolled models.
+    """
+
+    def __init__(self, *regs: Reg):
+        self.regs: Tuple[Reg, ...] = tuple(regs)
+        self.by_offset: Dict[int, Reg] = {}
+        self.by_name: Dict[str, Reg] = {}
+        for reg in self.regs:
+            if reg.offset in self.by_offset:
+                raise FirmwareBuildError(
+                    f"register {reg.name!r} collides with "
+                    f"{self.by_offset[reg.offset].name!r} at "
+                    f"offset {reg.offset:#x}"
+                )
+            if reg.name in self.by_name:
+                raise FirmwareBuildError(
+                    f"duplicate register name {reg.name!r}"
+                )
+            self.by_offset[reg.offset] = reg
+            self.by_name[reg.name] = reg
+
+    def at(self, offset: int) -> Optional[Reg]:
+        """The register decoded at ``offset``, or None."""
+        return self.by_offset.get(offset)
+
+    def reg(self, name: str) -> Reg:
+        """Look up a register by name (KeyError when absent)."""
+        return self.by_name[name]
+
+    def reset_values(self) -> Dict[str, int]:
+        """A fresh register file at hardware-reset values."""
+        return {reg.name: reg.reset for reg in self.regs}
+
+    def __iter__(self):
+        return iter(self.regs)
+
+    def __len__(self) -> int:
+        return len(self.regs)

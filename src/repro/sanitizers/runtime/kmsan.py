@@ -73,7 +73,11 @@ class KmsanEngine:
         """Feed one access: stores initialize, loads are validated."""
         if self.suppress_depth:
             return None
-        if access.kind not in (AccessKind.DATA, AccessKind.RANGE):
+        # DMA counts: a device reading an uninitialized heap buffer
+        # leaks its contents just like a CPU load, and a device write
+        # (ring write-back, rx payload) initializes the span it covers
+        if access.kind not in (AccessKind.DATA, AccessKind.RANGE,
+                               AccessKind.DMA):
             return None
         hit = self._find(access.addr, access.size)
         if hit is None:

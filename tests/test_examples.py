@@ -67,6 +67,13 @@ def test_fault_injection():
     assert "reproducible finding(s)" in out
 
 
+def test_driver_fuzz():
+    out = run_example("driver_fuzz.py")
+    assert "driver bugs found: 3/3" in out
+    assert "slab-out-of-bounds in netdma.netdma_isr" in out
+    assert "uninit-value in netdma.netdma_isr" in out
+
+
 def test_corpus_reuse():
     out = run_example("corpus_reuse.py")
     assert "distilled" in out and "crash reproducer(s)" in out
